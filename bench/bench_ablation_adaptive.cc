@@ -1,0 +1,35 @@
+// Ablation: the conclusion's "adaptive hybrid". When a transaction's
+// updates cluster densely in a page, collapsing them into one covering span
+// at commit trades extra bytes for fewer per-range costs — log-based
+// coherency borrowing the page-based systems' strength exactly where they
+// win. Sparse traversals are untouched; index-heavy T3-B collapses its hot
+// pages dramatically.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/base/logging.h"
+
+int main() {
+  std::printf("=== Ablation: adaptive per-page span coalescing at commit ===\n\n");
+  std::printf("%-8s %12s %12s %14s %14s %12s\n", "workload", "threshold", "ranges",
+              "data bytes", "msg bytes", "coalesced");
+  for (const char* name : {"T12-A", "T2-B", "T3-B"}) {
+    for (uint32_t threshold : {0u, 8u, 32u}) {
+      bench::HarnessOptions options;
+      options.client.rvm.adaptive_ranges_per_page = threshold;
+      bench::Oo7Harness harness(options);
+      bench::TraversalRun run = harness.Run(name);
+      LBC_CHECK(run.caches_match);
+      const rvm::RvmStats& s = harness.writer()->rvm()->stats();
+      std::printf("%-8s %12u %12llu %14llu %14llu %12llu\n", name, threshold,
+                  static_cast<unsigned long long>(s.ranges_logged),
+                  static_cast<unsigned long long>(run.profile.bytes_updated),
+                  static_cast<unsigned long long>(run.profile.message_bytes),
+                  static_cast<unsigned long long>(s.adaptive_pages_coalesced));
+    }
+  }
+  std::printf("\nthreshold 0 = plain log-based coherency. Dense workloads shed most of\n"
+              "their range count (and header bytes) for a modest data-byte increase;\n"
+              "sparse workloads are left untouched.\n");
+  return 0;
+}

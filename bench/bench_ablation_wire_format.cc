@@ -1,0 +1,34 @@
+// Ablation (§3.2): compressed coherency headers vs the standard 104-byte
+// RVM range headers, measured as bytes-on-wire for the OO7 update
+// traversals. The paper compresses headers to 4-24 bytes; this shows why.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/base/logging.h"
+
+int main() {
+  std::printf("=== Ablation: §3.2 header compression (bytes on wire, one peer) ===\n\n");
+  std::printf("%-8s %16s %18s %14s %10s\n", "traversal", "compressed B", "uncompressed B",
+              "data bytes", "ratio");
+  for (const char* name : {"T12-A", "T2-A", "T2-B", "T3-A"}) {
+    uint64_t sizes[2];
+    uint64_t data_bytes = 0;
+    for (bool compress : {true, false}) {
+      bench::HarnessOptions options;
+      options.client.compress_headers = compress;
+      bench::Oo7Harness harness(options);
+      bench::TraversalRun run = harness.Run(name);
+      LBC_CHECK(run.caches_match);
+      sizes[compress ? 0 : 1] = run.profile.message_bytes;
+      data_bytes = run.profile.bytes_updated;
+    }
+    std::printf("%-8s %16llu %18llu %14llu %9.2fx\n", name,
+                static_cast<unsigned long long>(sizes[0]),
+                static_cast<unsigned long long>(sizes[1]),
+                static_cast<unsigned long long>(data_bytes),
+                static_cast<double>(sizes[1]) / static_cast<double>(sizes[0]));
+  }
+  std::printf("\nSparse traversals are header-dominated: 104-byte headers inflate the\n"
+              "message by an order of magnitude, compressed headers cost ~4 bytes.\n");
+  return 0;
+}

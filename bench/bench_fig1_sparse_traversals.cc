@@ -1,0 +1,12 @@
+// Figure 1: coherency overhead for the sparse-update traversals T12-A and
+// T12-C (Log vs Cpy/Cmp vs Page, stacked Detect/Collect/Network/Apply).
+// Log's advantage is largest here: few updates, few bytes, many pages.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  std::printf("=== Figure 1: OO7 sparse-update traversals T12-A and T12-C ===\n\n");
+  bench::RunFigureComparison({"T12-A", "T12-C"});
+  return 0;
+}

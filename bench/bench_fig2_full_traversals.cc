@@ -1,0 +1,13 @@
+// Figure 2: coherency overhead for the full-update traversals T2-A, T2-B,
+// T2-C and the sparse index traversal T3-A. Log still wins for T2-A/T3-A;
+// T2-B/T2-C (71 and 283 updates per page) bring Cpy/Cmp level with Log.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  std::printf(
+      "=== Figure 2: OO7 full-update traversals T2-A/B/C and index traversal T3-A ===\n\n");
+  bench::RunFigureComparison({"T2-A", "T2-B", "T2-C", "T3-A"});
+  return 0;
+}

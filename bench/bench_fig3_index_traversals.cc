@@ -1,0 +1,13 @@
+// Figure 3: the index-update traversals T3-B and T3-C (hundreds to
+// thousands of updates per page). Here per-update software write detection
+// dominates and log-based coherency loses to Cpy/Cmp — the paper's honest
+// "when not to use this" result.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  std::printf("=== Figure 3: OO7 index-update traversals T3-B and T3-C ===\n\n");
+  bench::RunFigureComparison({"T3-B", "T3-C"});
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the primitives the cost model
+// prices: set_range in its three patterns, commit encoding, coherency
+// message encode/decode, update application, and the CpyCmp page diff.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "src/baselines/cpycmp.h"
+#include "src/lbc/wire_format.h"
+#include "src/rvm/rvm.h"
+#include "src/store/mem_store.h"
+
+namespace {
+
+void BM_SetRangeOrdered(benchmark::State& state) {
+  store::MemStore store;
+  rvm::RvmOptions options;
+  options.disk_logging = false;
+  auto r = std::move(*rvm::Rvm::Open(&store, 1, options));
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  (void)*r->MapRegion(1, n * 16 + 16);
+  for (auto _ : state) {
+    rvm::TxnId txn = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+    for (uint64_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(r->SetRange(txn, 1, i * 16, 8));
+    }
+    benchmark::DoNotOptimize(r->EndTransaction(txn, rvm::CommitMode::kNoFlush));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SetRangeOrdered)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SetRangeRedundant(benchmark::State& state) {
+  store::MemStore store;
+  rvm::RvmOptions options;
+  options.disk_logging = false;
+  auto r = std::move(*rvm::Rvm::Open(&store, 1, options));
+  (void)*r->MapRegion(1, 4096);
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    rvm::TxnId txn = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+    for (uint64_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(r->SetRange(txn, 1, 64, 8));
+    }
+    benchmark::DoNotOptimize(r->EndTransaction(txn, rvm::CommitMode::kNoFlush));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SetRangeRedundant)->Arg(1000);
+
+void BM_EncodeUpdate(benchmark::State& state) {
+  rvm::TransactionRecord txn;
+  txn.node = 1;
+  txn.commit_seq = 1;
+  txn.locks = {{1, 1}};
+  const int ranges = static_cast<int>(state.range(0));
+  for (int i = 0; i < ranges; ++i) {
+    txn.ranges.push_back({1, static_cast<uint64_t>(i) * 8192,
+                          std::vector<uint8_t>(8, static_cast<uint8_t>(i))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lbc::EncodeUpdateRecord(txn, true));
+  }
+  state.SetItemsProcessed(state.iterations() * ranges);
+}
+BENCHMARK(BM_EncodeUpdate)->Arg(10)->Arg(500);
+
+void BM_DecodeUpdate(benchmark::State& state) {
+  rvm::TransactionRecord txn;
+  txn.node = 1;
+  txn.commit_seq = 1;
+  for (int i = 0; i < 500; ++i) {
+    txn.ranges.push_back({1, static_cast<uint64_t>(i) * 8192,
+                          std::vector<uint8_t>(8, static_cast<uint8_t>(i))});
+  }
+  auto payload = lbc::EncodeUpdateRecord(txn, true);
+  for (auto _ : state) {
+    rvm::TransactionRecord out;
+    benchmark::DoNotOptimize(
+        lbc::DecodeUpdate(base::ByteSpan(payload.data(), payload.size()), &out));
+  }
+}
+BENCHMARK(BM_DecodeUpdate);
+
+void BM_ApplyExternalUpdate(benchmark::State& state) {
+  store::MemStore store;
+  rvm::RvmOptions options;
+  options.disk_logging = false;
+  auto r = std::move(*rvm::Rvm::Open(&store, 1, options));
+  (void)*r->MapRegion(1, 1 << 20);
+  uint8_t data[64] = {1};
+  uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        r->ApplyExternalUpdate(1, offset % ((1 << 20) - 64), base::ByteSpan(data, 64)));
+    offset += 4096;
+  }
+  state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ApplyExternalUpdate);
+
+void BM_CpyCmpDiffPage(benchmark::State& state) {
+  std::vector<uint8_t> buf(8192, 0);
+  baselines::CpyCmpEngine engine(buf.data(), buf.size());
+  const int modified = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    engine.NoteWrite(0, 8);
+    for (int i = 0; i < modified; ++i) {
+      buf[static_cast<size_t>(i) * 8192 / static_cast<size_t>(modified)] ^= 1;
+    }
+    benchmark::DoNotOptimize(engine.CollectDiffs(1));
+  }
+  state.SetBytesProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_CpyCmpDiffPage)->Arg(8)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Shared micro-harness for Figures 5 and 6: the per-update cost of
+// set_range + commit as the number of updates per transaction grows, for
+// three access patterns:
+//   Unordered — random distinct addresses (full tree search per call),
+//   Ordered   — ascending addresses (the §3.1 last-insert fast path),
+//   Redundant — re-registrations of ranges already in the tree.
+#ifndef BENCH_UPDATE_SWEEP_H_
+#define BENCH_UPDATE_SWEEP_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+#include "src/rvm/rvm.h"
+#include "src/store/mem_store.h"
+
+namespace bench {
+
+enum class UpdatePattern { kUnordered, kOrdered, kRedundant };
+
+// Runs one transaction with `n_updates` 8-byte set_range calls in the given
+// pattern and returns the per-update cost in microseconds (set_range +
+// commit, disk logging disabled, as in the paper's Figures 5-6 setup).
+inline double MeasurePerUpdateUs(UpdatePattern pattern, uint64_t n_updates) {
+  constexpr uint64_t kStride = 16;
+  store::MemStore store;
+  rvm::RvmOptions options;
+  options.disk_logging = false;
+  auto rvm = std::move(*rvm::Rvm::Open(&store, 1, options));
+  // For the redundant pattern all updates hit a small working set.
+  uint64_t distinct = pattern == UpdatePattern::kRedundant
+                          ? std::min<uint64_t>(128, n_updates)
+                          : n_updates;
+  rvm::Region* region = *rvm->MapRegion(1, distinct * kStride + kStride);
+
+  std::vector<uint64_t> offsets(n_updates);
+  if (pattern == UpdatePattern::kOrdered) {
+    for (uint64_t i = 0; i < n_updates; ++i) {
+      offsets[i] = i * kStride;
+    }
+  } else if (pattern == UpdatePattern::kUnordered) {
+    for (uint64_t i = 0; i < n_updates; ++i) {
+      offsets[i] = i * kStride;
+    }
+    base::Rng rng(7);
+    for (uint64_t i = n_updates; i > 1; --i) {
+      std::swap(offsets[i - 1], offsets[rng.Uniform(i)]);
+    }
+  } else {
+    base::Rng rng(9);
+    for (uint64_t i = 0; i < n_updates; ++i) {
+      offsets[i] = rng.Uniform(distinct) * kStride;
+    }
+    // Prime the tree so every timed call is a re-registration.
+    rvm::TxnId prime = rvm->BeginTransaction(rvm::RestoreMode::kNoRestore);
+    for (uint64_t d = 0; d < distinct; ++d) {
+      LBC_CHECK_OK(rvm->SetRange(prime, 1, d * kStride, 8));
+    }
+    LBC_CHECK_OK(rvm->EndTransaction(prime, rvm::CommitMode::kNoFlush));
+  }
+
+  base::Stopwatch timer;
+  rvm::TxnId txn = rvm->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  for (uint64_t i = 0; i < n_updates; ++i) {
+    LBC_CHECK_OK(rvm->SetRange(txn, 1, offsets[i], 8));
+    *reinterpret_cast<uint64_t*>(region->data() + offsets[i]) = i;
+  }
+  LBC_CHECK_OK(rvm->EndTransaction(txn, rvm::CommitMode::kNoFlush));
+  return timer.ElapsedMicros() / static_cast<double>(n_updates);
+}
+
+inline void PrintUpdateSweep(const std::vector<uint64_t>& counts) {
+  std::printf("%14s %14s %14s %14s\n", "updates/txn", "Unordered us", "Ordered us",
+              "Redundant us");
+  for (uint64_t n : counts) {
+    double unordered = MeasurePerUpdateUs(UpdatePattern::kUnordered, n);
+    double ordered = MeasurePerUpdateUs(UpdatePattern::kOrdered, n);
+    double redundant = MeasurePerUpdateUs(UpdatePattern::kRedundant, n);
+    std::printf("%14llu %14.3f %14.3f %14.3f\n", static_cast<unsigned long long>(n),
+                unordered, ordered, redundant);
+  }
+}
+
+}  // namespace bench
+
+#endif  // BENCH_UPDATE_SWEEP_H_

@@ -1,0 +1,95 @@
+// Hot-standby checkpointing in action (related work: Li & Naughton).
+//
+// Two writers stream transactions into a shared store while a standby node
+// mirrors everything. Periodically the standby checkpoints: its stable
+// image becomes the permanent database file and the writers' redo logs are
+// trimmed below the checkpoint's cut — without the writers ever blocking.
+// At the end the "machine room floods": everything volatile dies, and
+// recovery needs only the (small) post-checkpoint log tails.
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "src/lbc/client.h"
+#include "src/lbc/standby.h"
+#include "src/rvm/recovery.h"
+#include "src/store/mem_store.h"
+
+namespace {
+constexpr rvm::RegionId kLedger = 1;
+constexpr rvm::LockId kLock = 1;
+}  // namespace
+
+int main() {
+  store::MemStore store;
+  lbc::Cluster cluster(&store);
+  cluster.DefineLock(kLock, kLedger, /*manager=*/1);
+
+  auto w1 = std::move(*lbc::Client::Create(&cluster, 1, {}));
+  auto w2 = std::move(*lbc::Client::Create(&cluster, 2, {}));
+  lbc::ClientOptions standby_options;
+  standby_options.versioned_reads = true;
+  auto standby = std::move(*lbc::Client::Create(&cluster, 9, standby_options));
+  for (lbc::Client* c : {w1.get(), w2.get(), standby.get()}) {
+    c->MapRegion(kLedger, 64 * 1024).value();
+  }
+
+  auto post = [&](lbc::Client* writer, uint64_t account, uint64_t amount) {
+    lbc::Transaction txn = writer->Begin();
+    txn.Acquire(kLock).ok();
+    uint64_t offset = account * 8;
+    uint64_t balance;
+    std::memcpy(&balance, writer->GetRegion(kLedger)->data() + offset, 8);
+    balance += amount;
+    txn.SetRange(kLedger, offset, 8).ok();
+    std::memcpy(writer->GetRegion(kLedger)->data() + offset, &balance, 8);
+    txn.Commit().ok();
+  };
+  auto log_bytes = [&] {
+    uint64_t total = 0;
+    for (rvm::NodeId node : {1u, 2u}) {
+      auto file = std::move(*store.Open(rvm::LogFileName(node), true));
+      total += *file->Size();
+    }
+    return total;
+  };
+
+  std::vector<lbc::Client*> writers = {w1.get(), w2.get()};
+  uint64_t committed = 0;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (int i = 0; i < 50; ++i) {
+      post(writers[i % 2], static_cast<uint64_t>(i % 16), 10);
+      ++committed;
+    }
+    // Let the standby receive the epoch's updates (they sit buffered).
+    while (standby->stats().updates_received < committed) {
+      std::this_thread::yield();
+    }
+    uint64_t before = log_bytes();
+    lbc::CheckpointFromStandby(&cluster, standby.get(), writers).ok();
+    std::printf("epoch %d: logs %6llu -> %llu bytes after standby checkpoint\n", epoch,
+                static_cast<unsigned long long>(before),
+                static_cast<unsigned long long>(log_bytes()));
+  }
+
+  // A few more transactions after the last checkpoint, then total loss of
+  // volatile state.
+  post(w1.get(), 0, 5);
+  post(w2.get(), 1, 5);
+  w1.reset();
+  w2.reset();
+  standby.reset();
+  store.Crash();
+
+  rvm::ReplayLogsIntoDatabase(&store, {rvm::LogFileName(1), rvm::LogFileName(2)}).ok();
+  auto db = std::move(*store.Open(rvm::RegionFileName(kLedger), false));
+  uint64_t balance0 = 0, balance1 = 0;
+  db->ReadExact(0, &balance0, 8).ok();
+  db->ReadExact(8, &balance1, 8).ok();
+  // Each epoch posts 4 tens to accounts 0 and 1 (i%16); 3 epochs = 120,
+  // plus the post-checkpoint 5s: 125 each.
+  std::printf("recovered balances: account0=%llu account1=%llu (expected 125 each)\n",
+              static_cast<unsigned long long>(balance0),
+              static_cast<unsigned long long>(balance1));
+  return (balance0 == 125 && balance1 == 125) ? 0 : 1;
+}

@@ -1,0 +1,21 @@
+#include "src/base/buffer.h"
+
+#include <cstdio>
+
+namespace base {
+
+std::string HexDump(ByteSpan data, size_t max_bytes) {
+  std::string out;
+  size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  char tmp[4];
+  for (size_t i = 0; i < n; ++i) {
+    std::snprintf(tmp, sizeof(tmp), "%02x ", data[i]);
+    out += tmp;
+  }
+  if (n < data.size()) {
+    out += "...";
+  }
+  return out;
+}
+
+}  // namespace base

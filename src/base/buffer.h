@@ -1,0 +1,172 @@
+// Byte buffers and binary serialization cursors.
+//
+// Writer appends little-endian fixed-width integers, varints, and raw byte
+// ranges into a growable buffer. Reader consumes the same encodings with
+// bounds checking, returning DATA_LOSS on truncation so callers can treat a
+// short read as a torn log record.
+#ifndef SRC_BASE_BUFFER_H_
+#define SRC_BASE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace base {
+
+using ByteSpan = std::span<const uint8_t>;
+
+inline ByteSpan AsBytes(const void* data, size_t len) {
+  return ByteSpan(static_cast<const uint8_t*>(data), len);
+}
+
+// Growable append-only byte buffer used to build log records and messages.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(size_t reserve) { bytes_.reserve(reserve); }
+
+  void WriteU8(uint8_t v) { bytes_.push_back(v); }
+  void WriteU16(uint16_t v) { AppendLittleEndian(&v, sizeof(v)); }
+  void WriteU32(uint32_t v) { AppendLittleEndian(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { AppendLittleEndian(&v, sizeof(v)); }
+
+  // LEB128 unsigned varint: 1 byte for values < 128, etc.
+  void WriteVarint(uint64_t v) {
+    while (v >= 0x80) {
+      bytes_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<uint8_t>(v));
+  }
+
+  void WriteBytes(ByteSpan data) { bytes_.insert(bytes_.end(), data.begin(), data.end()); }
+  void WriteBytes(const void* data, size_t len) { WriteBytes(AsBytes(data, len)); }
+
+  // Length-prefixed string/blob.
+  void WriteLengthPrefixed(ByteSpan data) {
+    WriteVarint(data.size());
+    WriteBytes(data);
+  }
+  void WriteString(const std::string& s) {
+    WriteLengthPrefixed(AsBytes(s.data(), s.size()));
+  }
+
+  // Overwrites previously written bytes in place (e.g. to back-patch a
+  // record length or checksum once the payload is known). Out-of-bounds
+  // offsets are programming errors.
+  void PatchU32(size_t offset, uint32_t v) {
+    if (offset + sizeof(v) > bytes_.size()) {
+      __builtin_trap();
+    }
+    std::memcpy(bytes_.data() + offset, &v, sizeof(v));
+  }
+
+  size_t size() const { return bytes_.size(); }
+  const uint8_t* data() const { return bytes_.data(); }
+  ByteSpan span() const { return ByteSpan(bytes_.data(), bytes_.size()); }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+  void Clear() { bytes_.clear(); }
+
+ private:
+  void AppendLittleEndian(const void* v, size_t n) {
+    // Host is little-endian on all supported targets; memcpy keeps this
+    // well-defined regardless of alignment.
+    const auto* p = static_cast<const uint8_t*>(v);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+// Bounds-checked sequential reader over a byte span. All read methods return
+// DATA_LOSS when the remaining bytes are too short; this is how torn log
+// tails are detected during recovery.
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool empty() const { return remaining() == 0; }
+
+  Status ReadU8(uint8_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU16(uint16_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU32(uint32_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU64(uint64_t* out) { return ReadRaw(out, sizeof(*out)); }
+
+  Status ReadVarint(uint64_t* out) {
+    uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= data_.size()) {
+        return DataLoss("varint truncated");
+      }
+      uint8_t byte = data_[pos_++];
+      if (shift >= 63 && (byte & ~uint8_t{1})) {
+        return DataLoss("varint overflow");
+      }
+      value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        break;
+      }
+      shift += 7;
+    }
+    *out = value;
+    return OkStatus();
+  }
+
+  // Returns a view into the underlying data (no copy).
+  Status ReadBytes(size_t len, ByteSpan* out) {
+    if (remaining() < len) {
+      return DataLoss("byte range truncated");
+    }
+    *out = data_.subspan(pos_, len);
+    pos_ += len;
+    return OkStatus();
+  }
+
+  Status ReadLengthPrefixed(ByteSpan* out) {
+    uint64_t len = 0;
+    RETURN_IF_ERROR(ReadVarint(&len));
+    return ReadBytes(len, out);
+  }
+
+  Status ReadString(std::string* out) {
+    ByteSpan bytes;
+    RETURN_IF_ERROR(ReadLengthPrefixed(&bytes));
+    out->assign(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+    return OkStatus();
+  }
+
+  Status Skip(size_t len) {
+    if (remaining() < len) {
+      return DataLoss("skip past end");
+    }
+    pos_ += len;
+    return OkStatus();
+  }
+
+ private:
+  Status ReadRaw(void* out, size_t n) {
+    if (remaining() < n) {
+      return DataLoss("fixed field truncated");
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return OkStatus();
+  }
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+// Hex dump helper for diagnostics and test failure messages.
+std::string HexDump(ByteSpan data, size_t max_bytes = 64);
+
+}  // namespace base
+
+#endif  // SRC_BASE_BUFFER_H_

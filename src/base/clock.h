@@ -1,0 +1,63 @@
+// Time sources. Real components use SteadyClock; tests that need
+// deterministic timestamps use ManualClock.
+#ifndef SRC_BASE_CLOCK_H_
+#define SRC_BASE_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace base {
+
+// Abstract monotonic clock in nanoseconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual uint64_t NowNanos() const = 0;
+};
+
+class SteadyClock : public Clock {
+ public:
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now().time_since_epoch())
+                                     .count());
+  }
+
+  // Process-wide instance; the clock is stateless.
+  static SteadyClock* Instance() {
+    static SteadyClock clock;
+    return &clock;
+  }
+};
+
+// Manually advanced clock for deterministic tests.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(uint64_t start_nanos = 0) : now_(start_nanos) {}
+
+  uint64_t NowNanos() const override { return now_.load(std::memory_order_relaxed); }
+  void AdvanceNanos(uint64_t delta) { now_.fetch_add(delta, std::memory_order_relaxed); }
+  void AdvanceMicros(uint64_t delta) { AdvanceNanos(delta * 1000); }
+
+ private:
+  std::atomic<uint64_t> now_;
+};
+
+// Simple scoped stopwatch for harness timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace base
+
+#endif  // SRC_BASE_CLOCK_H_

@@ -1,0 +1,52 @@
+#include "src/base/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace base {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_emit_mutex;
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+char LevelChar(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+    case LogLevel::kFatal:
+      return 'F';
+  }
+  return '?';
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void EmitLogLine(LogLevel level, const char* file, int line, const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    std::fprintf(stderr, "[%c %s:%d] %s\n", LevelChar(level), Basename(file), line,
+                 message.c_str());
+    std::fflush(stderr);
+  }
+  if (level == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace base

@@ -1,0 +1,73 @@
+// Minimal leveled logging. Off by default above WARNING so benchmarks stay
+// quiet; tests can raise verbosity with base::SetLogLevel.
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace base {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal: emits a finished line to stderr; aborts for kFatal.
+void EmitLogLine(LogLevel level, const char* file, int line, const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLogLine(level_, file_, line_, stream_.str()); }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Discards the streamed expression cheaply when the level is suppressed.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace base
+
+// Streams only when the level is enabled (dangling-else suppression trick).
+#define LBC_LOG(level)                                                 \
+  if (::base::LogLevel::k##level < ::base::GetLogLevel()) {            \
+  } else                                                               \
+    ::base::LogMessage(::base::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+#define LBC_LOG_STREAM(level) \
+  ::base::LogMessage(::base::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+// CHECK macros abort on violated invariants regardless of log level.
+#define LBC_CHECK(cond)                                                        \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::base::EmitLogLine(::base::LogLevel::kFatal, __FILE__, __LINE__,        \
+                          std::string("CHECK failed: ") + #cond);              \
+    }                                                                          \
+  } while (0)
+
+#define LBC_CHECK_OK(expr)                                                     \
+  do {                                                                         \
+    ::base::Status _st = (expr);                                               \
+    if (!_st.ok()) {                                                           \
+      ::base::EmitLogLine(::base::LogLevel::kFatal, __FILE__, __LINE__,        \
+                          std::string("CHECK_OK failed: ") + _st.ToString());  \
+    }                                                                          \
+  } while (0)
+
+#endif  // SRC_BASE_LOGGING_H_

@@ -1,0 +1,154 @@
+// Status and Result<T>: exception-free error handling used throughout the
+// library. A Status is either OK or carries an error code and a message;
+// Result<T> is a Status-or-value union in the style of absl::StatusOr.
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace base {
+
+// Error categories. Kept deliberately small; the message carries detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // named entity does not exist
+  kAlreadyExists,     // creation of an entity that exists
+  kFailedPrecondition, // operation not legal in current state
+  kOutOfRange,        // offset/length outside an object
+  kDataLoss,          // corruption detected (bad CRC, torn record)
+  kIoError,           // underlying storage or network failure
+  kAborted,           // transaction or protocol round aborted
+  kUnavailable,       // transient: retry may succeed
+  kInternal,          // invariant violation inside the library
+};
+
+// Human-readable name of a code ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "IO_ERROR: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status DataLoss(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
+}
+inline Status IoError(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+inline Status Aborted(std::string msg) {
+  return Status(StatusCode::kAborted, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit from value and from Status so call sites read naturally:
+  //   return value;    return base::NotFound("...");
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ set
+};
+
+// Propagate a non-OK status out of the enclosing function.
+#define RETURN_IF_ERROR(expr)                  \
+  do {                                         \
+    ::base::Status _st = (expr);               \
+    if (!_st.ok()) {                           \
+      return _st;                              \
+    }                                          \
+  } while (0)
+
+// Assign the value of a Result expression or propagate its error.
+#define ASSIGN_OR_RETURN(lhs, rexpr)           \
+  ASSIGN_OR_RETURN_IMPL(                       \
+      BASE_STATUS_CONCAT(_result, __LINE__), lhs, rexpr)
+#define ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                          \
+  if (!result.ok()) {                             \
+    return result.status();                       \
+  }                                               \
+  lhs = std::move(result).value()
+#define BASE_STATUS_CONCAT_INNER(a, b) a##b
+#define BASE_STATUS_CONCAT(a, b) BASE_STATUS_CONCAT_INNER(a, b)
+
+}  // namespace base
+
+#endif  // SRC_BASE_STATUS_H_

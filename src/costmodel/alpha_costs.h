@@ -1,0 +1,107 @@
+// Calibrated operation costs and the paper's analytic comparison models.
+//
+// Table 2 measured these primitives on a DEC Alpha 3000-400 running OSF/1,
+// attached to a 100 Mbit/s AN1 network. The three DSM approaches compared in
+// §4 are built from them:
+//
+//   Log      — log-based coherency: software write detection (set_range),
+//              modified bytes sent with compressed headers.
+//   Cpy/Cmp  — multiple-writer copy/compare DSM (Munin/TreadMarks style):
+//              a protection fault + page copy on first write to a page, a
+//              page compare at commit, modified bytes sent.
+//   Page     — page-locking DSM (Monads/IVY style): a protection fault per
+//              page, whole pages sent; no collection cost.
+//
+// The per-byte cost of sending scattered modified bytes
+// (`scatter_send_us_per_byte`) is derived from the paper's stated breakeven
+// ("when more than 1037 bytes are modified per page, Page outperforms
+// Cpy/Cmp", Fig. 4): signal + copy + compare + 1037*r = signal + page_send
+// gives r = 0.2161 us/byte (~4.6 MB/s), consistent with TCP throughput on
+// small gather writes being well below the 12 MB/s full-page rate.
+#ifndef SRC_COSTMODEL_ALPHA_COSTS_H_
+#define SRC_COSTMODEL_ALPHA_COSTS_H_
+
+#include <cstdint>
+
+namespace costmodel {
+
+struct OperationCosts {
+  double page_size = 8192;
+
+  double page_copy_cold_us = 171.9;
+  double page_copy_warm_us = 57.8;
+  double page_compare_cold_us = 281.0;
+  double page_compare_warm_us = 147.3;
+  double page_send_us = 677.0;  // TCP/IP, 8 KB page (96.8 Mbit/s)
+  double signal_us = 360.1;     // protection fault + handler + mprotect
+
+  // Derived: effective cost of shipping one scattered modified byte.
+  double scatter_send_us_per_byte = 0.2161;
+
+  // Per-update set_range overheads at ~1000 updates/transaction, read off
+  // Figure 5 (consistent with the Figure 7 breakevens of 45 and 55
+  // updates/page at 1000 updates/transaction).
+  double update_unordered_us = 18.0;
+  double update_ordered_us = 14.8;
+  double update_redundant_us = 5.0;
+
+  // Receiver-side cost to install one modified byte (paper: "too small to
+  // be clearly distinguished in any of the graphs").
+  double apply_us_per_byte = 0.02;
+
+  // Fixed collection work per page for Cpy/Cmp: twin copy at first write
+  // plus the commit-time compare (cold-cache numbers, as in the figures).
+  double CpyCmpPerPageUs() const { return page_copy_cold_us + page_compare_cold_us; }
+};
+
+// The published 1994 constants.
+inline OperationCosts AlphaAn1Costs() { return OperationCosts{}; }
+
+// A workload's update footprint, as instrumented by the harness (or taken
+// from Table 3 for the published traversals).
+struct UpdateProfile {
+  uint64_t updates = 0;        // individual set_range-visible updates
+  uint64_t bytes_updated = 0;  // unique modified bytes
+  uint64_t message_bytes = 0;  // modified bytes + range-header overhead
+  uint64_t pages_updated = 0;  // distinct VM pages containing modified bytes
+  bool updates_ordered = false;   // set_range calls in ascending address order
+  bool updates_redundant = false; // dominated by re-updates of the same ranges
+};
+
+// Time breakdown matching the stacked bars of Figures 1-3 and 8.
+struct OverheadBreakdown {
+  double detect_us = 0;   // finding out which bytes changed
+  double collect_us = 0;  // gathering them for transmission
+  double network_us = 0;  // putting them on the wire
+  double apply_us = 0;    // installing them at the receiver
+
+  double TotalUs() const { return detect_us + collect_us + network_us + apply_us; }
+};
+
+// Lower-bound estimates for the three approaches (the paper's methodology:
+// Page and Cpy/Cmp are computed from Table 2; Log may be either measured
+// directly or modeled with the per-update constants).
+OverheadBreakdown EstimatePage(const OperationCosts& c, const UpdateProfile& p);
+OverheadBreakdown EstimateCpyCmp(const OperationCosts& c, const UpdateProfile& p);
+OverheadBreakdown EstimateLog(const OperationCosts& c, const UpdateProfile& p);
+
+// Figure 4: total coherency overhead for one page as a function of the
+// number of modified bytes in it (Log excludes per-update cost, as noted in
+// the figure's caption).
+double Fig4LogUs(const OperationCosts& c, uint64_t modified_bytes);
+double Fig4CpyCmpUs(const OperationCosts& c, uint64_t modified_bytes);
+double Fig4PageUs(const OperationCosts& c);
+
+// Modified bytes per page at which Page becomes cheaper than Cpy/Cmp
+// (paper: 1037).
+uint64_t PageVsCpyCmpBreakevenBytes(const OperationCosts& c);
+
+// Figure 7: the largest number of updates per page for which Log beats
+// Cpy/Cmp, given an average per-update cost. With the default
+// `signal_us` this is the "Standard OSF/1" curve; pass a costs struct with
+// signal_us = 10 for the hypothetical fast-trap curve.
+double LogVsCpyCmpBreakevenUpdatesPerPage(const OperationCosts& c, double per_update_us);
+
+}  // namespace costmodel
+
+#endif  // SRC_COSTMODEL_ALPHA_COSTS_H_

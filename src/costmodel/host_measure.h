@@ -1,0 +1,28 @@
+// Live re-measurement of the Table 2 primitives on the host machine, so the
+// benchmark harness can print the 1994 Alpha/AN1 numbers alongside what this
+// hardware actually does. The protection-fault cost is measured the same way
+// the paper did: store to a read-protected page, catch SIGSEGV, re-enable
+// writing with mprotect inside the handler, and resume.
+#ifndef SRC_COSTMODEL_HOST_MEASURE_H_
+#define SRC_COSTMODEL_HOST_MEASURE_H_
+
+#include <cstdint>
+
+namespace costmodel {
+
+struct HostCosts {
+  double page_size = 0;
+  double page_copy_cold_us = 0;
+  double page_copy_warm_us = 0;
+  double page_compare_cold_us = 0;
+  double page_compare_warm_us = 0;
+  double page_send_us = 0;  // through the in-process fabric
+  double signal_us = 0;     // SIGSEGV + mprotect + resume
+};
+
+// Runs the measurements (takes on the order of a second).
+HostCosts MeasureHostCosts();
+
+}  // namespace costmodel
+
+#endif  // SRC_COSTMODEL_HOST_MEASURE_H_

@@ -1,0 +1,685 @@
+#include "src/lbc/client.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/base/clock.h"
+#include "src/base/logging.h"
+
+namespace lbc {
+
+// ---------------------------------------------------------------------------
+// Transaction
+// ---------------------------------------------------------------------------
+
+Transaction::Transaction(Transaction&& other) noexcept
+    : client_(other.client_), tid_(other.tid_), open_(other.open_),
+      has_updates_(other.has_updates_), held_(std::move(other.held_)) {
+  other.open_ = false;
+  other.client_ = nullptr;
+}
+
+Transaction& Transaction::operator=(Transaction&& other) noexcept {
+  if (this != &other) {
+    if (open_) {
+      Abort().ok();  // best effort; discarding an open transaction aborts it
+    }
+    client_ = other.client_;
+    tid_ = other.tid_;
+    open_ = other.open_;
+    has_updates_ = other.has_updates_;
+    held_ = std::move(other.held_);
+    other.open_ = false;
+    other.client_ = nullptr;
+  }
+  return *this;
+}
+
+Transaction::~Transaction() {
+  if (open_) {
+    Abort().ok();
+  }
+}
+
+base::Status Transaction::Acquire(rvm::LockId lock) {
+  if (!open_) {
+    return base::FailedPrecondition("transaction closed");
+  }
+  for (const auto& rec : held_) {
+    if (rec.lock_id == lock) {
+      return base::OkStatus();  // 2PL: already held for this transaction
+    }
+  }
+  if (client_->options_.policy != PropagationPolicy::kEager && !held_.empty()) {
+    return base::FailedPrecondition(
+        "lazy propagation supports a single segment lock per transaction");
+  }
+  ASSIGN_OR_RETURN(uint64_t seq, client_->AcquireLock(lock));
+  held_.push_back(rvm::LockRecord{lock, seq});
+  // Tag the transaction's eventual log record with the lock (Table 1:
+  // rvm_setlockid_transaction embedded in the acquire primitive).
+  return client_->rvm()->SetLockId(tid_, lock, seq);
+}
+
+base::Status Transaction::SetRange(rvm::RegionId region, uint64_t offset, uint64_t len) {
+  if (!open_) {
+    return base::FailedPrecondition("transaction closed");
+  }
+  base::Status st = client_->rvm()->SetRange(tid_, region, offset, len);
+  if (st.ok()) {
+    has_updates_ = true;
+  }
+  return st;
+}
+
+base::Status Transaction::Commit(rvm::CommitMode mode) {
+  if (!open_) {
+    return base::FailedPrecondition("transaction closed");
+  }
+  open_ = false;
+  base::Status st = client_->rvm()->EndTransaction(tid_, mode);
+  if (!st.ok()) {
+    // Leave the store consistent: abandon the transaction and hand the
+    // locks back without consuming their sequence numbers.
+    client_->rvm()->AbortTransaction(tid_).ok();
+    client_->ReleaseLocks(held_, /*committed_updates=*/false);
+    return st;
+  }
+  client_->ReleaseLocks(held_, /*committed_updates=*/has_updates_);
+  return base::OkStatus();
+}
+
+base::Status Transaction::Abort() {
+  if (!open_) {
+    return base::FailedPrecondition("transaction closed");
+  }
+  open_ = false;
+  base::Status st = client_->rvm()->AbortTransaction(tid_);
+  client_->ReleaseLocks(held_, /*committed_updates=*/false);
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Client lifecycle
+// ---------------------------------------------------------------------------
+
+base::Result<std::unique_ptr<Client>> Client::Create(Cluster* cluster, rvm::NodeId node,
+                                                     const ClientOptions& options) {
+  std::unique_ptr<Client> client(new Client(cluster, node, options));
+  RETURN_IF_ERROR(client->Init());
+  return client;
+}
+
+base::Status Client::Init() {
+  ASSIGN_OR_RETURN(rvm_, rvm::Rvm::Open(cluster_->store(), node_, options_.rvm));
+  rvm_->SetCommitHook([this](const rvm::CommitContext& ctx) { OnCommit(ctx); });
+  endpoint_ = cluster_->fabric()->AddNode(node_);
+  endpoint_->StartReceiver([this](netsim::Message&& msg) { OnMessage(std::move(msg)); });
+  return base::OkStatus();
+}
+
+Client::~Client() {
+  Disconnect();
+  // Withdraw from the region directory so peers stop broadcasting to us.
+  for (const auto& [region, state] : mapped_regions_) {
+    cluster_->UnregisterMapping(region, node_);
+  }
+}
+
+void Client::Disconnect() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (disconnected_) {
+      return;
+    }
+    disconnected_ = true;
+  }
+  endpoint_->StopReceiver();
+  cv_.notify_all();
+}
+
+base::Result<rvm::Region*> Client::MapRegion(rvm::RegionId region, uint64_t length) {
+  ASSIGN_OR_RETURN(rvm::Region * r, rvm_->MapRegion(region, length));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    mapped_regions_[region] = true;
+    // The image just loaded from the database file reflects everything up
+    // to each lock's trim baseline: adopt those sequence numbers so the
+    // interlock does not wait for updates that predate this mapping.
+    for (rvm::LockId lock : cluster_->LocksForRegion(region)) {
+      uint64_t& applied = applied_seq_[lock];
+      applied = std::max(applied, cluster_->BaselineSeq(lock));
+    }
+  }
+  cluster_->RegisterMapping(region, node_);
+  return r;
+}
+
+base::Status Client::UnmapRegion(rvm::RegionId region) {
+  cluster_->UnregisterMapping(region, node_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    mapped_regions_.erase(region);
+  }
+  return rvm_->UnmapRegion(region);
+}
+
+std::vector<rvm::RegionId> Client::MappedRegions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<rvm::RegionId> out;
+  out.reserve(mapped_regions_.size());
+  for (const auto& [region, mapped] : mapped_regions_) {
+    out.push_back(region);
+  }
+  return out;
+}
+
+Transaction Client::Begin(rvm::RestoreMode mode) {
+  return Transaction(this, rvm_->BeginTransaction(mode));
+}
+
+ClientStats Client::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void Client::ResetStats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_ = ClientStats{};
+}
+
+uint64_t Client::AppliedSeq(rvm::LockId lock) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = applied_seq_.find(lock);
+  return it == applied_seq_.end() ? 0 : it->second;
+}
+
+size_t Client::RetainedCount(rvm::LockId lock) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = locks_.find(lock);
+  return it == locks_.end() ? 0 : it->second.retained.size();
+}
+
+void Client::ReportAppliedLocked(rvm::LockId lock) {
+  if (options_.policy == PropagationPolicy::kEager) {
+    return;
+  }
+  auto it = applied_seq_.find(lock);
+  if (it != applied_seq_.end()) {
+    cluster_->NoteApplied(lock, node_, it->second);
+  }
+}
+
+void Client::TrimRetainedLocked(rvm::LockId lock, LockState& st) {
+  if (st.retained.empty()) {
+    return;
+  }
+  uint64_t min_needed = cluster_->MinApplied(lock, node_);
+  while (!st.retained.empty()) {
+    uint64_t seq = 0;
+    for (const auto& lr : st.retained.front().locks) {
+      if (lr.lock_id == lock) {
+        seq = lr.sequence;
+        break;
+      }
+    }
+    if (seq <= min_needed) {
+      st.retained.pop_front();
+    } else {
+      break;
+    }
+  }
+}
+
+bool Client::WaitForAppliedSeq(rvm::LockId lock, uint64_t seq, int timeout_ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms), [&] {
+    auto it = applied_seq_.find(lock);
+    return it != applied_seq_.end() && it->second >= seq;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Commit path
+// ---------------------------------------------------------------------------
+
+void Client::OnCommit(const rvm::CommitContext& ctx) {
+  if (ctx.ranges.empty()) {
+    return;  // read-only: sequence numbers will be rolled back at release
+  }
+  switch (options_.policy) {
+    case PropagationPolicy::kEager:
+      BroadcastEager(ctx);
+      break;
+    case PropagationPolicy::kLazy:
+      RetainForLazy(ctx);
+      break;
+    case PropagationPolicy::kLazyServer:
+      PublishToServer(ctx);
+      break;
+  }
+}
+
+void Client::PublishToServer(const rvm::CommitContext& ctx) {
+  rvm::TransactionRecord rec = MaterializeRecord(ctx);
+  for (const auto& lock : rec.locks) {
+    cluster_->CacheRecords(lock.lock_id, rec);
+    cluster_->TrimRecordCache(lock.lock_id);
+  }
+}
+
+rvm::TransactionRecord Client::MaterializeRecord(const rvm::CommitContext& ctx) {
+  rvm::TransactionRecord rec;
+  rec.node = ctx.node;
+  rec.commit_seq = ctx.commit_seq;
+  if (ctx.locks != nullptr) {
+    rec.locks = *ctx.locks;
+  }
+  rec.ranges.reserve(ctx.ranges.size());
+  for (const auto& r : ctx.ranges) {
+    rvm::RangeImage img;
+    img.region = r.region;
+    img.offset = r.offset;
+    img.data.assign(r.data, r.data + r.len);
+    rec.ranges.push_back(std::move(img));
+  }
+  return rec;
+}
+
+void Client::BroadcastEager(const rvm::CommitContext& ctx) {
+  // Recipients: every peer that maps a modified region, plus peers of the
+  // regions protected by the held locks (so their sequence interlock always
+  // advances, even for updates entirely in another region).
+  std::set<rvm::NodeId> peers;
+  std::set<rvm::RegionId> regions;
+  for (const auto& r : ctx.ranges) {
+    regions.insert(r.region);
+  }
+  if (ctx.locks != nullptr) {
+    for (const auto& lock : *ctx.locks) {
+      auto spec = cluster_->GetLock(lock.lock_id);
+      if (spec.ok()) {
+        regions.insert(spec->region);
+      }
+    }
+  }
+  for (rvm::RegionId region : regions) {
+    for (rvm::NodeId peer : cluster_->PeersOf(region, node_)) {
+      peers.insert(peer);
+    }
+  }
+  if (peers.empty()) {
+    return;
+  }
+
+  base::Stopwatch timer;
+  std::vector<uint8_t> payload = EncodeUpdate(ctx, options_.compress_headers);
+  size_t sends = 0;
+  if (options_.use_multicast) {
+    // One multicast reaches every peer (§4.3.1's scaling remedy).
+    std::vector<rvm::NodeId> recipients(peers.begin(), peers.end());
+    base::Status st = endpoint_->Multicast(recipients, payload);
+    if (!st.ok()) {
+      LBC_LOG(Warning) << "coherency multicast failed: " << st.ToString();
+    }
+    sends = 1;
+  } else {
+    for (rvm::NodeId peer : peers) {
+      // One writev per peer, as in the prototype (§4.3.1): cost grows
+      // linearly with the number of peers sharing the segment.
+      base::Status st = endpoint_->Send(peer, payload);
+      if (!st.ok()) {
+        LBC_LOG(Warning) << "coherency send to node " << peer
+                         << " failed: " << st.ToString();
+      }
+    }
+    sends = peers.size();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.updates_sent += sends;
+  stats_.update_bytes_sent += payload.size() * sends;
+  stats_.network_nanos += static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+}
+
+void Client::RetainForLazy(const rvm::CommitContext& ctx) {
+  rvm::TransactionRecord rec = MaterializeRecord(ctx);
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& lock : rec.locks) {
+    LockState& st = StateFor(lock.lock_id);
+    st.retained.push_back(rec);
+    TrimRetainedLocked(lock.lock_id, st);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lock operations
+// ---------------------------------------------------------------------------
+
+Client::LockState& Client::StateFor(rvm::LockId lock) {
+  auto it = locks_.find(lock);
+  if (it == locks_.end()) {
+    auto spec = cluster_->GetLock(lock);
+    LBC_CHECK(spec.ok());
+    LockState st;
+    st.queue_tail = spec->manager;
+    st.have_token = (spec->manager == node_);
+    it = locks_.emplace(lock, std::move(st)).first;
+  }
+  return it->second;
+}
+
+base::Result<uint64_t> Client::AcquireLock(rvm::LockId lock) {
+  ASSIGN_OR_RETURN(LockSpec spec, cluster_->GetLock(lock));
+  if (rvm_->GetRegion(spec.region) == nullptr) {
+    return base::FailedPrecondition("lock's region not mapped on this node");
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (options_.versioned_reads) {
+    AcceptLocked();  // acquiring implies moving forward to the newest version
+  }
+  ++acquires_waiting_;
+  LockState& st = StateFor(lock);
+  bool counted_wait = false;
+  while (true) {
+    if (disconnected_) {
+      --acquires_waiting_;
+      return base::Unavailable("client disconnected");
+    }
+    if (!st.held && st.have_token) {
+      uint64_t applied = applied_seq_[lock];
+      if (applied >= st.token_seq) {
+        break;  // token here and every preceding update applied (§3.4)
+      }
+      if (options_.policy == PropagationPolicy::kLazyServer) {
+        // Pull the missing records from the server's in-memory cache
+        // (§2.2's second lazy variant) and retry.
+        for (auto& rec : cluster_->FetchRecordsSince(lock, applied)) {
+          if (!TryApplyLocked(rec)) {
+            pending_.push_back(std::move(rec));
+          }
+        }
+        DrainPendingLocked();
+        if (applied_seq_[lock] >= st.token_seq) {
+          break;
+        }
+      }
+      if (!counted_wait) {
+        counted_wait = true;
+        ++stats_.acquire_waits;
+      }
+    } else if (!st.have_token && !st.requested) {
+      st.requested = true;
+      LockRequestMsg req{lock, node_, applied_seq_[lock]};
+      ++stats_.lock_messages_sent;
+      base::Status send_st = endpoint_->Send(spec.manager, EncodeLockRequest(req));
+      if (!send_st.ok()) {
+        st.requested = false;
+        --acquires_waiting_;
+        return send_st;
+      }
+    }
+    cv_.wait(lk);
+  }
+  --acquires_waiting_;
+  uint64_t my_seq = ++st.token_seq;
+  st.held = true;
+  return my_seq;
+}
+
+void Client::ReleaseLocks(const std::vector<rvm::LockRecord>& held, bool committed_updates) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& rec : held) {
+    LockState& st = StateFor(rec.lock_id);
+    st.held = false;
+    if (committed_updates) {
+      // Our own updates are trivially visible locally.
+      uint64_t& applied = applied_seq_[rec.lock_id];
+      applied = std::max(applied, rec.sequence);
+      ReportAppliedLocked(rec.lock_id);
+    } else {
+      // Aborted or read-only: hand the sequence number back so peers never
+      // wait for updates that will not come.
+      if (st.have_token && st.token_seq == rec.sequence) {
+        st.token_seq = rec.sequence - 1;
+      }
+    }
+    if (st.have_token && st.next_holder.has_value()) {
+      PassTokenLocked(rec.lock_id, st);
+    }
+  }
+  DrainPendingLocked();
+  cv_.notify_all();
+}
+
+void Client::PassTokenLocked(rvm::LockId lock, LockState& st) {
+  LockForwardMsg fwd = *st.next_holder;
+  st.next_holder.reset();
+  LockTokenMsg token;
+  token.lock = lock;
+  token.token_seq = st.token_seq;
+  if (options_.policy == PropagationPolicy::kLazy) {
+    // Drop records every current mapper has applied, then ship whatever the
+    // requester is still missing (§2.2).
+    TrimRetainedLocked(lock, st);
+    for (const auto& rec : st.retained) {
+      for (const auto& lr : rec.locks) {
+        if (lr.lock_id == lock && lr.sequence > fwd.applied_seq) {
+          token.piggyback.push_back(rec);
+          break;
+        }
+      }
+    }
+  }
+  st.have_token = false;
+  ++stats_.lock_messages_sent;
+  base::Status send_st =
+      endpoint_->Send(fwd.requester, EncodeLockToken(token, options_.compress_headers));
+  if (!send_st.ok()) {
+    LBC_LOG(Warning) << "token pass to node " << fwd.requester
+                     << " failed: " << send_st.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void Client::OnMessage(netsim::Message&& msg) {
+  base::ByteSpan payload(msg.payload.data(), msg.payload.size());
+  auto type = PeekMsgType(payload);
+  if (!type.ok()) {
+    LBC_LOG(Error) << "undecodable message from node " << msg.from;
+    return;
+  }
+  switch (*type) {
+    case MsgType::kUpdate: {
+      rvm::TransactionRecord rec;
+      if (DecodeUpdate(payload, &rec).ok()) {
+        HandleUpdate(std::move(rec));
+      } else {
+        LBC_LOG(Error) << "corrupt update from node " << msg.from;
+      }
+      break;
+    }
+    case MsgType::kLockRequest: {
+      LockRequestMsg req;
+      if (DecodeLockRequest(payload, &req).ok()) {
+        HandleLockRequest(req);
+      }
+      break;
+    }
+    case MsgType::kLockForward: {
+      LockForwardMsg fwd;
+      if (DecodeLockForward(payload, &fwd).ok()) {
+        HandleLockForward(fwd);
+      }
+      break;
+    }
+    case MsgType::kLockToken: {
+      LockTokenMsg token;
+      if (DecodeLockToken(payload, &token).ok()) {
+        HandleLockToken(std::move(token));
+      }
+      break;
+    }
+  }
+}
+
+void Client::HandleUpdate(rvm::TransactionRecord&& rec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.updates_received;
+  if (options_.versioned_reads && acquires_waiting_ == 0) {
+    // Versioned-read model: stay on the current consistent version until
+    // the application accepts (or acquires a lock).
+    version_buffer_.push_back(std::move(rec));
+    return;
+  }
+  if (!TryApplyLocked(rec)) {
+    ++stats_.updates_held;
+    pending_.push_back(std::move(rec));
+  } else {
+    DrainPendingLocked();
+  }
+  cv_.notify_all();
+}
+
+void Client::HandleLockRequest(const LockRequestMsg& msg) {
+  std::unique_lock<std::mutex> lk(mu_);
+  LockState& st = StateFor(msg.lock);
+  rvm::NodeId prev_tail = st.queue_tail;
+  st.queue_tail = msg.requester;
+  LockForwardMsg fwd{msg.lock, msg.requester, msg.applied_seq};
+  if (prev_tail == node_) {
+    HandleForwardLocked(fwd);
+    cv_.notify_all();
+    return;
+  }
+  ++stats_.lock_messages_sent;
+  lk.unlock();
+  base::Status st_send = endpoint_->Send(prev_tail, EncodeLockForward(fwd));
+  if (!st_send.ok()) {
+    LBC_LOG(Warning) << "lock forward to node " << prev_tail
+                     << " failed: " << st_send.ToString();
+  }
+}
+
+void Client::HandleLockForward(const LockForwardMsg& msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  HandleForwardLocked(msg);
+  cv_.notify_all();
+}
+
+void Client::HandleForwardLocked(const LockForwardMsg& msg) {
+  LockState& st = StateFor(msg.lock);
+  if (st.have_token && !st.held) {
+    st.next_holder = msg;
+    PassTokenLocked(msg.lock, st);
+  } else {
+    // Still waiting for the token ourselves, or a local transaction holds
+    // the lock: pass it along at the next release.
+    st.next_holder = msg;
+  }
+}
+
+void Client::HandleLockToken(LockTokenMsg&& msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  LockState& st = StateFor(msg.lock);
+  // Lazy policy: the piggybacked records are exactly the updates this node
+  // is missing; apply them before announcing the token.
+  for (auto& rec : msg.piggyback) {
+    if (!TryApplyLocked(rec)) {
+      pending_.push_back(std::move(rec));
+    }
+  }
+  DrainPendingLocked();
+  st.have_token = true;
+  st.requested = false;
+  st.token_seq = msg.token_seq;
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Update application (§3.4 ordering interlock)
+// ---------------------------------------------------------------------------
+
+bool Client::TryApplyLocked(const rvm::TransactionRecord& rec) {
+  // Consider only lock dimensions whose protected region is mapped here; we
+  // receive updates for those locks completely, so their sequences gate
+  // application. Locks of unmapped regions are irrelevant to this cache.
+  bool any_relevant = false;
+  bool all_applied = true;
+  for (const auto& lr : rec.locks) {
+    auto spec = cluster_->GetLock(lr.lock_id);
+    if (!spec.ok() || rvm_->GetRegion(spec->region) == nullptr) {
+      continue;
+    }
+    any_relevant = true;
+    uint64_t applied = 0;
+    if (auto it = applied_seq_.find(lr.lock_id); it != applied_seq_.end()) {
+      applied = it->second;
+    }
+    if (applied >= lr.sequence) {
+      continue;  // this dimension already satisfied
+    }
+    all_applied = false;
+    if (applied + 1 != lr.sequence) {
+      return false;  // a predecessor update is still missing: hold (§3.4)
+    }
+  }
+  if (any_relevant && all_applied) {
+    ++stats_.updates_duplicate;  // e.g. lazy piggyback overlapping a resend
+    return true;
+  }
+
+  for (const auto& range : rec.ranges) {
+    base::Status st = rvm_->ApplyExternalUpdate(
+        range.region, range.offset, base::ByteSpan(range.data.data(), range.data.size()));
+    if (!st.ok() && st.code() != base::StatusCode::kNotFound) {
+      LBC_LOG(Error) << "apply failed: " << st.ToString();
+    }
+    // kNotFound: region not cached here — the bytes are not ours to keep.
+  }
+  for (const auto& lr : rec.locks) {
+    uint64_t& applied = applied_seq_[lr.lock_id];
+    applied = std::max(applied, lr.sequence);
+    ReportAppliedLocked(lr.lock_id);
+  }
+  ++stats_.updates_applied;
+  return true;
+}
+
+void Client::DrainPendingLocked() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (TryApplyLocked(*it)) {
+        it = pending_.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+base::Status Client::Accept() {
+  std::lock_guard<std::mutex> lk(mu_);
+  AcceptLocked();
+  cv_.notify_all();
+  return base::OkStatus();
+}
+
+void Client::AcceptLocked() {
+  while (!version_buffer_.empty()) {
+    rvm::TransactionRecord rec = std::move(version_buffer_.front());
+    version_buffer_.pop_front();
+    if (!TryApplyLocked(rec)) {
+      pending_.push_back(std::move(rec));
+    }
+  }
+  DrainPendingLocked();
+}
+
+}  // namespace lbc

@@ -1,0 +1,260 @@
+// Client: one node of the cached persistent store, combining
+//
+//   * an rvm::Rvm instance (the node's recoverable virtual memory and its
+//     per-node redo log on the shared storage service),
+//   * a lock agent implementing the paper's token-based distributed segment
+//     locks with a centralized per-lock manager and a distributed waiter
+//     queue (§3.3), and
+//   * the coherency manager: at commit, the same new-value information that
+//     went to the log is broadcast to every peer that has the modified
+//     regions mapped; received updates are applied to the local cached
+//     image under the §3.4 sequence-number interlock.
+//
+// The application-facing surface is the Table 1 interface, wrapped in a
+// move-only Transaction handle:
+//
+//   lbc::Transaction txn = client->Begin();
+//   txn.Acquire(kPartsLock);               // Trans.Acquire
+//   txn.SetRange(kRegion, offset, size);   // Trans.SetRange
+//   ... mutate client->GetRegion(kRegion)->data() directly ...
+//   txn.Commit();                          // Trans.Commit
+//
+// Locks follow strict two-phase locking: acquired inside the transaction,
+// all released at commit (or abort).
+#ifndef SRC_LBC_CLIENT_H_
+#define SRC_LBC_CLIENT_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/lbc/cluster.h"
+#include "src/lbc/wire_format.h"
+#include "src/netsim/fabric.h"
+#include "src/rvm/rvm.h"
+
+namespace lbc {
+
+// When committed updates travel to peers (§2.2).
+enum class PropagationPolicy {
+  // Broadcast the committed log tail to all peers mapping the modified
+  // regions, at commit (the prototype's policy: simple, failure-tolerant,
+  // lowest read latency).
+  kEager,
+  // Retain committed records at the writer; ship them with the lock token
+  // when the next acquirer requests it (Midway-style). Transactions are
+  // limited to one segment lock under this policy (see DESIGN.md).
+  kLazy,
+  // §2.2's other lazy variant: committed records are published to an
+  // in-memory cache at the storage server; acquirers fetch the records they
+  // are missing before the acquire completes. Same single-lock restriction
+  // as kLazy.
+  kLazyServer,
+};
+
+struct ClientOptions {
+  rvm::RvmOptions rvm;
+  PropagationPolicy policy = PropagationPolicy::kEager;
+  // §3.2 header compression; off emulates standard RVM 104-byte headers.
+  bool compress_headers = true;
+  // §4.3.1: use the fabric's multicast primitive for eager propagation
+  // instead of one point-to-point send per peer — the paper's remedy for
+  // large client populations.
+  bool use_multicast = false;
+  // §2.1 versioned-read model: incoming updates are buffered and only
+  // applied when the application calls Accept() (or acquires a lock, which
+  // implies acceptance). Readers thus operate on a stable consistent
+  // snapshot while writers progress elsewhere.
+  bool versioned_reads = false;
+};
+
+struct ClientStats {
+  uint64_t updates_sent = 0;        // coherency messages sent (per peer)
+  uint64_t update_bytes_sent = 0;   // payload bytes of those messages
+  uint64_t updates_received = 0;
+  uint64_t updates_applied = 0;     // transactions applied to local cache
+  uint64_t updates_held = 0;        // arrived out of order, buffered (§3.4)
+  uint64_t updates_duplicate = 0;   // already applied (lazy + eager overlap)
+  uint64_t lock_messages_sent = 0;
+  uint64_t acquire_waits = 0;       // acquires that blocked on the interlock
+  uint64_t network_nanos = 0;       // time in Send during commit broadcast
+};
+
+class Client;
+
+// Move-only transaction handle (Table 1). Commit/Abort close the handle;
+// destruction of an open handle aborts it.
+class Transaction {
+ public:
+  Transaction(Transaction&& other) noexcept;
+  Transaction& operator=(Transaction&& other) noexcept;
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+  ~Transaction();
+
+  // Acquires a segment lock (blocking; strict 2PL — released at commit).
+  base::Status Acquire(rvm::LockId lock);
+
+  // Declares intent to modify [offset, offset+len) of `region`.
+  base::Status SetRange(rvm::RegionId region, uint64_t offset, uint64_t len);
+
+  base::Status Commit(rvm::CommitMode mode = rvm::CommitMode::kFlush);
+  base::Status Abort();
+
+  bool open() const { return open_; }
+  rvm::TxnId id() const { return tid_; }
+
+ private:
+  friend class Client;
+  Transaction(Client* client, rvm::TxnId tid) : client_(client), tid_(tid), open_(true) {}
+
+  Client* client_ = nullptr;
+  rvm::TxnId tid_ = 0;
+  bool open_ = false;
+  // Read-only transactions (no SetRange) hand their lock sequence numbers
+  // back at commit, since no update message will ever exist for them.
+  bool has_updates_ = false;
+  std::vector<rvm::LockRecord> held_;
+};
+
+class Client {
+ public:
+  // Creates the node, attaches it to the cluster fabric, and starts its
+  // receiver thread.
+  static base::Result<std::unique_ptr<Client>> Create(Cluster* cluster, rvm::NodeId node,
+                                                      const ClientOptions& options);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  rvm::NodeId node() const { return node_; }
+  rvm::Rvm* rvm() { return rvm_.get(); }
+
+  // Maps a region into this node's cache and registers the mapping with the
+  // cluster so peers' commits reach us.
+  base::Result<rvm::Region*> MapRegion(rvm::RegionId region, uint64_t length);
+  rvm::Region* GetRegion(rvm::RegionId region) { return rvm_->GetRegion(region); }
+
+  // Drops the region from this cache and withdraws from the peer set;
+  // subsequent commits by peers no longer reach this node.
+  base::Status UnmapRegion(rvm::RegionId region);
+
+  // Regions currently mapped by this client.
+  std::vector<rvm::RegionId> MappedRegions() const;
+
+  Transaction Begin(rvm::RestoreMode mode = rvm::RestoreMode::kRestore);
+
+  // Versioned-read model: applies all buffered updates, moving this node's
+  // cache forward to the newest consistent committed state (§2.1 "accept").
+  base::Status Accept();
+
+  // Highest update sequence applied locally for `lock`.
+  uint64_t AppliedSeq(rvm::LockId lock) const;
+
+  // Lazy policy: committed records currently retained for `lock` (waiting
+  // for every peer to catch up before they may be discarded, §2.2).
+  size_t RetainedCount(rvm::LockId lock) const;
+
+  // Test helper: blocks until updates through `seq` have been applied for
+  // `lock`, or `timeout_ms` elapses.
+  bool WaitForAppliedSeq(rvm::LockId lock, uint64_t seq, int timeout_ms);
+
+  ClientStats stats() const;
+  void ResetStats();
+
+  // Detaches from the fabric (stops the receiver thread) without destroying
+  // local state; used by crash tests. No messages are sent or received
+  // afterwards.
+  void Disconnect();
+
+ private:
+  friend class Transaction;
+
+  struct LockState {
+    bool have_token = false;
+    uint64_t token_seq = 0;  // last completed acquire (valid when have_token)
+    bool held = false;       // held by a local transaction
+    bool requested = false;  // token request outstanding
+    // Forward received while holding: pass the token here on release.
+    std::optional<LockForwardMsg> next_holder;
+    // Manager role: current queue tail (last requester).
+    rvm::NodeId queue_tail = 0;
+    // Lazy policy: retained committed records for this lock, oldest first.
+    std::deque<rvm::TransactionRecord> retained;
+  };
+
+  Client(Cluster* cluster, rvm::NodeId node, const ClientOptions& options)
+      : cluster_(cluster), node_(node), options_(options) {}
+
+  base::Status Init();
+
+  // --- commit path ---------------------------------------------------------
+  void OnCommit(const rvm::CommitContext& ctx);
+  void BroadcastEager(const rvm::CommitContext& ctx);
+  void RetainForLazy(const rvm::CommitContext& ctx);
+  void PublishToServer(const rvm::CommitContext& ctx);
+  static rvm::TransactionRecord MaterializeRecord(const rvm::CommitContext& ctx);
+
+  // --- lock operations (called by Transaction) ------------------------------
+  base::Result<uint64_t> AcquireLock(rvm::LockId lock);
+  // committed_updates=false (abort / read-only commit) hands sequence
+  // numbers back instead of advancing the applied counters.
+  void ReleaseLocks(const std::vector<rvm::LockRecord>& held, bool committed_updates);
+
+  // --- receive path ----------------------------------------------------------
+  void OnMessage(netsim::Message&& msg);
+  void HandleUpdate(rvm::TransactionRecord&& rec);
+  void HandleLockRequest(const LockRequestMsg& msg);
+  void HandleLockForward(const LockForwardMsg& msg);
+  void HandleForwardLocked(const LockForwardMsg& msg);
+  void HandleLockToken(LockTokenMsg&& msg);
+
+  // Applies `rec` if its lock-sequence predecessors are all applied; returns
+  // true if applied (or duplicate). mu_ must be held.
+  bool TryApplyLocked(const rvm::TransactionRecord& rec);
+  // Applies buffered updates until no more progress. mu_ must be held.
+  void DrainPendingLocked();
+  // Applies the versioned-read buffer. mu_ must be held.
+  void AcceptLocked();
+  // Token pass helper. mu_ must be held.
+  void PassTokenLocked(rvm::LockId lock, LockState& st);
+  // Discards retained records every current mapper has applied (§2.2's
+  // hold-count scheme, via the server directory). mu_ must be held.
+  void TrimRetainedLocked(rvm::LockId lock, LockState& st);
+  // Reports this node's applied sequence to the server directory (lazy
+  // policy only). mu_ must be held.
+  void ReportAppliedLocked(rvm::LockId lock);
+
+  LockState& StateFor(rvm::LockId lock);
+
+  Cluster* cluster_;
+  rvm::NodeId node_;
+  ClientOptions options_;
+  std::unique_ptr<rvm::Rvm> rvm_;
+  netsim::Endpoint* endpoint_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<rvm::LockId, LockState> locks_;
+  std::map<rvm::LockId, uint64_t> applied_seq_;
+  std::map<rvm::RegionId, bool> mapped_regions_;
+  // Acquires currently blocked in AcquireLock; while nonzero, versioned-read
+  // buffering is bypassed so the interlock can make progress.
+  int acquires_waiting_ = 0;
+  // Updates waiting for their predecessors (§3.4).
+  std::vector<rvm::TransactionRecord> pending_;
+  // Versioned-read buffer: updates held until Accept().
+  std::deque<rvm::TransactionRecord> version_buffer_;
+  ClientStats stats_;
+  bool disconnected_ = false;
+};
+
+}  // namespace lbc
+
+#endif  // SRC_LBC_CLIENT_H_

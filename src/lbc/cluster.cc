@@ -1,0 +1,211 @@
+#include "src/lbc/cluster.h"
+
+#include <algorithm>
+
+#include "src/rvm/log_merge.h"
+#include "src/rvm/recovery.h"
+
+namespace lbc {
+
+void Cluster::DefineLock(rvm::LockId lock, rvm::RegionId region, rvm::NodeId manager) {
+  std::lock_guard<std::mutex> guard(mu_);
+  locks_[lock] = LockSpec{region, manager};
+}
+
+base::Result<LockSpec> Cluster::GetLock(rvm::LockId lock) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = locks_.find(lock);
+  if (it == locks_.end()) {
+    return base::NotFound("undefined lock: " + std::to_string(lock));
+  }
+  return it->second;
+}
+
+std::vector<rvm::LockId> Cluster::LocksForRegion(rvm::RegionId region) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<rvm::LockId> out;
+  for (const auto& [lock, spec] : locks_) {
+    if (spec.region == region) {
+      out.push_back(lock);
+    }
+  }
+  return out;
+}
+
+std::vector<rvm::LockId> Cluster::AllLocks() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<rvm::LockId> out;
+  out.reserve(locks_.size());
+  for (const auto& [lock, spec] : locks_) {
+    out.push_back(lock);
+  }
+  return out;
+}
+
+void Cluster::RegisterMapping(rvm::RegionId region, rvm::NodeId node) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto& nodes = mappings_[region];
+  if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+    nodes.push_back(node);
+  }
+}
+
+void Cluster::UnregisterMapping(rvm::RegionId region, rvm::NodeId node) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = mappings_.find(region);
+  if (it == mappings_.end()) {
+    return;
+  }
+  auto& nodes = it->second;
+  nodes.erase(std::remove(nodes.begin(), nodes.end(), node), nodes.end());
+}
+
+std::vector<rvm::NodeId> Cluster::PeersOf(rvm::RegionId region, rvm::NodeId exclude) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<rvm::NodeId> out;
+  auto it = mappings_.find(region);
+  if (it == mappings_.end()) {
+    return out;
+  }
+  for (rvm::NodeId node : it->second) {
+    if (node != exclude) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+base::Status Cluster::ReplayAndRecordBaselines(const std::vector<std::string>& log_names) {
+  if (log_names.empty()) {
+    return base::OkStatus();
+  }
+  ASSIGN_OR_RETURN(auto merged, rvm::MergeLogs(store_, log_names));
+  RETURN_IF_ERROR(rvm::ApplyToDatabase(store_, merged));
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const auto& txn : merged) {
+    for (const auto& lock : txn.locks) {
+      uint64_t& baseline = baseline_seq_[lock.lock_id];
+      baseline = std::max(baseline, lock.sequence);
+    }
+  }
+  return base::OkStatus();
+}
+
+uint64_t Cluster::BaselineSeq(rvm::LockId lock) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = baseline_seq_.find(lock);
+  return it == baseline_seq_.end() ? 0 : it->second;
+}
+
+void Cluster::RecordBaseline(rvm::LockId lock, uint64_t seq) {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t& baseline = baseline_seq_[lock];
+  baseline = std::max(baseline, seq);
+}
+
+void Cluster::NoteApplied(rvm::LockId lock, rvm::NodeId node, uint64_t seq) {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t& reported = applied_reports_[lock][node];
+  reported = std::max(reported, seq);
+}
+
+uint64_t Cluster::MinApplied(rvm::LockId lock, rvm::NodeId exclude) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto lock_it = locks_.find(lock);
+  if (lock_it == locks_.end()) {
+    return 0;
+  }
+  auto map_it = mappings_.find(lock_it->second.region);
+  if (map_it == mappings_.end()) {
+    return UINT64_MAX;  // no mappers: nothing retained is needed
+  }
+  uint64_t baseline = 0;
+  if (auto b = baseline_seq_.find(lock); b != baseline_seq_.end()) {
+    baseline = b->second;
+  }
+  const auto* reports = [&]() -> const std::map<rvm::NodeId, uint64_t>* {
+    auto it = applied_reports_.find(lock);
+    return it == applied_reports_.end() ? nullptr : &it->second;
+  }();
+  uint64_t min_applied = UINT64_MAX;
+  bool any = false;
+  for (rvm::NodeId node : map_it->second) {
+    if (node == exclude) {
+      continue;
+    }
+    any = true;
+    uint64_t applied = baseline;
+    if (reports != nullptr) {
+      if (auto r = reports->find(node); r != reports->end()) {
+        applied = std::max(applied, r->second);
+      }
+    }
+    min_applied = std::min(min_applied, applied);
+  }
+  return any ? min_applied : UINT64_MAX;
+}
+
+void Cluster::CacheRecords(rvm::LockId lock, const rvm::TransactionRecord& rec) {
+  uint64_t seq = 0;
+  for (const auto& lr : rec.locks) {
+    if (lr.lock_id == lock) {
+      seq = lr.sequence;
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  record_cache_[lock].emplace(seq, rec);
+}
+
+std::vector<rvm::TransactionRecord> Cluster::FetchRecordsSince(rvm::LockId lock,
+                                                               uint64_t after_seq) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<rvm::TransactionRecord> out;
+  auto it = record_cache_.find(lock);
+  if (it == record_cache_.end()) {
+    return out;
+  }
+  for (auto rec_it = it->second.upper_bound(after_seq); rec_it != it->second.end();
+       ++rec_it) {
+    out.push_back(rec_it->second);
+  }
+  return out;
+}
+
+void Cluster::TrimRecordCache(rvm::LockId lock) {
+  // Reuse MinApplied's bookkeeping; exclude nothing (node 0 is never real).
+  uint64_t min_applied = MinApplied(lock, /*exclude=*/0);
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = record_cache_.find(lock);
+  if (it == record_cache_.end()) {
+    return;
+  }
+  auto& cache = it->second;
+  cache.erase(cache.begin(), cache.upper_bound(min_applied));
+}
+
+size_t Cluster::CachedRecordCount(rvm::LockId lock) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = record_cache_.find(lock);
+  return it == record_cache_.end() ? 0 : it->second.size();
+}
+
+base::Status Cluster::RecoverAndTrim(const std::vector<rvm::NodeId>& nodes) {
+  std::vector<std::string> log_names;
+  for (rvm::NodeId node : nodes) {
+    std::string name = rvm::LogFileName(node);
+    ASSIGN_OR_RETURN(bool exists, store_->Exists(name));
+    if (exists) {
+      log_names.push_back(std::move(name));
+    }
+  }
+  RETURN_IF_ERROR(ReplayAndRecordBaselines(log_names));
+  for (const auto& name : log_names) {
+    ASSIGN_OR_RETURN(auto file, store_->Open(name, /*create=*/false));
+    RETURN_IF_ERROR(file->Truncate(0));
+    RETURN_IF_ERROR(file->Sync());
+  }
+  return base::OkStatus();
+}
+
+}  // namespace lbc

@@ -1,0 +1,125 @@
+// Cluster: the shared substrate a group of client nodes plugs into.
+//
+// It bundles (a) the message fabric connecting the clients, (b) the
+// logically centralized storage service holding the permanent database
+// files and the per-node redo logs (the paper's NFS server), and (c) the
+// directories that in a deployed system would live on that server: which
+// clients currently map each region, and the static lock table (lock ->
+// protected region + manager node).
+//
+// Server-side maintenance — crash recovery and offline log trimming (§3.5)
+// — lives here too: merge every client's log into one serial history using
+// the lock records, replay it into the database files, truncate the logs.
+#ifndef SRC_LBC_CLUSTER_H_
+#define SRC_LBC_CLUSTER_H_
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/netsim/fabric.h"
+#include "src/rvm/types.h"
+#include "src/store/durable_store.h"
+
+namespace lbc {
+
+struct LockSpec {
+  rvm::RegionId region = 0;  // the segment this lock protects
+  rvm::NodeId manager = 0;   // centralized manager (and initial token owner)
+};
+
+class Cluster {
+ public:
+  explicit Cluster(store::DurableStore* store) : store_(store) {}
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  netsim::Fabric* fabric() { return &fabric_; }
+  store::DurableStore* store() { return store_; }
+
+  // --- lock directory (static configuration) ----------------------------
+
+  // Defines a segment lock. Must precede any client's use of the lock; the
+  // manager node is also the token's initial owner.
+  void DefineLock(rvm::LockId lock, rvm::RegionId region, rvm::NodeId manager);
+  base::Result<LockSpec> GetLock(rvm::LockId lock) const;
+  std::vector<rvm::LockId> LocksForRegion(rvm::RegionId region) const;
+  std::vector<rvm::LockId> AllLocks() const;
+
+  // --- region mapping directory ------------------------------------------
+
+  void RegisterMapping(rvm::RegionId region, rvm::NodeId node);
+  void UnregisterMapping(rvm::RegionId region, rvm::NodeId node);
+  // Clients that have `region` mapped, excluding `exclude` (the writer).
+  std::vector<rvm::NodeId> PeersOf(rvm::RegionId region, rvm::NodeId exclude) const;
+
+  // --- server-side maintenance --------------------------------------------
+
+  // Merges the given nodes' logs (missing logs are skipped), replays the
+  // merged history into the database files, then truncates every log.
+  // Callers must ensure the named nodes are not actively committing.
+  base::Status RecoverAndTrim(const std::vector<rvm::NodeId>& nodes);
+
+  // Merge + replay WITHOUT truncating (the caller resets the logs itself —
+  // used by lbc::OnlineTrim, where each client owns its log handle).
+  base::Status ReplayAndRecordBaselines(const std::vector<std::string>& log_names);
+
+  // Highest update sequence number for `lock` that is reflected in the
+  // permanent database files (advanced by every trim). A client mapping a
+  // region adopts these as its applied baseline, so late joiners — whose
+  // cached image comes from the database file — do not wait for updates
+  // that predate them.
+  uint64_t BaselineSeq(rvm::LockId lock) const;
+
+  // Advances a lock's baseline directly (standby-driven checkpointing,
+  // which establishes its cut without going through a merge).
+  void RecordBaseline(rvm::LockId lock, uint64_t seq);
+
+  // --- lazy-propagation record discard (§2.2) -----------------------------
+  //
+  // Under the lazy policy, writers retain committed records until every
+  // peer that might acquire the lock has applied them. The paper passes
+  // hold-count information along with the token; here the equivalent
+  // bookkeeping lives in the server-resident directory: clients report
+  // their applied sequence numbers, and a holder may discard records at or
+  // below MinApplied (the most out-of-date current mapper's position).
+
+  void NoteApplied(rvm::LockId lock, rvm::NodeId node, uint64_t seq);
+  // Minimum applied sequence over the nodes currently mapping the lock's
+  // region, excluding `exclude` (the holder itself). Unreported mappers
+  // count at the lock's trim baseline.
+  uint64_t MinApplied(rvm::LockId lock, rvm::NodeId exclude) const;
+
+  // --- server-side record cache (§2.2's second lazy variant) ---------------
+  //
+  // "Segment updates could be fetched from the server, where all log
+  // records are cached in memory for a time." Writers under the
+  // kLazyServer policy publish committed records here; acquirers fetch
+  // what they are missing. The cache drops records once every current
+  // mapper has applied them (same bookkeeping as the writer-side discard).
+
+  void CacheRecords(rvm::LockId lock, const rvm::TransactionRecord& rec);
+  // Records for `lock` with sequence number > after_seq, oldest first.
+  std::vector<rvm::TransactionRecord> FetchRecordsSince(rvm::LockId lock,
+                                                        uint64_t after_seq) const;
+  // Drops cached records every current mapper has applied.
+  void TrimRecordCache(rvm::LockId lock);
+  size_t CachedRecordCount(rvm::LockId lock) const;
+
+ private:
+  store::DurableStore* store_;
+  netsim::Fabric fabric_;
+
+  mutable std::mutex mu_;
+  std::map<rvm::LockId, LockSpec> locks_;
+  std::map<rvm::RegionId, std::vector<rvm::NodeId>> mappings_;
+  std::map<rvm::LockId, uint64_t> baseline_seq_;
+  std::map<rvm::LockId, std::map<rvm::NodeId, uint64_t>> applied_reports_;
+  // Server-cached records, keyed by lock, ordered by that lock's sequence.
+  std::map<rvm::LockId, std::map<uint64_t, rvm::TransactionRecord>> record_cache_;
+};
+
+}  // namespace lbc
+
+#endif  // SRC_LBC_CLUSTER_H_

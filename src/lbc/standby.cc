@@ -1,0 +1,48 @@
+#include "src/lbc/standby.h"
+
+#include <map>
+
+#include "src/rvm/types.h"
+
+namespace lbc {
+
+base::Status CheckpointFromStandby(Cluster* cluster, Client* standby,
+                                   const std::vector<Client*>& writers) {
+  // 1. Fix the cut: apply everything buffered; the image and applied
+  //    sequence numbers are now stable until the next Accept (the standby
+  //    runs versioned reads and never acquires).
+  RETURN_IF_ERROR(standby->Accept());
+
+  std::map<rvm::LockId, uint64_t> baselines;
+  for (rvm::LockId lock : cluster->AllLocks()) {
+    ASSIGN_OR_RETURN(LockSpec spec, cluster->GetLock(lock));
+    if (standby->GetRegion(spec.region) == nullptr) {
+      return base::FailedPrecondition(
+          "standby must map every locked region to checkpoint");
+    }
+    baselines[lock] = standby->AppliedSeq(lock);
+  }
+
+  // 2. Write the standby's images to the permanent database files. Commits
+  //    racing this write only touch bytes whose records stay in the logs
+  //    (their sequence numbers exceed the cut), so the file is a consistent
+  //    base for replay either way.
+  for (rvm::RegionId region : standby->MappedRegions()) {
+    const rvm::Region* r = standby->GetRegion(region);
+    ASSIGN_OR_RETURN(auto file,
+                     cluster->store()->Open(rvm::RegionFileName(region), /*create=*/true));
+    RETURN_IF_ERROR(file->Write(0, base::ByteSpan(r->data(), r->size())));
+    RETURN_IF_ERROR(file->Sync());
+  }
+  for (const auto& [lock, seq] : baselines) {
+    cluster->RecordBaseline(lock, seq);
+  }
+
+  // 3. Trim every writer's log below the cut — no quiescing.
+  for (Client* writer : writers) {
+    RETURN_IF_ERROR(writer->rvm()->TrimLogWithBaselines(baselines));
+  }
+  return base::OkStatus();
+}
+
+}  // namespace lbc

@@ -1,0 +1,40 @@
+// Hot-standby checkpointing (related work: Li & Naughton's main-memory
+// database standby, which the paper builds its log-propagation lineage on).
+//
+// A *standby* is an ordinary client that maps every region, runs with
+// versioned reads, and never writes: it receives every committed update
+// eagerly and buffers it. Checkpointing then happens entirely OFF the
+// writers' critical path:
+//
+//   1. the standby Accept()s, moving its stable image to the newest
+//      committed state and fixing a consistent cut (its applied sequence
+//      number per lock);
+//   2. the standby's region images are written to the permanent database
+//      files and the cut is recorded as the cluster's per-lock baseline;
+//   3. every writer's log is selectively trimmed: records fully covered by
+//      the cut disappear, newer ones stay — with NO quiescing, because
+//      commits racing the trim carry sequence numbers above the cut.
+//
+// Contrast with lbc::OnlineTrim, which stops the world briefly by taking
+// all locks; the standby scheme trades one extra (read-only) node for a
+// checkpoint that never blocks writers.
+#ifndef SRC_LBC_STANDBY_H_
+#define SRC_LBC_STANDBY_H_
+
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/lbc/client.h"
+
+namespace lbc {
+
+// Runs one standby-driven checkpoint. `standby` must be configured with
+// versioned_reads and map every region protected by a defined lock;
+// `writers` are the clients whose logs are trimmed (the standby writes no
+// log records of its own).
+base::Status CheckpointFromStandby(Cluster* cluster, Client* standby,
+                                   const std::vector<Client*>& writers);
+
+}  // namespace lbc
+
+#endif  // SRC_LBC_STANDBY_H_

@@ -1,0 +1,286 @@
+#include "src/lbc/wire_format.h"
+
+#include <algorithm>
+
+namespace lbc {
+namespace {
+
+// Range header tag bits.
+constexpr uint8_t kTagDelta = 0x01;  // address is a delta from the previous range start
+
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+// Common front matter of an update payload: type, writer, commit sequence,
+// lock records.
+void EncodeUpdateHeader(base::Writer* w, rvm::NodeId node, uint64_t commit_seq,
+                        const std::vector<rvm::LockRecord>& locks, bool compress_headers) {
+  w->WriteU8(static_cast<uint8_t>(MsgType::kUpdate));
+  w->WriteU8(compress_headers ? 1 : 0);
+  w->WriteVarint(node);
+  w->WriteVarint(commit_seq);
+  w->WriteVarint(locks.size());
+  for (const auto& lock : locks) {
+    w->WriteVarint(lock.lock_id);
+    w->WriteVarint(lock.sequence);
+  }
+}
+
+void EncodeRangeHeader(base::Writer* w, bool compress, uint64_t prev_start,
+                       rvm::RegionId region, uint64_t start, uint64_t len) {
+  if (!compress) {
+    // Emulation of the standard 104-byte RVM range header: the real fields
+    // followed by reserved padding, so the ablation benchmark measures the
+    // same bytes-on-wire penalty the paper describes.
+    w->WriteU8(0x80);  // tag: uncompressed
+    w->WriteU32(region);
+    w->WriteU64(start);
+    w->WriteU64(len);
+    static const uint8_t kPad[kStandardRvmRangeHeaderSize - 21] = {0};
+    w->WriteBytes(kPad, sizeof(kPad));
+    return;
+  }
+  uint8_t tag = 0;
+  uint64_t addr_field = start;
+  if (prev_start != UINT64_MAX && start >= prev_start &&
+      start - prev_start < kNearRangeBound) {
+    tag |= kTagDelta;
+    addr_field = start - prev_start;
+  }
+  w->WriteU8(tag);
+  w->WriteVarint(region);
+  w->WriteVarint(addr_field);
+  w->WriteVarint(len);
+}
+
+}  // namespace
+
+size_t CompressedRangeHeaderSize(uint64_t prev_start, uint64_t start, uint64_t len) {
+  uint64_t addr_field = start;
+  if (prev_start != UINT64_MAX && start >= prev_start &&
+      start - prev_start < kNearRangeBound) {
+    addr_field = start - prev_start;
+  }
+  // tag + region varint (assume small region ids) + address + length.
+  return 1 + 1 + VarintSize(addr_field) + VarintSize(len);
+}
+
+base::Result<MsgType> PeekMsgType(base::ByteSpan payload) {
+  if (payload.empty()) {
+    return base::DataLoss("empty message");
+  }
+  uint8_t t = payload[0];
+  if (t < static_cast<uint8_t>(MsgType::kUpdate) ||
+      t > static_cast<uint8_t>(MsgType::kLockToken)) {
+    return base::DataLoss("unknown message type");
+  }
+  return static_cast<MsgType>(t);
+}
+
+std::vector<uint8_t> EncodeUpdate(const rvm::CommitContext& txn, bool compress_headers) {
+  base::Writer w;
+  static const std::vector<rvm::LockRecord> kNoLocks;
+  EncodeUpdateHeader(&w, txn.node, txn.commit_seq, txn.locks ? *txn.locks : kNoLocks,
+                     compress_headers);
+  w.WriteVarint(txn.ranges.size());
+  uint64_t prev_start = UINT64_MAX;
+  for (const auto& r : txn.ranges) {
+    EncodeRangeHeader(&w, compress_headers, prev_start, r.region, r.offset, r.len);
+    w.WriteBytes(r.data, r.len);
+    prev_start = r.offset;
+  }
+  return w.TakeBytes();
+}
+
+std::vector<uint8_t> EncodeUpdateRecord(const rvm::TransactionRecord& txn,
+                                        bool compress_headers) {
+  base::Writer w;
+  EncodeUpdateHeader(&w, txn.node, txn.commit_seq, txn.locks, compress_headers);
+  w.WriteVarint(txn.ranges.size());
+  uint64_t prev_start = UINT64_MAX;
+  for (const auto& r : txn.ranges) {
+    EncodeRangeHeader(&w, compress_headers, prev_start, r.region, r.offset, r.data.size());
+    w.WriteBytes(r.data.data(), r.data.size());
+    prev_start = r.offset;
+  }
+  return w.TakeBytes();
+}
+
+namespace {
+
+base::Status DecodeUpdateFrom(base::Reader* r, rvm::TransactionRecord* out) {
+  uint8_t compressed = 0;
+  RETURN_IF_ERROR(r->ReadU8(&compressed));
+  uint64_t node = 0, commit_seq = 0, n_locks = 0, n_ranges = 0;
+  RETURN_IF_ERROR(r->ReadVarint(&node));
+  RETURN_IF_ERROR(r->ReadVarint(&commit_seq));
+  out->node = static_cast<rvm::NodeId>(node);
+  out->commit_seq = commit_seq;
+  RETURN_IF_ERROR(r->ReadVarint(&n_locks));
+  if (n_locks > r->remaining()) {  // each lock record needs >= 2 bytes
+    return base::DataLoss("lock count exceeds message");
+  }
+  out->locks.clear();
+  for (uint64_t i = 0; i < n_locks; ++i) {
+    uint64_t lock_id = 0, seq = 0;
+    RETURN_IF_ERROR(r->ReadVarint(&lock_id));
+    RETURN_IF_ERROR(r->ReadVarint(&seq));
+    out->locks.push_back(rvm::LockRecord{lock_id, seq});
+  }
+  RETURN_IF_ERROR(r->ReadVarint(&n_ranges));
+  if (n_ranges > r->remaining()) {  // each range needs >= 4 bytes of header
+    return base::DataLoss("range count exceeds message");
+  }
+  out->ranges.clear();
+  out->ranges.reserve(n_ranges);
+  uint64_t prev_start = UINT64_MAX;
+  for (uint64_t i = 0; i < n_ranges; ++i) {
+    uint8_t tag = 0;
+    RETURN_IF_ERROR(r->ReadU8(&tag));
+    rvm::RangeImage img;
+    uint64_t len = 0;
+    if (tag & 0x80) {
+      uint32_t region = 0;
+      uint64_t start = 0;
+      RETURN_IF_ERROR(r->ReadU32(&region));
+      RETURN_IF_ERROR(r->ReadU64(&start));
+      RETURN_IF_ERROR(r->ReadU64(&len));
+      RETURN_IF_ERROR(r->Skip(kStandardRvmRangeHeaderSize - 21));
+      img.region = region;
+      img.offset = start;
+    } else {
+      uint64_t region = 0, addr = 0;
+      RETURN_IF_ERROR(r->ReadVarint(&region));
+      RETURN_IF_ERROR(r->ReadVarint(&addr));
+      RETURN_IF_ERROR(r->ReadVarint(&len));
+      img.region = static_cast<rvm::RegionId>(region);
+      if (tag & kTagDelta) {
+        if (prev_start == UINT64_MAX) {
+          return base::DataLoss("delta range with no predecessor");
+        }
+        img.offset = prev_start + addr;
+      } else {
+        img.offset = addr;
+      }
+    }
+    base::ByteSpan data;
+    RETURN_IF_ERROR(r->ReadBytes(len, &data));
+    img.data.assign(data.begin(), data.end());
+    prev_start = img.offset;
+    out->ranges.push_back(std::move(img));
+  }
+  return base::OkStatus();
+}
+
+}  // namespace
+
+base::Status DecodeUpdate(base::ByteSpan payload, rvm::TransactionRecord* out) {
+  base::Reader r(payload);
+  uint8_t type = 0;
+  RETURN_IF_ERROR(r.ReadU8(&type));
+  if (type != static_cast<uint8_t>(MsgType::kUpdate)) {
+    return base::InvalidArgument("not an update message");
+  }
+  RETURN_IF_ERROR(DecodeUpdateFrom(&r, out));
+  if (!r.empty()) {
+    return base::DataLoss("trailing bytes after update");
+  }
+  return base::OkStatus();
+}
+
+std::vector<uint8_t> EncodeLockRequest(const LockRequestMsg& msg) {
+  base::Writer w;
+  w.WriteU8(static_cast<uint8_t>(MsgType::kLockRequest));
+  w.WriteVarint(msg.lock);
+  w.WriteVarint(msg.requester);
+  w.WriteVarint(msg.applied_seq);
+  return w.TakeBytes();
+}
+
+std::vector<uint8_t> EncodeLockForward(const LockForwardMsg& msg) {
+  base::Writer w;
+  w.WriteU8(static_cast<uint8_t>(MsgType::kLockForward));
+  w.WriteVarint(msg.lock);
+  w.WriteVarint(msg.requester);
+  w.WriteVarint(msg.applied_seq);
+  return w.TakeBytes();
+}
+
+std::vector<uint8_t> EncodeLockToken(const LockTokenMsg& msg, bool compress_headers) {
+  base::Writer w;
+  w.WriteU8(static_cast<uint8_t>(MsgType::kLockToken));
+  w.WriteVarint(msg.lock);
+  w.WriteVarint(msg.token_seq);
+  w.WriteVarint(msg.piggyback.size());
+  for (const auto& rec : msg.piggyback) {
+    std::vector<uint8_t> encoded = EncodeUpdateRecord(rec, compress_headers);
+    w.WriteLengthPrefixed(base::ByteSpan(encoded.data(), encoded.size()));
+  }
+  return w.TakeBytes();
+}
+
+namespace {
+
+base::Status DecodeRequestLike(base::ByteSpan payload, MsgType expect, rvm::LockId* lock,
+                               rvm::NodeId* requester, uint64_t* applied_seq) {
+  base::Reader r(payload);
+  uint8_t type = 0;
+  RETURN_IF_ERROR(r.ReadU8(&type));
+  if (type != static_cast<uint8_t>(expect)) {
+    return base::InvalidArgument("unexpected message type");
+  }
+  uint64_t lock64 = 0, node = 0;
+  RETURN_IF_ERROR(r.ReadVarint(&lock64));
+  RETURN_IF_ERROR(r.ReadVarint(&node));
+  RETURN_IF_ERROR(r.ReadVarint(applied_seq));
+  *lock = lock64;
+  *requester = static_cast<rvm::NodeId>(node);
+  return base::OkStatus();
+}
+
+}  // namespace
+
+base::Status DecodeLockRequest(base::ByteSpan payload, LockRequestMsg* out) {
+  return DecodeRequestLike(payload, MsgType::kLockRequest, &out->lock, &out->requester,
+                           &out->applied_seq);
+}
+
+base::Status DecodeLockForward(base::ByteSpan payload, LockForwardMsg* out) {
+  return DecodeRequestLike(payload, MsgType::kLockForward, &out->lock, &out->requester,
+                           &out->applied_seq);
+}
+
+base::Status DecodeLockToken(base::ByteSpan payload, LockTokenMsg* out) {
+  base::Reader r(payload);
+  uint8_t type = 0;
+  RETURN_IF_ERROR(r.ReadU8(&type));
+  if (type != static_cast<uint8_t>(MsgType::kLockToken)) {
+    return base::InvalidArgument("not a lock token");
+  }
+  uint64_t lock = 0, n_piggyback = 0;
+  RETURN_IF_ERROR(r.ReadVarint(&lock));
+  RETURN_IF_ERROR(r.ReadVarint(&out->token_seq));
+  out->lock = lock;
+  RETURN_IF_ERROR(r.ReadVarint(&n_piggyback));
+  if (n_piggyback > r.remaining()) {
+    return base::DataLoss("piggyback count exceeds message");
+  }
+  out->piggyback.clear();
+  out->piggyback.reserve(n_piggyback);
+  for (uint64_t i = 0; i < n_piggyback; ++i) {
+    base::ByteSpan encoded;
+    RETURN_IF_ERROR(r.ReadLengthPrefixed(&encoded));
+    rvm::TransactionRecord rec;
+    RETURN_IF_ERROR(DecodeUpdate(encoded, &rec));
+    out->piggyback.push_back(std::move(rec));
+  }
+  return base::OkStatus();
+}
+
+}  // namespace lbc

@@ -1,0 +1,256 @@
+#include "src/netsim/fabric.h"
+
+#include "src/base/clock.h"
+
+namespace netsim {
+
+Endpoint::~Endpoint() { StopReceiver(); }
+
+base::Status Endpoint::Send(NodeId to, std::vector<uint8_t> payload) {
+  base::Stopwatch timer;
+  size_t bytes = payload.size();
+  RETURN_IF_ERROR(fabric_->Deliver(id_, to, std::move(payload)));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+  stats_.send_nanos += static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  return base::OkStatus();
+}
+
+base::Status Endpoint::Multicast(const std::vector<NodeId>& to,
+                                 std::vector<uint8_t> payload) {
+  base::Stopwatch timer;
+  size_t bytes = payload.size();
+  for (NodeId node : to) {
+    // Copy per recipient; the accounting below still charges one send.
+    base::Status st = fabric_->Deliver(id_, node, std::vector<uint8_t>(payload));
+    if (!st.ok() && st.code() != base::StatusCode::kNotFound) {
+      return st;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+  stats_.send_nanos += static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  return base::OkStatus();
+}
+
+std::optional<Message> Endpoint::Receive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !inbox_.empty() || shutdown_; });
+  if (inbox_.empty()) {
+    return std::nullopt;
+  }
+  Message msg = std::move(inbox_.front());
+  inbox_.pop_front();
+  ++stats_.messages_received;
+  stats_.bytes_received += msg.payload.size();
+  return msg;
+}
+
+void Endpoint::StartReceiver(std::function<void(Message&&)> handler) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (receiver_running_) {
+      return;
+    }
+    receiver_running_ = true;
+  }
+  receiver_ = std::thread([this, handler = std::move(handler)] {
+    while (auto msg = Receive()) {
+      handler(std::move(*msg));
+    }
+  });
+}
+
+void Endpoint::StopReceiver() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!receiver_running_) {
+      return;
+    }
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (receiver_.joinable()) {
+    receiver_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  receiver_running_ = false;
+  shutdown_ = false;  // endpoint stays usable for polling receives
+}
+
+EndpointStats Endpoint::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Endpoint::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = EndpointStats{};
+}
+
+void Endpoint::Enqueue(Message&& msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inbox_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+}
+
+Endpoint* Fabric::AddNode(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) {
+    return it->second.get();
+  }
+  auto endpoint = std::unique_ptr<Endpoint>(new Endpoint(this, id));
+  Endpoint* raw = endpoint.get();
+  nodes_[id] = std::move(endpoint);
+  return raw;
+}
+
+Endpoint* Fabric::GetNode(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<NodeId> Fabric::Nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void Fabric::SetLinkDelay(NodeId from, NodeId to, uint64_t delay_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (delay_micros == 0) {
+    link_delay_us_.erase({from, to});
+    return;
+  }
+  link_delay_us_[{from, to}] = delay_micros;
+  if (!delay_thread_running_) {
+    delay_thread_running_ = true;
+    delay_thread_ = std::thread([this] { DelayThreadMain(); });
+  }
+}
+
+void Fabric::DelayThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (shutdown_) {
+      return;
+    }
+    if (delayed_.empty()) {
+      delay_cv_.wait(lock, [this] { return shutdown_ || !delayed_.empty(); });
+      continue;
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (delayed_.top().deliver_at > now) {
+      delay_cv_.wait_until(lock, delayed_.top().deliver_at);
+      continue;
+    }
+    Message msg = std::move(const_cast<DelayedMessage&>(delayed_.top()).msg);
+    delayed_.pop();
+    auto it = nodes_.find(msg.to);
+    if (it == nodes_.end()) {
+      continue;
+    }
+    Endpoint* dest = it->second.get();
+    lock.unlock();
+    dest->Enqueue(std::move(msg));
+    lock.lock();
+  }
+}
+
+void Fabric::HoldLink(NodeId from, NodeId to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  held_.try_emplace({from, to});
+}
+
+void Fabric::ReleaseLink(NodeId from, NodeId to) {
+  std::deque<Message> pending;
+  Endpoint* dest = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = held_.find({from, to});
+    if (it == held_.end()) {
+      return;
+    }
+    pending = std::move(it->second);
+    held_.erase(it);
+    auto node_it = nodes_.find(to);
+    dest = node_it == nodes_.end() ? nullptr : node_it->second.get();
+  }
+  if (dest != nullptr) {
+    for (auto& msg : pending) {
+      dest->Enqueue(std::move(msg));
+    }
+  }
+}
+
+void Fabric::Shutdown() {
+  std::vector<Endpoint*> endpoints;
+  bool join_delay_thread = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+    join_delay_thread = delay_thread_running_;
+    for (auto& [id, node] : nodes_) {
+      endpoints.push_back(node.get());
+    }
+  }
+  delay_cv_.notify_all();
+  if (join_delay_thread && delay_thread_.joinable()) {
+    delay_thread_.join();
+  }
+  for (Endpoint* e : endpoints) {
+    e->StopReceiver();
+  }
+}
+
+base::Status Fabric::Deliver(NodeId from, NodeId to, std::vector<uint8_t> payload) {
+  Endpoint* dest = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return base::Unavailable("fabric shut down");
+    }
+    auto held_it = held_.find({from, to});
+    if (held_it != held_.end()) {
+      held_it->second.push_back(Message{from, to, std::move(payload)});
+      return base::OkStatus();
+    }
+    auto it = nodes_.find(to);
+    if (it == nodes_.end()) {
+      return base::NotFound("no such node: " + std::to_string(to));
+    }
+    auto delay_it = link_delay_us_.find({from, to});
+    if (delay_it != link_delay_us_.end()) {
+      // Schedule, preserving per-link order even across delay changes.
+      auto deliver_at = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(delay_it->second);
+      auto& last = link_last_delivery_[{from, to}];
+      if (deliver_at < last) {
+        deliver_at = last;
+      }
+      last = deliver_at;
+      delayed_.push(DelayedMessage{deliver_at, delay_seq_++,
+                                   Message{from, to, std::move(payload)}});
+      delay_cv_.notify_one();
+      return base::OkStatus();
+    }
+    dest = it->second.get();
+  }
+  dest->Enqueue(Message{from, to, std::move(payload)});
+  return base::OkStatus();
+}
+
+}  // namespace netsim

@@ -1,0 +1,167 @@
+// In-process message fabric standing in for the prototype's TCP/IP links.
+//
+// Semantics match what log-based coherency assumes of TCP: reliable,
+// FIFO-ordered delivery per (sender, receiver) pair, with *no* ordering
+// across different senders — which is precisely what makes the §3.4
+// sequence-number interlock necessary. Tests reproduce the paper's
+// A->B->C token race deterministically with HoldLink/ReleaseLink.
+//
+// Every endpoint counts the bytes and messages it sends and receives; the
+// Table 3 "Message Bytes" column is read off these counters.
+#ifndef SRC_NETSIM_FABRIC_H_
+#define SRC_NETSIM_FABRIC_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <chrono>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace netsim {
+
+using NodeId = uint32_t;
+
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::vector<uint8_t> payload;
+};
+
+struct EndpointStats {
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_received = 0;
+  uint64_t send_nanos = 0;  // wall time spent in Send ("Network I/O")
+};
+
+class Fabric;
+
+// One node's attachment to the fabric. Thread-safe.
+class Endpoint {
+ public:
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  NodeId id() const { return id_; }
+
+  // Reliable FIFO send. Fails if the destination does not exist or the
+  // fabric is shut down.
+  base::Status Send(NodeId to, std::vector<uint8_t> payload);
+
+  // Hardware-multicast model (§4.3.1): delivers `payload` to every node in
+  // `to`, but the sender is charged for ONE message and one payload's bytes
+  // — the cost structure of a multicast-capable network, in contrast to the
+  // prototype's per-peer writev loop. Per-pair FIFO ordering holds for each
+  // recipient. Unknown recipients are skipped (counted in the result).
+  base::Status Multicast(const std::vector<NodeId>& to, std::vector<uint8_t> payload);
+
+  // Blocking receive from any sender; empty after Shutdown.
+  std::optional<Message> Receive();
+
+  // Spawns a receiver thread that invokes `handler` for each message until
+  // shutdown. At most one receiver thread per endpoint.
+  void StartReceiver(std::function<void(Message&&)> handler);
+
+  // Stops the receiver thread (idempotent). Queued messages stay queued.
+  void StopReceiver();
+
+  EndpointStats stats() const;
+  void ResetStats();
+
+ private:
+  friend class Fabric;
+  Endpoint(Fabric* fabric, NodeId id) : fabric_(fabric), id_(id) {}
+
+  void Enqueue(Message&& msg);
+
+  Fabric* fabric_;
+  NodeId id_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> inbox_;
+  bool shutdown_ = false;
+  EndpointStats stats_;
+  std::thread receiver_;
+  bool receiver_running_ = false;
+};
+
+class Fabric {
+ public:
+  Fabric() = default;
+  ~Fabric() { Shutdown(); }
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Creates an endpoint for `id`. The pointer stays valid for the fabric's
+  // lifetime.
+  Endpoint* AddNode(NodeId id);
+  Endpoint* GetNode(NodeId id);
+  std::vector<NodeId> Nodes() const;
+
+  // --- fault / ordering injection ---------------------------------------
+
+  // Buffers all messages on the (from, to) link until ReleaseLink. Used to
+  // reproduce cross-sender races (e.g. the lock token overtaking an update).
+  void HoldLink(NodeId from, NodeId to);
+  // Delivers all held messages on the link, in order, and stops holding.
+  void ReleaseLink(NodeId from, NodeId to);
+
+  // Adds a fixed delivery latency to the (from, to) link. Per-link FIFO
+  // order is preserved (a later message is never delivered before an
+  // earlier one on the same link). 0 restores immediate delivery. Used to
+  // model slow links and widen race windows without losing determinism of
+  // ordering.
+  void SetLinkDelay(NodeId from, NodeId to, uint64_t delay_micros);
+
+  // Unblocks all receivers and joins receiver threads.
+  void Shutdown();
+
+ private:
+  friend class Endpoint;
+
+  base::Status Deliver(NodeId from, NodeId to, std::vector<uint8_t> payload);
+  void DelayThreadMain();
+
+  mutable std::mutex mu_;
+  std::map<NodeId, std::unique_ptr<Endpoint>> nodes_;
+  std::map<std::pair<NodeId, NodeId>, std::deque<Message>> held_;
+  bool shutdown_ = false;
+
+  // --- delayed delivery ---------------------------------------------------
+  struct DelayedMessage {
+    std::chrono::steady_clock::time_point deliver_at;
+    uint64_t seq;  // tie-breaker preserving submission order
+    Message msg;
+    bool operator>(const DelayedMessage& other) const {
+      return deliver_at != other.deliver_at ? deliver_at > other.deliver_at
+                                            : seq > other.seq;
+    }
+  };
+  std::map<std::pair<NodeId, NodeId>, uint64_t> link_delay_us_;
+  // Last scheduled delivery per link, so FIFO survives delay changes.
+  std::map<std::pair<NodeId, NodeId>, std::chrono::steady_clock::time_point>
+      link_last_delivery_;
+  std::priority_queue<DelayedMessage, std::vector<DelayedMessage>,
+                      std::greater<DelayedMessage>>
+      delayed_;
+  uint64_t delay_seq_ = 0;
+  std::condition_variable delay_cv_;
+  std::thread delay_thread_;
+  bool delay_thread_running_ = false;
+};
+
+}  // namespace netsim
+
+#endif  // SRC_NETSIM_FABRIC_H_

@@ -1,0 +1,351 @@
+#include "src/oo7/avl_index.h"
+
+#include <algorithm>
+#include <vector>
+#include <cstddef>
+
+#include "src/base/logging.h"
+
+namespace oo7 {
+
+uint64_t AvlIndex::size() const { return header()->index_size; }
+
+base::Result<uint64_t> AvlIndex::Find(int64_t key) const {
+  uint64_t off = header()->index_root;
+  while (off != kNullOffset) {
+    const AvlNode* n = node(off);
+    if (key == n->key) {
+      return n->part;
+    }
+    off = key < n->key ? n->left : n->right;
+  }
+  return base::NotFound("key not in part index");
+}
+
+uint64_t AvlIndex::Scan(int64_t lo, int64_t hi,
+                        const std::function<bool(int64_t, uint64_t)>& visit) const {
+  // Iterative in-order traversal pruned to [lo, hi].
+  uint64_t visited = 0;
+  std::vector<uint64_t> stack;
+  uint64_t off = header()->index_root;
+  bool stopped = false;
+  while ((off != kNullOffset || !stack.empty()) && !stopped) {
+    while (off != kNullOffset) {
+      const AvlNode* n = node(off);
+      if (n->key < lo) {
+        off = n->right;  // whole left subtree is below range
+        continue;
+      }
+      stack.push_back(off);
+      off = n->left;
+    }
+    if (stack.empty()) {
+      break;
+    }
+    uint64_t cur = stack.back();
+    stack.pop_back();
+    const AvlNode* n = node(cur);
+    if (n->key > hi) {
+      break;  // in-order: everything from here on is above range
+    }
+    ++visited;
+    if (!visit(n->key, n->part)) {
+      stopped = true;
+      break;
+    }
+    off = n->right;
+  }
+  return visited;
+}
+
+base::Result<int64_t> AvlIndex::MinKey() const {
+  uint64_t off = header()->index_root;
+  if (off == kNullOffset) {
+    return base::NotFound("index empty");
+  }
+  while (node(off)->left != kNullOffset) {
+    off = node(off)->left;
+  }
+  return node(off)->key;
+}
+
+base::Result<int64_t> AvlIndex::MaxKey() const {
+  uint64_t off = header()->index_root;
+  if (off == kNullOffset) {
+    return base::NotFound("index empty");
+  }
+  while (node(off)->right != kNullOffset) {
+    off = node(off)->right;
+  }
+  return node(off)->key;
+}
+
+base::Result<uint64_t> AvlIndex::AllocNode() {
+  Header* h = header();
+  if (h->free_head != kNullOffset) {
+    uint64_t off = h->free_head;
+    TouchHeaderField(&h->free_head, sizeof(h->free_head));
+    h->free_head = node(off)->right;  // free list threaded through `right`
+    return off;
+  }
+  if (h->next_unused >= h->avl_capacity) {
+    return base::OutOfRange("AVL node pool exhausted");
+  }
+  uint64_t off = h->avl_area + h->next_unused * sizeof(AvlNode);
+  TouchHeaderField(&h->next_unused, sizeof(h->next_unused));
+  ++h->next_unused;
+  return off;
+}
+
+void AvlIndex::FreeNode(uint64_t off) {
+  Header* h = header();
+  AvlNode* n = node(off);
+  TouchField(off, offsetof(AvlNode, in_use), sizeof(n->in_use));
+  n->in_use = 0;
+  TouchField(off, offsetof(AvlNode, right), sizeof(n->right));
+  n->right = h->free_head;
+  TouchHeaderField(&h->free_head, sizeof(h->free_head));
+  h->free_head = off;
+}
+
+void AvlIndex::UpdateHeight(uint64_t off) {
+  AvlNode* n = node(off);
+  int32_t new_height = 1 + std::max(HeightOf(n->left), HeightOf(n->right));
+  if (new_height != n->height) {
+    TouchField(off, offsetof(AvlNode, height), sizeof(n->height));
+    n->height = new_height;
+  }
+}
+
+int32_t AvlIndex::BalanceOf(uint64_t off) const {
+  const AvlNode* n = node(off);
+  return HeightOf(n->left) - HeightOf(n->right);
+}
+
+uint64_t AvlIndex::RotateLeft(uint64_t off) {
+  AvlNode* n = node(off);
+  uint64_t pivot = n->right;
+  AvlNode* p = node(pivot);
+  TouchField(off, offsetof(AvlNode, right), sizeof(n->right));
+  n->right = p->left;
+  TouchField(pivot, offsetof(AvlNode, left), sizeof(p->left));
+  p->left = off;
+  UpdateHeight(off);
+  UpdateHeight(pivot);
+  return pivot;
+}
+
+uint64_t AvlIndex::RotateRight(uint64_t off) {
+  AvlNode* n = node(off);
+  uint64_t pivot = n->left;
+  AvlNode* p = node(pivot);
+  TouchField(off, offsetof(AvlNode, left), sizeof(n->left));
+  n->left = p->right;
+  TouchField(pivot, offsetof(AvlNode, right), sizeof(p->right));
+  p->right = off;
+  UpdateHeight(off);
+  UpdateHeight(pivot);
+  return pivot;
+}
+
+uint64_t AvlIndex::Rebalance(uint64_t off) {
+  UpdateHeight(off);
+  int32_t balance = BalanceOf(off);
+  AvlNode* n = node(off);
+  if (balance > 1) {
+    if (BalanceOf(n->left) < 0) {
+      TouchField(off, offsetof(AvlNode, left), sizeof(n->left));
+      n->left = RotateLeft(n->left);
+    }
+    return RotateRight(off);
+  }
+  if (balance < -1) {
+    if (BalanceOf(n->right) > 0) {
+      TouchField(off, offsetof(AvlNode, right), sizeof(n->right));
+      n->right = RotateRight(n->right);
+    }
+    return RotateLeft(off);
+  }
+  return off;
+}
+
+uint64_t AvlIndex::InsertAt(uint64_t off, int64_t key, uint64_t part, base::Status* st) {
+  if (off == kNullOffset) {
+    auto alloc = AllocNode();
+    if (!alloc.ok()) {
+      *st = alloc.status();
+      return kNullOffset;
+    }
+    uint64_t fresh = *alloc;
+    AvlNode* n = node(fresh);
+    // One declaration covering the contiguous initialized fields
+    // (key..in_use); later single-field updates overlap it, which the
+    // exact-match mode tolerates at the cost of a few redundant bytes —
+    // the same trade standard RVM applications make (§3.1).
+    Touch(fresh, offsetof(AvlNode, in_use) + sizeof(n->in_use));
+    n->key = key;
+    n->part = part;
+    n->left = kNullOffset;
+    n->right = kNullOffset;
+    n->height = 1;
+    n->in_use = 1;
+    return fresh;
+  }
+  AvlNode* n = node(off);
+  if (key == n->key) {
+    *st = base::AlreadyExists("duplicate index key");
+    return off;
+  }
+  if (key < n->key) {
+    uint64_t new_left = InsertAt(n->left, key, part, st);
+    if (!st->ok()) {
+      return off;
+    }
+    if (new_left != n->left) {
+      TouchField(off, offsetof(AvlNode, left), sizeof(n->left));
+      n->left = new_left;
+    }
+  } else {
+    uint64_t new_right = InsertAt(n->right, key, part, st);
+    if (!st->ok()) {
+      return off;
+    }
+    if (new_right != n->right) {
+      TouchField(off, offsetof(AvlNode, right), sizeof(n->right));
+      n->right = new_right;
+    }
+  }
+  return Rebalance(off);
+}
+
+base::Status AvlIndex::Insert(int64_t key, uint64_t part) {
+  Header* h = header();
+  base::Status st;
+  uint64_t new_root = InsertAt(h->index_root, key, part, &st);
+  RETURN_IF_ERROR(st);
+  if (new_root != h->index_root) {
+    TouchHeaderField(&h->index_root, sizeof(h->index_root));
+    h->index_root = new_root;
+  }
+  TouchHeaderField(&h->index_size, sizeof(h->index_size));
+  ++h->index_size;
+  return base::OkStatus();
+}
+
+uint64_t AvlIndex::DetachMin(uint64_t off, uint64_t* min_off) {
+  AvlNode* n = node(off);
+  if (n->left == kNullOffset) {
+    *min_off = off;
+    return n->right;
+  }
+  uint64_t new_left = DetachMin(n->left, min_off);
+  if (new_left != n->left) {
+    TouchField(off, offsetof(AvlNode, left), sizeof(n->left));
+    n->left = new_left;
+  }
+  return Rebalance(off);
+}
+
+uint64_t AvlIndex::EraseAt(uint64_t off, int64_t key, base::Status* st) {
+  if (off == kNullOffset) {
+    *st = base::NotFound("key not in part index");
+    return off;
+  }
+  AvlNode* n = node(off);
+  if (key < n->key) {
+    uint64_t new_left = EraseAt(n->left, key, st);
+    if (!st->ok()) {
+      return off;
+    }
+    if (new_left != n->left) {
+      TouchField(off, offsetof(AvlNode, left), sizeof(n->left));
+      n->left = new_left;
+    }
+  } else if (key > n->key) {
+    uint64_t new_right = EraseAt(n->right, key, st);
+    if (!st->ok()) {
+      return off;
+    }
+    if (new_right != n->right) {
+      TouchField(off, offsetof(AvlNode, right), sizeof(n->right));
+      n->right = new_right;
+    }
+  } else {
+    // Found. Zero or one child: splice out; two children: replace with the
+    // in-order successor.
+    if (n->left == kNullOffset || n->right == kNullOffset) {
+      uint64_t child = n->left != kNullOffset ? n->left : n->right;
+      FreeNode(off);
+      return child;
+    }
+    uint64_t successor = kNullOffset;
+    uint64_t new_right = DetachMin(n->right, &successor);
+    AvlNode* s = node(successor);
+    TouchField(successor, offsetof(AvlNode, left), sizeof(s->left));
+    s->left = n->left;
+    TouchField(successor, offsetof(AvlNode, right), sizeof(s->right));
+    s->right = new_right;
+    FreeNode(off);
+    return Rebalance(successor);
+  }
+  return Rebalance(off);
+}
+
+base::Status AvlIndex::Erase(int64_t key) {
+  Header* h = header();
+  base::Status st;
+  uint64_t new_root = EraseAt(h->index_root, key, &st);
+  RETURN_IF_ERROR(st);
+  if (new_root != h->index_root) {
+    TouchHeaderField(&h->index_root, sizeof(h->index_root));
+    h->index_root = new_root;
+  }
+  TouchHeaderField(&h->index_size, sizeof(h->index_size));
+  --h->index_size;
+  return base::OkStatus();
+}
+
+bool AvlIndex::ValidateAt(uint64_t off, int64_t lo, int64_t hi, uint64_t* count) const {
+  if (off == kNullOffset) {
+    return true;
+  }
+  const AvlNode* n = node(off);
+  if (!n->in_use) {
+    LBC_LOG(Error) << "index references freed node";
+    return false;
+  }
+  if (n->key <= lo || n->key >= hi) {
+    LBC_LOG(Error) << "BST order violated at key " << n->key;
+    return false;
+  }
+  if (!ValidateAt(n->left, lo, n->key, count) || !ValidateAt(n->right, n->key, hi, count)) {
+    return false;
+  }
+  int32_t expect = 1 + std::max(HeightOf(n->left), HeightOf(n->right));
+  if (n->height != expect) {
+    LBC_LOG(Error) << "stale height at key " << n->key;
+    return false;
+  }
+  int32_t balance = HeightOf(n->left) - HeightOf(n->right);
+  if (balance < -1 || balance > 1) {
+    LBC_LOG(Error) << "AVL balance violated at key " << n->key;
+    return false;
+  }
+  ++*count;
+  return true;
+}
+
+bool AvlIndex::Validate() const {
+  uint64_t count = 0;
+  if (!ValidateAt(header()->index_root, INT64_MIN, INT64_MAX, &count)) {
+    return false;
+  }
+  if (count != header()->index_size) {
+    LBC_LOG(Error) << "index size mismatch: counted " << count << " recorded "
+                   << header()->index_size;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace oo7

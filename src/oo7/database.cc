@@ -1,0 +1,170 @@
+#include "src/oo7/database.h"
+
+#include <cstring>
+
+namespace oo7 {
+namespace {
+
+uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) / a * a; }
+
+}  // namespace
+
+uint64_t Database::RequiredSize(const Config& c) {
+  uint64_t capacity = static_cast<uint64_t>(c.num_composite_parts) + c.spare_composite_slots;
+  uint64_t off = kPageSize;  // header page
+  off += capacity * kPageSize;  // atomic clusters (incl. spare slots)
+  off = AlignUp(off + capacity * sizeof(CompositePart), kPageSize);
+  off = AlignUp(off + static_cast<uint64_t>(c.NumAssemblies()) * sizeof(Assembly), kPageSize);
+  // AVL pool: one node per atomic part (at full capacity) plus slack for
+  // in-flight re-keys.
+  uint64_t avl_nodes = capacity * c.atomic_per_composite + 64;
+  off = AlignUp(off + avl_nodes * sizeof(AvlNode), kPageSize);
+  return off;
+}
+
+base::Status Database::Build(uint8_t* base, uint64_t size, const Config& c) {
+  uint64_t required = RequiredSize(c);
+  if (size < required) {
+    return base::InvalidArgument("database buffer too small");
+  }
+  if (c.connections_per_atomic > kMaxConnections || c.assembly_fanout != 3 ||
+      c.composites_per_base != 3) {
+    return base::InvalidArgument("unsupported OO7 configuration");
+  }
+  if (c.atomic_per_composite * sizeof(AtomicPart) > kPageSize) {
+    return base::InvalidArgument("atomic-part cluster exceeds one page");
+  }
+  std::memset(base, 0, required);
+
+  Header* h = reinterpret_cast<Header*>(base);
+  h->magic = kHeaderMagic;
+  h->region_size = required;
+  h->num_composite_parts = c.num_composite_parts;
+  h->atomic_per_composite = c.atomic_per_composite;
+  h->connections_per_atomic = c.connections_per_atomic;
+  h->assembly_fanout = c.assembly_fanout;
+  h->assembly_levels = c.assembly_levels;
+  h->composites_per_base = c.composites_per_base;
+
+  uint64_t capacity = static_cast<uint64_t>(c.num_composite_parts) + c.spare_composite_slots;
+  uint64_t off = kPageSize;
+  h->atomic_area = off;
+  off += capacity * kPageSize;
+  h->composite_area = off;
+  off = AlignUp(off + capacity * sizeof(CompositePart), kPageSize);
+  h->assembly_area = off;
+  off = AlignUp(off + static_cast<uint64_t>(c.NumAssemblies()) * sizeof(Assembly), kPageSize);
+  h->avl_area = off;
+  h->avl_capacity = capacity * c.atomic_per_composite + 64;
+  h->index_root = kNullOffset;
+  h->index_size = 0;
+  h->free_head = kNullOffset;
+  h->next_unused = 0;
+  h->composite_capacity = capacity;
+  h->active_composites = c.num_composite_parts;
+  h->composite_free_head = kNullOffset;
+  h->next_part_id = static_cast<uint64_t>(c.NumAtomicParts()) + 1;
+
+  Database db(base);
+  base::Rng rng(c.seed);
+
+  // --- design library: composite parts and their atomic-part graphs -------
+  for (uint32_t ci = 0; ci < c.num_composite_parts; ++ci) {
+    uint64_t cluster = h->atomic_area + static_cast<uint64_t>(ci) * kPageSize;
+    uint64_t comp_off = db.composite_offset(ci);
+    CompositePart* comp = db.composite(comp_off);
+    comp->id = ci + 1;
+    comp->build_date = static_cast<int64_t>(rng.Range(1000, 2000));
+    comp->parts_base = cluster;
+    comp->root_part = cluster;
+    comp->n_parts = c.atomic_per_composite;
+    comp->in_use = 1;
+
+    for (uint32_t ai = 0; ai < c.atomic_per_composite; ++ai) {
+      uint64_t part_off = cluster + static_cast<uint64_t>(ai) * sizeof(AtomicPart);
+      AtomicPart* part = db.atomic(part_off);
+      part->id = static_cast<uint64_t>(ci) * c.atomic_per_composite + ai + 1;
+      part->build_date = static_cast<int64_t>(rng.Range(1000, 2000));
+      part->x = static_cast<int64_t>(rng.Uniform(100000));
+      part->y = static_cast<int64_t>(rng.Uniform(100000));
+      part->generation = 0;
+      part->index_key = IndexKey(part->id, 0);
+      part->composite = comp_off;
+      part->n_out = c.connections_per_atomic;
+      // Connection graph: one ring edge guarantees the whole cluster is
+      // reachable from the root part; the rest are random within the
+      // composite (the OO7 generator's connectivity guarantee).
+      part->out[0] = cluster +
+                     static_cast<uint64_t>((ai + 1) % c.atomic_per_composite) *
+                         sizeof(AtomicPart);
+      for (uint32_t k = 1; k < c.connections_per_atomic; ++k) {
+        part->out[k] = cluster + rng.Uniform(c.atomic_per_composite) * sizeof(AtomicPart);
+      }
+    }
+  }
+
+  // --- assembly hierarchy: complete tree, breadth-first in the array ------
+  uint32_t total_assemblies = c.NumAssemblies();
+  uint32_t first_base = total_assemblies - c.NumBaseAssemblies();
+  for (uint32_t i = 0; i < total_assemblies; ++i) {
+    uint64_t asm_off = db.assembly_offset(i);
+    Assembly* a = db.assembly(asm_off);
+    a->id = i + 1;
+    a->parent = i == 0 ? kNullOffset : db.assembly_offset((i - 1) / c.assembly_fanout);
+    if (i < first_base) {
+      a->kind = static_cast<uint32_t>(AssemblyKind::kComplex);
+      for (uint32_t k = 0; k < c.assembly_fanout; ++k) {
+        a->children[k] = db.assembly_offset(i * c.assembly_fanout + 1 + k);
+      }
+    } else {
+      a->kind = static_cast<uint32_t>(AssemblyKind::kBase);
+      for (uint32_t k = 0; k < c.composites_per_base; ++k) {
+        a->children[k] = db.composite_offset(
+            static_cast<uint32_t>(rng.Uniform(c.num_composite_parts)));
+      }
+    }
+  }
+  h->root_assembly = db.assembly_offset(0);
+
+  // --- spare composite slots for structural modifications -----------------
+  for (uint32_t ci = c.num_composite_parts; ci < capacity; ++ci) {
+    uint64_t comp_off = db.composite_offset(ci);
+    CompositePart* comp = db.composite(comp_off);
+    comp->in_use = 0;
+    comp->parts_base = h->atomic_area + static_cast<uint64_t>(ci) * kPageSize;
+    comp->root_part = h->composite_free_head;  // free-list link
+    h->composite_free_head = comp_off;
+  }
+
+  // --- part index ----------------------------------------------------------
+  AvlIndex index(base);
+  for (uint32_t ci = 0; ci < c.num_composite_parts; ++ci) {
+    uint64_t cluster = h->atomic_area + static_cast<uint64_t>(ci) * kPageSize;
+    for (uint32_t ai = 0; ai < c.atomic_per_composite; ++ai) {
+      uint64_t part_off = cluster + static_cast<uint64_t>(ai) * sizeof(AtomicPart);
+      RETURN_IF_ERROR(index.Insert(db.atomic(part_off)->index_key, part_off));
+    }
+  }
+  return base::OkStatus();
+}
+
+base::Status Database::CheckHeader() const {
+  if (header()->magic != kHeaderMagic) {
+    return base::DataLoss("not an OO7 database image");
+  }
+  return base::OkStatus();
+}
+
+Config Database::ConfigFromHeader() const {
+  const Header* h = header();
+  Config c;
+  c.num_composite_parts = h->num_composite_parts;
+  c.atomic_per_composite = h->atomic_per_composite;
+  c.connections_per_atomic = h->connections_per_atomic;
+  c.assembly_fanout = h->assembly_fanout;
+  c.assembly_levels = h->assembly_levels;
+  c.composites_per_base = h->composites_per_base;
+  return c;
+}
+
+}  // namespace oo7

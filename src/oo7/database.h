@@ -1,0 +1,83 @@
+// OO7 database construction and access (§4.1).
+//
+// The database lives in a single region. Layout:
+//   page 0                — Header
+//   atomic-part area      — one 8 KB page per composite part, holding its
+//                           atomic-part cluster at the page start (the
+//                           paper's clustering: parts of one composite share
+//                           a page, different composites use different pages)
+//   composite-part area   — packed array
+//   assembly area         — packed array (complete tree, fanout 3)
+//   AVL pool              — part-index nodes
+//
+// Build() generates the whole database deterministically from Config::seed:
+// random atomic-part connection graphs, random base-assembly -> composite
+// references, and the part index over every atomic part's indexed field.
+#ifndef SRC_OO7_DATABASE_H_
+#define SRC_OO7_DATABASE_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/oo7/avl_index.h"
+#include "src/oo7/schema.h"
+
+namespace oo7 {
+
+class Database {
+ public:
+  // Binds to an existing database image (Build or Open must have run).
+  explicit Database(uint8_t* base) : base_(base) {}
+
+  // Region bytes needed for `config`.
+  static uint64_t RequiredSize(const Config& config);
+
+  // Generates a fresh database into `base` (which must hold RequiredSize
+  // bytes, zero-initialized).
+  static base::Status Build(uint8_t* base, uint64_t size, const Config& config);
+
+  // Validates the header of an existing image.
+  base::Status CheckHeader() const;
+
+  // --- accessors ---------------------------------------------------------
+
+  Header* header() const { return reinterpret_cast<Header*>(base_); }
+  uint8_t* base() const { return base_; }
+
+  Config ConfigFromHeader() const;
+
+  AtomicPart* atomic(uint64_t off) const {
+    return reinterpret_cast<AtomicPart*>(base_ + off);
+  }
+  CompositePart* composite(uint64_t off) const {
+    return reinterpret_cast<CompositePart*>(base_ + off);
+  }
+  Assembly* assembly(uint64_t off) const {
+    return reinterpret_cast<Assembly*>(base_ + off);
+  }
+
+  uint64_t composite_offset(uint32_t i) const {
+    return header()->composite_area + static_cast<uint64_t>(i) * sizeof(CompositePart);
+  }
+  uint64_t assembly_offset(uint32_t i) const {
+    return header()->assembly_area + static_cast<uint64_t>(i) * sizeof(Assembly);
+  }
+  uint64_t root_assembly() const { return header()->root_assembly; }
+
+  AvlIndex index() const { return AvlIndex(base_); }
+
+  // The unique indexed key for an atomic part: id in the high bits,
+  // update generation in the low bits, so re-keying on update never
+  // collides with any other part.
+  static int64_t IndexKey(uint64_t id, uint32_t generation) {
+    return static_cast<int64_t>((id << 20) | (generation & 0xFFFFF));
+  }
+
+ private:
+  uint8_t* base_;
+};
+
+}  // namespace oo7
+
+#endif  // SRC_OO7_DATABASE_H_

@@ -1,0 +1,49 @@
+// The OO7 query operations (the benchmark's Q side), over the part index
+// and the assembly hierarchy. Queries are read-only: under log-based
+// coherency they run against the local cache with no protocol traffic at
+// all — the property the paper's design leans on ("read operations will
+// consume large amounts of data").
+//
+//   Q1 — exact-match lookups of randomly chosen atomic parts via the index.
+//   Q2 — range query over the indexed field selecting ~1% of the parts.
+//   Q3 — range query selecting ~10% of the parts.
+//   Q7 — full index scan touching every atomic part.
+//   Q5 — find base assemblies that reference a composite part newer than
+//        their own build date (a join across two object classes).
+#ifndef SRC_OO7_QUERIES_H_
+#define SRC_OO7_QUERIES_H_
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/oo7/database.h"
+
+namespace oo7 {
+
+struct QueryResult {
+  uint64_t matches = 0;  // entries satisfying the predicate
+  uint64_t visited = 0;  // entries examined
+  int64_t checksum = 0;  // order-independent digest of matched data
+};
+
+// Q1: `count` random exact-match lookups (by construction they all hit).
+QueryResult RunQ1(const Database& db, base::Rng& rng, int count = 10);
+
+// Q2/Q3/Q7: range scans over the indexed field selecting roughly `percent`
+// of the key space (100 = full scan).
+QueryResult RunRangeQuery(const Database& db, base::Rng& rng, int percent);
+inline QueryResult RunQ2(const Database& db, base::Rng& rng) {
+  return RunRangeQuery(db, rng, 1);
+}
+inline QueryResult RunQ3(const Database& db, base::Rng& rng) {
+  return RunRangeQuery(db, rng, 10);
+}
+inline QueryResult RunQ7(const Database& db, base::Rng& rng) {
+  return RunRangeQuery(db, rng, 100);
+}
+
+// Q5: base assemblies referencing a composite part with a newer build date.
+QueryResult RunQ5(const Database& db);
+
+}  // namespace oo7
+
+#endif  // SRC_OO7_QUERIES_H_

@@ -1,0 +1,163 @@
+// Persistent object layout of the OO7 database (Carey, DeWitt & Naughton,
+// SIGMOD '93), as used by the paper's RVM-based OO7 port (§4.1):
+//
+//   * a design library of `num_composite_parts` composite parts, each a
+//     random graph of `atomic_per_composite` atomic parts (~200-byte
+//     objects, 3 outgoing connections each);
+//   * an assembly hierarchy: a complete tree with fanout
+//     `assembly_fanout`, whose `num_base_assemblies` leaves ("base
+//     assemblies") each reference 3 composite parts chosen at random;
+//   * a part index over the atomic parts' indexed field, kept in an
+//     AVL-balanced tree (T3 exercises it).
+//
+// Objects live inside one RVM region and reference each other by region
+// offset (persistent pointers). The atomic parts of one composite part are
+// clustered on a single 8 KB page, and different composite parts sit on
+// different pages — the paper's observed clustering, and the property that
+// gives the A-variant traversals their ~500 updated pages.
+#ifndef SRC_OO7_SCHEMA_H_
+#define SRC_OO7_SCHEMA_H_
+
+#include <cstdint>
+
+namespace oo7 {
+
+inline constexpr uint64_t kPageSize = 8192;
+inline constexpr uint64_t kObjectSize = 200;  // paper: "roughly 200 bytes"
+inline constexpr uint32_t kMaxConnections = 6;
+inline constexpr uint64_t kNullOffset = 0;
+
+struct Config {
+  uint32_t num_composite_parts = 500;
+  uint32_t atomic_per_composite = 20;
+  uint32_t connections_per_atomic = 3;
+  uint32_t assembly_fanout = 3;
+  uint32_t assembly_levels = 7;  // 3^6 = 729 base assemblies
+  uint32_t composites_per_base = 3;
+  // Pre-provisioned empty composite-part slots for the OO7 structural
+  // modification operations (insert/delete of design primitives).
+  uint32_t spare_composite_slots = 64;
+  uint64_t seed = 0x5EED0007;
+
+  uint32_t NumBaseAssemblies() const {
+    uint32_t n = 1;
+    for (uint32_t i = 1; i < assembly_levels; ++i) {
+      n *= assembly_fanout;
+    }
+    return n;
+  }
+  uint32_t NumAssemblies() const {
+    uint32_t total = 0, level = 1;
+    for (uint32_t i = 0; i < assembly_levels; ++i) {
+      total += level;
+      level *= assembly_fanout;
+    }
+    return total;
+  }
+  uint32_t NumAtomicParts() const { return num_composite_parts * atomic_per_composite; }
+};
+
+// Returns a configuration matching the paper's setup but small enough for
+// fast unit tests (tests override further as needed).
+inline Config TinyConfig() {
+  Config c;
+  c.num_composite_parts = 20;
+  c.atomic_per_composite = 5;
+  c.connections_per_atomic = 2;
+  c.assembly_levels = 3;  // 9 base assemblies
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// On-disk object formats. All cross-object references are region offsets.
+// ---------------------------------------------------------------------------
+
+struct AtomicPart {
+  uint64_t id;
+  int64_t build_date;
+  int64_t x;
+  int64_t y;
+  int64_t index_key;    // the indexed field updated by T3
+  uint64_t composite;   // owning composite part
+  uint32_t n_out;
+  uint32_t generation;  // bumped on each index-field update to keep keys unique
+  uint64_t out[kMaxConnections];  // outgoing connections (n_out used)
+  uint8_t doc[96];
+};
+static_assert(sizeof(AtomicPart) == kObjectSize);
+
+struct CompositePart {
+  uint64_t id;
+  int64_t build_date;
+  uint64_t root_part;   // entry point; free-list link while not in use
+  uint64_t parts_base;  // start of this composite's atomic-part cluster
+  uint32_t n_parts;
+  uint32_t in_use;      // 0 = free slot (structural-modification pool)
+  uint8_t doc[160];
+};
+static_assert(sizeof(CompositePart) == kObjectSize);
+
+enum class AssemblyKind : uint32_t { kComplex = 0, kBase = 1 };
+
+struct Assembly {
+  uint64_t id;
+  uint32_t kind;   // AssemblyKind
+  uint32_t level;  // root = 0
+  uint64_t parent;
+  // kComplex: child assemblies; kBase: composite parts. Fixed fanout 3 in
+  // the standard configuration; unused slots are kNullOffset.
+  uint64_t children[3];
+  uint8_t pad[152];
+};
+static_assert(sizeof(Assembly) == kObjectSize);
+
+// AVL node of the part index. Nodes live in a pool area with an intrusive
+// free list threaded through `right` when not in use.
+struct AvlNode {
+  int64_t key;
+  uint64_t part;  // atomic part this entry indexes
+  uint64_t left;
+  uint64_t right;
+  int32_t height;
+  uint32_t in_use;
+  uint8_t pad[24];
+};
+static_assert(sizeof(AvlNode) == 64);
+
+// Region header (one page). Field offsets matter: index mutations declare
+// set_range on individual header fields.
+struct Header {
+  uint64_t magic;
+  uint64_t region_size;
+  // Config echo for validation at open.
+  uint32_t num_composite_parts;
+  uint32_t atomic_per_composite;
+  uint32_t connections_per_atomic;
+  uint32_t assembly_fanout;
+  uint32_t assembly_levels;
+  uint32_t composites_per_base;
+  // Area offsets.
+  uint64_t atomic_area;
+  uint64_t composite_area;
+  uint64_t assembly_area;
+  uint64_t avl_area;
+  uint64_t avl_capacity;
+  uint64_t root_assembly;
+  // Mutable index state.
+  uint64_t index_root;
+  uint64_t index_size;
+  uint64_t free_head;   // AVL free list
+  uint64_t next_unused; // bump pointer into the AVL pool
+  // Structural-modification state.
+  uint64_t composite_capacity;   // total slots (built + spare)
+  uint64_t active_composites;
+  uint64_t composite_free_head;  // free slots, threaded through root_part
+  uint64_t next_part_id;         // id generator for inserted parts
+};
+static_assert(sizeof(Header) <= kPageSize);
+
+inline constexpr uint64_t kHeaderMagic = 0x4F4F374442ull;  // "OO7DB"
+
+}  // namespace oo7
+
+#endif  // SRC_OO7_SCHEMA_H_

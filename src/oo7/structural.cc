@@ -1,0 +1,231 @@
+#include "src/oo7/structural.h"
+
+#include <cstddef>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "src/base/logging.h"
+
+namespace oo7 {
+namespace {
+
+base::Status Declare(UpdateSink& sink, const Database& db, const void* field,
+                     uint64_t len) {
+  return sink.SetRange(
+      static_cast<uint64_t>(reinterpret_cast<const uint8_t*>(field) - db.base()), len);
+}
+
+}  // namespace
+
+base::Result<uint64_t> RandomActiveComposite(const Database& db, base::Rng& rng) {
+  const Header* h = db.header();
+  if (h->active_composites == 0) {
+    return base::NotFound("no active composite parts");
+  }
+  // Rejection-sample over the slot array (capacity is close to the active
+  // count in practice).
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    uint32_t i = static_cast<uint32_t>(rng.Uniform(h->composite_capacity));
+    uint64_t off = db.composite_offset(i);
+    if (db.composite(off)->in_use) {
+      return off;
+    }
+  }
+  // Fall back to a scan (pathologically sparse pool).
+  for (uint32_t i = 0; i < h->composite_capacity; ++i) {
+    uint64_t off = db.composite_offset(i);
+    if (db.composite(off)->in_use) {
+      return off;
+    }
+  }
+  return base::NotFound("no active composite parts");
+}
+
+base::Result<uint64_t> InsertCompositePart(const Database& db, UpdateSink& sink,
+                                           base::Rng& rng) {
+  Header* h = db.header();
+  const Config c = db.ConfigFromHeader();
+  if (h->composite_free_head == kNullOffset) {
+    return base::OutOfRange("composite slot pool exhausted");
+  }
+
+  // Pop a slot from the persistent free list.
+  uint64_t comp_off = h->composite_free_head;
+  CompositePart* comp = db.composite(comp_off);
+  RETURN_IF_ERROR(Declare(sink, db, &h->composite_free_head, 8));
+  h->composite_free_head = comp->root_part;
+
+  // Initialize the composite and its atomic-part cluster (the slot's page
+  // was reserved at build time).
+  RETURN_IF_ERROR(sink.SetRange(comp_off, sizeof(CompositePart)));
+  uint64_t cluster = comp->parts_base;
+  comp->id = 100000 + h->next_part_id;  // distinct id space from built parts
+  comp->build_date = static_cast<int64_t>(rng.Range(2000, 3000));
+  comp->root_part = cluster;
+  comp->n_parts = c.atomic_per_composite;
+  comp->in_use = 1;
+
+  AvlIndex index = db.index();
+  index.set_on_modify([&](uint64_t off, uint64_t len) { sink.SetRange(off, len).ok(); });
+
+  RETURN_IF_ERROR(
+      sink.SetRange(cluster, static_cast<uint64_t>(c.atomic_per_composite) *
+                                 sizeof(AtomicPart)));
+  RETURN_IF_ERROR(Declare(sink, db, &h->next_part_id, 8));
+  for (uint32_t ai = 0; ai < c.atomic_per_composite; ++ai) {
+    uint64_t part_off = cluster + static_cast<uint64_t>(ai) * sizeof(AtomicPart);
+    AtomicPart* part = db.atomic(part_off);
+    std::memset(part, 0, sizeof(AtomicPart));
+    part->id = h->next_part_id++;
+    part->build_date = comp->build_date;
+    part->x = static_cast<int64_t>(rng.Uniform(100000));
+    part->y = static_cast<int64_t>(rng.Uniform(100000));
+    part->generation = 0;
+    part->index_key = Database::IndexKey(part->id, 0);
+    part->composite = comp_off;
+    part->n_out = c.connections_per_atomic;
+    part->out[0] = cluster + static_cast<uint64_t>((ai + 1) % c.atomic_per_composite) *
+                                 sizeof(AtomicPart);
+    for (uint32_t k = 1; k < c.connections_per_atomic; ++k) {
+      part->out[k] =
+          cluster + rng.Uniform(c.atomic_per_composite) * sizeof(AtomicPart);
+    }
+    RETURN_IF_ERROR(index.Insert(part->index_key, part_off));
+  }
+
+  RETURN_IF_ERROR(Declare(sink, db, &h->active_composites, 8));
+  ++h->active_composites;
+
+  // Wire the new primitive into the design: one random base-assembly
+  // reference now points at it.
+  uint32_t total = c.NumAssemblies();
+  uint32_t first_base = total - c.NumBaseAssemblies();
+  uint32_t base_idx = first_base + static_cast<uint32_t>(rng.Uniform(c.NumBaseAssemblies()));
+  Assembly* assembly = db.assembly(db.assembly_offset(base_idx));
+  uint32_t child = static_cast<uint32_t>(rng.Uniform(c.composites_per_base));
+  RETURN_IF_ERROR(Declare(sink, db, &assembly->children[child], 8));
+  assembly->children[child] = comp_off;
+  return comp_off;
+}
+
+base::Status DeleteCompositePart(const Database& db, UpdateSink& sink, uint64_t comp_off,
+                                 base::Rng& rng) {
+  Header* h = db.header();
+  const Config c = db.ConfigFromHeader();
+  CompositePart* comp = db.composite(comp_off);
+  if (!comp->in_use) {
+    return base::FailedPrecondition("composite part is not active");
+  }
+  if (h->active_composites <= 1) {
+    return base::FailedPrecondition("cannot delete the last composite part");
+  }
+
+  // Unindex the atomic parts.
+  AvlIndex index = db.index();
+  index.set_on_modify([&](uint64_t off, uint64_t len) { sink.SetRange(off, len).ok(); });
+  for (uint32_t ai = 0; ai < comp->n_parts; ++ai) {
+    uint64_t part_off = comp->parts_base + static_cast<uint64_t>(ai) * sizeof(AtomicPart);
+    RETURN_IF_ERROR(index.Erase(db.atomic(part_off)->index_key));
+  }
+
+  // Retire the slot.
+  RETURN_IF_ERROR(sink.SetRange(comp_off + offsetof(CompositePart, in_use), 4));
+  comp->in_use = 0;
+  RETURN_IF_ERROR(sink.SetRange(comp_off + offsetof(CompositePart, root_part), 8));
+  comp->root_part = h->composite_free_head;
+  RETURN_IF_ERROR(Declare(sink, db, &h->composite_free_head, 8));
+  h->composite_free_head = comp_off;
+  RETURN_IF_ERROR(Declare(sink, db, &h->active_composites, 8));
+  --h->active_composites;
+
+  // Re-point every base-assembly reference at surviving composites.
+  uint32_t total = c.NumAssemblies();
+  uint32_t first_base = total - c.NumBaseAssemblies();
+  for (uint32_t i = first_base; i < total; ++i) {
+    Assembly* assembly = db.assembly(db.assembly_offset(i));
+    for (uint32_t k = 0; k < c.composites_per_base; ++k) {
+      if (assembly->children[k] == comp_off) {
+        ASSIGN_OR_RETURN(uint64_t replacement, RandomActiveComposite(db, rng));
+        RETURN_IF_ERROR(Declare(sink, db, &assembly->children[k], 8));
+        assembly->children[k] = replacement;
+      }
+    }
+  }
+  return base::OkStatus();
+}
+
+bool ValidateStructure(const Database& db) {
+  const Header* h = db.header();
+  const Config c = db.ConfigFromHeader();
+
+  // Slot accounting.
+  uint64_t active = 0;
+  std::set<uint64_t> free_slots;
+  for (uint64_t i = 0; i < h->composite_capacity; ++i) {
+    if (db.composite(db.composite_offset(i))->in_use) {
+      ++active;
+    }
+  }
+  if (active != h->active_composites) {
+    LBC_LOG(Error) << "active composite count mismatch";
+    return false;
+  }
+  for (uint64_t off = h->composite_free_head; off != kNullOffset;
+       off = db.composite(off)->root_part) {
+    if (db.composite(off)->in_use || !free_slots.insert(off).second) {
+      LBC_LOG(Error) << "free list corrupt at slot " << off;
+      return false;
+    }
+    if (free_slots.size() > h->composite_capacity) {
+      LBC_LOG(Error) << "free list cycle";
+      return false;
+    }
+  }
+  if (active + free_slots.size() != h->composite_capacity) {
+    LBC_LOG(Error) << "slots leaked: " << active << " active + " << free_slots.size()
+                   << " free != " << h->composite_capacity;
+    return false;
+  }
+
+  // Index covers exactly the active parts.
+  AvlIndex index = db.index();
+  if (!index.Validate()) {
+    return false;
+  }
+  if (index.size() != active * c.atomic_per_composite) {
+    LBC_LOG(Error) << "index size " << index.size() << " != active parts "
+                   << active * c.atomic_per_composite;
+    return false;
+  }
+  for (uint64_t i = 0; i < h->composite_capacity; ++i) {
+    const CompositePart* comp = db.composite(db.composite_offset(i));
+    if (!comp->in_use) {
+      continue;
+    }
+    for (uint32_t ai = 0; ai < comp->n_parts; ++ai) {
+      uint64_t part_off = comp->parts_base + static_cast<uint64_t>(ai) * sizeof(AtomicPart);
+      auto found = index.Find(db.atomic(part_off)->index_key);
+      if (!found.ok() || *found != part_off) {
+        LBC_LOG(Error) << "active part missing from index";
+        return false;
+      }
+    }
+  }
+
+  // Assembly references point only at active composites.
+  uint32_t total = c.NumAssemblies();
+  uint32_t first_base = total - c.NumBaseAssemblies();
+  for (uint32_t i = first_base; i < total; ++i) {
+    const Assembly* assembly = db.assembly(db.assembly_offset(i));
+    for (uint32_t k = 0; k < c.composites_per_base; ++k) {
+      if (!db.composite(assembly->children[k])->in_use) {
+        LBC_LOG(Error) << "base assembly references freed composite";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace oo7

@@ -1,0 +1,45 @@
+// OO7 structural modification operations: insertion and deletion of
+// composite parts (the benchmark's SM operations, representing design
+// primitives being added to and retired from the library).
+//
+// Insert allocates a composite slot from the persistent free list, builds a
+// fresh atomic-part cluster on its page, indexes the parts, and rewires a
+// random base assembly to reference it. Delete removes the parts from the
+// index, re-points every base-assembly reference to surviving composites,
+// and returns the slot to the free list.
+//
+// All mutations are declared through an UpdateSink before the bytes change,
+// so the operations run correctly inside RVM / log-based-coherency
+// transactions (and abort cleanly under restore mode).
+#ifndef SRC_OO7_STRUCTURAL_H_
+#define SRC_OO7_STRUCTURAL_H_
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/oo7/database.h"
+#include "src/oo7/traversals.h"
+
+namespace oo7 {
+
+// Inserts one composite part; returns its offset. Fails with OUT_OF_RANGE
+// when the slot pool is exhausted.
+base::Result<uint64_t> InsertCompositePart(const Database& db, UpdateSink& sink,
+                                           base::Rng& rng);
+
+// Deletes the composite part at `comp_off`. Every base-assembly reference
+// to it is re-pointed at a random surviving composite. Fails with
+// FAILED_PRECONDITION when it is the last active composite.
+base::Status DeleteCompositePart(const Database& db, UpdateSink& sink, uint64_t comp_off,
+                                 base::Rng& rng);
+
+// Picks a uniformly random active composite part (e.g. a deletion victim).
+base::Result<uint64_t> RandomActiveComposite(const Database& db, base::Rng& rng);
+
+// Structural invariants: active/free slot accounting, free-list integrity,
+// index entries exactly covering active parts, and assembly references
+// pointing only at active composites.
+bool ValidateStructure(const Database& db);
+
+}  // namespace oo7
+
+#endif  // SRC_OO7_STRUCTURAL_H_

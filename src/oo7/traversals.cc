@@ -1,0 +1,175 @@
+#include "src/oo7/traversals.h"
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+namespace oo7 {
+namespace {
+
+// Walks the assembly hierarchy depth-first; calls `visit` for each
+// composite part referenced by each base assembly (with repeats, exactly as
+// OO7 prescribes).
+template <typename Fn>
+void ForEachCompositeVisit(const Database& db, Fn&& visit) {
+  std::vector<uint64_t> stack = {db.root_assembly()};
+  while (!stack.empty()) {
+    uint64_t off = stack.back();
+    stack.pop_back();
+    const Assembly* a = db.assembly(off);
+    if (a->kind == static_cast<uint32_t>(AssemblyKind::kBase)) {
+      for (uint64_t child : a->children) {
+        if (child != kNullOffset) {
+          visit(child);
+        }
+      }
+    } else {
+      for (uint64_t child : a->children) {
+        if (child != kNullOffset) {
+          stack.push_back(child);
+        }
+      }
+    }
+  }
+}
+
+// Depth-first walk of one composite part's atomic-part graph.
+template <typename Fn>
+void ForEachAtomicInComposite(const Database& db, uint64_t comp_off, Fn&& visit) {
+  const CompositePart* comp = db.composite(comp_off);
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> stack = {comp->root_part};
+  seen.insert(comp->root_part);
+  while (!stack.empty()) {
+    uint64_t part_off = stack.back();
+    stack.pop_back();
+    visit(part_off);
+    const AtomicPart* part = db.atomic(part_off);
+    for (uint32_t i = 0; i < part->n_out; ++i) {
+      if (seen.insert(part->out[i]).second) {
+        stack.push_back(part->out[i]);
+      }
+    }
+  }
+}
+
+// The paper's "simple" update: change an eight-byte field of the part.
+base::Status UpdateXY(const Database& db, UpdateSink& sink, uint64_t part_off,
+                      TraversalResult& result) {
+  AtomicPart* part = db.atomic(part_off);
+  RETURN_IF_ERROR(sink.SetRange(part_off + offsetof(AtomicPart, x), sizeof(int64_t)));
+  part->x = part->x + 1;
+  ++result.updates;
+  return base::OkStatus();
+}
+
+// The T3 update: re-key the part's indexed field, maintaining the part
+// index (delete old entry + insert new one). The AVL tree declares each
+// node it touches through the sink.
+base::Status UpdateIndexed(const Database& db, AvlIndex& index, UpdateSink& sink,
+                           uint64_t part_off, TraversalResult& result) {
+  AtomicPart* part = db.atomic(part_off);
+  uint64_t before = index.modify_count();
+  RETURN_IF_ERROR(index.Erase(part->index_key));
+  RETURN_IF_ERROR(
+      sink.SetRange(part_off + offsetof(AtomicPart, index_key), sizeof(int64_t)));
+  RETURN_IF_ERROR(
+      sink.SetRange(part_off + offsetof(AtomicPart, generation), sizeof(uint32_t)));
+  part->generation = part->generation + 1;
+  part->index_key = Database::IndexKey(part->id, part->generation);
+  RETURN_IF_ERROR(index.Insert(part->index_key, part_off));
+  // One update per touched index node plus the two part fields.
+  result.updates += (index.modify_count() - before) + 2;
+  return base::OkStatus();
+}
+
+int RoundsFor(Variant v) { return v == Variant::kC ? 4 : 1; }
+
+}  // namespace
+
+TraversalResult RunT1(const Database& db) {
+  TraversalResult result;
+  ForEachCompositeVisit(db, [&](uint64_t comp_off) {
+    ++result.composite_visits;
+    ForEachAtomicInComposite(db, comp_off, [&](uint64_t) { ++result.atomic_visits; });
+  });
+  return result;
+}
+
+TraversalResult RunT6(const Database& db) {
+  TraversalResult result;
+  ForEachCompositeVisit(db, [&](uint64_t comp_off) {
+    ++result.composite_visits;
+    ++result.atomic_visits;  // root part only
+    (void)db.atomic(db.composite(comp_off)->root_part)->x;
+  });
+  return result;
+}
+
+TraversalResult RunT2(const Database& db, UpdateSink& sink, Variant variant) {
+  TraversalResult result;
+  ForEachCompositeVisit(db, [&](uint64_t comp_off) {
+    if (!result.status.ok()) {
+      return;
+    }
+    ++result.composite_visits;
+    const uint64_t root = db.composite(comp_off)->root_part;
+    ForEachAtomicInComposite(db, comp_off, [&](uint64_t part_off) {
+      if (!result.status.ok()) {
+        return;
+      }
+      ++result.atomic_visits;
+      bool update = variant == Variant::kA ? part_off == root : true;
+      if (update) {
+        for (int round = 0; round < RoundsFor(variant) && result.status.ok(); ++round) {
+          result.status = UpdateXY(db, sink, part_off, result);
+        }
+      }
+    });
+  });
+  return result;
+}
+
+TraversalResult RunT3(const Database& db, UpdateSink& sink, Variant variant) {
+  TraversalResult result;
+  AvlIndex index = db.index();
+  index.set_on_modify([&](uint64_t off, uint64_t len) { sink.SetRange(off, len).ok(); });
+  ForEachCompositeVisit(db, [&](uint64_t comp_off) {
+    if (!result.status.ok()) {
+      return;
+    }
+    ++result.composite_visits;
+    const uint64_t root = db.composite(comp_off)->root_part;
+    ForEachAtomicInComposite(db, comp_off, [&](uint64_t part_off) {
+      if (!result.status.ok()) {
+        return;
+      }
+      ++result.atomic_visits;
+      bool update = variant == Variant::kA ? part_off == root : true;
+      if (update) {
+        for (int round = 0; round < RoundsFor(variant) && result.status.ok(); ++round) {
+          result.status = UpdateIndexed(db, index, sink, part_off, result);
+        }
+      }
+    });
+  });
+  return result;
+}
+
+TraversalResult RunT12(const Database& db, UpdateSink& sink, Variant variant) {
+  TraversalResult result;
+  ForEachCompositeVisit(db, [&](uint64_t comp_off) {
+    if (!result.status.ok()) {
+      return;
+    }
+    ++result.composite_visits;
+    ++result.atomic_visits;
+    uint64_t part_off = db.composite(comp_off)->root_part;
+    for (int round = 0; round < RoundsFor(variant) && result.status.ok(); ++round) {
+      result.status = UpdateXY(db, sink, part_off, result);
+    }
+  });
+  return result;
+}
+
+}  // namespace oo7

@@ -1,0 +1,75 @@
+// The OO7 traversals used in the paper's evaluation (§4.1):
+//
+//   T1     — full read-only traversal of every reachable atomic part.
+//   T6     — sparse read-only traversal: root atomic part of each composite.
+//   T2 a/b/c — full traversal with updates: (a) one atomic part per
+//            composite-part visit, (b) every atomic part, (c) every atomic
+//            part four times. An update changes an eight-byte field.
+//   T3 a/b/c — like T2, but the updated field is the *indexed* field: each
+//            change deletes the old index entry and inserts the new one
+//            (~7 additional fine-grained updates via the AVL tree).
+//   T12 a/c — the paper's new sparse-update traversal: like T6 (visits only
+//            one atomic part per composite) but updates it (a: once,
+//            c: four times). Coherency overhead dominates here.
+//
+// Every traversal walks the assembly hierarchy depth-first and visits the
+// composite parts referenced by each base assembly — 3 per base assembly,
+// so 2187 composite-part visits in the standard configuration (composites
+// are revisited: only 500 exist).
+//
+// Updates are declared through an UpdateSink before the bytes change, which
+// the harness maps to Trans.SetRange. The sink sees exactly the update
+// stream whose characteristics Table 3 reports.
+#ifndef SRC_OO7_TRAVERSALS_H_
+#define SRC_OO7_TRAVERSALS_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/oo7/database.h"
+
+namespace oo7 {
+
+// Receives set_range-style declarations ahead of each mutation.
+class UpdateSink {
+ public:
+  virtual ~UpdateSink() = default;
+  virtual base::Status SetRange(uint64_t offset, uint64_t len) = 0;
+};
+
+// Counts declarations; performs no logging (baseline measurement).
+class NullSink : public UpdateSink {
+ public:
+  base::Status SetRange(uint64_t offset, uint64_t len) override {
+    ++calls_;
+    return base::OkStatus();
+  }
+  uint64_t calls() const { return calls_; }
+
+ private:
+  uint64_t calls_ = 0;
+};
+
+enum class Variant {
+  kA,  // one atomic part per composite-part visit
+  kB,  // every atomic part
+  kC,  // every atomic part, four times
+};
+
+struct TraversalResult {
+  uint64_t composite_visits = 0;
+  uint64_t atomic_visits = 0;
+  uint64_t updates = 0;  // individual update operations performed
+  base::Status status;   // first error, if any
+};
+
+TraversalResult RunT1(const Database& db);
+TraversalResult RunT6(const Database& db);
+TraversalResult RunT2(const Database& db, UpdateSink& sink, Variant variant);
+TraversalResult RunT3(const Database& db, UpdateSink& sink, Variant variant);
+// T12 supports variants A and C (the paper evaluates T12-A and T12-C).
+TraversalResult RunT12(const Database& db, UpdateSink& sink, Variant variant);
+
+}  // namespace oo7
+
+#endif  // SRC_OO7_TRAVERSALS_H_

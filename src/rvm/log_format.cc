@@ -1,0 +1,122 @@
+#include "src/rvm/log_format.h"
+
+namespace rvm {
+namespace {
+
+void EncodeHeaderCommon(base::Writer* w, NodeId node, uint64_t commit_seq,
+                        const std::vector<LockRecord>& locks, uint64_t n_ranges) {
+  w->WriteU8(static_cast<uint8_t>(LogRecordKind::kTransaction));
+  w->WriteVarint(node);
+  w->WriteVarint(commit_seq);
+  w->WriteVarint(locks.size());
+  for (const auto& lock : locks) {
+    w->WriteVarint(lock.lock_id);
+    w->WriteVarint(lock.sequence);
+  }
+  w->WriteVarint(n_ranges);
+}
+
+}  // namespace
+
+EncodedTransactionMeta EncodeTransactionMeta(const CommitContext& txn) {
+  EncodedTransactionMeta out;
+  base::Writer header;
+  static const std::vector<LockRecord> kNoLocks;
+  const std::vector<LockRecord>& locks = txn.locks ? *txn.locks : kNoLocks;
+  EncodeHeaderCommon(&header, txn.node, txn.commit_seq, locks, txn.ranges.size());
+  out.header = header.TakeBytes();
+  out.payload_len = out.header.size();
+
+  out.range_prefixes.reserve(txn.ranges.size());
+  for (const auto& r : txn.ranges) {
+    base::Writer prefix;
+    prefix.WriteVarint(r.region);
+    prefix.WriteVarint(r.offset);
+    prefix.WriteVarint(r.len);
+    out.payload_len += prefix.size() + r.len;
+    out.range_prefixes.push_back(prefix.TakeBytes());
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeTransaction(const TransactionRecord& txn) {
+  base::Writer w;
+  EncodeHeaderCommon(&w, txn.node, txn.commit_seq, txn.locks, txn.ranges.size());
+  for (const auto& r : txn.ranges) {
+    w.WriteVarint(r.region);
+    w.WriteVarint(r.offset);
+    w.WriteVarint(r.data.size());
+    w.WriteBytes(r.data.data(), r.data.size());
+  }
+  return w.TakeBytes();
+}
+
+std::vector<uint8_t> EncodeCheckpoint() {
+  base::Writer w;
+  w.WriteU8(static_cast<uint8_t>(LogRecordKind::kCheckpoint));
+  return w.TakeBytes();
+}
+
+base::Result<LogRecordKind> PeekKind(base::ByteSpan payload) {
+  if (payload.empty()) {
+    return base::DataLoss("empty log payload");
+  }
+  uint8_t kind = payload[0];
+  if (kind != static_cast<uint8_t>(LogRecordKind::kTransaction) &&
+      kind != static_cast<uint8_t>(LogRecordKind::kCheckpoint)) {
+    return base::DataLoss("unknown log record kind");
+  }
+  return static_cast<LogRecordKind>(kind);
+}
+
+base::Status DecodeTransaction(base::ByteSpan payload, TransactionRecord* out) {
+  base::Reader r(payload);
+  uint8_t kind = 0;
+  RETURN_IF_ERROR(r.ReadU8(&kind));
+  if (kind != static_cast<uint8_t>(LogRecordKind::kTransaction)) {
+    return base::InvalidArgument("not a transaction record");
+  }
+  uint64_t node = 0, commit_seq = 0, n_locks = 0, n_ranges = 0;
+  RETURN_IF_ERROR(r.ReadVarint(&node));
+  RETURN_IF_ERROR(r.ReadVarint(&commit_seq));
+  out->node = static_cast<NodeId>(node);
+  out->commit_seq = commit_seq;
+
+  RETURN_IF_ERROR(r.ReadVarint(&n_locks));
+  if (n_locks > r.remaining()) {  // each lock record needs >= 2 bytes
+    return base::DataLoss("lock count exceeds payload");
+  }
+  out->locks.clear();
+  out->locks.reserve(n_locks);
+  for (uint64_t i = 0; i < n_locks; ++i) {
+    uint64_t lock_id = 0, seq = 0;
+    RETURN_IF_ERROR(r.ReadVarint(&lock_id));
+    RETURN_IF_ERROR(r.ReadVarint(&seq));
+    out->locks.push_back(LockRecord{lock_id, seq});
+  }
+
+  RETURN_IF_ERROR(r.ReadVarint(&n_ranges));
+  if (n_ranges > r.remaining()) {  // each range needs >= 3 bytes
+    return base::DataLoss("range count exceeds payload");
+  }
+  out->ranges.clear();
+  out->ranges.reserve(n_ranges);
+  for (uint64_t i = 0; i < n_ranges; ++i) {
+    uint64_t region = 0, offset = 0;
+    base::ByteSpan data;
+    RETURN_IF_ERROR(r.ReadVarint(&region));
+    RETURN_IF_ERROR(r.ReadVarint(&offset));
+    RETURN_IF_ERROR(r.ReadLengthPrefixed(&data));
+    RangeImage img;
+    img.region = static_cast<RegionId>(region);
+    img.offset = offset;
+    img.data.assign(data.begin(), data.end());
+    out->ranges.push_back(std::move(img));
+  }
+  if (!r.empty()) {
+    return base::DataLoss("trailing bytes after transaction record");
+  }
+  return base::OkStatus();
+}
+
+}  // namespace rvm

@@ -1,0 +1,65 @@
+// On-disk redo-log record encoding.
+//
+// Each framed record carries one payload. Payload kinds:
+//   kTransaction — one committed transaction: node, commit sequence, lock
+//                  records, and the new-value range images (write-ahead redo).
+//   kCheckpoint  — marks that everything before this point has been applied
+//                  to the database files (written by log truncation).
+//
+// The commit path never builds a contiguous copy of the modified object
+// data: EncodeTransactionMeta produces only the header/metadata bytes, and
+// the log writer gathers the range data straight out of the region images
+// (the paper's writev I/O vectors). DecodeTransaction parses the full
+// record back into an owned TransactionRecord.
+#ifndef SRC_RVM_LOG_FORMAT_H_
+#define SRC_RVM_LOG_FORMAT_H_
+
+#include <vector>
+
+#include "src/base/buffer.h"
+#include "src/base/status.h"
+#include "src/rvm/types.h"
+
+namespace rvm {
+
+enum class LogRecordKind : uint8_t {
+  kTransaction = 1,
+  kCheckpoint = 2,
+};
+
+// Serialized layout of a transaction payload:
+//   u8 kind | varint node | varint commit_seq
+//   varint n_locks  | n_locks  x (varint lock_id, varint sequence)
+//   varint n_ranges | n_ranges x (varint region, varint offset, varint len,
+//                                 len raw bytes)
+//
+// EncodeTransactionMeta writes everything except the raw bytes themselves,
+// in the exact order above; the caller interleaves the range data when
+// assembling the record (see LogWriter::AppendTransaction). The returned
+// vector contains, for each range, the metadata bytes that precede its data.
+struct EncodedTransactionMeta {
+  // Bytes up to and including the n_ranges count.
+  std::vector<uint8_t> header;
+  // Per range: the (region, offset, len) prefix bytes.
+  std::vector<std::vector<uint8_t>> range_prefixes;
+  // Total payload length including raw range data.
+  uint64_t payload_len = 0;
+};
+
+EncodedTransactionMeta EncodeTransactionMeta(const CommitContext& txn);
+
+// Encodes a fully-owned TransactionRecord into one contiguous payload
+// (used by the merge utility when rewriting logs).
+std::vector<uint8_t> EncodeTransaction(const TransactionRecord& txn);
+
+std::vector<uint8_t> EncodeCheckpoint();
+
+// Peeks the payload kind.
+base::Result<LogRecordKind> PeekKind(base::ByteSpan payload);
+
+// Parses a kTransaction payload.
+base::Status DecodeTransaction(base::ByteSpan payload, TransactionRecord* out);
+
+}  // namespace rvm
+
+#endif  // SRC_RVM_LOG_FORMAT_H_

@@ -1,0 +1,74 @@
+// Framed, checksummed append-only log over a DurableFile.
+//
+// Frame layout:  u32 magic | u32 payload_len | u32 crc32c(payload) | payload
+//
+// The writer supports gather-appends so transaction commits can stream the
+// modified bytes straight from the region images without building an object
+// log in memory (paper §3.2). The reader stops cleanly at a torn tail: any
+// frame whose magic, length, or checksum does not verify is treated as the
+// end of the log, exactly like RVM recovery.
+#ifndef SRC_RVM_LOG_IO_H_
+#define SRC_RVM_LOG_IO_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/buffer.h"
+#include "src/base/status.h"
+#include "src/rvm/types.h"
+#include "src/store/durable_store.h"
+
+namespace rvm {
+
+inline constexpr uint32_t kLogMagic = 0x4C4D5652;  // "RVML"
+inline constexpr size_t kFrameHeaderSize = 12;
+
+class LogWriter {
+ public:
+  explicit LogWriter(std::unique_ptr<store::DurableFile> file, uint64_t start_offset = 0)
+      : file_(std::move(file)), offset_(start_offset) {}
+
+  // Appends one record whose payload is the concatenation of `parts`.
+  // Durable only after Sync() unless sync_now.
+  base::Status Append(const std::vector<base::ByteSpan>& parts, bool sync_now);
+
+  base::Status Append(base::ByteSpan payload, bool sync_now) {
+    return Append(std::vector<base::ByteSpan>{payload}, sync_now);
+  }
+
+  base::Status Sync() { return file_->Sync(); }
+
+  uint64_t bytes_written() const { return offset_; }
+  uint64_t records_written() const { return records_; }
+
+  // Resets the log to empty (used by truncation after a checkpoint).
+  base::Status Reset();
+
+ private:
+  std::unique_ptr<store::DurableFile> file_;
+  uint64_t offset_ = 0;
+  uint64_t records_ = 0;
+  std::vector<uint8_t> scratch_;
+};
+
+class LogReader {
+ public:
+  explicit LogReader(store::DurableFile* file) : file_(file) {}
+
+  // Reads the next record payload. Sets *at_end=true (and returns OK) at the
+  // end of the valid log — including at a torn or corrupt tail, which is
+  // reported through `tail_was_torn()` for tests that care.
+  base::Status ReadNext(std::vector<uint8_t>* payload, bool* at_end);
+
+  bool tail_was_torn() const { return tail_was_torn_; }
+  uint64_t offset() const { return offset_; }
+
+ private:
+  store::DurableFile* file_;
+  uint64_t offset_ = 0;
+  bool tail_was_torn_ = false;
+};
+
+}  // namespace rvm
+
+#endif  // SRC_RVM_LOG_IO_H_

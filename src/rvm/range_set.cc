@@ -1,0 +1,98 @@
+#include "src/rvm/range_set.h"
+
+#include <algorithm>
+
+namespace rvm {
+
+AddOutcome RangeSet::Add(uint64_t offset, uint64_t len) {
+  if (mode_ == CoalesceMode::kFullCoalesce) {
+    return AddFullCoalesce(offset, len);
+  }
+  return AddExactMatch(offset, len);
+}
+
+AddOutcome RangeSet::AddFullCoalesce(uint64_t offset, uint64_t len) {
+  uint64_t lo = offset;
+  uint64_t hi = offset + len;
+  bool merged = false;
+
+  // Find the first existing range that could touch [lo, hi): the predecessor
+  // (it may extend past lo) and everything starting before hi.
+  auto it = ranges_.lower_bound(lo);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second >= lo) {
+      it = prev;
+    }
+  }
+  while (it != ranges_.end() && it->first <= hi) {
+    uint64_t r_lo = it->first;
+    uint64_t r_hi = it->first + it->second;
+    if (r_hi < lo) {
+      ++it;
+      continue;
+    }
+    if (r_lo == lo && r_hi == hi && !merged) {
+      return AddOutcome::kExactDuplicate;
+    }
+    lo = std::min(lo, r_lo);
+    hi = std::max(hi, r_hi);
+    total_bytes_ -= it->second;
+    it = ranges_.erase(it);
+    merged = true;
+  }
+  ranges_.emplace(lo, hi - lo);
+  total_bytes_ += hi - lo;
+  have_hint_ = false;  // hint unused in this mode
+  return merged ? AddOutcome::kCoalesced : AddOutcome::kInserted;
+}
+
+AddOutcome RangeSet::AddExactMatch(uint64_t offset, uint64_t len) {
+  // Fast path 1: the common compiler-generated pattern re-registers the same
+  // object; check the hinted (last touched) range first.
+  if (have_hint_ && hint_->first == offset) {
+    ++hint_hits_;
+    if (hint_->second == len) {
+      return AddOutcome::kExactDuplicate;
+    }
+    // Same start, different length: keep the larger registration.
+    if (len > hint_->second) {
+      total_bytes_ += len - hint_->second;
+      hint_->second = len;
+    }
+    return AddOutcome::kExactDuplicate;
+  }
+
+  // Fast path 2: ascending-address sequences insert just after the hint
+  // without a full tree search.
+  if (have_hint_ && offset > hint_->first) {
+    auto next = std::next(hint_);
+    if (next == ranges_.end() || offset < next->first) {
+      if (next != ranges_.end() && next->first == offset) {
+        // fall through to generic path below (shouldn't happen: offset <
+        // next->first was checked), kept for clarity
+      } else {
+        ++hint_hits_;
+        hint_ = ranges_.emplace_hint(next, offset, len);
+        total_bytes_ += len;
+        return AddOutcome::kInserted;
+      }
+    }
+  }
+
+  // Generic path: O(log n) search.
+  auto [it, inserted] = ranges_.try_emplace(offset, len);
+  hint_ = it;
+  have_hint_ = true;
+  if (!inserted) {
+    if (len > it->second) {
+      total_bytes_ += len - it->second;
+      it->second = len;
+    }
+    return AddOutcome::kExactDuplicate;
+  }
+  total_bytes_ += len;
+  return AddOutcome::kInserted;
+}
+
+}  // namespace rvm

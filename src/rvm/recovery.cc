@@ -1,0 +1,73 @@
+#include "src/rvm/recovery.h"
+
+#include <map>
+
+#include "src/rvm/log_format.h"
+#include "src/rvm/log_io.h"
+#include "src/rvm/log_merge.h"
+
+namespace rvm {
+
+base::Result<std::vector<TransactionRecord>> ReadLogTransactions(store::DurableStore* store,
+                                                                 const std::string& log_name,
+                                                                 bool* tail_was_torn) {
+  ASSIGN_OR_RETURN(auto file, store->Open(log_name, /*create=*/false));
+  LogReader reader(file.get());
+  std::vector<TransactionRecord> txns;
+  std::vector<uint8_t> payload;
+  bool at_end = false;
+  while (true) {
+    RETURN_IF_ERROR(reader.ReadNext(&payload, &at_end));
+    if (at_end) {
+      break;
+    }
+    base::ByteSpan span(payload.data(), payload.size());
+    ASSIGN_OR_RETURN(LogRecordKind kind, PeekKind(span));
+    if (kind == LogRecordKind::kCheckpoint) {
+      // Everything before a checkpoint is already in the database files.
+      txns.clear();
+      continue;
+    }
+    TransactionRecord txn;
+    RETURN_IF_ERROR(DecodeTransaction(span, &txn));
+    txns.push_back(std::move(txn));
+  }
+  if (tail_was_torn != nullptr) {
+    *tail_was_torn = reader.tail_was_torn();
+  }
+  return txns;
+}
+
+base::Status ApplyToDatabase(store::DurableStore* store,
+                             const std::vector<TransactionRecord>& txns) {
+  // Open each region file once; extend as needed; sync at the end so the
+  // database is durable before any caller truncates a log.
+  std::map<RegionId, std::unique_ptr<store::DurableFile>> files;
+  for (const auto& txn : txns) {
+    for (const auto& range : txn.ranges) {
+      auto it = files.find(range.region);
+      if (it == files.end()) {
+        ASSIGN_OR_RETURN(auto file, store->Open(RegionFileName(range.region), /*create=*/true));
+        it = files.emplace(range.region, std::move(file)).first;
+      }
+      RETURN_IF_ERROR(it->second->Write(
+          range.offset, base::ByteSpan(range.data.data(), range.data.size())));
+    }
+  }
+  for (auto& [region, file] : files) {
+    RETURN_IF_ERROR(file->Sync());
+  }
+  return base::OkStatus();
+}
+
+base::Status ReplayLogsIntoDatabase(store::DurableStore* store,
+                                    const std::vector<std::string>& log_names) {
+  if (log_names.size() == 1) {
+    ASSIGN_OR_RETURN(auto txns, ReadLogTransactions(store, log_names[0]));
+    return ApplyToDatabase(store, txns);
+  }
+  ASSIGN_OR_RETURN(auto merged, MergeLogs(store, log_names));
+  return ApplyToDatabase(store, merged);
+}
+
+}  // namespace rvm

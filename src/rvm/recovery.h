@@ -1,0 +1,38 @@
+// Recovery: replays committed redo records into the permanent database
+// files, restoring the last committed state after a crash (write-ahead
+// logging invariant). Replay is idempotent — records carry absolute new
+// values — so a crash during recovery is harmless.
+//
+// With multiple clients each writing its own log, the logs are first merged
+// into a single serial order using the lock records (see log_merge.h),
+// exactly as the paper's new RVM merge utility does (§3.4).
+#ifndef SRC_RVM_RECOVERY_H_
+#define SRC_RVM_RECOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/rvm/types.h"
+#include "src/store/durable_store.h"
+
+namespace rvm {
+
+// Reads all valid transaction records from a log file, stopping cleanly at
+// a torn tail (reported via *tail_was_torn when non-null).
+base::Result<std::vector<TransactionRecord>> ReadLogTransactions(
+    store::DurableStore* store, const std::string& log_name, bool* tail_was_torn = nullptr);
+
+// Applies transactions, in the given order, to the region database files.
+base::Status ApplyToDatabase(store::DurableStore* store,
+                             const std::vector<TransactionRecord>& txns);
+
+// Full recovery path: read the named logs, merge them into a single order
+// (single log: no merge needed), and replay into the database files. Logs
+// are left intact; callers truncate them afterwards if desired.
+base::Status ReplayLogsIntoDatabase(store::DurableStore* store,
+                                    const std::vector<std::string>& log_names);
+
+}  // namespace rvm
+
+#endif  // SRC_RVM_RECOVERY_H_

@@ -1,0 +1,395 @@
+#include "src/rvm/rvm.h"
+
+#include <algorithm>
+
+#include "src/base/clock.h"
+#include "src/rvm/log_format.h"
+#include "src/rvm/recovery.h"
+
+namespace rvm {
+
+base::Result<std::unique_ptr<Rvm>> Rvm::Open(store::DurableStore* store, NodeId node,
+                                             const RvmOptions& options) {
+  std::unique_ptr<Rvm> rvm(new Rvm(store, node, options));
+  RETURN_IF_ERROR(rvm->Init());
+  return rvm;
+}
+
+base::Status Rvm::Init() {
+  ASSIGN_OR_RETURN(auto file, store_->Open(LogFileName(node_), /*create=*/true));
+  // Append after any existing valid records; a torn tail is overwritten.
+  uint64_t valid_end = 0;
+  {
+    LogReader reader(file.get());
+    std::vector<uint8_t> payload;
+    bool at_end = false;
+    while (true) {
+      RETURN_IF_ERROR(reader.ReadNext(&payload, &at_end));
+      if (at_end) {
+        break;
+      }
+      TransactionRecord txn;
+      if (PeekKind(base::ByteSpan(payload.data(), payload.size())).ok() &&
+          DecodeTransaction(base::ByteSpan(payload.data(), payload.size()), &txn).ok()) {
+        commit_seq_ = std::max(commit_seq_, txn.commit_seq);
+      }
+      valid_end = reader.offset();
+    }
+  }
+  log_ = std::make_unique<LogWriter>(std::move(file), valid_end);
+  return base::OkStatus();
+}
+
+base::Result<Region*> Rvm::MapRegion(RegionId id, uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (regions_.count(id)) {
+    return base::AlreadyExists("region already mapped: " + std::to_string(id));
+  }
+  ASSIGN_OR_RETURN(auto file, store_->Open(RegionFileName(id), /*create=*/true));
+  std::vector<uint8_t> image(length, 0);
+  ASSIGN_OR_RETURN(uint64_t file_size, file->Size());
+  uint64_t to_read = std::min<uint64_t>(file_size, length);
+  if (to_read > 0) {
+    RETURN_IF_ERROR(file->ReadExact(0, image.data(), to_read));
+  }
+  auto region = std::make_unique<Region>(id, std::move(image));
+  Region* raw = region.get();
+  regions_[id] = std::move(region);
+  return raw;
+}
+
+Region* Rvm::GetRegion(RegionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = regions_.find(id);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+base::Status Rvm::UnmapRegion(RegionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (regions_.erase(id) == 0) {
+    return base::NotFound("region not mapped: " + std::to_string(id));
+  }
+  return base::OkStatus();
+}
+
+TxnId Rvm::BeginTransaction(RestoreMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TxnId id = next_txn_++;
+  Txn& txn = txns_[id];
+  txn.mode = mode;
+  txn.active = true;
+  return id;
+}
+
+base::Status Rvm::SetRange(TxnId txn_id, RegionId region_id, uint64_t offset, uint64_t len) {
+  base::Stopwatch timer;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end() || !it->second.active) {
+    return base::FailedPrecondition("no such active transaction");
+  }
+  auto region_it = regions_.find(region_id);
+  if (region_it == regions_.end()) {
+    return base::NotFound("region not mapped: " + std::to_string(region_id));
+  }
+  Region* region = region_it->second.get();
+  if (offset + len > region->size()) {
+    return base::OutOfRange("set_range beyond region end");
+  }
+
+  Txn& txn = it->second;
+  auto [ranges_it, inserted] =
+      txn.ranges.try_emplace(region_id, RangeSet(options_.coalesce));
+  AddOutcome outcome = ranges_it->second.Add(offset, len);
+
+  // Undo copies: snapshot the declared range before the application mutates
+  // it. Exact re-registrations skip the snapshot — the first registration
+  // already holds the pre-transaction bytes, and undo entries are restored
+  // in reverse order so earlier snapshots win.
+  if (txn.mode == RestoreMode::kRestore && outcome != AddOutcome::kExactDuplicate) {
+    Txn::UndoEntry undo;
+    undo.region = region_id;
+    undo.offset = offset;
+    undo.old_data.assign(region->data() + offset, region->data() + offset + len);
+    txn.undo.push_back(std::move(undo));
+  }
+
+  ++stats_.set_range_calls;
+  if (outcome == AddOutcome::kExactDuplicate) {
+    ++stats_.set_range_duplicates;
+  }
+  stats_.detect_nanos += static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  return base::OkStatus();
+}
+
+base::Status Rvm::SetLockId(TxnId txn_id, LockId lock, uint64_t sequence) {
+  std::lock_guard<std::mutex> lock_guard(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end() || !it->second.active) {
+    return base::FailedPrecondition("no such active transaction");
+  }
+  // Strict two-phase locking means each lock is acquired at most once per
+  // transaction (§3.3); a repeated call updates the sequence number.
+  for (auto& rec : it->second.locks) {
+    if (rec.lock_id == lock) {
+      rec.sequence = sequence;
+      return base::OkStatus();
+    }
+  }
+  it->second.locks.push_back(LockRecord{lock, sequence});
+  return base::OkStatus();
+}
+
+base::Status Rvm::EndTransaction(TxnId txn_id, CommitMode mode) {
+  CommitContext ctx;
+  {
+    base::Stopwatch collect_timer;
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = txns_.find(txn_id);
+    if (it == txns_.end() || !it->second.active) {
+      return base::FailedPrecondition("no such active transaction");
+    }
+    Txn& txn = it->second;
+
+    ctx.node = node_;
+    ctx.commit_seq = ++commit_seq_;
+    ctx.locks = &txn.locks;
+    constexpr uint64_t kPageSize = 8192;
+    for (const auto& [region_id, range_set] : txn.ranges) {
+      Region* region = regions_.at(region_id).get();
+      // Gather (offset, len) in address order, optionally collapsing
+      // update-dense pages into one covering span (adaptive hybrid).
+      std::vector<std::pair<uint64_t, uint64_t>> spans;
+      spans.reserve(range_set.range_count());
+      for (const auto& [offset, len] : range_set.ranges()) {
+        spans.emplace_back(offset, len);
+      }
+      if (options_.adaptive_ranges_per_page > 0) {
+        std::vector<std::pair<uint64_t, uint64_t>> out;
+        out.reserve(spans.size());
+        size_t i = 0;
+        while (i < spans.size()) {
+          uint64_t page = spans[i].first / kPageSize;
+          size_t j = i;
+          uint64_t span_end = 0;
+          // Group the ranges that *start* in this page.
+          while (j < spans.size() && spans[j].first / kPageSize == page) {
+            span_end = std::max(span_end, spans[j].first + spans[j].second);
+            ++j;
+          }
+          if (j - i > options_.adaptive_ranges_per_page) {
+            out.emplace_back(spans[i].first, span_end - spans[i].first);
+            ++stats_.adaptive_pages_coalesced;
+          } else {
+            out.insert(out.end(), spans.begin() + i, spans.begin() + j);
+          }
+          i = j;
+        }
+        spans = std::move(out);
+      }
+
+      uint64_t last_page = UINT64_MAX;
+      for (const auto& [offset, len] : spans) {
+        ctx.ranges.push_back(RangeRef{region_id, offset, region->data() + offset, len});
+        if (len == 0) {
+          continue;
+        }
+        // Ranges iterate in address order, so distinct-page counting only
+        // needs the previous range's last page.
+        uint64_t first = offset / kPageSize;
+        uint64_t last = (offset + len - 1) / kPageSize;
+        if (first == last_page) {
+          ++first;
+        }
+        if (first <= last) {
+          stats_.pages_logged += last - first + 1;
+          last_page = last;
+        }
+      }
+    }
+
+    stats_.ranges_logged += ctx.ranges.size();
+    stats_.bytes_logged += ctx.TotalBytes();
+
+    // Read-only transactions (no registered ranges) leave no log record:
+    // the coherency layer rolls their lock sequence numbers back, so a
+    // record would only confuse the merge order.
+    if (options_.disk_logging && !ctx.ranges.empty()) {
+      // Gather the record parts straight from the region images: the redo
+      // log write is the only copy made of the new values.
+      EncodedTransactionMeta meta = EncodeTransactionMeta(ctx);
+      stats_.collect_nanos += static_cast<uint64_t>(collect_timer.ElapsedSeconds() * 1e9);
+
+      base::Stopwatch disk_timer;
+      std::vector<base::ByteSpan> parts;
+      parts.reserve(1 + 2 * ctx.ranges.size());
+      parts.push_back(base::ByteSpan(meta.header.data(), meta.header.size()));
+      for (size_t i = 0; i < ctx.ranges.size(); ++i) {
+        parts.push_back(
+            base::ByteSpan(meta.range_prefixes[i].data(), meta.range_prefixes[i].size()));
+        parts.push_back(base::ByteSpan(ctx.ranges[i].data, ctx.ranges[i].len));
+      }
+      uint64_t before = log_->bytes_written();
+      RETURN_IF_ERROR(log_->Append(parts, /*sync_now=*/mode == CommitMode::kFlush));
+      stats_.log_bytes_written += log_->bytes_written() - before;
+      if (mode == CommitMode::kNoFlush) {
+        log_dirty_ = true;
+      } else {
+        log_dirty_ = false;
+      }
+      stats_.disk_nanos += static_cast<uint64_t>(disk_timer.ElapsedSeconds() * 1e9);
+    } else {
+      stats_.collect_nanos += static_cast<uint64_t>(collect_timer.ElapsedSeconds() * 1e9);
+    }
+
+    ++stats_.transactions_committed;
+    // Keep the lock records alive for the hook invocation below.
+    Txn finished = std::move(txn);
+    txns_.erase(it);
+    lock.unlock();
+
+    ctx.locks = &finished.locks;
+    if (commit_hook_) {
+      commit_hook_(ctx);
+    }
+  }
+  return base::OkStatus();
+}
+
+base::Status Rvm::AbortTransaction(TxnId txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end() || !it->second.active) {
+    return base::FailedPrecondition("no such active transaction");
+  }
+  Txn& txn = it->second;
+  if (txn.mode != RestoreMode::kRestore && !txn.ranges.empty()) {
+    txns_.erase(it);
+    return base::FailedPrecondition("abort of a no-restore transaction with updates");
+  }
+  // Restore in reverse registration order so the earliest snapshot of any
+  // overlapping byte is applied last.
+  for (auto undo_it = txn.undo.rbegin(); undo_it != txn.undo.rend(); ++undo_it) {
+    Region* region = regions_.at(undo_it->region).get();
+    std::copy(undo_it->old_data.begin(), undo_it->old_data.end(),
+              region->data() + undo_it->offset);
+  }
+  txns_.erase(it);
+  ++stats_.transactions_aborted;
+  return base::OkStatus();
+}
+
+base::Status Rvm::FlushLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.disk_logging) {
+    return base::OkStatus();
+  }
+  RETURN_IF_ERROR(log_->Sync());
+  log_dirty_ = false;
+  return base::OkStatus();
+}
+
+base::Status Rvm::ApplyExternalUpdate(RegionId region_id, uint64_t offset,
+                                      base::ByteSpan data) {
+  base::Stopwatch timer;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = regions_.find(region_id);
+  if (it == regions_.end()) {
+    return base::NotFound("region not mapped: " + std::to_string(region_id));
+  }
+  Region* region = it->second.get();
+  if (offset + data.size() > region->size()) {
+    return base::OutOfRange("external update beyond region end");
+  }
+  std::copy(data.begin(), data.end(), region->data() + offset);
+  ++stats_.external_updates_applied;
+  stats_.external_bytes_applied += data.size();
+  stats_.apply_nanos += static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  return base::OkStatus();
+}
+
+base::Status Rvm::ResetLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.disk_logging) {
+    return base::OkStatus();
+  }
+  RETURN_IF_ERROR(log_->Reset());
+  log_dirty_ = false;
+  return base::OkStatus();
+}
+
+base::Status Rvm::TrimLogWithBaselines(const std::map<LockId, uint64_t>& baselines) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.disk_logging) {
+    return base::OkStatus();
+  }
+  RETURN_IF_ERROR(log_->Sync());
+
+  // Read the current log and keep only the records the checkpoint does not
+  // cover. A record is covered iff it has lock records and every one of
+  // them is at or below its lock's baseline.
+  ASSIGN_OR_RETURN(auto file, store_->Open(LogFileName(node_), /*create=*/false));
+  LogReader reader(file.get());
+  std::vector<std::vector<uint8_t>> kept;
+  std::vector<uint8_t> payload;
+  bool at_end = false;
+  while (true) {
+    RETURN_IF_ERROR(reader.ReadNext(&payload, &at_end));
+    if (at_end) {
+      break;
+    }
+    base::ByteSpan span(payload.data(), payload.size());
+    ASSIGN_OR_RETURN(LogRecordKind kind, PeekKind(span));
+    bool covered = false;
+    if (kind == LogRecordKind::kTransaction) {
+      TransactionRecord txn;
+      RETURN_IF_ERROR(DecodeTransaction(span, &txn));
+      covered = !txn.locks.empty();
+      for (const auto& lr : txn.locks) {
+        auto it = baselines.find(lr.lock_id);
+        if (it == baselines.end() || lr.sequence > it->second) {
+          covered = false;
+          break;
+        }
+      }
+    }
+    if (!covered) {
+      kept.push_back(payload);
+    }
+  }
+
+  // Crash-safe swap: build the trimmed log beside the live one, sync it,
+  // then atomically rename it into place and reopen our writer on it. A
+  // crash before the rename leaves the old log; after, the new one — both
+  // are complete when combined with the caller's checkpoint.
+  const std::string temp_name = LogFileName(node_) + ".trim";
+  {
+    ASSIGN_OR_RETURN(auto temp, store_->Open(temp_name, /*create=*/true));
+    RETURN_IF_ERROR(temp->Truncate(0));
+    LogWriter writer(std::move(temp));
+    for (const auto& record : kept) {
+      RETURN_IF_ERROR(
+          writer.Append(base::ByteSpan(record.data(), record.size()), /*sync_now=*/false));
+    }
+    RETURN_IF_ERROR(writer.Sync());
+  }
+  RETURN_IF_ERROR(store_->Rename(temp_name, LogFileName(node_)));
+  ASSIGN_OR_RETURN(auto reopened, store_->Open(LogFileName(node_), /*create=*/false));
+  ASSIGN_OR_RETURN(uint64_t new_size, reopened->Size());
+  log_ = std::make_unique<LogWriter>(std::move(reopened), new_size);
+  log_dirty_ = false;
+  return base::OkStatus();
+}
+
+base::Status Rvm::TruncateLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.disk_logging) {
+    return base::FailedPrecondition("disk logging disabled");
+  }
+  RETURN_IF_ERROR(log_->Sync());
+  RETURN_IF_ERROR(ReplayLogsIntoDatabase(store_, {LogFileName(node_)}));
+  RETURN_IF_ERROR(log_->Reset());
+  return base::OkStatus();
+}
+
+}  // namespace rvm

@@ -1,0 +1,213 @@
+// Recoverable Virtual Memory runtime — a from-scratch reimplementation of
+// the programming model of CMU's RVM package (Satyanarayanan et al., TOCS
+// '94), extended with the hooks the paper adds for log-based coherency:
+//
+//   * rvm_setlockid_transaction (Table 1): tags the current transaction with
+//     the (lock id, sequence number) pairs of the segment locks it acquired;
+//     these become lock records in the commit's log entry (§3.4).
+//   * a commit hook, invoked after the log write with I/O-vector views of
+//     the committed new values still in place in the region images, so the
+//     coherency layer can broadcast exactly the bytes that were logged
+//     without any extra collection cost (§2, §3.2).
+//
+// One Rvm instance is one client node: it maps regions (whole database files
+// copied into virtual memory at startup, as in RVM), runs local transactions
+// against the in-memory images, and appends committed redo records to its
+// own per-node log on the durable store.
+#ifndef SRC_RVM_RVM_H_
+#define SRC_RVM_RVM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/base/buffer.h"
+#include "src/base/status.h"
+#include "src/rvm/log_io.h"
+#include "src/rvm/range_set.h"
+#include "src/rvm/types.h"
+#include "src/store/durable_store.h"
+
+namespace rvm {
+
+// A mapped recoverable region: the client's cached image of one database
+// file. Applications read and write `data()` directly (after declaring
+// writes with SetRange), exactly as RVM applications operate on mapped
+// virtual memory.
+class Region {
+ public:
+  Region(RegionId id, std::vector<uint8_t> image) : id_(id), image_(std::move(image)) {}
+
+  RegionId id() const { return id_; }
+  uint8_t* data() { return image_.data(); }
+  const uint8_t* data() const { return image_.data(); }
+  uint64_t size() const { return image_.size(); }
+
+ private:
+  RegionId id_;
+  std::vector<uint8_t> image_;
+};
+
+enum class RestoreMode {
+  kRestore,    // abort restores pre-transaction values (undo copies kept)
+  kNoRestore,  // abort is not supported for this transaction (cheaper)
+};
+
+enum class CommitMode {
+  kFlush,    // log record is synced to durable store before commit returns
+  kNoFlush,  // log record buffered; durable after a later FlushLog()
+};
+
+struct RvmOptions {
+  CoalesceMode coalesce = CoalesceMode::kExactMatch;
+  // The paper disables disk logging to isolate coherency costs (§4); when
+  // false, commits skip the log write entirely but still drive the commit
+  // hook and statistics.
+  bool disk_logging = true;
+  // The conclusion's "adaptive hybrid": when a committing transaction
+  // registered more than this many ranges inside one 8 KB page, those
+  // ranges are replaced by a single span covering them — paying extra bytes
+  // to shed per-range costs, as a page-based DSM would. 0 disables.
+  uint32_t adaptive_ranges_per_page = 0;
+};
+
+// Counters and timing buckets used to reproduce the paper's figures.
+// Times are wall-clock nanoseconds accumulated on this node.
+struct RvmStats {
+  uint64_t set_range_calls = 0;
+  uint64_t set_range_duplicates = 0;  // redundant re-registrations coalesced
+  uint64_t transactions_committed = 0;
+  uint64_t transactions_aborted = 0;
+  uint64_t ranges_logged = 0;
+  uint64_t bytes_logged = 0;       // modified bytes (payload data only)
+  uint64_t pages_logged = 0;       // distinct 8 KB pages containing logged bytes
+  uint64_t adaptive_pages_coalesced = 0;  // dense pages collapsed to one span
+  uint64_t log_bytes_written = 0;  // framed bytes to the durable log
+  uint64_t detect_nanos = 0;       // time in SetRange ("Detect Updates")
+  uint64_t collect_nanos = 0;      // commit-time gather+encode ("Collect")
+  uint64_t disk_nanos = 0;         // log write + sync ("Disk I/O")
+  uint64_t apply_nanos = 0;        // ApplyExternalUpdate ("Apply Updates")
+  uint64_t external_updates_applied = 0;
+  uint64_t external_bytes_applied = 0;
+};
+
+class Rvm {
+ public:
+  // Opens a node's RVM instance over `store`. The per-node log file is
+  // created if absent; an existing non-empty log is preserved (appended to).
+  static base::Result<std::unique_ptr<Rvm>> Open(store::DurableStore* store, NodeId node,
+                                                 const RvmOptions& options);
+
+  ~Rvm() = default;
+  Rvm(const Rvm&) = delete;
+  Rvm& operator=(const Rvm&) = delete;
+
+  NodeId node() const { return node_; }
+
+  // --- region mapping ----------------------------------------------------
+
+  // Maps a region of `length` bytes: loads the database file (creating a
+  // zero-filled one if absent) into a private in-memory image.
+  base::Result<Region*> MapRegion(RegionId id, uint64_t length);
+  Region* GetRegion(RegionId id);
+  base::Status UnmapRegion(RegionId id);
+
+  // --- transactions (Table 1 interface) ----------------------------------
+
+  TxnId BeginTransaction(RestoreMode mode);
+
+  // Declares intent to modify [offset, offset+len) of `region` in the
+  // current transaction (rvm_set_range). Must precede the actual stores
+  // when the transaction may abort.
+  base::Status SetRange(TxnId txn, RegionId region, uint64_t offset, uint64_t len);
+
+  // rvm_setlockid_transaction: records that `txn` holds (lock, sequence).
+  base::Status SetLockId(TxnId txn, LockId lock, uint64_t sequence);
+
+  // Commits: gathers the registered ranges from the region images, appends
+  // one redo record to the log (unless disk logging is disabled), then
+  // invokes the commit hook.
+  base::Status EndTransaction(TxnId txn, CommitMode mode);
+
+  // Aborts: restores undo copies (kRestore transactions only).
+  base::Status AbortTransaction(TxnId txn);
+
+  // Makes all kNoFlush commits durable.
+  base::Status FlushLog();
+
+  // --- coherency integration ----------------------------------------------
+
+  // Hook invoked inside EndTransaction after the log write; the
+  // CommitContext's RangeRefs point into the live region images.
+  using CommitHook = std::function<void(const CommitContext&)>;
+  void SetCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+  // Applies a peer's committed update to the local cached image (receiver
+  // side of log-based coherency). Not logged locally: recovery obtains these
+  // updates by merging the peers' logs.
+  base::Status ApplyExternalUpdate(RegionId region, uint64_t offset, base::ByteSpan data);
+
+  // --- maintenance ---------------------------------------------------------
+
+  // Single-node checkpoint: replays this node's committed log into the
+  // database files and resets the log. Only correct when no other node has
+  // written the shared regions since the last truncation; multi-node
+  // truncation goes through the storage server's merge (§3.5).
+  base::Status TruncateLog();
+
+  // Empties the log WITHOUT applying it — for coordinated multi-node
+  // trimming (lbc::OnlineTrim), where the caller has already merged and
+  // replayed every node's log while writers were quiesced.
+  base::Status ResetLog();
+
+  // Selective trim for standby-driven checkpointing (no quiesce): drops
+  // every committed record whose lock sequence numbers are ALL at or below
+  // the given baselines (those updates are reflected in the checkpoint the
+  // caller just wrote); everything else — newer records and lock-free
+  // records — is kept, in order. Serialized against commits.
+  base::Status TrimLogWithBaselines(const std::map<LockId, uint64_t>& baselines);
+
+  const RvmStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = RvmStats{}; }
+  uint64_t commit_seq() const { return commit_seq_; }
+
+ private:
+  Rvm(store::DurableStore* store, NodeId node, const RvmOptions& options)
+      : store_(store), node_(node), options_(options) {}
+
+  struct Txn {
+    RestoreMode mode = RestoreMode::kNoRestore;
+    bool active = false;
+    std::map<RegionId, RangeSet> ranges;
+    std::vector<LockRecord> locks;
+    struct UndoEntry {
+      RegionId region;
+      uint64_t offset;
+      std::vector<uint8_t> old_data;
+    };
+    std::vector<UndoEntry> undo;
+  };
+
+  base::Status Init();
+
+  store::DurableStore* store_;
+  NodeId node_;
+  RvmOptions options_;
+
+  std::mutex mu_;
+  std::map<RegionId, std::unique_ptr<Region>> regions_;
+  std::map<TxnId, Txn> txns_;
+  TxnId next_txn_ = 1;
+  uint64_t commit_seq_ = 0;
+  std::unique_ptr<LogWriter> log_;
+  bool log_dirty_ = false;  // unsynced kNoFlush commits pending
+  CommitHook commit_hook_;
+  RvmStats stats_;
+};
+
+}  // namespace rvm
+
+#endif  // SRC_RVM_RVM_H_

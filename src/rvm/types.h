@@ -1,0 +1,102 @@
+// Core identifiers and records shared by the RVM runtime, the recovery and
+// merge utilities, and the coherency layer built on top.
+#ifndef SRC_RVM_TYPES_H_
+#define SRC_RVM_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rvm {
+
+// Node = one client of the cached persistent store (paper: one workstation).
+using NodeId = uint32_t;
+
+// Region = one recoverable segment of the store, backed by a database file.
+using RegionId = uint32_t;
+
+// Distributed segment lock identifier (paper §3.3).
+using LockId = uint64_t;
+
+// Handle for an in-flight transaction on one node.
+using TxnId = uint64_t;
+
+// Lock record inserted in the log entry of a committing transaction
+// (paper §3.4). The sequence number is the lock's acquire count at the time
+// this transaction acquired it; it totally orders the transactions that
+// touched this lock.
+struct LockRecord {
+  LockId lock_id = 0;
+  uint64_t sequence = 0;
+
+  bool operator==(const LockRecord&) const = default;
+};
+
+// A modified range inside a committed transaction: absolute new values, the
+// unit of both redo logging and coherency propagation.
+struct RangeImage {
+  RegionId region = 0;
+  uint64_t offset = 0;
+  std::vector<uint8_t> data;
+
+  bool operator==(const RangeImage&) const = default;
+};
+
+// One committed transaction as it appears in a log (and on the wire, minus
+// header compression).
+struct TransactionRecord {
+  NodeId node = 0;
+  // Per-node commit sequence number; with `node` this uniquely names the
+  // transaction and fixes the intra-node order during merge.
+  uint64_t commit_seq = 0;
+  std::vector<LockRecord> locks;
+  std::vector<RangeImage> ranges;
+
+  uint64_t TotalBytes() const {
+    uint64_t n = 0;
+    for (const auto& r : ranges) {
+      n += r.data.size();
+    }
+    return n;
+  }
+};
+
+// View of a committed transaction handed to the commit hook while the range
+// data still points into the region images (the paper's writev I/O vectors:
+// no intermediate copy of the object data is built).
+struct RangeRef {
+  RegionId region = 0;
+  uint64_t offset = 0;
+  const uint8_t* data = nullptr;
+  uint64_t len = 0;
+};
+
+struct CommitContext {
+  NodeId node = 0;
+  uint64_t commit_seq = 0;
+  const std::vector<LockRecord>* locks = nullptr;
+  std::vector<RangeRef> ranges;
+
+  uint64_t TotalBytes() const {
+    uint64_t n = 0;
+    for (const auto& r : ranges) {
+      n += r.len;
+    }
+    return n;
+  }
+};
+
+// Database file name for a region. Shared by the runtime, the recovery
+// utility, and the storage server so they agree on the store layout.
+inline std::string RegionFileName(RegionId region) {
+  return "region_" + std::to_string(region) + ".db";
+}
+
+// Redo-log file name for a node.
+inline std::string LogFileName(NodeId node) {
+  return "log_" + std::to_string(node) + ".rvm";
+}
+
+}  // namespace rvm
+
+#endif  // SRC_RVM_TYPES_H_

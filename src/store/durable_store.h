@@ -1,0 +1,71 @@
+// Durable storage abstraction under the RVM log and database files.
+//
+// RVM's durability story depends only on: random-access reads/writes, append,
+// an explicit Sync barrier after which data survives a crash, and truncate.
+// Two implementations are provided:
+//   - FileStore: a directory of POSIX files (production path).
+//   - MemStore:  an in-memory store with crash simulation and torn-write
+//                injection, used by the recovery and failure-injection tests.
+#ifndef SRC_STORE_DURABLE_STORE_H_
+#define SRC_STORE_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/buffer.h"
+#include "src/base/status.h"
+
+namespace store {
+
+// A single random-access durable byte file.
+class DurableFile {
+ public:
+  virtual ~DurableFile() = default;
+
+  // Reads up to `len` bytes at `offset`; returns the number of bytes read
+  // (short count at end of file, 0 at/after EOF).
+  virtual base::Result<size_t> Read(uint64_t offset, void* buf, size_t len) = 0;
+
+  // Writes `data` at `offset`, extending the file if needed. Durability is
+  // only guaranteed after a subsequent Sync().
+  virtual base::Status Write(uint64_t offset, base::ByteSpan data) = 0;
+
+  // Appends at the current end of file; returns the offset written at.
+  virtual base::Result<uint64_t> Append(base::ByteSpan data) = 0;
+
+  // Durability barrier: all prior writes survive a crash after this returns.
+  virtual base::Status Sync() = 0;
+
+  virtual base::Result<uint64_t> Size() const = 0;
+
+  // Shrinks (or extends with zeros) to `size` bytes.
+  virtual base::Status Truncate(uint64_t size) = 0;
+
+  // Convenience: read exactly `len` bytes or fail with DATA_LOSS.
+  base::Status ReadExact(uint64_t offset, void* buf, size_t len);
+};
+
+// A namespace of durable files.
+class DurableStore {
+ public:
+  virtual ~DurableStore() = default;
+
+  // Opens (optionally creating) a file by name.
+  virtual base::Result<std::unique_ptr<DurableFile>> Open(const std::string& name,
+                                                          bool create) = 0;
+  virtual base::Status Remove(const std::string& name) = 0;
+  virtual base::Result<bool> Exists(const std::string& name) = 0;
+  virtual base::Result<std::vector<std::string>> List() = 0;
+
+  // Atomically renames a file (used for checkpoint swap during truncation).
+  virtual base::Status Rename(const std::string& from, const std::string& to) = 0;
+};
+
+// Creates a store over a filesystem directory (created if absent).
+base::Result<std::unique_ptr<DurableStore>> OpenFileStore(const std::string& directory);
+
+}  // namespace store
+
+#endif  // SRC_STORE_DURABLE_STORE_H_

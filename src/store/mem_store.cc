@@ -1,0 +1,166 @@
+#include "src/store/mem_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace store {
+
+// A handle onto a MemStore file. Handles stay valid across Crash(); they see
+// the post-crash contents, as a reopened file descriptor would.
+class MemFile : public DurableFile {
+ public:
+  MemFile(MemStore* owner, std::shared_ptr<MemStore::FileState> state)
+      : owner_(owner), state_(std::move(state)) {}
+
+  base::Result<size_t> Read(uint64_t offset, void* buf, size_t len) override {
+    std::lock_guard<std::mutex> lock(owner_->mu_);
+    const auto& data = state_->volatile_data;
+    if (offset >= data.size()) {
+      return size_t{0};
+    }
+    size_t n = std::min<size_t>(len, data.size() - offset);
+    std::memcpy(buf, data.data() + offset, n);
+    return n;
+  }
+
+  base::Status Write(uint64_t offset, base::ByteSpan data) override {
+    std::lock_guard<std::mutex> lock(owner_->mu_);
+    if (owner_->fail_after_bytes_ >= 0) {
+      if (owner_->fail_after_bytes_ < static_cast<int64_t>(data.size())) {
+        return base::IoError("injected write failure");
+      }
+      owner_->fail_after_bytes_ -= static_cast<int64_t>(data.size());
+    }
+    auto& vec = state_->volatile_data;
+    if (offset + data.size() > vec.size()) {
+      vec.resize(offset + data.size());
+    }
+    std::memcpy(vec.data() + offset, data.data(), data.size());
+    state_->unsynced_writes.emplace_back(offset, data.size());
+    owner_->total_bytes_written_ += data.size();
+    return base::OkStatus();
+  }
+
+  base::Result<uint64_t> Append(base::ByteSpan data) override {
+    uint64_t size;
+    {
+      std::lock_guard<std::mutex> lock(owner_->mu_);
+      size = state_->volatile_data.size();
+    }
+    RETURN_IF_ERROR(Write(size, data));
+    return size;
+  }
+
+  base::Status Sync() override {
+    std::lock_guard<std::mutex> lock(owner_->mu_);
+    state_->durable_data = state_->volatile_data;
+    state_->unsynced_writes.clear();
+    ++owner_->sync_count_;
+    return base::OkStatus();
+  }
+
+  base::Result<uint64_t> Size() const override {
+    std::lock_guard<std::mutex> lock(owner_->mu_);
+    return static_cast<uint64_t>(state_->volatile_data.size());
+  }
+
+  base::Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(owner_->mu_);
+    state_->volatile_data.resize(size);
+    state_->unsynced_writes.emplace_back(size, 0);
+    return base::OkStatus();
+  }
+
+ private:
+  MemStore* owner_;
+  std::shared_ptr<MemStore::FileState> state_;
+};
+
+base::Result<std::unique_ptr<DurableFile>> MemStore::Open(const std::string& name,
+                                                          bool create) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    if (!create) {
+      return base::NotFound("file not found: " + name);
+    }
+    it = files_.emplace(name, std::make_shared<FileState>()).first;
+  }
+  return std::unique_ptr<DurableFile>(new MemFile(this, it->second));
+}
+
+base::Status MemStore::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(name);
+  return base::OkStatus();
+}
+
+base::Result<bool> MemStore::Exists(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(name) > 0;
+}
+
+base::Result<std::vector<std::string>> MemStore::List() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, state] : files_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+base::Status MemStore::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return base::NotFound("rename source missing: " + from);
+  }
+  files_[to] = it->second;
+  files_.erase(it);
+  return base::OkStatus();
+}
+
+void MemStore::Crash(size_t torn_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, state] : files_) {
+    std::vector<uint8_t> image = state->durable_data;
+    // Let a prefix of the unsynced writes (up to torn_bytes total, with the
+    // final write possibly partial) reach the durable image.
+    size_t budget = torn_bytes;
+    for (const auto& [offset, len] : state->unsynced_writes) {
+      if (budget == 0) {
+        break;
+      }
+      size_t take = std::min<size_t>(len, budget);
+      if (offset + take > image.size()) {
+        image.resize(offset + take);
+      }
+      std::memcpy(image.data() + offset, state->volatile_data.data() + offset, take);
+      budget -= take;
+      if (take < len) {
+        break;
+      }
+    }
+    state->volatile_data = image;
+    state->durable_data = image;
+    state->unsynced_writes.clear();
+  }
+}
+
+void MemStore::FailWritesAfterBytes(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_after_bytes_ = bytes;
+}
+
+uint64_t MemStore::total_bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_written_;
+}
+
+uint64_t MemStore::sync_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_count_;
+}
+
+}  // namespace store

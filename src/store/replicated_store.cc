@@ -1,0 +1,231 @@
+#include "src/store/replicated_store.h"
+
+#include <algorithm>
+#include <map>
+
+namespace store {
+namespace {
+
+// A file handle fanned out over the replicas' file handles. Entries are
+// null for replicas that were already down at open time.
+class ReplicatedFile : public DurableFile {
+ public:
+  ReplicatedFile(std::shared_ptr<ReplicatedStore::Shared> shared,
+                 std::vector<std::unique_ptr<DurableFile>> files)
+      : shared_(std::move(shared)), files_(std::move(files)) {}
+
+  base::Result<size_t> Read(uint64_t offset, void* buf, size_t len) override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    base::Status last_error = base::Unavailable("no replicas up");
+    for (size_t i = 0; i < files_.size(); ++i) {
+      if (!shared_->up[i] || files_[i] == nullptr) {
+        continue;
+      }
+      auto r = files_[i]->Read(offset, buf, len);
+      if (r.ok()) {
+        return r;
+      }
+      shared_->up[i] = false;
+      last_error = r.status();
+    }
+    return last_error;
+  }
+
+  base::Status Write(uint64_t offset, base::ByteSpan data) override {
+    return OnAllFiles([&](DurableFile* f) { return f->Write(offset, data); });
+  }
+
+  base::Result<uint64_t> Append(base::ByteSpan data) override {
+    // Mirror at an explicit offset so replicas stay byte-identical even if
+    // one missed an earlier append while down.
+    ASSIGN_OR_RETURN(uint64_t size, Size());
+    RETURN_IF_ERROR(OnAllFiles([&](DurableFile* f) { return f->Write(size, data); }));
+    return size;
+  }
+
+  base::Status Sync() override {
+    return OnAllFiles([](DurableFile* f) { return f->Sync(); });
+  }
+
+  base::Result<uint64_t> Size() const override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    base::Status last_error = base::Unavailable("no replicas up");
+    for (size_t i = 0; i < files_.size(); ++i) {
+      if (!shared_->up[i] || files_[i] == nullptr) {
+        continue;
+      }
+      auto r = files_[i]->Size();
+      if (r.ok()) {
+        return r;
+      }
+      shared_->up[i] = false;
+      last_error = r.status();
+    }
+    return last_error;
+  }
+
+  base::Status Truncate(uint64_t size) override {
+    return OnAllFiles([&](DurableFile* f) { return f->Truncate(size); });
+  }
+
+ private:
+  template <typename Fn>
+  base::Status OnAllFiles(Fn&& op) {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    int survivors = 0;
+    base::Status last_error;
+    for (size_t i = 0; i < files_.size(); ++i) {
+      if (!shared_->up[i] || files_[i] == nullptr) {
+        continue;
+      }
+      base::Status st = op(files_[i].get());
+      if (st.ok()) {
+        ++survivors;
+      } else {
+        shared_->up[i] = false;
+        last_error = st;
+      }
+    }
+    if (survivors == 0) {
+      return last_error.ok() ? base::Unavailable("no replicas up") : last_error;
+    }
+    return base::OkStatus();
+  }
+
+  std::shared_ptr<ReplicatedStore::Shared> shared_;
+  std::vector<std::unique_ptr<DurableFile>> files_;
+};
+
+}  // namespace
+
+ReplicatedStore::ReplicatedStore(std::vector<DurableStore*> replicas)
+    : shared_(std::make_shared<Shared>()) {
+  shared_->replicas = std::move(replicas);
+  shared_->up.assign(shared_->replicas.size(), true);
+}
+
+base::Result<std::unique_ptr<DurableFile>> ReplicatedStore::Open(const std::string& name,
+                                                                 bool create) {
+  std::vector<std::unique_ptr<DurableFile>> files;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    files.resize(shared_->replicas.size());
+    int survivors = 0;
+    base::Status last_error = base::Unavailable("no replicas up");
+    for (size_t i = 0; i < shared_->replicas.size(); ++i) {
+      if (!shared_->up[i]) {
+        continue;
+      }
+      auto file = shared_->replicas[i]->Open(name, create);
+      if (file.ok()) {
+        files[i] = std::move(*file);
+        ++survivors;
+      } else if (file.status().code() == base::StatusCode::kNotFound && !create) {
+        // A missing file on a healthy replica is a real answer, not a
+        // replica failure.
+        return file.status();
+      } else {
+        shared_->up[i] = false;
+        last_error = file.status();
+      }
+    }
+    if (survivors == 0) {
+      return last_error;
+    }
+  }
+  return std::unique_ptr<DurableFile>(new ReplicatedFile(shared_, std::move(files)));
+}
+
+base::Status ReplicatedStore::Remove(const std::string& name) {
+  return shared_->OnAll([&](DurableStore* s, size_t) { return s->Remove(name); });
+}
+
+base::Result<bool> ReplicatedStore::Exists(const std::string& name) {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  base::Status last_error = base::Unavailable("no replicas up");
+  for (size_t i = 0; i < shared_->replicas.size(); ++i) {
+    if (!shared_->up[i]) {
+      continue;
+    }
+    auto r = shared_->replicas[i]->Exists(name);
+    if (r.ok()) {
+      return r;
+    }
+    shared_->up[i] = false;
+    last_error = r.status();
+  }
+  return last_error;
+}
+
+base::Result<std::vector<std::string>> ReplicatedStore::List() {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  base::Status last_error = base::Unavailable("no replicas up");
+  for (size_t i = 0; i < shared_->replicas.size(); ++i) {
+    if (!shared_->up[i]) {
+      continue;
+    }
+    auto r = shared_->replicas[i]->List();
+    if (r.ok()) {
+      return r;
+    }
+    shared_->up[i] = false;
+    last_error = r.status();
+  }
+  return last_error;
+}
+
+base::Status ReplicatedStore::Rename(const std::string& from, const std::string& to) {
+  return shared_->OnAll([&](DurableStore* s, size_t) { return s->Rename(from, to); });
+}
+
+int ReplicatedStore::healthy_replicas() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  int n = 0;
+  for (bool up : shared_->up) {
+    n += up ? 1 : 0;
+  }
+  return n;
+}
+
+bool ReplicatedStore::IsUp(size_t index) const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return index < shared_->up.size() && shared_->up[index];
+}
+
+void ReplicatedStore::MarkDown(size_t index) {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  if (index < shared_->up.size()) {
+    shared_->up[index] = false;
+  }
+}
+
+base::Status ReplicatedStore::Revive(size_t index) {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  if (index >= shared_->up.size()) {
+    return base::InvalidArgument("no such replica");
+  }
+  shared_->up[index] = true;
+  return base::OkStatus();
+}
+
+base::Status ReplicatedStore::CopyAll(DurableStore* from, DurableStore* to) {
+  ASSIGN_OR_RETURN(auto names, from->List());
+  for (const std::string& name : names) {
+    ASSIGN_OR_RETURN(auto src, from->Open(name, /*create=*/false));
+    ASSIGN_OR_RETURN(auto dst, to->Open(name, /*create=*/true));
+    ASSIGN_OR_RETURN(uint64_t size, src->Size());
+    RETURN_IF_ERROR(dst->Truncate(0));
+    std::vector<uint8_t> buf(64 * 1024);
+    uint64_t offset = 0;
+    while (offset < size) {
+      size_t chunk = static_cast<size_t>(std::min<uint64_t>(buf.size(), size - offset));
+      RETURN_IF_ERROR(src->ReadExact(offset, buf.data(), chunk));
+      RETURN_IF_ERROR(dst->Write(offset, base::ByteSpan(buf.data(), chunk)));
+      offset += chunk;
+    }
+    RETURN_IF_ERROR(dst->Sync());
+  }
+  return base::OkStatus();
+}
+
+}  // namespace store

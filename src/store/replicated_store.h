@@ -1,0 +1,86 @@
+// Replicated DurableStore (paper §2: "the storage service could be
+// transparently replicated to reduce the probability of a server failure").
+//
+// Writes are mirrored to every replica; a Sync is durable only when every
+// replica acknowledged it. Reads are served by the first healthy replica.
+// A replica whose operation fails is marked down and skipped from then on;
+// the store stays available as long as one replica remains. `Revive` puts a
+// repaired replica back in rotation after the caller has resynchronized its
+// contents (CopyAll).
+#ifndef SRC_STORE_REPLICATED_STORE_H_
+#define SRC_STORE_REPLICATED_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/store/durable_store.h"
+
+namespace store {
+
+class ReplicatedStore : public DurableStore {
+ public:
+  // At least one replica; the store does not own the replicas' lifetime.
+  explicit ReplicatedStore(std::vector<DurableStore*> replicas);
+
+  base::Result<std::unique_ptr<DurableFile>> Open(const std::string& name,
+                                                  bool create) override;
+  base::Status Remove(const std::string& name) override;
+  base::Result<bool> Exists(const std::string& name) override;
+  base::Result<std::vector<std::string>> List() override;
+  base::Status Rename(const std::string& from, const std::string& to) override;
+
+  // --- replica management --------------------------------------------------
+
+  int healthy_replicas() const;
+  bool IsUp(size_t index) const;
+  // Administratively fails a replica (tests; a real deployment marks down on
+  // I/O errors automatically, which also happens here).
+  void MarkDown(size_t index);
+  // Returns a repaired replica to rotation. The caller must have already
+  // resynchronized its contents (see CopyAll).
+  base::Status Revive(size_t index);
+
+  // Copies every file of `from` into `to` (resynchronization helper).
+  static base::Status CopyAll(DurableStore* from, DurableStore* to);
+
+  // Implementation detail shared with the file handles (public only because
+  // the handle type lives in the .cc's anonymous namespace).
+  struct Shared {
+    mutable std::mutex mu;
+    std::vector<DurableStore*> replicas;
+    std::vector<bool> up;
+
+    // Runs op on every healthy replica; marks failures down. Fails only if
+    // no replica survives.
+    template <typename Fn>
+    base::Status OnAll(Fn&& op) {
+      std::lock_guard<std::mutex> lock(mu);
+      int survivors = 0;
+      base::Status last_error;
+      for (size_t i = 0; i < replicas.size(); ++i) {
+        if (!up[i]) {
+          continue;
+        }
+        base::Status st = op(replicas[i], i);
+        if (st.ok()) {
+          ++survivors;
+        } else {
+          up[i] = false;
+          last_error = st;
+        }
+      }
+      if (survivors == 0) {
+        return last_error.ok() ? base::Unavailable("no replicas up") : last_error;
+      }
+      return base::OkStatus();
+    }
+  };
+
+ private:
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace store
+
+#endif  // SRC_STORE_REPLICATED_STORE_H_

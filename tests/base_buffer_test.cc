@@ -1,0 +1,179 @@
+#include "src/base/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+
+namespace {
+
+TEST(Buffer, FixedWidthRoundTrip) {
+  base::Writer w;
+  w.WriteU8(0xAB);
+  w.WriteU16(0xBEEF);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFull);
+
+  base::Reader r(w.span());
+  uint8_t a;
+  uint16_t b;
+  uint32_t c;
+  uint64_t d;
+  ASSERT_TRUE(r.ReadU8(&a).ok());
+  ASSERT_TRUE(r.ReadU16(&b).ok());
+  ASSERT_TRUE(r.ReadU32(&c).ok());
+  ASSERT_TRUE(r.ReadU64(&d).ok());
+  EXPECT_EQ(0xAB, a);
+  EXPECT_EQ(0xBEEF, b);
+  EXPECT_EQ(0xDEADBEEFu, c);
+  EXPECT_EQ(0x0123456789ABCDEFull, d);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Buffer, VarintBoundaries) {
+  const uint64_t cases[] = {0, 1, 127, 128, 16383, 16384, (1ull << 32) - 1, 1ull << 32,
+                            UINT64_MAX};
+  for (uint64_t v : cases) {
+    base::Writer w;
+    w.WriteVarint(v);
+    base::Reader r(w.span());
+    uint64_t out = 0;
+    ASSERT_TRUE(r.ReadVarint(&out).ok()) << v;
+    EXPECT_EQ(v, out);
+    EXPECT_TRUE(r.empty());
+  }
+}
+
+TEST(Buffer, VarintSizes) {
+  auto size_of = [](uint64_t v) {
+    base::Writer w;
+    w.WriteVarint(v);
+    return w.size();
+  };
+  EXPECT_EQ(1u, size_of(0));
+  EXPECT_EQ(1u, size_of(127));
+  EXPECT_EQ(2u, size_of(128));
+  EXPECT_EQ(10u, size_of(UINT64_MAX));
+}
+
+TEST(Buffer, StringRoundTrip) {
+  base::Writer w;
+  w.WriteString("hello");
+  w.WriteString("");
+  w.WriteString(std::string(1000, 'x'));
+  base::Reader r(w.span());
+  std::string a, b, c;
+  ASSERT_TRUE(r.ReadString(&a).ok());
+  ASSERT_TRUE(r.ReadString(&b).ok());
+  ASSERT_TRUE(r.ReadString(&c).ok());
+  EXPECT_EQ("hello", a);
+  EXPECT_EQ("", b);
+  EXPECT_EQ(1000u, c.size());
+}
+
+TEST(Buffer, TruncationIsDataLoss) {
+  base::Writer w;
+  w.WriteU64(7);
+  base::Reader r(w.span());
+  ASSERT_TRUE(r.Skip(4).ok());
+  uint64_t out;
+  EXPECT_EQ(base::StatusCode::kDataLoss, r.ReadU64(&out).code());
+}
+
+TEST(Buffer, VarintTruncationIsDataLoss) {
+  uint8_t bytes[] = {0x80, 0x80};  // continuation bits with no terminator
+  base::Reader r(base::ByteSpan(bytes, sizeof(bytes)));
+  uint64_t out;
+  EXPECT_EQ(base::StatusCode::kDataLoss, r.ReadVarint(&out).code());
+}
+
+TEST(Buffer, VarintOverflowIsDataLoss) {
+  uint8_t bytes[11];
+  std::fill(std::begin(bytes), std::end(bytes), 0xFF);
+  bytes[10] = 0x7F;
+  base::Reader r(base::ByteSpan(bytes, sizeof(bytes)));
+  uint64_t out;
+  EXPECT_EQ(base::StatusCode::kDataLoss, r.ReadVarint(&out).code());
+}
+
+TEST(Buffer, PatchU32) {
+  base::Writer w;
+  w.WriteU32(0);
+  w.WriteU32(1);
+  w.PatchU32(0, 0xCAFEBABE);
+  base::Reader r(w.span());
+  uint32_t a, b;
+  ASSERT_TRUE(r.ReadU32(&a).ok());
+  ASSERT_TRUE(r.ReadU32(&b).ok());
+  EXPECT_EQ(0xCAFEBABEu, a);
+  EXPECT_EQ(1u, b);
+}
+
+TEST(Buffer, ReadBytesIsView) {
+  base::Writer w;
+  w.WriteBytes("abcdef", 6);
+  base::Reader r(w.span());
+  base::ByteSpan view;
+  ASSERT_TRUE(r.ReadBytes(3, &view).ok());
+  EXPECT_EQ(0, std::memcmp(view.data(), "abc", 3));
+  ASSERT_TRUE(r.ReadBytes(3, &view).ok());
+  EXPECT_EQ(0, std::memcmp(view.data(), "def", 3));
+}
+
+// Property: random sequences of writes decode to the same values.
+class BufferPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BufferPropertyTest, RandomRoundTrip) {
+  base::Rng rng(GetParam());
+  std::vector<std::pair<int, uint64_t>> ops;  // (kind, value)
+  base::Writer w;
+  for (int i = 0; i < 200; ++i) {
+    int kind = static_cast<int>(rng.Uniform(3));
+    uint64_t v = rng.Next();
+    ops.emplace_back(kind, v);
+    switch (kind) {
+      case 0:
+        w.WriteU32(static_cast<uint32_t>(v));
+        break;
+      case 1:
+        w.WriteU64(v);
+        break;
+      case 2:
+        w.WriteVarint(v);
+        break;
+    }
+  }
+  base::Reader r(w.span());
+  for (const auto& [kind, v] : ops) {
+    switch (kind) {
+      case 0: {
+        uint32_t out;
+        ASSERT_TRUE(r.ReadU32(&out).ok());
+        EXPECT_EQ(static_cast<uint32_t>(v), out);
+        break;
+      }
+      case 1: {
+        uint64_t out;
+        ASSERT_TRUE(r.ReadU64(&out).ok());
+        EXPECT_EQ(v, out);
+        break;
+      }
+      case 2: {
+        uint64_t out;
+        ASSERT_TRUE(r.ReadVarint(&out).ok());
+        EXPECT_EQ(v, out);
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(r.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferPropertyTest, ::testing::Range<uint64_t>(0, 8));
+
+TEST(HexDump, TruncatesLongInput) {
+  std::vector<uint8_t> data(100, 0xAA);
+  std::string dump = base::HexDump(base::ByteSpan(data.data(), data.size()), 4);
+  EXPECT_EQ("aa aa aa aa ...", dump);
+}
+
+}  // namespace

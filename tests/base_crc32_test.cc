@@ -1,0 +1,43 @@
+#include "src/base/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace {
+
+TEST(Crc32c, KnownVectors) {
+  // Standard CRC-32C test vector: "123456789" -> 0xE3069283.
+  EXPECT_EQ(0xE3069283u, base::Crc32c("123456789", 9));
+  // 32 zero bytes -> 0x8A9136AA (RFC 3720 appendix).
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(0x8A9136AAu, base::Crc32c(zeros.data(), zeros.size()));
+}
+
+TEST(Crc32c, EmptyIsZero) { EXPECT_EQ(0u, base::Crc32c("", 0)); }
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const char* data = "the quick brown fox jumps over the lazy dog";
+  size_t len = std::strlen(data);
+  uint32_t whole = base::Crc32c(data, len);
+  for (size_t split = 0; split <= len; split += 7) {
+    uint32_t part = base::Crc32c(data, split);
+    part = base::Crc32c(data + split, len - split, part);
+    EXPECT_EQ(whole, part) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  std::vector<uint8_t> data(64, 0x5A);
+  uint32_t clean = base::Crc32c(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); byte += 5) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      data[byte] ^= (1u << bit);
+      EXPECT_NE(clean, base::Crc32c(data.data(), data.size()));
+      data[byte] ^= (1u << bit);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Rng and clock behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/base/clock.h"
+#include "src/base/rng.h"
+
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  base::Rng a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  base::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(0, same);
+}
+
+TEST(Rng, UniformInBounds) {
+  base::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  base::Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(7u, seen.size());  // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  base::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ManualClock, AdvancesOnlyWhenAsked) {
+  base::ManualClock clock(100);
+  EXPECT_EQ(100u, clock.NowNanos());
+  clock.AdvanceNanos(50);
+  EXPECT_EQ(150u, clock.NowNanos());
+  clock.AdvanceMicros(2);
+  EXPECT_EQ(2150u, clock.NowNanos());
+}
+
+TEST(SteadyClock, MonotonicNonDecreasing) {
+  base::Clock* clock = base::SteadyClock::Instance();
+  uint64_t a = clock->NowNanos();
+  uint64_t b = clock->NowNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  base::Stopwatch sw;
+  uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink += static_cast<uint64_t>(i);
+    asm volatile("" : "+r"(sink));
+  }
+  EXPECT_GT(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMicros(), sw.ElapsedSeconds() * 1e6 * 0.5);
+}
+
+}  // namespace

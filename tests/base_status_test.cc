@@ -1,0 +1,82 @@
+#include "src/base/status.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  base::Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(base::StatusCode::kOk, st.code());
+  EXPECT_EQ("OK", st.ToString());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  base::Status st = base::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(base::StatusCode::kNotFound, st.code());
+  EXPECT_EQ("missing thing", st.message());
+  EXPECT_EQ("NOT_FOUND: missing thing", st.ToString());
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(base::IoError("x"), base::IoError("x"));
+  EXPECT_FALSE(base::IoError("x") == base::IoError("y"));
+  EXPECT_FALSE(base::IoError("x") == base::DataLoss("x"));
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(base::StatusCode::kInternal); ++c) {
+    EXPECT_NE("UNKNOWN", base::StatusCodeName(static_cast<base::StatusCode>(c)));
+  }
+}
+
+TEST(Result, HoldsValue) {
+  base::Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(42, *r);
+}
+
+TEST(Result, HoldsError) {
+  base::Result<int> r = base::Aborted("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(base::StatusCode::kAborted, r.status().code());
+}
+
+TEST(Result, MoveOnlyValue) {
+  base::Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(7, *v);
+}
+
+base::Result<int> Half(int v) {
+  if (v % 2 != 0) {
+    return base::InvalidArgument("odd");
+  }
+  return v / 2;
+}
+
+base::Status UseHalf(int v, int* out) {
+  ASSIGN_OR_RETURN(*out, Half(v));
+  return base::OkStatus();
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(4, out);
+  EXPECT_EQ(base::StatusCode::kInvalidArgument, UseHalf(3, &out).code());
+}
+
+base::Status FailFast(bool fail) {
+  RETURN_IF_ERROR(fail ? base::Internal("boom") : base::OkStatus());
+  return base::OkStatus();
+}
+
+TEST(Result, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(FailFast(false).ok());
+  EXPECT_EQ(base::StatusCode::kInternal, FailFast(true).code());
+}
+
+}  // namespace

@@ -1,0 +1,25 @@
+// Host measurement smoke tests: the Table 2 re-measurement must produce
+// physically sensible numbers on any machine.
+#include <gtest/gtest.h>
+
+#include "src/costmodel/host_measure.h"
+
+namespace {
+
+TEST(HostMeasure, ProducesSensibleCosts) {
+  costmodel::HostCosts costs = costmodel::MeasureHostCosts();
+  EXPECT_EQ(8192, costs.page_size);
+  // Everything measurable and positive.
+  EXPECT_GT(costs.page_copy_warm_us, 0.0);
+  EXPECT_GT(costs.page_compare_warm_us, 0.0);
+  EXPECT_GT(costs.page_send_us, 0.0);
+  EXPECT_GT(costs.signal_us, 0.0);
+  // A protection-fault round trip costs far more than a warm 8 KB copy on
+  // every real machine.
+  EXPECT_GT(costs.signal_us, costs.page_copy_warm_us);
+  // Sanity ceiling: nothing should take longer than 10 ms/page.
+  EXPECT_LT(costs.page_copy_cold_us, 1e4);
+  EXPECT_LT(costs.signal_us, 1e4);
+}
+
+}  // namespace

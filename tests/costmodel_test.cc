@@ -1,0 +1,131 @@
+// Cost model: the paper's published breakevens and estimator behaviour.
+#include <gtest/gtest.h>
+
+#include "src/costmodel/alpha_costs.h"
+
+namespace {
+
+using costmodel::AlphaAn1Costs;
+using costmodel::OperationCosts;
+using costmodel::UpdateProfile;
+
+TEST(CostModel, Table2ConstantsMatchPaper) {
+  OperationCosts c = AlphaAn1Costs();
+  EXPECT_DOUBLE_EQ(171.9, c.page_copy_cold_us);
+  EXPECT_DOUBLE_EQ(57.8, c.page_copy_warm_us);
+  EXPECT_DOUBLE_EQ(281.0, c.page_compare_cold_us);
+  EXPECT_DOUBLE_EQ(147.3, c.page_compare_warm_us);
+  EXPECT_DOUBLE_EQ(677.0, c.page_send_us);
+  EXPECT_DOUBLE_EQ(360.1, c.signal_us);
+}
+
+TEST(CostModel, PageVsCpyCmpBreakevenNear1037) {
+  // Paper (Fig. 4): "When more than 1037 bytes are modified per page, Page
+  // outperforms Cpy/Cmp."
+  uint64_t breakeven = costmodel::PageVsCpyCmpBreakevenBytes(AlphaAn1Costs());
+  EXPECT_NEAR(1037.0, static_cast<double>(breakeven), 60.0);
+}
+
+TEST(CostModel, Fig4CurvesCrossAtBreakeven) {
+  OperationCosts c = AlphaAn1Costs();
+  uint64_t b = costmodel::PageVsCpyCmpBreakevenBytes(c);
+  EXPECT_LT(costmodel::Fig4CpyCmpUs(c, b - 200), costmodel::Fig4PageUs(c));
+  EXPECT_GT(costmodel::Fig4CpyCmpUs(c, b + 200), costmodel::Fig4PageUs(c));
+  // Log (per-byte only) undercuts both for small update counts.
+  EXPECT_LT(costmodel::Fig4LogUs(c, 100), costmodel::Fig4CpyCmpUs(c, 100));
+}
+
+TEST(CostModel, LogBreakevenMatchesPaperNumbers) {
+  // Paper (§4.3): "if there are 1000 updates per transaction, log-based
+  // coherency performs better when there are 45 or fewer updates per page
+  // (55 if the updates are ordered)."
+  OperationCosts c = AlphaAn1Costs();
+  EXPECT_NEAR(45.0,
+              costmodel::LogVsCpyCmpBreakevenUpdatesPerPage(c, c.update_unordered_us), 1.5);
+  EXPECT_NEAR(55.0,
+              costmodel::LogVsCpyCmpBreakevenUpdatesPerPage(c, c.update_ordered_us), 1.5);
+}
+
+TEST(CostModel, FastTrapLowersBreakeven) {
+  // Fig. 7: a hypothetical 10 us trap makes Cpy/Cmp's fixed cost smaller,
+  // pulling the breakeven curve down.
+  OperationCosts standard = AlphaAn1Costs();
+  OperationCosts fast = standard;
+  fast.signal_us = 10.0;
+  for (double per_update = 5; per_update <= 30; per_update += 5) {
+    EXPECT_LT(costmodel::LogVsCpyCmpBreakevenUpdatesPerPage(fast, per_update),
+              costmodel::LogVsCpyCmpBreakevenUpdatesPerPage(standard, per_update));
+  }
+}
+
+TEST(CostModel, EstimatorsScaleWithProfile) {
+  OperationCosts c = AlphaAn1Costs();
+  UpdateProfile small{.updates = 100,
+                      .bytes_updated = 800,
+                      .message_bytes = 1200,
+                      .pages_updated = 100};
+  UpdateProfile big = small;
+  big.pages_updated = 200;
+  EXPECT_GT(costmodel::EstimatePage(c, big).TotalUs(),
+            costmodel::EstimatePage(c, small).TotalUs());
+  EXPECT_GT(costmodel::EstimateCpyCmp(c, big).TotalUs(),
+            costmodel::EstimateCpyCmp(c, small).TotalUs());
+  // Log depends on updates, not pages.
+  EXPECT_DOUBLE_EQ(costmodel::EstimateLog(c, big).TotalUs(),
+                   costmodel::EstimateLog(c, small).TotalUs());
+}
+
+TEST(CostModel, SparseWorkloadFavorsLog) {
+  // T12-A-like profile: 2187 updates, 4000 bytes, 500 pages.
+  OperationCosts c = AlphaAn1Costs();
+  UpdateProfile p{.updates = 2187,
+                  .bytes_updated = 4000,
+                  .message_bytes = 6000,
+                  .pages_updated = 500};
+  double log_us = costmodel::EstimateLog(c, p).TotalUs();
+  double cpy_us = costmodel::EstimateCpyCmp(c, p).TotalUs();
+  double page_us = costmodel::EstimatePage(c, p).TotalUs();
+  EXPECT_LT(log_us, cpy_us);
+  EXPECT_LT(cpy_us, page_us);
+}
+
+TEST(CostModel, IndexHeavyWorkloadFavorsCpyCmp) {
+  // T3-C-like profile: 1.5M updates over 670 pages (~2243 updates/page).
+  OperationCosts c = AlphaAn1Costs();
+  UpdateProfile p{.updates = 1502708,
+                  .bytes_updated = 115100,
+                  .message_bytes = 163800,
+                  .pages_updated = 670,
+                  .updates_redundant = true};
+  EXPECT_GT(costmodel::EstimateLog(c, p).TotalUs(),
+            costmodel::EstimateCpyCmp(c, p).TotalUs() * 3);
+}
+
+TEST(CostModel, ClusteredT2BIsNearTie) {
+  // T2-B: 71 updates/page — the paper calls Log "about as well as Cpy/Cmp".
+  OperationCosts c = AlphaAn1Costs();
+  UpdateProfile p{.updates = 43740,
+                  .bytes_updated = 80000,
+                  .message_bytes = 120000,
+                  .pages_updated = 618};
+  double log_us = costmodel::EstimateLog(c, p).TotalUs();
+  double cpy_us = costmodel::EstimateCpyCmp(c, p).TotalUs();
+  EXPECT_LT(log_us, cpy_us * 2.5);
+  EXPECT_GT(log_us, cpy_us * 0.4);
+}
+
+TEST(CostModel, BreakdownComponentsNonNegative) {
+  OperationCosts c = AlphaAn1Costs();
+  UpdateProfile p{.updates = 10, .bytes_updated = 80, .message_bytes = 120,
+                  .pages_updated = 3};
+  for (const auto& b : {costmodel::EstimatePage(c, p), costmodel::EstimateCpyCmp(c, p),
+                        costmodel::EstimateLog(c, p)}) {
+    EXPECT_GE(b.detect_us, 0);
+    EXPECT_GE(b.collect_us, 0);
+    EXPECT_GE(b.network_us, 0);
+    EXPECT_GE(b.apply_us, 0);
+    EXPECT_DOUBLE_EQ(b.TotalUs(), b.detect_us + b.collect_us + b.network_us + b.apply_us);
+  }
+}
+
+}  // namespace

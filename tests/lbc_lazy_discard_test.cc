@@ -1,0 +1,105 @@
+// The §2.2 record-discard problem under lazy propagation: retained records
+// must be held exactly until the most out-of-date peer has applied them,
+// then dropped.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/lbc/client.h"
+#include "src/store/mem_store.h"
+
+namespace {
+
+constexpr rvm::RegionId kRegion = 1;
+constexpr rvm::LockId kLock = 10;
+
+struct LazyFixture {
+  explicit LazyFixture(int n_clients) {
+    cluster = std::make_unique<lbc::Cluster>(&store);
+    cluster->DefineLock(kLock, kRegion, 1);
+    lbc::ClientOptions opts;
+    opts.policy = lbc::PropagationPolicy::kLazy;
+    for (int i = 0; i < n_clients; ++i) {
+      clients.push_back(std::move(*lbc::Client::Create(cluster.get(), 1 + i, opts)));
+      EXPECT_TRUE(clients.back()->MapRegion(kRegion, 8192).ok());
+    }
+  }
+  lbc::Client* operator[](int i) { return clients[i].get(); }
+
+  store::MemStore store;
+  std::unique_ptr<lbc::Cluster> cluster;
+  std::vector<std::unique_ptr<lbc::Client>> clients;
+};
+
+void Bump(lbc::Client* c) {
+  lbc::Transaction txn = c->Begin();
+  ASSERT_TRUE(txn.Acquire(kLock).ok());
+  uint64_t v;
+  std::memcpy(&v, c->GetRegion(kRegion)->data(), 8);
+  ++v;
+  ASSERT_TRUE(txn.SetRange(kRegion, 0, 8).ok());
+  std::memcpy(c->GetRegion(kRegion)->data(), &v, 8);
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+void AcquireRelease(lbc::Client* c) {
+  lbc::Transaction txn = c->Begin();
+  ASSERT_TRUE(txn.Acquire(kLock).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+TEST(LazyDiscard, RecordsAccumulateWhilePeersLag) {
+  LazyFixture fx(3);
+  for (int i = 0; i < 5; ++i) {
+    Bump(fx[0]);
+  }
+  // Neither peer has acquired: all five records must still be retained.
+  EXPECT_EQ(5u, fx[0]->RetainedCount(kLock));
+}
+
+TEST(LazyDiscard, RecordsDropOnceEveryPeerCaughtUp) {
+  LazyFixture fx(3);
+  for (int i = 0; i < 5; ++i) {
+    Bump(fx[0]);
+  }
+  // Peer 2 catches up: records still needed by peer 3.
+  AcquireRelease(fx[1]);
+  Bump(fx[0]);
+  EXPECT_GE(fx[0]->RetainedCount(kLock), 5u);
+
+  // Peer 3 catches up too: the writer's next retention pass can discard
+  // everything both peers have applied.
+  AcquireRelease(fx[2]);
+  Bump(fx[0]);
+  EXPECT_LE(fx[0]->RetainedCount(kLock), 2u);
+  // And the data is correct everywhere after one more round.
+  AcquireRelease(fx[1]);
+  uint64_t v;
+  std::memcpy(&v, fx[1]->GetRegion(kRegion)->data(), 8);
+  EXPECT_EQ(7u, v);
+}
+
+TEST(LazyDiscard, TwoNodePingPongRetainsBoundedRecords) {
+  LazyFixture fx(2);
+  for (int round = 0; round < 20; ++round) {
+    Bump(fx[round % 2]);
+  }
+  // Every acquisition tells the directory the acquirer's position; the
+  // retained backlog on each node must stay small, not grow with rounds.
+  EXPECT_LE(fx[0]->RetainedCount(kLock), 3u);
+  EXPECT_LE(fx[1]->RetainedCount(kLock), 3u);
+}
+
+TEST(LazyDiscard, UnmappedPeerDoesNotPinRecords) {
+  LazyFixture fx(3);
+  // Peer 3 leaves; only peer 2's position matters afterwards.
+  ASSERT_TRUE(fx[2]->UnmapRegion(kRegion).ok());
+  for (int i = 0; i < 5; ++i) {
+    Bump(fx[0]);
+  }
+  AcquireRelease(fx[1]);
+  Bump(fx[0]);
+  EXPECT_LE(fx[0]->RetainedCount(kLock), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Deeper token-lock protocol coverage (§3.3): request chains through the
+// distributed waiter queue, forwards racing token arrival, remote managers,
+// disconnect behavior, and many-lock / many-node configurations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "src/lbc/client.h"
+#include "src/store/mem_store.h"
+
+namespace {
+
+constexpr rvm::RegionId kRegion = 1;
+constexpr rvm::LockId kLock = 10;
+
+struct Fixture {
+  explicit Fixture(int n_clients, rvm::NodeId manager = 1) {
+    cluster = std::make_unique<lbc::Cluster>(&store);
+    cluster->DefineLock(kLock, kRegion, manager);
+    for (int i = 0; i < n_clients; ++i) {
+      clients.push_back(std::move(*lbc::Client::Create(cluster.get(), 1 + i, {})));
+      EXPECT_TRUE(clients.back()->MapRegion(kRegion, 8192).ok());
+    }
+  }
+  lbc::Client* operator[](int i) { return clients[i].get(); }
+
+  store::MemStore store;
+  std::unique_ptr<lbc::Cluster> cluster;
+  std::vector<std::unique_ptr<lbc::Client>> clients;
+};
+
+void Bump(lbc::Client* c) {
+  lbc::Transaction txn = c->Begin();
+  ASSERT_TRUE(txn.Acquire(kLock).ok());
+  uint64_t v;
+  std::memcpy(&v, c->GetRegion(kRegion)->data(), 8);
+  ++v;
+  ASSERT_TRUE(txn.SetRange(kRegion, 0, 8).ok());
+  std::memcpy(c->GetRegion(kRegion)->data(), &v, 8);
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+TEST(LockProtocol, WaiterChainServesInRequestOrder) {
+  // Three nodes queue behind the holder; the distributed waiter queue must
+  // hand the token along the chain, each acquire seeing the previous value.
+  Fixture fx(4);
+  // Node 1 (manager) holds the lock in an open transaction while the others
+  // request; then releases.
+  std::atomic<uint64_t> order{0};
+  lbc::Transaction holder = fx[0]->Begin();
+  ASSERT_TRUE(holder.Acquire(kLock).ok());
+
+  std::vector<std::thread> waiters;
+  std::atomic<int> started{0};
+  for (int i = 1; i < 4; ++i) {
+    waiters.emplace_back([&, i] {
+      ++started;
+      Bump(fx[i]);
+      order.fetch_add(1);
+    });
+    // Stagger the requests so the manager queue order is deterministic.
+    while (started < i) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(0u, order.load());  // all blocked behind the holder
+  ASSERT_TRUE(holder.SetRange(kRegion, 0, 8).ok());
+  uint64_t one = 1;
+  std::memcpy(fx[0]->GetRegion(kRegion)->data(), &one, 8);
+  ASSERT_TRUE(holder.Commit().ok());
+  for (auto& t : waiters) {
+    t.join();
+  }
+  // 1 (holder) + 3 bumps, visible everywhere.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fx[i]->WaitForAppliedSeq(kLock, 4, 5000));
+    uint64_t v;
+    std::memcpy(&v, fx[i]->GetRegion(kRegion)->data(), 8);
+    EXPECT_EQ(4u, v) << "client " << i;
+  }
+}
+
+TEST(LockProtocol, ManagerNeedNotParticipate) {
+  // The manager (node 1) never acquires; nodes 2 and 3 ping-pong through it.
+  Fixture fx(3, /*manager=*/1);
+  for (int round = 0; round < 6; ++round) {
+    Bump(fx[1 + round % 2]);
+  }
+  ASSERT_TRUE(fx[0]->WaitForAppliedSeq(kLock, 6, 5000));
+  uint64_t v;
+  std::memcpy(&v, fx[0]->GetRegion(kRegion)->data(), 8);
+  EXPECT_EQ(6u, v);
+}
+
+TEST(LockProtocol, RemoteManagerFirstAcquire) {
+  // Manager is node 3; node 1's very first acquire must fetch the token
+  // from an agent that has never been touched before.
+  Fixture fx(3, /*manager=*/3);
+  Bump(fx[0]);
+  ASSERT_TRUE(fx[2]->WaitForAppliedSeq(kLock, 1, 5000));
+  EXPECT_GE(fx[0]->stats().lock_messages_sent, 1u);
+}
+
+TEST(LockProtocol, TokenStaysLocalUntilRequested) {
+  Fixture fx(2);
+  Bump(fx[0]);
+  Bump(fx[0]);
+  Bump(fx[0]);
+  uint64_t msgs = fx[0]->stats().lock_messages_sent;
+  EXPECT_EQ(0u, msgs);  // manager-owned token, never requested elsewhere
+  Bump(fx[1]);
+  EXPECT_GE(fx[1]->stats().lock_messages_sent, 1u);
+}
+
+TEST(LockProtocol, ManyLocksIndependentTokens) {
+  Fixture fx(2);
+  for (rvm::LockId lock = 100; lock < 110; ++lock) {
+    fx.cluster->DefineLock(lock, kRegion, 1 + lock % 2);
+  }
+  // Acquire all ten locks in one transaction on each client alternately.
+  for (int round = 0; round < 2; ++round) {
+    lbc::Client* c = fx[round % 2];
+    lbc::Transaction txn = c->Begin();
+    for (rvm::LockId lock = 100; lock < 110; ++lock) {
+      ASSERT_TRUE(txn.Acquire(lock).ok()) << "lock " << lock;
+    }
+    ASSERT_TRUE(txn.SetRange(kRegion, round * 8, 8).ok());
+    std::memset(c->GetRegion(kRegion)->data() + round * 8, round + 1, 8);
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  for (rvm::LockId lock = 100; lock < 110; ++lock) {
+    ASSERT_TRUE(fx[0]->WaitForAppliedSeq(lock, 2, 5000)) << lock;
+  }
+  EXPECT_EQ(1, fx[0]->GetRegion(kRegion)->data()[0]);
+  EXPECT_EQ(2, fx[0]->GetRegion(kRegion)->data()[8]);
+}
+
+TEST(LockProtocol, DisconnectedClientFailsAcquire) {
+  Fixture fx(2);
+  Bump(fx[0]);  // token at manager (node 1)
+  fx[1]->Disconnect();
+  lbc::Transaction txn = fx[1]->Begin();
+  base::Status st = txn.Acquire(kLock);
+  EXPECT_FALSE(st.ok());
+  ASSERT_TRUE(txn.Abort().ok());
+}
+
+TEST(LockProtocol, HeldForwardDeliveredOnRelease) {
+  // A forward that arrives while the holder's transaction is open must be
+  // remembered and served at commit.
+  Fixture fx(2);
+  lbc::Transaction holder = fx[0]->Begin();
+  ASSERT_TRUE(holder.Acquire(kLock).ok());
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    Bump(fx[1]);
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  ASSERT_TRUE(holder.Commit().ok());  // read-only: seq handed back
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(LockProtocol, StressManyShortTransactions) {
+  Fixture fx(3);
+  constexpr int kRounds = 60;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&, i] {
+      for (int k = 0; k < kRounds; ++k) {
+        Bump(fx[i]);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  uint64_t total = 3 * kRounds;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fx[i]->WaitForAppliedSeq(kLock, total, 20000));
+    uint64_t v;
+    std::memcpy(&v, fx[i]->GetRegion(kRegion)->data(), 8);
+    EXPECT_EQ(total, v);
+  }
+}
+
+}  // namespace

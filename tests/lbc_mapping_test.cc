@@ -1,0 +1,104 @@
+// Region mapping lifecycle at the coherency layer: peer-set membership,
+// unmapping mid-stream, and late joiners.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "src/lbc/client.h"
+#include "src/store/mem_store.h"
+
+namespace {
+
+constexpr rvm::RegionId kRegion = 1;
+constexpr rvm::LockId kLock = 10;
+
+struct Fixture {
+  explicit Fixture(int n_clients) {
+    cluster = std::make_unique<lbc::Cluster>(&store);
+    cluster->DefineLock(kLock, kRegion, 1);
+    for (int i = 0; i < n_clients; ++i) {
+      clients.push_back(std::move(*lbc::Client::Create(cluster.get(), 1 + i, {})));
+      EXPECT_TRUE(clients.back()->MapRegion(kRegion, 8192).ok());
+    }
+  }
+  lbc::Client* operator[](int i) { return clients[i].get(); }
+
+  store::MemStore store;
+  std::unique_ptr<lbc::Cluster> cluster;
+  std::vector<std::unique_ptr<lbc::Client>> clients;
+};
+
+void CommitByte(lbc::Client* c, uint64_t offset, uint8_t value,
+                rvm::CommitMode mode = rvm::CommitMode::kFlush) {
+  lbc::Transaction txn = c->Begin();
+  ASSERT_TRUE(txn.Acquire(kLock).ok());
+  ASSERT_TRUE(txn.SetRange(kRegion, offset, 1).ok());
+  c->GetRegion(kRegion)->data()[offset] = value;
+  ASSERT_TRUE(txn.Commit(mode).ok());
+}
+
+TEST(Mapping, UnmappedClientStopsReceiving) {
+  Fixture fx(3);
+  CommitByte(fx[0], 0, 1);
+  ASSERT_TRUE(fx[2]->WaitForAppliedSeq(kLock, 1, 5000));
+  ASSERT_TRUE(fx[2]->UnmapRegion(kRegion).ok());
+
+  CommitByte(fx[0], 1, 2);
+  ASSERT_TRUE(fx[1]->WaitForAppliedSeq(kLock, 2, 5000));
+  // Only one peer remained in the set for the second commit.
+  EXPECT_EQ(3u, fx[0]->stats().updates_sent);  // 2 peers + 1 peer
+  EXPECT_EQ(1u, fx[2]->stats().updates_received);
+}
+
+TEST(Mapping, LateJoinerLoadsFromDatabaseFileAfterTrim) {
+  Fixture fx(2);
+  CommitByte(fx[0], 0, 42);
+  ASSERT_TRUE(fx[1]->WaitForAppliedSeq(kLock, 1, 5000));
+  // Persist the committed state into the database file so a newcomer's
+  // MapRegion (which reads the file) sees it.
+  ASSERT_TRUE(fx.cluster->RecoverAndTrim({1, 2}).ok());
+
+  auto late = std::move(*lbc::Client::Create(fx.cluster.get(), 9, {}));
+  rvm::Region* region = *late->MapRegion(kRegion, 8192);
+  EXPECT_EQ(42, region->data()[0]);
+
+  // And the newcomer participates in coherency from then on.
+  CommitByte(fx[0], 1, 7);
+  ASSERT_TRUE(late->WaitForAppliedSeq(kLock, 2, 5000));
+  EXPECT_EQ(7, late->GetRegion(kRegion)->data()[1]);
+}
+
+TEST(Mapping, AcquireAfterUnmapFails) {
+  Fixture fx(1);
+  ASSERT_TRUE(fx[0]->UnmapRegion(kRegion).ok());
+  lbc::Transaction txn = fx[0]->Begin();
+  EXPECT_EQ(base::StatusCode::kFailedPrecondition, txn.Acquire(kLock).code());
+  ASSERT_TRUE(txn.Abort().ok());
+}
+
+TEST(Mapping, WriterWithNoPeersSendsNothing) {
+  Fixture fx(1);
+  CommitByte(fx[0], 0, 1);
+  EXPECT_EQ(0u, fx[0]->stats().updates_sent);
+}
+
+TEST(Mapping, TwoRegionsIndependentPeerSets) {
+  Fixture fx(2);
+  fx.cluster->DefineLock(20, 2, 1);
+  ASSERT_TRUE(fx[0]->MapRegion(2, 4096).ok());
+  // Region 2 is mapped only by client 0: its commits there go nowhere.
+  {
+    lbc::Transaction txn = fx[0]->Begin();
+    ASSERT_TRUE(txn.Acquire(20).ok());
+    ASSERT_TRUE(txn.SetRange(2, 0, 1).ok());
+    fx[0]->GetRegion(2)->data()[0] = 1;
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  EXPECT_EQ(0u, fx[0]->stats().updates_sent);
+  // Region 1 still propagates.
+  CommitByte(fx[0], 0, 9);
+  ASSERT_TRUE(fx[1]->WaitForAppliedSeq(kLock, 1, 5000));
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Robustness: corrupt and adversarial message handling. Decoders must fail
+// cleanly (no crash, no partial state) on arbitrary bytes, and a live
+// client's receiver thread must survive garbage traffic.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include <cstring>
+
+#include "src/base/rng.h"
+#include "src/lbc/client.h"
+#include "src/lbc/wire_format.h"
+#include "src/store/mem_store.h"
+
+namespace {
+
+constexpr rvm::RegionId kRegion = 1;
+constexpr rvm::LockId kLock = 10;
+
+// Property: decoding random bytes never crashes and either fails or yields
+// a structurally sane record.
+class FuzzDecodeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzDecodeTest, RandomBytesNeverCrashDecoders) {
+  base::Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    size_t len = rng.Uniform(200);
+    std::vector<uint8_t> junk(len);
+    for (auto& b : junk) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    base::ByteSpan span(junk.data(), junk.size());
+    (void)lbc::PeekMsgType(span);
+    rvm::TransactionRecord rec;
+    (void)lbc::DecodeUpdate(span, &rec);
+    lbc::LockRequestMsg req;
+    (void)lbc::DecodeLockRequest(span, &req);
+    lbc::LockForwardMsg fwd;
+    (void)lbc::DecodeLockForward(span, &fwd);
+    lbc::LockTokenMsg token;
+    (void)lbc::DecodeLockToken(span, &token);
+  }
+}
+
+TEST_P(FuzzDecodeTest, MutatedValidUpdatesNeverCrash) {
+  base::Rng rng(GetParam());
+  rvm::TransactionRecord txn;
+  txn.node = 1;
+  txn.commit_seq = 1;
+  txn.locks = {{1, 1}};
+  for (int i = 0; i < 5; ++i) {
+    txn.ranges.push_back({1, static_cast<uint64_t>(i) * 1000,
+                          std::vector<uint8_t>(32, static_cast<uint8_t>(i))});
+  }
+  std::vector<uint8_t> valid = lbc::EncodeUpdateRecord(txn, true);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<uint8_t> mutated = valid;
+    // Flip a few random bytes and/or truncate.
+    for (int flips = 0; flips < 3; ++flips) {
+      mutated[rng.Uniform(mutated.size())] ^= static_cast<uint8_t>(1 + rng.Uniform(255));
+    }
+    if (rng.Chance(1, 3)) {
+      mutated.resize(rng.Uniform(mutated.size() + 1));
+    }
+    rvm::TransactionRecord out;
+    (void)lbc::DecodeUpdate(base::ByteSpan(mutated.data(), mutated.size()), &out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecodeTest, ::testing::Range<uint64_t>(0, 6));
+
+TEST(Robustness, LiveClientSurvivesGarbageTraffic) {
+  store::MemStore store;
+  lbc::Cluster cluster(&store);
+  cluster.DefineLock(kLock, kRegion, 1);
+  auto a = std::move(*lbc::Client::Create(&cluster, 1, {}));
+  auto b = std::move(*lbc::Client::Create(&cluster, 2, {}));
+  ASSERT_TRUE(a->MapRegion(kRegion, 8192).ok());
+  ASSERT_TRUE(b->MapRegion(kRegion, 8192).ok());
+
+  // A rogue endpoint floods client B with junk of every flavor.
+  netsim::Endpoint* rogue = cluster.fabric()->AddNode(99);
+  base::Rng rng(0xBAD);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<uint8_t> junk(rng.Uniform(64));
+    for (auto& byte : junk) {
+      byte = static_cast<uint8_t>(rng.Next());
+    }
+    ASSERT_TRUE(rogue->Send(2, std::move(junk)).ok());
+  }
+
+  // The protocol still works end to end.
+  {
+    lbc::Transaction txn = a->Begin();
+    ASSERT_TRUE(txn.Acquire(kLock).ok());
+    ASSERT_TRUE(txn.SetRange(kRegion, 0, 5).ok());
+    std::memcpy(a->GetRegion(kRegion)->data(), "alive", 5);
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  ASSERT_TRUE(b->WaitForAppliedSeq(kLock, 1, 5000));
+  EXPECT_EQ(0, std::memcmp(b->GetRegion(kRegion)->data(), "alive", 5));
+}
+
+TEST(Robustness, UpdateForUnknownLockIsTolerated) {
+  // An update naming an undefined lock must not wedge the receiver: the
+  // lock's region cannot be resolved, so the dimension is ignored.
+  store::MemStore store;
+  lbc::Cluster cluster(&store);
+  cluster.DefineLock(kLock, kRegion, 1);
+  auto a = std::move(*lbc::Client::Create(&cluster, 1, {}));
+  ASSERT_TRUE(a->MapRegion(kRegion, 8192).ok());
+
+  rvm::TransactionRecord rec;
+  rec.node = 2;
+  rec.commit_seq = 1;
+  rec.locks = {{9999, 5}};  // undefined lock
+  rec.ranges.push_back({kRegion, 0, {42}});
+  netsim::Endpoint* peer = cluster.fabric()->AddNode(2);
+  ASSERT_TRUE(peer->Send(1, lbc::EncodeUpdateRecord(rec, true)).ok());
+
+  // The range still applies (last-writer-wins for unsynchronized data).
+  for (int i = 0; i < 1000 && a->GetRegion(kRegion)->data()[0] != 42; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(42, a->GetRegion(kRegion)->data()[0]);
+}
+
+TEST(Robustness, UpdateForUnmappedRegionDropsBytesOnly) {
+  store::MemStore store;
+  lbc::Cluster cluster(&store);
+  cluster.DefineLock(kLock, kRegion, 1);
+  auto a = std::move(*lbc::Client::Create(&cluster, 1, {}));
+  ASSERT_TRUE(a->MapRegion(kRegion, 8192).ok());
+
+  rvm::TransactionRecord rec;
+  rec.node = 2;
+  rec.commit_seq = 1;
+  rec.locks = {{kLock, 1}};
+  rec.ranges.push_back({/*region=*/77, 0, {1, 2, 3}});  // not mapped at A
+  rec.ranges.push_back({kRegion, 10, {9}});
+  netsim::Endpoint* peer = cluster.fabric()->AddNode(2);
+  ASSERT_TRUE(peer->Send(1, lbc::EncodeUpdateRecord(rec, true)).ok());
+
+  ASSERT_TRUE(a->WaitForAppliedSeq(kLock, 1, 5000));
+  EXPECT_EQ(9, a->GetRegion(kRegion)->data()[10]);
+}
+
+TEST(Robustness, DuplicateUpdateIsIdempotent) {
+  store::MemStore store;
+  lbc::Cluster cluster(&store);
+  cluster.DefineLock(kLock, kRegion, 1);
+  auto a = std::move(*lbc::Client::Create(&cluster, 1, {}));
+  ASSERT_TRUE(a->MapRegion(kRegion, 8192).ok());
+
+  rvm::TransactionRecord rec;
+  rec.node = 2;
+  rec.commit_seq = 1;
+  rec.locks = {{kLock, 1}};
+  rec.ranges.push_back({kRegion, 0, {5}});
+  auto payload = lbc::EncodeUpdateRecord(rec, true);
+  netsim::Endpoint* peer = cluster.fabric()->AddNode(2);
+  ASSERT_TRUE(peer->Send(1, payload).ok());
+  ASSERT_TRUE(peer->Send(1, payload).ok());  // retransmission
+
+  ASSERT_TRUE(a->WaitForAppliedSeq(kLock, 1, 5000));
+  for (int i = 0; i < 200 && a->stats().updates_duplicate == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(1u, a->stats().updates_applied);
+  EXPECT_EQ(1u, a->stats().updates_duplicate);
+  EXPECT_EQ(1u, a->AppliedSeq(kLock));
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// The kLazyServer propagation policy (§2.2's second lazy variant): commits
+// publish records to the server's in-memory cache; acquirers fetch what
+// they are missing; the cache trims as mappers report progress.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/lbc/client.h"
+#include "src/store/mem_store.h"
+
+namespace {
+
+constexpr rvm::RegionId kRegion = 1;
+constexpr rvm::LockId kLock = 10;
+
+struct ServerFetchFixture {
+  explicit ServerFetchFixture(int n_clients) {
+    cluster = std::make_unique<lbc::Cluster>(&store);
+    cluster->DefineLock(kLock, kRegion, 1);
+    lbc::ClientOptions opts;
+    opts.policy = lbc::PropagationPolicy::kLazyServer;
+    for (int i = 0; i < n_clients; ++i) {
+      clients.push_back(std::move(*lbc::Client::Create(cluster.get(), 1 + i, opts)));
+      EXPECT_TRUE(clients.back()->MapRegion(kRegion, 8192).ok());
+    }
+  }
+  lbc::Client* operator[](int i) { return clients[i].get(); }
+
+  store::MemStore store;
+  std::unique_ptr<lbc::Cluster> cluster;
+  std::vector<std::unique_ptr<lbc::Client>> clients;
+};
+
+void Bump(lbc::Client* c) {
+  lbc::Transaction txn = c->Begin();
+  ASSERT_TRUE(txn.Acquire(kLock).ok());
+  uint64_t v;
+  std::memcpy(&v, c->GetRegion(kRegion)->data(), 8);
+  ++v;
+  ASSERT_TRUE(txn.SetRange(kRegion, 0, 8).ok());
+  std::memcpy(c->GetRegion(kRegion)->data(), &v, 8);
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+TEST(ServerFetch, CommitsPublishToServerCache) {
+  ServerFetchFixture fx(2);
+  Bump(fx[0]);
+  Bump(fx[0]);
+  EXPECT_EQ(0u, fx[0]->stats().updates_sent);  // nothing broadcast
+  EXPECT_GE(fx.cluster->CachedRecordCount(kLock), 2u);
+}
+
+TEST(ServerFetch, AcquirerFetchesMissingRecords) {
+  ServerFetchFixture fx(2);
+  for (int i = 0; i < 4; ++i) {
+    Bump(fx[0]);
+  }
+  EXPECT_EQ(0u, fx[1]->AppliedSeq(kLock));  // stale until it acquires
+  Bump(fx[1]);                              // fetches 1..4, then writes 5
+  uint64_t v;
+  std::memcpy(&v, fx[1]->GetRegion(kRegion)->data(), 8);
+  EXPECT_EQ(5u, v);
+  EXPECT_EQ(5u, fx[1]->AppliedSeq(kLock));
+}
+
+TEST(ServerFetch, PingPongConverges) {
+  ServerFetchFixture fx(2);
+  for (int round = 0; round < 10; ++round) {
+    Bump(fx[round % 2]);
+  }
+  uint64_t v;
+  std::memcpy(&v, fx[1]->GetRegion(kRegion)->data(), 8);
+  EXPECT_EQ(10u, v);
+}
+
+TEST(ServerFetch, CacheTrimsAsPeersCatchUp) {
+  ServerFetchFixture fx(2);
+  for (int i = 0; i < 8; ++i) {
+    Bump(fx[0]);
+  }
+  size_t before = fx.cluster->CachedRecordCount(kLock);
+  EXPECT_GE(before, 7u);
+  Bump(fx[1]);  // peer reports progress through seq 8 (and adds seq 9)
+  Bump(fx[0]);  // writer's publish triggers a trim pass
+  EXPECT_LE(fx.cluster->CachedRecordCount(kLock), 3u);
+}
+
+TEST(ServerFetch, ThreeNodesRotating) {
+  ServerFetchFixture fx(3);
+  for (int round = 0; round < 9; ++round) {
+    Bump(fx[round % 3]);
+  }
+  for (int i = 0; i < 3; ++i) {
+    // Each node's final acquire made it fully current at its last write.
+    EXPECT_GE(fx[i]->AppliedSeq(kLock), static_cast<uint64_t>(7 + i)) << i;
+  }
+  uint64_t v;
+  std::memcpy(&v, fx[2]->GetRegion(kRegion)->data(), 8);
+  EXPECT_EQ(9u, v);
+}
+
+TEST(ServerFetch, SecondLockInTransactionRejected) {
+  ServerFetchFixture fx(1);
+  fx.cluster->DefineLock(11, kRegion, 1);
+  lbc::Transaction txn = fx[0]->Begin();
+  ASSERT_TRUE(txn.Acquire(kLock).ok());
+  EXPECT_EQ(base::StatusCode::kFailedPrecondition, txn.Acquire(11).code());
+  ASSERT_TRUE(txn.Abort().ok());
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// Coherency wire format: round trips, §3.2 header compression bounds, the
+// uncompressed (standard-RVM-header) emulation, and lock protocol messages.
+#include "src/lbc/wire_format.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+
+namespace {
+
+rvm::TransactionRecord MakeTxn() {
+  rvm::TransactionRecord txn;
+  txn.node = 4;
+  txn.commit_seq = 11;
+  txn.locks = {{3, 7}};
+  txn.ranges.push_back({1, 100, {1, 2, 3, 4, 5, 6, 7, 8}});
+  txn.ranges.push_back({1, 200, {9, 9}});          // near predecessor: delta
+  txn.ranges.push_back({1, 5 * 1024 * 1024, {1}}); // far: absolute
+  return txn;
+}
+
+TEST(WireFormat, UpdateRoundTripCompressed) {
+  rvm::TransactionRecord txn = MakeTxn();
+  auto payload = lbc::EncodeUpdateRecord(txn, /*compress_headers=*/true);
+  rvm::TransactionRecord out;
+  ASSERT_TRUE(lbc::DecodeUpdate(base::ByteSpan(payload.data(), payload.size()), &out).ok());
+  EXPECT_EQ(txn.node, out.node);
+  EXPECT_EQ(txn.commit_seq, out.commit_seq);
+  EXPECT_EQ(txn.locks, out.locks);
+  EXPECT_EQ(txn.ranges, out.ranges);
+}
+
+TEST(WireFormat, UpdateRoundTripUncompressed) {
+  rvm::TransactionRecord txn = MakeTxn();
+  auto payload = lbc::EncodeUpdateRecord(txn, /*compress_headers=*/false);
+  rvm::TransactionRecord out;
+  ASSERT_TRUE(lbc::DecodeUpdate(base::ByteSpan(payload.data(), payload.size()), &out).ok());
+  EXPECT_EQ(txn.ranges, out.ranges);
+}
+
+TEST(WireFormat, CompressionShrinksHeaders) {
+  rvm::TransactionRecord txn = MakeTxn();
+  auto small = lbc::EncodeUpdateRecord(txn, true);
+  auto big = lbc::EncodeUpdateRecord(txn, false);
+  // Uncompressed pays the 104-byte standard RVM header per range.
+  EXPECT_GT(big.size(), small.size() + 2 * (lbc::kStandardRvmRangeHeaderSize - 24));
+}
+
+TEST(WireFormat, CompressedHeaderSizeBounds) {
+  // The paper's compressed headers run 4-24 bytes; ours are varint-based
+  // and must stay within [3, 24] for any range geometry.
+  const uint64_t offsets[] = {0, 1, 255, 4095, 1ull << 20, 1ull << 40, UINT64_MAX / 2};
+  const uint64_t lens[] = {1, 8, 4095, 4096, 1ull << 20};
+  for (uint64_t prev : offsets) {
+    for (uint64_t off : offsets) {
+      for (uint64_t len : lens) {
+        size_t size = lbc::CompressedRangeHeaderSize(prev, off, len);
+        EXPECT_GE(size, 3u);
+        EXPECT_LE(size, 24u);
+      }
+    }
+  }
+}
+
+TEST(WireFormat, NearRangesUseDeltaEncoding) {
+  // Two small nearby ranges: the second header must be tiny.
+  size_t first = lbc::CompressedRangeHeaderSize(UINT64_MAX, 1ull << 30, 8);
+  size_t nearby = lbc::CompressedRangeHeaderSize(1ull << 30, (1ull << 30) + 200, 8);
+  EXPECT_GT(first, nearby);
+  EXPECT_LE(nearby, 5u);  // tag + region + 2-byte delta + 1-byte len
+}
+
+TEST(WireFormat, SparseOo7StyleHeadersAverageNearFourBytes) {
+  // 500 ranges of 8 bytes, one per 8 KB page (the T12-A/T2-A pattern):
+  // Table 3 shows 6000 message bytes for 4000 data bytes — 4 bytes/header.
+  rvm::TransactionRecord txn;
+  txn.node = 1;
+  txn.commit_seq = 1;
+  for (int i = 0; i < 500; ++i) {
+    txn.ranges.push_back(
+        {1, static_cast<uint64_t>(i) * 8192, {0, 0, 0, 0, 0, 0, 0, 0}});
+  }
+  auto payload = lbc::EncodeUpdateRecord(txn, true);
+  size_t data_bytes = 500 * 8;
+  size_t header_bytes = payload.size() - data_bytes;
+  EXPECT_LT(header_bytes, 500 * 6);  // ~4-5 bytes per range + message header
+  EXPECT_GT(header_bytes, 500 * 3);
+}
+
+TEST(WireFormat, EmptyUpdateRoundTrips) {
+  rvm::TransactionRecord txn;
+  txn.node = 2;
+  txn.commit_seq = 3;
+  txn.locks = {{1, 1}};
+  auto payload = lbc::EncodeUpdateRecord(txn, true);
+  rvm::TransactionRecord out;
+  ASSERT_TRUE(lbc::DecodeUpdate(base::ByteSpan(payload.data(), payload.size()), &out).ok());
+  EXPECT_TRUE(out.ranges.empty());
+  EXPECT_EQ(txn.locks, out.locks);
+}
+
+TEST(WireFormat, PeekTypeRejectsGarbage) {
+  uint8_t junk = 0x63;
+  EXPECT_FALSE(lbc::PeekMsgType(base::ByteSpan(&junk, 1)).ok());
+  EXPECT_FALSE(lbc::PeekMsgType(base::ByteSpan(&junk, 0)).ok());
+}
+
+TEST(WireFormat, TruncatedUpdateIsDataLoss) {
+  auto payload = lbc::EncodeUpdateRecord(MakeTxn(), true);
+  payload.resize(payload.size() / 2);
+  rvm::TransactionRecord out;
+  EXPECT_FALSE(lbc::DecodeUpdate(base::ByteSpan(payload.data(), payload.size()), &out).ok());
+}
+
+TEST(WireFormat, LockRequestRoundTrip) {
+  lbc::LockRequestMsg msg{42, 7, 13};
+  auto payload = lbc::EncodeLockRequest(msg);
+  EXPECT_EQ(lbc::MsgType::kLockRequest,
+            *lbc::PeekMsgType(base::ByteSpan(payload.data(), payload.size())));
+  lbc::LockRequestMsg out;
+  ASSERT_TRUE(
+      lbc::DecodeLockRequest(base::ByteSpan(payload.data(), payload.size()), &out).ok());
+  EXPECT_EQ(msg.lock, out.lock);
+  EXPECT_EQ(msg.requester, out.requester);
+  EXPECT_EQ(msg.applied_seq, out.applied_seq);
+}
+
+TEST(WireFormat, LockForwardRoundTrip) {
+  lbc::LockForwardMsg msg{8, 2, 5};
+  auto payload = lbc::EncodeLockForward(msg);
+  lbc::LockForwardMsg out;
+  ASSERT_TRUE(
+      lbc::DecodeLockForward(base::ByteSpan(payload.data(), payload.size()), &out).ok());
+  EXPECT_EQ(msg.lock, out.lock);
+  EXPECT_EQ(msg.requester, out.requester);
+}
+
+TEST(WireFormat, LockTokenRoundTripWithPiggyback) {
+  lbc::LockTokenMsg msg;
+  msg.lock = 9;
+  msg.token_seq = 77;
+  msg.piggyback.push_back(MakeTxn());
+  msg.piggyback.push_back(MakeTxn());
+  msg.piggyback[1].commit_seq = 12;
+  auto payload = lbc::EncodeLockToken(msg, true);
+  lbc::LockTokenMsg out;
+  ASSERT_TRUE(
+      lbc::DecodeLockToken(base::ByteSpan(payload.data(), payload.size()), &out).ok());
+  EXPECT_EQ(9u, out.lock);
+  EXPECT_EQ(77u, out.token_seq);
+  ASSERT_EQ(2u, out.piggyback.size());
+  EXPECT_EQ(11u, out.piggyback[0].commit_seq);
+  EXPECT_EQ(12u, out.piggyback[1].commit_seq);
+  EXPECT_EQ(msg.piggyback[0].ranges, out.piggyback[0].ranges);
+}
+
+TEST(WireFormat, WrongTypeDecodeFails) {
+  auto payload = lbc::EncodeLockRequest({1, 1, 0});
+  lbc::LockForwardMsg fwd;
+  EXPECT_FALSE(
+      lbc::DecodeLockForward(base::ByteSpan(payload.data(), payload.size()), &fwd).ok());
+  rvm::TransactionRecord rec;
+  EXPECT_FALSE(lbc::DecodeUpdate(base::ByteSpan(payload.data(), payload.size()), &rec).ok());
+}
+
+// Property: random transactions round-trip in both header modes.
+class WireFormatPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFormatPropertyTest, RandomRoundTrip) {
+  base::Rng rng(GetParam());
+  rvm::TransactionRecord txn;
+  txn.node = static_cast<rvm::NodeId>(rng.Uniform(10));
+  txn.commit_seq = rng.Uniform(1000);
+  int n_locks = static_cast<int>(rng.Uniform(4));
+  for (int i = 0; i < n_locks; ++i) {
+    txn.locks.push_back({rng.Uniform(100), rng.Uniform(1000)});
+  }
+  int n_ranges = static_cast<int>(rng.Uniform(20));
+  uint64_t offset = 0;
+  for (int i = 0; i < n_ranges; ++i) {
+    offset += rng.Uniform(1 << 20);  // sometimes near, sometimes far
+    rvm::RangeImage img;
+    img.region = static_cast<rvm::RegionId>(1 + rng.Uniform(3));
+    img.offset = offset;
+    img.data.resize(1 + rng.Uniform(300));
+    for (auto& b : img.data) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    txn.ranges.push_back(std::move(img));
+  }
+  for (bool compress : {true, false}) {
+    auto payload = lbc::EncodeUpdateRecord(txn, compress);
+    rvm::TransactionRecord out;
+    ASSERT_TRUE(
+        lbc::DecodeUpdate(base::ByteSpan(payload.data(), payload.size()), &out).ok());
+    EXPECT_EQ(txn.ranges, out.ranges);
+    EXPECT_EQ(txn.locks, out.locks);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFormatPropertyTest, ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace

@@ -1,0 +1,75 @@
+// Fabric multicast semantics (§4.3.1 extension).
+#include <gtest/gtest.h>
+
+#include "src/netsim/fabric.h"
+
+namespace {
+
+TEST(Multicast, DeliversToAllRecipients) {
+  netsim::Fabric fabric;
+  auto* sender = fabric.AddNode(1);
+  auto* b = fabric.AddNode(2);
+  auto* c = fabric.AddNode(3);
+  ASSERT_TRUE(sender->Multicast({2, 3}, {7, 8}).ok());
+  auto mb = b->Receive();
+  auto mc = c->Receive();
+  ASSERT_TRUE(mb.has_value());
+  ASSERT_TRUE(mc.has_value());
+  EXPECT_EQ(mb->payload, mc->payload);
+  EXPECT_EQ(1u, mb->from);
+}
+
+TEST(Multicast, ChargedAsOneMessage) {
+  netsim::Fabric fabric;
+  auto* sender = fabric.AddNode(1);
+  fabric.AddNode(2);
+  fabric.AddNode(3);
+  fabric.AddNode(4);
+  ASSERT_TRUE(sender->Multicast({2, 3, 4}, std::vector<uint8_t>(100, 1)).ok());
+  netsim::EndpointStats s = sender->stats();
+  EXPECT_EQ(1u, s.messages_sent);
+  EXPECT_EQ(100u, s.bytes_sent);
+}
+
+TEST(Multicast, SkipsUnknownRecipients) {
+  netsim::Fabric fabric;
+  auto* sender = fabric.AddNode(1);
+  auto* b = fabric.AddNode(2);
+  ASSERT_TRUE(sender->Multicast({2, 99}, {5}).ok());
+  EXPECT_TRUE(b->Receive().has_value());
+}
+
+TEST(Multicast, PerPairFifoWithUnicast) {
+  netsim::Fabric fabric;
+  auto* sender = fabric.AddNode(1);
+  auto* b = fabric.AddNode(2);
+  ASSERT_TRUE(sender->Send(2, {1}).ok());
+  ASSERT_TRUE(sender->Multicast({2}, {2}).ok());
+  ASSERT_TRUE(sender->Send(2, {3}).ok());
+  for (uint8_t i = 1; i <= 3; ++i) {
+    auto msg = b->Receive();
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(i, msg->payload[0]);
+  }
+}
+
+TEST(Multicast, RespectsHeldLinks) {
+  netsim::Fabric fabric;
+  auto* sender = fabric.AddNode(1);
+  auto* b = fabric.AddNode(2);
+  auto* c = fabric.AddNode(3);
+  fabric.HoldLink(1, 2);
+  ASSERT_TRUE(sender->Multicast({2, 3}, {9}).ok());
+  EXPECT_TRUE(c->Receive().has_value());  // c gets it immediately
+  fabric.ReleaseLink(1, 2);
+  EXPECT_TRUE(b->Receive().has_value());  // b only after release
+}
+
+TEST(Multicast, EmptyRecipientListIsOk) {
+  netsim::Fabric fabric;
+  auto* sender = fabric.AddNode(1);
+  EXPECT_TRUE(sender->Multicast({}, {1}).ok());
+  EXPECT_EQ(1u, sender->stats().messages_sent);
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// The persistent AVL part index: correctness, balance invariants, free-list
+// reuse, and modify-callback coverage (every mutated byte is declared).
+#include "src/oo7/avl_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/oo7/database.h"
+
+namespace {
+
+// A minimal region holding just a header and an AVL pool.
+class AvlFixture {
+ public:
+  explicit AvlFixture(uint64_t capacity = 4096) {
+    buffer_.resize(oo7::kPageSize + capacity * sizeof(oo7::AvlNode), 0);
+    auto* h = reinterpret_cast<oo7::Header*>(buffer_.data());
+    h->magic = oo7::kHeaderMagic;
+    h->avl_area = oo7::kPageSize;
+    h->avl_capacity = capacity;
+    h->index_root = oo7::kNullOffset;
+    h->free_head = oo7::kNullOffset;
+  }
+  oo7::AvlIndex index() { return oo7::AvlIndex(buffer_.data()); }
+  uint8_t* base() { return buffer_.data(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+TEST(AvlIndex, InsertFindErase) {
+  AvlFixture fx;
+  oo7::AvlIndex idx = fx.index();
+  ASSERT_TRUE(idx.Insert(10, 1000).ok());
+  ASSERT_TRUE(idx.Insert(5, 1001).ok());
+  ASSERT_TRUE(idx.Insert(20, 1002).ok());
+  EXPECT_EQ(3u, idx.size());
+  EXPECT_EQ(1001u, *idx.Find(5));
+  EXPECT_EQ(1002u, *idx.Find(20));
+  EXPECT_FALSE(idx.Find(6).ok());
+  ASSERT_TRUE(idx.Erase(5).ok());
+  EXPECT_FALSE(idx.Find(5).ok());
+  EXPECT_EQ(2u, idx.size());
+  EXPECT_TRUE(idx.Validate());
+}
+
+TEST(AvlIndex, DuplicateInsertFails) {
+  AvlFixture fx;
+  oo7::AvlIndex idx = fx.index();
+  ASSERT_TRUE(idx.Insert(1, 10).ok());
+  EXPECT_EQ(base::StatusCode::kAlreadyExists, idx.Insert(1, 11).code());
+  EXPECT_EQ(1u, idx.size());
+}
+
+TEST(AvlIndex, EraseMissingFails) {
+  AvlFixture fx;
+  oo7::AvlIndex idx = fx.index();
+  EXPECT_EQ(base::StatusCode::kNotFound, idx.Erase(1).code());
+  ASSERT_TRUE(idx.Insert(1, 10).ok());
+  EXPECT_EQ(base::StatusCode::kNotFound, idx.Erase(2).code());
+}
+
+TEST(AvlIndex, AscendingInsertionStaysBalanced) {
+  AvlFixture fx;
+  oo7::AvlIndex idx = fx.index();
+  for (int64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(idx.Insert(k, k).ok());
+  }
+  EXPECT_TRUE(idx.Validate());
+  for (int64_t k = 0; k < 1000; ++k) {
+    EXPECT_EQ(static_cast<uint64_t>(k), *idx.Find(k));
+  }
+}
+
+TEST(AvlIndex, DescendingInsertionStaysBalanced) {
+  AvlFixture fx;
+  oo7::AvlIndex idx = fx.index();
+  for (int64_t k = 1000; k > 0; --k) {
+    ASSERT_TRUE(idx.Insert(k, k).ok());
+  }
+  EXPECT_TRUE(idx.Validate());
+}
+
+TEST(AvlIndex, FreedNodesAreReused) {
+  AvlFixture fx(/*capacity=*/8);
+  oo7::AvlIndex idx = fx.index();
+  // Cycle far more insert/erase pairs than the pool holds.
+  for (int round = 0; round < 100; ++round) {
+    for (int64_t k = 0; k < 6; ++k) {
+      ASSERT_TRUE(idx.Insert(round * 100 + k, 1).ok()) << "round " << round;
+    }
+    for (int64_t k = 0; k < 6; ++k) {
+      ASSERT_TRUE(idx.Erase(round * 100 + k).ok());
+    }
+  }
+  EXPECT_EQ(0u, idx.size());
+}
+
+TEST(AvlIndex, PoolExhaustionIsError) {
+  AvlFixture fx(/*capacity=*/4);
+  oo7::AvlIndex idx = fx.index();
+  for (int64_t k = 0; k < 4; ++k) {
+    ASSERT_TRUE(idx.Insert(k, 1).ok());
+  }
+  EXPECT_EQ(base::StatusCode::kOutOfRange, idx.Insert(99, 1).code());
+}
+
+TEST(AvlIndex, ModifyCallbackCoversEveryMutatedByte) {
+  // Run a workload twice over two identical images: once recording declared
+  // ranges, once not. Every byte that differs from the pristine image must
+  // be covered by a declared range — the guarantee RVM logging depends on.
+  AvlFixture fx;
+  std::vector<uint8_t> pristine(fx.base(),
+                                fx.base() + oo7::kPageSize + 4096 * sizeof(oo7::AvlNode));
+  oo7::AvlIndex idx = fx.index();
+  std::vector<std::pair<uint64_t, uint64_t>> declared;
+  idx.set_on_modify([&](uint64_t off, uint64_t len) { declared.emplace_back(off, len); });
+
+  base::Rng rng(42);
+  std::set<int64_t> keys;
+  for (int i = 0; i < 400; ++i) {
+    if (keys.empty() || rng.Chance(2, 3)) {
+      int64_t k = static_cast<int64_t>(rng.Uniform(100000));
+      if (keys.insert(k).second) {
+        ASSERT_TRUE(idx.Insert(k, k).ok());
+      }
+    } else {
+      int64_t k = *keys.begin();
+      keys.erase(keys.begin());
+      ASSERT_TRUE(idx.Erase(k).ok());
+    }
+  }
+  ASSERT_TRUE(idx.Validate());
+
+  std::vector<bool> covered(pristine.size(), false);
+  for (auto& [off, len] : declared) {
+    for (uint64_t b = off; b < off + len && b < covered.size(); ++b) {
+      covered[b] = true;
+    }
+  }
+  const uint8_t* now = fx.base();
+  for (size_t b = 0; b < pristine.size(); ++b) {
+    if (now[b] != pristine[b]) {
+      ASSERT_TRUE(covered[b]) << "byte " << b << " mutated but never declared";
+    }
+  }
+}
+
+// Property: random workloads keep all invariants and agree with std::map.
+class AvlPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AvlPropertyTest, MatchesReferenceModel) {
+  AvlFixture fx;
+  oo7::AvlIndex idx = fx.index();
+  std::map<int64_t, uint64_t> model;
+  base::Rng rng(GetParam());
+  for (int i = 0; i < 1500; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(500));
+    int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0) {  // insert
+      bool in_model = model.count(key);
+      base::Status st = idx.Insert(key, key * 2);
+      EXPECT_EQ(!in_model, st.ok());
+      if (!in_model) {
+        model[key] = key * 2;
+      }
+    } else if (op == 1) {  // erase
+      bool in_model = model.count(key);
+      base::Status st = idx.Erase(key);
+      EXPECT_EQ(in_model, st.ok());
+      model.erase(key);
+    } else {  // find
+      auto r = idx.Find(key);
+      EXPECT_EQ(model.count(key) > 0, r.ok());
+      if (r.ok()) {
+        EXPECT_EQ(model[key], *r);
+      }
+    }
+    EXPECT_EQ(model.size(), idx.size());
+  }
+  EXPECT_TRUE(idx.Validate());
+  for (const auto& [k, v] : model) {
+    EXPECT_EQ(v, *idx.Find(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvlPropertyTest, ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace

@@ -1,0 +1,185 @@
+// OO7 database generator: cardinalities, clustering, connectivity, index
+// completeness — the §4.1 structural properties.
+#include "src/oo7/database.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/oo7/schema.h"
+
+namespace {
+
+std::vector<uint8_t> BuildImage(const oo7::Config& config) {
+  std::vector<uint8_t> image(oo7::Database::RequiredSize(config), 0);
+  EXPECT_TRUE(oo7::Database::Build(image.data(), image.size(), config).ok());
+  return image;
+}
+
+TEST(Oo7Schema, ObjectSizesMatchPaper) {
+  EXPECT_EQ(200u, sizeof(oo7::AtomicPart));
+  EXPECT_EQ(200u, sizeof(oo7::CompositePart));
+  EXPECT_EQ(200u, sizeof(oo7::Assembly));
+  EXPECT_EQ(64u, sizeof(oo7::AvlNode));
+}
+
+TEST(Oo7Config, StandardCardinalities) {
+  oo7::Config c;
+  EXPECT_EQ(500u, c.num_composite_parts);
+  EXPECT_EQ(729u, c.NumBaseAssemblies());
+  EXPECT_EQ(1093u, c.NumAssemblies());
+  EXPECT_EQ(10000u, c.NumAtomicParts());
+}
+
+TEST(Oo7Database, BuildValidatesConfig) {
+  oo7::Config bad = oo7::TinyConfig();
+  bad.atomic_per_composite = 50;  // 50*200 > 8192: cluster cannot fit a page
+  std::vector<uint8_t> image(oo7::Database::RequiredSize(bad), 0);
+  EXPECT_FALSE(oo7::Database::Build(image.data(), image.size(), bad).ok());
+  EXPECT_FALSE(oo7::Database::Build(image.data(), 16, oo7::TinyConfig()).ok());
+}
+
+TEST(Oo7Database, HeaderRoundTrips) {
+  oo7::Config config = oo7::TinyConfig();
+  auto image = BuildImage(config);
+  oo7::Database db(image.data());
+  ASSERT_TRUE(db.CheckHeader().ok());
+  oo7::Config echo = db.ConfigFromHeader();
+  EXPECT_EQ(config.num_composite_parts, echo.num_composite_parts);
+  EXPECT_EQ(config.atomic_per_composite, echo.atomic_per_composite);
+  EXPECT_EQ(config.assembly_levels, echo.assembly_levels);
+}
+
+TEST(Oo7Database, CheckHeaderRejectsGarbage) {
+  std::vector<uint8_t> junk(oo7::kPageSize, 0x5A);
+  oo7::Database db(junk.data());
+  EXPECT_FALSE(db.CheckHeader().ok());
+}
+
+TEST(Oo7Database, ClustersArePageAlignedAndDisjoint) {
+  oo7::Config config = oo7::TinyConfig();
+  auto image = BuildImage(config);
+  oo7::Database db(image.data());
+  std::set<uint64_t> pages;
+  for (uint32_t ci = 0; ci < config.num_composite_parts; ++ci) {
+    const oo7::CompositePart* comp = db.composite(db.composite_offset(ci));
+    EXPECT_EQ(0u, comp->parts_base % oo7::kPageSize);
+    EXPECT_TRUE(pages.insert(comp->parts_base / oo7::kPageSize).second)
+        << "two composites share a page";
+    EXPECT_EQ(comp->root_part, comp->parts_base);
+    EXPECT_EQ(config.atomic_per_composite, comp->n_parts);
+  }
+}
+
+TEST(Oo7Database, AtomicGraphIsConnectedWithinComposite) {
+  oo7::Config config = oo7::TinyConfig();
+  auto image = BuildImage(config);
+  oo7::Database db(image.data());
+  for (uint32_t ci = 0; ci < config.num_composite_parts; ++ci) {
+    const oo7::CompositePart* comp = db.composite(db.composite_offset(ci));
+    std::set<uint64_t> reached;
+    std::vector<uint64_t> stack = {comp->root_part};
+    reached.insert(comp->root_part);
+    while (!stack.empty()) {
+      const oo7::AtomicPart* part = db.atomic(stack.back());
+      stack.pop_back();
+      EXPECT_EQ(db.composite_offset(ci), part->composite);
+      EXPECT_EQ(config.connections_per_atomic, part->n_out);
+      for (uint32_t k = 0; k < part->n_out; ++k) {
+        // Connections stay within the cluster.
+        EXPECT_GE(part->out[k], comp->parts_base);
+        EXPECT_LT(part->out[k], comp->parts_base +
+                                    config.atomic_per_composite * sizeof(oo7::AtomicPart));
+        if (reached.insert(part->out[k]).second) {
+          stack.push_back(part->out[k]);
+        }
+      }
+    }
+    EXPECT_EQ(config.atomic_per_composite, reached.size())
+        << "composite " << ci << " graph not fully reachable";
+  }
+}
+
+TEST(Oo7Database, AssemblyTreeIsComplete) {
+  oo7::Config config = oo7::TinyConfig();  // 3 levels: 1 + 3 + 9
+  auto image = BuildImage(config);
+  oo7::Database db(image.data());
+  uint32_t bases = 0, complexes = 0;
+  std::vector<uint64_t> stack = {db.root_assembly()};
+  while (!stack.empty()) {
+    const oo7::Assembly* a = db.assembly(stack.back());
+    stack.pop_back();
+    if (a->kind == static_cast<uint32_t>(oo7::AssemblyKind::kBase)) {
+      ++bases;
+      for (uint64_t child : a->children) {
+        ASSERT_NE(oo7::kNullOffset, child);
+        // Children of base assemblies are composite parts.
+        const oo7::CompositePart* comp = db.composite(child);
+        EXPECT_GE(comp->id, 1u);
+        EXPECT_LE(comp->id, config.num_composite_parts);
+      }
+    } else {
+      ++complexes;
+      for (uint64_t child : a->children) {
+        ASSERT_NE(oo7::kNullOffset, child);
+        stack.push_back(child);
+      }
+    }
+  }
+  EXPECT_EQ(config.NumBaseAssemblies(), bases);
+  EXPECT_EQ(config.NumAssemblies() - config.NumBaseAssemblies(), complexes);
+}
+
+TEST(Oo7Database, ParentPointersConsistent) {
+  oo7::Config config = oo7::TinyConfig();
+  auto image = BuildImage(config);
+  oo7::Database db(image.data());
+  EXPECT_EQ(oo7::kNullOffset, db.assembly(db.root_assembly())->parent);
+  for (uint32_t i = 0; i < config.NumAssemblies(); ++i) {
+    const oo7::Assembly* a = db.assembly(db.assembly_offset(i));
+    if (a->kind == static_cast<uint32_t>(oo7::AssemblyKind::kComplex)) {
+      for (uint64_t child : a->children) {
+        EXPECT_EQ(db.assembly_offset(i), db.assembly(child)->parent);
+      }
+    }
+  }
+}
+
+TEST(Oo7Database, IndexCoversEveryAtomicPart) {
+  oo7::Config config = oo7::TinyConfig();
+  auto image = BuildImage(config);
+  oo7::Database db(image.data());
+  oo7::AvlIndex index = db.index();
+  EXPECT_EQ(config.NumAtomicParts(), index.size());
+  EXPECT_TRUE(index.Validate());
+  for (uint32_t ci = 0; ci < config.num_composite_parts; ++ci) {
+    const oo7::CompositePart* comp = db.composite(db.composite_offset(ci));
+    for (uint32_t ai = 0; ai < config.atomic_per_composite; ++ai) {
+      uint64_t part_off = comp->parts_base + ai * sizeof(oo7::AtomicPart);
+      auto found = index.Find(db.atomic(part_off)->index_key);
+      ASSERT_TRUE(found.ok());
+      EXPECT_EQ(part_off, *found);
+    }
+  }
+}
+
+TEST(Oo7Database, DeterministicForSeed) {
+  oo7::Config config = oo7::TinyConfig();
+  auto a = BuildImage(config);
+  auto b = BuildImage(config);
+  EXPECT_EQ(a, b);
+  config.seed = 999;
+  auto c = BuildImage(config);
+  EXPECT_NE(a, c);
+}
+
+TEST(Oo7Database, IndexKeyUniqueAcrossGenerations) {
+  // Re-keying a part must never collide with any other part at any
+  // plausible generation.
+  EXPECT_NE(oo7::Database::IndexKey(1, 1), oo7::Database::IndexKey(2, 0));
+  EXPECT_NE(oo7::Database::IndexKey(1, 5), oo7::Database::IndexKey(1, 6));
+  EXPECT_LT(oo7::Database::IndexKey(1, 0xFFFFF), oo7::Database::IndexKey(2, 0));
+}
+
+}  // namespace

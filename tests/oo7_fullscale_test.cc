@@ -1,0 +1,81 @@
+// Full paper-scale OO7 database checks (§4.1 cardinalities) and read-only
+// traversals at scale. Kept in its own binary: building the 10,000-part
+// database takes noticeably longer than the tiny-config tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/oo7/database.h"
+#include "src/oo7/traversals.h"
+
+namespace {
+
+class FullScaleDb : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new oo7::Config();
+    image_ = new std::vector<uint8_t>(oo7::Database::RequiredSize(*config_), 0);
+    ASSERT_TRUE(oo7::Database::Build(image_->data(), image_->size(), *config_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete image_;
+    delete config_;
+    image_ = nullptr;
+    config_ = nullptr;
+  }
+  oo7::Database db() { return oo7::Database(image_->data()); }
+
+  static oo7::Config* config_;
+  static std::vector<uint8_t>* image_;
+};
+
+oo7::Config* FullScaleDb::config_ = nullptr;
+std::vector<uint8_t>* FullScaleDb::image_ = nullptr;
+
+TEST_F(FullScaleDb, PaperCardinalities) {
+  EXPECT_EQ(500u, config_->num_composite_parts);
+  EXPECT_EQ(10000u, config_->NumAtomicParts());
+  EXPECT_EQ(729u, config_->NumBaseAssemblies());
+  EXPECT_EQ(1093u, config_->NumAssemblies());
+  oo7::AvlIndex index = db().index();
+  EXPECT_EQ(10000u, index.size());
+}
+
+TEST_F(FullScaleDb, IndexIsValidAtScale) { EXPECT_TRUE(db().index().Validate()); }
+
+TEST_F(FullScaleDb, T6Visits2187Composites) {
+  auto result = oo7::RunT6(db());
+  EXPECT_EQ(2187u, result.composite_visits);
+  EXPECT_EQ(0u, result.updates);
+}
+
+TEST_F(FullScaleDb, T1VisitsEveryPartPerVisit) {
+  auto result = oo7::RunT1(db());
+  EXPECT_EQ(2187u, result.composite_visits);
+  EXPECT_EQ(2187u * 20, result.atomic_visits);
+}
+
+TEST_F(FullScaleDb, BaseAssembliesReferenceNearlyAllComposites) {
+  // 2187 uniform draws over 500 composites: expect ~99% coverage (this is
+  // why Table 3's "bytes updated" is 3960 rather than 4000 for us).
+  std::set<uint64_t> referenced;
+  oo7::Database d = db();
+  for (uint32_t i = 0; i < config_->NumAssemblies(); ++i) {
+    const oo7::Assembly* a = d.assembly(d.assembly_offset(i));
+    if (a->kind == static_cast<uint32_t>(oo7::AssemblyKind::kBase)) {
+      for (uint64_t child : a->children) {
+        referenced.insert(child);
+      }
+    }
+  }
+  EXPECT_GT(referenced.size(), 480u);
+  EXPECT_LE(referenced.size(), 500u);
+}
+
+TEST_F(FullScaleDb, DatabaseSizeIsLaptopScale) {
+  // ~500 pages of atomic parts + areas: well under 10 MB.
+  EXPECT_LT(image_->size(), 10ull << 20);
+  EXPECT_GT(image_->size(), 4ull << 20);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// OO7 queries: correctness against brute-force evaluation, scan bounds,
+// behaviour under structural churn, and the read-path property that queries
+// generate zero coherency traffic.
+#include "src/oo7/queries.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/lbc/client.h"
+#include "src/oo7/structural.h"
+#include "src/store/mem_store.h"
+
+namespace {
+
+struct Fixture {
+  Fixture() : config(oo7::TinyConfig()), rng(11) {
+    image.resize(oo7::Database::RequiredSize(config), 0);
+    EXPECT_TRUE(oo7::Database::Build(image.data(), image.size(), config).ok());
+  }
+  oo7::Database db() { return oo7::Database(image.data()); }
+
+  oo7::Config config;
+  std::vector<uint8_t> image;
+  base::Rng rng;
+};
+
+TEST(Oo7Queries, Q1AllLookupsHit) {
+  Fixture fx;
+  auto result = oo7::RunQ1(fx.db(), fx.rng, 25);
+  EXPECT_EQ(25u, result.visited);
+  EXPECT_EQ(25u, result.matches);
+}
+
+TEST(Oo7Queries, Q7ScansEveryPart) {
+  Fixture fx;
+  auto result = oo7::RunQ7(fx.db(), fx.rng);
+  EXPECT_EQ(fx.config.NumAtomicParts(), result.matches);
+  EXPECT_EQ(result.visited, result.matches);
+}
+
+TEST(Oo7Queries, RangeQueriesSelectProportionally) {
+  Fixture fx;
+  auto q2 = oo7::RunQ2(fx.db(), fx.rng);
+  auto q3 = oo7::RunQ3(fx.db(), fx.rng);
+  auto q7 = oo7::RunQ7(fx.db(), fx.rng);
+  EXPECT_GT(q2.matches, 0u);
+  EXPECT_LT(q2.matches, q7.matches / 10);  // ~1% vs 100%
+  EXPECT_GT(q3.matches, q2.matches);
+  EXPECT_LT(q3.matches, q7.matches);
+}
+
+TEST(Oo7Queries, ScanMatchesBruteForce) {
+  Fixture fx;
+  oo7::AvlIndex index = fx.db().index();
+  int64_t lo = oo7::Database::IndexKey(10, 0);
+  int64_t hi = oo7::Database::IndexKey(40, 0);
+  // Brute force: count parts with key in range.
+  uint64_t expected = 0;
+  oo7::Database db = fx.db();
+  for (uint32_t ci = 0; ci < fx.config.num_composite_parts; ++ci) {
+    const oo7::CompositePart* comp = db.composite(db.composite_offset(ci));
+    for (uint32_t ai = 0; ai < comp->n_parts; ++ai) {
+      int64_t key =
+          db.atomic(comp->parts_base + ai * sizeof(oo7::AtomicPart))->index_key;
+      if (key >= lo && key <= hi) {
+        ++expected;
+      }
+    }
+  }
+  uint64_t scanned = 0;
+  int64_t prev = INT64_MIN;
+  index.Scan(lo, hi, [&](int64_t key, uint64_t) {
+    EXPECT_GT(key, prev) << "scan not in order";
+    EXPECT_GE(key, lo);
+    EXPECT_LE(key, hi);
+    prev = key;
+    ++scanned;
+    return true;
+  });
+  EXPECT_EQ(expected, scanned);
+}
+
+TEST(Oo7Queries, ScanEarlyStop) {
+  Fixture fx;
+  oo7::AvlIndex index = fx.db().index();
+  uint64_t seen = 0;
+  index.Scan(INT64_MIN + 1, INT64_MAX - 1, [&](int64_t, uint64_t) {
+    return ++seen < 5;
+  });
+  EXPECT_EQ(5u, seen);
+}
+
+TEST(Oo7Queries, MinMaxKeys) {
+  Fixture fx;
+  oo7::AvlIndex index = fx.db().index();
+  EXPECT_EQ(oo7::Database::IndexKey(1, 0), *index.MinKey());
+  EXPECT_EQ(oo7::Database::IndexKey(fx.config.NumAtomicParts(), 0), *index.MaxKey());
+}
+
+TEST(Oo7Queries, Q5FindsSomeAssemblies) {
+  Fixture fx;
+  auto result = oo7::RunQ5(fx.db());
+  EXPECT_EQ(fx.config.NumBaseAssemblies(), result.visited);
+  EXPECT_GT(result.matches, 0u);
+  EXPECT_LE(result.matches, result.visited);
+}
+
+TEST(Oo7Queries, SurviveStructuralChurn) {
+  Fixture fx;
+  oo7::NullSink sink;
+  for (int i = 0; i < 30; ++i) {
+    if (fx.rng.Chance(1, 2)) {
+      oo7::InsertCompositePart(fx.db(), sink, fx.rng).ok();
+    } else {
+      auto victim = oo7::RandomActiveComposite(fx.db(), fx.rng);
+      ASSERT_TRUE(victim.ok());
+      oo7::DeleteCompositePart(fx.db(), sink, *victim, fx.rng).ok();
+    }
+  }
+  auto q7 = oo7::RunQ7(fx.db(), fx.rng);
+  EXPECT_EQ(fx.db().header()->active_composites * fx.config.atomic_per_composite,
+            q7.matches);
+  auto q1 = oo7::RunQ1(fx.db(), fx.rng, 10);
+  EXPECT_EQ(q1.visited, q1.matches);
+}
+
+TEST(Oo7Queries, ReadOnlyQueriesGenerateNoCoherencyTraffic) {
+  store::MemStore store;
+  lbc::Cluster cluster(&store);
+  cluster.DefineLock(1, 1, 1);
+  oo7::Config config = oo7::TinyConfig();
+  std::vector<uint8_t> image(oo7::Database::RequiredSize(config), 0);
+  ASSERT_TRUE(oo7::Database::Build(image.data(), image.size(), config).ok());
+  {
+    auto file = std::move(*store.Open(rvm::RegionFileName(1), true));
+    ASSERT_TRUE(file->Write(0, base::ByteSpan(image.data(), image.size())).ok());
+  }
+  auto a = std::move(*lbc::Client::Create(&cluster, 1, {}));
+  auto b = std::move(*lbc::Client::Create(&cluster, 2, {}));
+  ASSERT_TRUE(a->MapRegion(1, image.size()).ok());
+  ASSERT_TRUE(b->MapRegion(1, image.size()).ok());
+
+  base::Rng rng(5);
+  oo7::Database db(a->GetRegion(1)->data());
+  (void)oo7::RunQ1(db, rng, 20);
+  (void)oo7::RunQ3(db, rng);
+  (void)oo7::RunQ7(db, rng);
+  (void)oo7::RunQ5(db);
+  EXPECT_EQ(0u, a->stats().updates_sent);
+  EXPECT_EQ(0u, a->stats().lock_messages_sent);
+  EXPECT_EQ(0u, b->stats().updates_received);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// OO7 structural modifications: insert/delete of composite parts, slot
+// pool management, invariants under churn, and the operations running
+// inside log-based-coherency transactions (propagation, abort, recovery).
+#include "src/oo7/structural.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/lbc/client.h"
+#include "src/store/mem_store.h"
+
+namespace {
+
+struct Fixture {
+  explicit Fixture(oo7::Config c = oo7::TinyConfig()) : config(c), rng(c.seed + 1) {
+    image.resize(oo7::Database::RequiredSize(config), 0);
+    EXPECT_TRUE(oo7::Database::Build(image.data(), image.size(), config).ok());
+  }
+  oo7::Database db() { return oo7::Database(image.data()); }
+
+  oo7::Config config;
+  std::vector<uint8_t> image;
+  base::Rng rng;
+};
+
+TEST(Oo7Structural, FreshDatabaseValidates) {
+  Fixture fx;
+  EXPECT_TRUE(oo7::ValidateStructure(fx.db()));
+  EXPECT_EQ(fx.config.num_composite_parts, fx.db().header()->active_composites);
+  EXPECT_EQ(fx.config.num_composite_parts + fx.config.spare_composite_slots,
+            fx.db().header()->composite_capacity);
+}
+
+TEST(Oo7Structural, InsertActivatesASlot) {
+  Fixture fx;
+  oo7::NullSink sink;
+  auto comp = oo7::InsertCompositePart(fx.db(), sink, fx.rng);
+  ASSERT_TRUE(comp.ok()) << comp.status().ToString();
+  EXPECT_TRUE(fx.db().composite(*comp)->in_use);
+  EXPECT_EQ(fx.config.num_composite_parts + 1, fx.db().header()->active_composites);
+  EXPECT_TRUE(oo7::ValidateStructure(fx.db()));
+  // The new cluster is fully connected and indexed.
+  auto t1 = oo7::RunT1(fx.db());
+  ASSERT_TRUE(t1.status.ok());
+}
+
+TEST(Oo7Structural, DeleteRetiresASlot) {
+  Fixture fx;
+  oo7::NullSink sink;
+  auto victim = oo7::RandomActiveComposite(fx.db(), fx.rng);
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(oo7::DeleteCompositePart(fx.db(), sink, *victim, fx.rng).ok());
+  EXPECT_FALSE(fx.db().composite(*victim)->in_use);
+  EXPECT_EQ(fx.config.num_composite_parts - 1, fx.db().header()->active_composites);
+  EXPECT_TRUE(oo7::ValidateStructure(fx.db()));
+  // Traversals never touch the retired composite.
+  auto t1 = oo7::RunT1(fx.db());
+  ASSERT_TRUE(t1.status.ok());
+}
+
+TEST(Oo7Structural, DeleteThenInsertReusesTheSlot) {
+  Fixture fx;
+  oo7::NullSink sink;
+  auto victim = oo7::RandomActiveComposite(fx.db(), fx.rng);
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(oo7::DeleteCompositePart(fx.db(), sink, *victim, fx.rng).ok());
+  auto fresh = oo7::InsertCompositePart(fx.db(), sink, fx.rng);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*victim, *fresh);  // LIFO free list returns the same slot
+  EXPECT_TRUE(oo7::ValidateStructure(fx.db()));
+}
+
+TEST(Oo7Structural, PoolExhaustionIsError) {
+  oo7::Config config = oo7::TinyConfig();
+  config.spare_composite_slots = 2;
+  Fixture fx(config);
+  oo7::NullSink sink;
+  ASSERT_TRUE(oo7::InsertCompositePart(fx.db(), sink, fx.rng).ok());
+  ASSERT_TRUE(oo7::InsertCompositePart(fx.db(), sink, fx.rng).ok());
+  auto third = oo7::InsertCompositePart(fx.db(), sink, fx.rng);
+  EXPECT_EQ(base::StatusCode::kOutOfRange, third.status().code());
+  EXPECT_TRUE(oo7::ValidateStructure(fx.db()));
+}
+
+TEST(Oo7Structural, RandomChurnKeepsInvariants) {
+  Fixture fx;
+  oo7::NullSink sink;
+  for (int i = 0; i < 120; ++i) {
+    if (fx.rng.Chance(1, 2)) {
+      auto inserted = oo7::InsertCompositePart(fx.db(), sink, fx.rng);
+      if (!inserted.ok()) {
+        EXPECT_EQ(base::StatusCode::kOutOfRange, inserted.status().code());
+      }
+    } else {
+      auto victim = oo7::RandomActiveComposite(fx.db(), fx.rng);
+      ASSERT_TRUE(victim.ok());
+      oo7::DeleteCompositePart(fx.db(), sink, *victim, fx.rng).ok();
+    }
+  }
+  EXPECT_TRUE(oo7::ValidateStructure(fx.db()));
+  auto t2 = oo7::RunT2(fx.db(), sink, oo7::Variant::kA);
+  ASSERT_TRUE(t2.status.ok());
+  EXPECT_TRUE(fx.db().index().Validate());
+}
+
+// --- structural modifications through the full coherency stack ---------------
+
+TEST(Oo7Structural, InsertPropagatesBetweenClients) {
+  bench::HarnessOptions options;
+  options.config = oo7::TinyConfig();
+  bench::Oo7Harness harness(options);
+
+  lbc::Client* writer = harness.writer();
+  lbc::Transaction txn = writer->Begin(rvm::RestoreMode::kNoRestore);
+  ASSERT_TRUE(txn.Acquire(bench::Oo7Harness::kLock).ok());
+  bench::TxnSink sink(&txn, bench::Oo7Harness::kRegion);
+  base::Rng rng(99);
+  oo7::Database db(writer->GetRegion(bench::Oo7Harness::kRegion)->data());
+  auto inserted = oo7::InsertCompositePart(db, sink, rng);
+  ASSERT_TRUE(inserted.ok());
+  ASSERT_TRUE(txn.Commit().ok());
+
+  ASSERT_TRUE(harness.receiver()->WaitForAppliedSeq(bench::Oo7Harness::kLock, 1, 5000));
+  oo7::Database peer_db(harness.receiver()->GetRegion(bench::Oo7Harness::kRegion)->data());
+  EXPECT_TRUE(oo7::ValidateStructure(peer_db));
+  EXPECT_TRUE(peer_db.composite(*inserted)->in_use);
+  EXPECT_EQ(db.header()->active_composites, peer_db.header()->active_composites);
+}
+
+TEST(Oo7Structural, AbortedInsertLeavesNoTrace) {
+  oo7::Config config = oo7::TinyConfig();
+  store::MemStore store;
+  lbc::Cluster cluster(&store);
+  cluster.DefineLock(1, 1, 1);
+  std::vector<uint8_t> image(oo7::Database::RequiredSize(config), 0);
+  ASSERT_TRUE(oo7::Database::Build(image.data(), image.size(), config).ok());
+  {
+    auto file = std::move(*store.Open(rvm::RegionFileName(1), true));
+    ASSERT_TRUE(file->Write(0, base::ByteSpan(image.data(), image.size())).ok());
+  }
+  auto client = std::move(*lbc::Client::Create(&cluster, 1, {}));
+  ASSERT_TRUE(client->MapRegion(1, image.size()).ok());
+
+  std::vector<uint8_t> before(client->GetRegion(1)->data(),
+                              client->GetRegion(1)->data() + image.size());
+  {
+    // Restore-mode transaction: the abort must undo the insert completely —
+    // the sink declarations cover every mutated byte.
+    lbc::Transaction txn = client->Begin(rvm::RestoreMode::kRestore);
+    ASSERT_TRUE(txn.Acquire(1).ok());
+    bench::TxnSink sink(&txn, 1);
+    base::Rng rng(7);
+    oo7::Database db(client->GetRegion(1)->data());
+    ASSERT_TRUE(oo7::InsertCompositePart(db, sink, rng).ok());
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  EXPECT_EQ(0, std::memcmp(before.data(), client->GetRegion(1)->data(), image.size()));
+  EXPECT_TRUE(oo7::ValidateStructure(oo7::Database(client->GetRegion(1)->data())));
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Traversal semantics: visit counts, update counts (Table 3's "Updates"),
+// index maintenance under T3, and declared-range coverage of mutations.
+#include "src/oo7/traversals.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+struct Fixture {
+  explicit Fixture(oo7::Config c = oo7::TinyConfig()) : config(c) {
+    image.resize(oo7::Database::RequiredSize(config), 0);
+    EXPECT_TRUE(oo7::Database::Build(image.data(), image.size(), config).ok());
+  }
+  oo7::Database db() { return oo7::Database(image.data()); }
+  uint64_t ExpectedVisits() const {
+    return static_cast<uint64_t>(config.NumBaseAssemblies()) * config.composites_per_base;
+  }
+  oo7::Config config;
+  std::vector<uint8_t> image;
+};
+
+TEST(Traversals, T1VisitsEveryReachableAtomicPart) {
+  Fixture fx;
+  auto result = oo7::RunT1(fx.db());
+  EXPECT_EQ(fx.ExpectedVisits(), result.composite_visits);
+  // Each visit traverses the full (connected) cluster.
+  EXPECT_EQ(fx.ExpectedVisits() * fx.config.atomic_per_composite, result.atomic_visits);
+  EXPECT_EQ(0u, result.updates);
+}
+
+TEST(Traversals, T6VisitsOnlyRootParts) {
+  Fixture fx;
+  auto result = oo7::RunT6(fx.db());
+  EXPECT_EQ(fx.ExpectedVisits(), result.composite_visits);
+  EXPECT_EQ(fx.ExpectedVisits(), result.atomic_visits);
+  EXPECT_EQ(0u, result.updates);
+}
+
+TEST(Traversals, T2UpdateCountsPerVariant) {
+  uint64_t visits;
+  {
+    Fixture fx;
+    visits = fx.ExpectedVisits();
+    oo7::NullSink sink;
+    auto a = oo7::RunT2(fx.db(), sink, oo7::Variant::kA);
+    EXPECT_EQ(visits, a.updates);  // one update per composite-part visit
+  }
+  {
+    Fixture fx;
+    oo7::NullSink sink;
+    auto b = oo7::RunT2(fx.db(), sink, oo7::Variant::kB);
+    EXPECT_EQ(visits * fx.config.atomic_per_composite, b.updates);
+  }
+  {
+    Fixture fx;
+    oo7::NullSink sink;
+    auto c = oo7::RunT2(fx.db(), sink, oo7::Variant::kC);
+    EXPECT_EQ(visits * fx.config.atomic_per_composite * 4, c.updates);
+  }
+}
+
+TEST(Traversals, T12UpdateCounts) {
+  Fixture fx;
+  oo7::NullSink sink;
+  auto a = oo7::RunT12(fx.db(), sink, oo7::Variant::kA);
+  EXPECT_EQ(fx.ExpectedVisits(), a.updates);
+  EXPECT_EQ(fx.ExpectedVisits(), a.atomic_visits);
+  Fixture fx2;
+  oo7::NullSink sink2;
+  auto c = oo7::RunT12(fx2.db(), sink2, oo7::Variant::kC);
+  EXPECT_EQ(fx.ExpectedVisits() * 4, c.updates);
+}
+
+TEST(Traversals, T2ActuallyMutatesParts) {
+  Fixture fx;
+  std::vector<uint8_t> before = fx.image;
+  oo7::NullSink sink;
+  auto result = oo7::RunT2(fx.db(), sink, oo7::Variant::kA);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_NE(before, fx.image);
+}
+
+TEST(Traversals, T3MaintainsIndexIntegrity) {
+  Fixture fx;
+  oo7::NullSink sink;
+  auto result = oo7::RunT3(fx.db(), sink, oo7::Variant::kA);
+  ASSERT_TRUE(result.status.ok());
+  oo7::AvlIndex index = fx.db().index();
+  EXPECT_EQ(fx.config.NumAtomicParts(), index.size());
+  EXPECT_TRUE(index.Validate());
+  // Every part is findable under its new key.
+  oo7::Database db = fx.db();
+  for (uint32_t ci = 0; ci < fx.config.num_composite_parts; ++ci) {
+    const oo7::CompositePart* comp = db.composite(db.composite_offset(ci));
+    for (uint32_t ai = 0; ai < fx.config.atomic_per_composite; ++ai) {
+      uint64_t off = comp->parts_base + ai * sizeof(oo7::AtomicPart);
+      EXPECT_EQ(off, *index.Find(db.atomic(off)->index_key));
+    }
+  }
+}
+
+TEST(Traversals, T3GeneratesSeveralUpdatesPerPartUpdate) {
+  // The paper reports ~7 index updates per atomic-part update.
+  Fixture fx;
+  oo7::NullSink sink;
+  auto result = oo7::RunT3(fx.db(), sink, oo7::Variant::kA);
+  ASSERT_TRUE(result.status.ok());
+  double per_visit = static_cast<double>(result.updates) /
+                     static_cast<double>(result.composite_visits);
+  EXPECT_GT(per_visit, 3.0);
+  EXPECT_LT(per_visit, 30.0);
+}
+
+TEST(Traversals, T3VariantCOutpacesVariantA) {
+  Fixture fa, fc;
+  oo7::NullSink sa, sc;
+  auto a = oo7::RunT3(fa.db(), sa, oo7::Variant::kA);
+  auto c = oo7::RunT3(fc.db(), sc, oo7::Variant::kC);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(c.status.ok());
+  EXPECT_GT(c.updates, a.updates * 10);  // 20 parts x 4 rounds vs 1 part
+}
+
+TEST(Traversals, SinkSeesEveryDeclaredUpdate) {
+  Fixture fx;
+  oo7::NullSink sink;
+  auto result = oo7::RunT2(fx.db(), sink, oo7::Variant::kB);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.updates, sink.calls());
+}
+
+// Coverage property: every byte mutated by an update traversal was declared
+// to the sink first (the contract RVM redo logging relies on).
+class CoverageSink : public oo7::UpdateSink {
+ public:
+  base::Status SetRange(uint64_t offset, uint64_t len) override {
+    ranges.emplace_back(offset, len);
+    return base::OkStatus();
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+};
+
+class TraversalCoverageTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TraversalCoverageTest, MutationsAreDeclared) {
+  Fixture fx;
+  std::vector<uint8_t> pristine = fx.image;
+  CoverageSink sink;
+  std::string name = GetParam();
+  oo7::TraversalResult result;
+  oo7::Database db = fx.db();
+  if (name == "T2-B") {
+    result = oo7::RunT2(db, sink, oo7::Variant::kB);
+  } else if (name == "T3-A") {
+    result = oo7::RunT3(db, sink, oo7::Variant::kA);
+  } else if (name == "T12-C") {
+    result = oo7::RunT12(db, sink, oo7::Variant::kC);
+  }
+  ASSERT_TRUE(result.status.ok());
+  std::vector<bool> covered(pristine.size(), false);
+  for (auto& [off, len] : sink.ranges) {
+    for (uint64_t b = off; b < off + len; ++b) {
+      covered[b] = true;
+    }
+  }
+  for (size_t b = 0; b < pristine.size(); ++b) {
+    if (fx.image[b] != pristine[b]) {
+      ASSERT_TRUE(covered[b]) << "undeclared mutation at byte " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Traversals, TraversalCoverageTest,
+                         ::testing::Values("T2-B", "T3-A", "T12-C"));
+
+TEST(Traversals, PaperScaleCardinalities) {
+  // Full-size database: the exact Table 3 visit counts.
+  Fixture fx(oo7::Config{});
+  oo7::NullSink sink;
+  auto result = oo7::RunT12(fx.db(), sink, oo7::Variant::kA);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(2187u, result.composite_visits);
+  EXPECT_EQ(2187u, result.updates);  // Table 3: T12-A performs 2187 updates
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// RangeSet: the §3.1 modified-range tree, both coalescing modes.
+#include "src/rvm/range_set.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace {
+
+using rvm::AddOutcome;
+using rvm::CoalesceMode;
+using rvm::RangeSet;
+
+TEST(RangeSetFull, MergesAdjacent) {
+  RangeSet s(CoalesceMode::kFullCoalesce);
+  EXPECT_EQ(AddOutcome::kInserted, s.Add(0, 10));
+  EXPECT_EQ(AddOutcome::kCoalesced, s.Add(10, 10));
+  EXPECT_EQ(1u, s.range_count());
+  EXPECT_EQ(20u, s.byte_count());
+}
+
+TEST(RangeSetFull, MergesOverlapping) {
+  RangeSet s(CoalesceMode::kFullCoalesce);
+  s.Add(0, 10);
+  s.Add(5, 10);
+  EXPECT_EQ(1u, s.range_count());
+  EXPECT_EQ(15u, s.byte_count());
+}
+
+TEST(RangeSetFull, MergesSpanningMultiple) {
+  RangeSet s(CoalesceMode::kFullCoalesce);
+  s.Add(0, 5);
+  s.Add(10, 5);
+  s.Add(20, 5);
+  EXPECT_EQ(3u, s.range_count());
+  // One range covering everything swallows all three.
+  EXPECT_EQ(AddOutcome::kCoalesced, s.Add(0, 25));
+  EXPECT_EQ(1u, s.range_count());
+  EXPECT_EQ(25u, s.byte_count());
+}
+
+TEST(RangeSetFull, ExactDuplicateDetected) {
+  RangeSet s(CoalesceMode::kFullCoalesce);
+  s.Add(100, 8);
+  EXPECT_EQ(AddOutcome::kExactDuplicate, s.Add(100, 8));
+  EXPECT_EQ(1u, s.range_count());
+  EXPECT_EQ(8u, s.byte_count());
+}
+
+TEST(RangeSetFull, DisjointStayDisjoint) {
+  RangeSet s(CoalesceMode::kFullCoalesce);
+  s.Add(0, 4);
+  s.Add(100, 4);
+  s.Add(50, 4);
+  EXPECT_EQ(3u, s.range_count());
+  EXPECT_EQ(12u, s.byte_count());
+}
+
+TEST(RangeSetExact, DuplicatesCoalesceOnly) {
+  RangeSet s(CoalesceMode::kExactMatch);
+  EXPECT_EQ(AddOutcome::kInserted, s.Add(100, 8));
+  EXPECT_EQ(AddOutcome::kExactDuplicate, s.Add(100, 8));
+  EXPECT_EQ(AddOutcome::kExactDuplicate, s.Add(100, 8));
+  EXPECT_EQ(1u, s.range_count());
+  EXPECT_EQ(8u, s.byte_count());
+}
+
+TEST(RangeSetExact, AdjacentNotMerged) {
+  // Unlike classic RVM, the optimized mode keeps adjacent ranges separate.
+  RangeSet s(CoalesceMode::kExactMatch);
+  s.Add(0, 8);
+  s.Add(8, 8);
+  EXPECT_EQ(2u, s.range_count());
+  EXPECT_EQ(16u, s.byte_count());
+}
+
+TEST(RangeSetExact, OrderedInsertUsesHint) {
+  RangeSet s(CoalesceMode::kExactMatch);
+  for (uint64_t i = 0; i < 100; ++i) {
+    s.Add(i * 16, 8);
+  }
+  EXPECT_EQ(100u, s.range_count());
+  // All but the first insertion should ride the ordered-address fast path.
+  EXPECT_GE(s.hint_hits(), 98u);
+}
+
+TEST(RangeSetExact, RepeatedSameRangeUsesHint) {
+  RangeSet s(CoalesceMode::kExactMatch);
+  s.Add(64, 8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(AddOutcome::kExactDuplicate, s.Add(64, 8));
+  }
+  EXPECT_GE(s.hint_hits(), 50u);
+}
+
+TEST(RangeSetExact, SameStartLongerLengthGrows) {
+  RangeSet s(CoalesceMode::kExactMatch);
+  s.Add(0, 8);
+  s.Add(0, 16);
+  EXPECT_EQ(1u, s.range_count());
+  EXPECT_EQ(16u, s.byte_count());
+}
+
+TEST(RangeSet, ClearResets) {
+  RangeSet s(CoalesceMode::kExactMatch);
+  s.Add(0, 8);
+  s.Clear();
+  EXPECT_EQ(0u, s.range_count());
+  EXPECT_EQ(0u, s.byte_count());
+  EXPECT_EQ(AddOutcome::kInserted, s.Add(0, 8));
+}
+
+TEST(RangeSet, IterationIsAddressOrdered) {
+  RangeSet s(CoalesceMode::kExactMatch);
+  s.Add(300, 4);
+  s.Add(100, 4);
+  s.Add(200, 4);
+  uint64_t prev = 0;
+  for (const auto& [off, len] : s.ranges()) {
+    EXPECT_GT(off, prev);
+    prev = off;
+  }
+}
+
+// Property: in full-coalesce mode the set is always a minimal disjoint
+// cover of the bytes added; byte_count equals the union size.
+class RangeSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RangeSetPropertyTest, FullCoalesceIsMinimalCover) {
+  base::Rng rng(GetParam());
+  RangeSet s(CoalesceMode::kFullCoalesce);
+  std::map<uint64_t, bool> bytes;  // reference model
+  for (int i = 0; i < 300; ++i) {
+    uint64_t off = rng.Uniform(2048);
+    uint64_t len = 1 + rng.Uniform(64);
+    s.Add(off, len);
+    for (uint64_t b = off; b < off + len; ++b) {
+      bytes[b] = true;
+    }
+  }
+  // Union size matches.
+  EXPECT_EQ(bytes.size(), s.byte_count());
+  // Ranges are disjoint, non-adjacent, and cover exactly the model bytes.
+  uint64_t covered = 0;
+  uint64_t prev_end = 0;
+  bool first = true;
+  for (const auto& [off, len] : s.ranges()) {
+    if (!first) {
+      EXPECT_GT(off, prev_end) << "ranges adjacent or overlapping";
+    }
+    for (uint64_t b = off; b < off + len; ++b) {
+      EXPECT_TRUE(bytes.count(b)) << "range covers byte never added";
+    }
+    covered += len;
+    prev_end = off + len;
+    first = false;
+  }
+  EXPECT_EQ(bytes.size(), covered);
+}
+
+TEST_P(RangeSetPropertyTest, ExactModeNeverLosesBytes) {
+  base::Rng rng(GetParam());
+  RangeSet s(CoalesceMode::kExactMatch);
+  std::map<uint64_t, bool> bytes;
+  for (int i = 0; i < 300; ++i) {
+    uint64_t off = rng.Uniform(4096) & ~7ull;  // object-aligned, like compiler output
+    uint64_t len = 8 << rng.Uniform(3);
+    s.Add(off, len);
+    for (uint64_t b = off; b < off + len; ++b) {
+      bytes[b] = true;
+    }
+  }
+  // Every added byte is inside some registered range (no loss; duplication
+  // across genuinely overlapping ranges is allowed in this mode).
+  std::map<uint64_t, bool> covered;
+  for (const auto& [off, len] : s.ranges()) {
+    for (uint64_t b = off; b < off + len; ++b) {
+      covered[b] = true;
+    }
+  }
+  for (const auto& [b, unused] : bytes) {
+    EXPECT_TRUE(covered.count(b)) << "byte " << b << " lost";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeSetPropertyTest, ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Region mapping edge cases: database files shorter/longer than the mapped
+// length, boundary set_ranges, zero-length operations, remapping.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/rvm/rvm.h"
+#include "src/store/mem_store.h"
+
+namespace {
+
+constexpr rvm::RegionId kRegion = 1;
+
+TEST(RvmRegion, MapLoadsExistingFileContents) {
+  store::MemStore store;
+  {
+    auto file = std::move(*store.Open(rvm::RegionFileName(kRegion), true));
+    ASSERT_TRUE(file->Write(0, base::AsBytes("seeded", 6)).ok());
+  }
+  auto r = std::move(*rvm::Rvm::Open(&store, 1, rvm::RvmOptions{}));
+  rvm::Region* region = *r->MapRegion(kRegion, 4096);
+  EXPECT_EQ(0, std::memcmp(region->data(), "seeded", 6));
+  EXPECT_EQ(4096u, region->size());
+  // Bytes past the file's end read as zeros.
+  EXPECT_EQ(0, region->data()[100]);
+}
+
+TEST(RvmRegion, MapShorterThanFileTakesPrefix) {
+  store::MemStore store;
+  {
+    auto file = std::move(*store.Open(rvm::RegionFileName(kRegion), true));
+    std::vector<uint8_t> big(1000, 7);
+    ASSERT_TRUE(file->Write(0, base::ByteSpan(big.data(), big.size())).ok());
+  }
+  auto r = std::move(*rvm::Rvm::Open(&store, 1, rvm::RvmOptions{}));
+  rvm::Region* region = *r->MapRegion(kRegion, 100);
+  EXPECT_EQ(100u, region->size());
+  EXPECT_EQ(7, region->data()[99]);
+}
+
+TEST(RvmRegion, BoundarySetRanges) {
+  store::MemStore store;
+  auto r = std::move(*rvm::Rvm::Open(&store, 1, rvm::RvmOptions{}));
+  rvm::Region* region = *r->MapRegion(kRegion, 128);
+  rvm::TxnId txn = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  // Exactly at the end: legal.
+  EXPECT_TRUE(r->SetRange(txn, kRegion, 120, 8).ok());
+  // One past: rejected.
+  EXPECT_EQ(base::StatusCode::kOutOfRange, r->SetRange(txn, kRegion, 121, 8).code());
+  // Whole region in one range: legal.
+  EXPECT_TRUE(r->SetRange(txn, kRegion, 0, 128).ok());
+  std::memset(region->data(), 3, 128);
+  EXPECT_TRUE(r->EndTransaction(txn, rvm::CommitMode::kFlush).ok());
+}
+
+TEST(RvmRegion, ZeroLengthSetRangeIsHarmless) {
+  store::MemStore store;
+  auto r = std::move(*rvm::Rvm::Open(&store, 1, rvm::RvmOptions{}));
+  (void)*r->MapRegion(kRegion, 64);
+  rvm::TxnId txn = r->BeginTransaction(rvm::RestoreMode::kRestore);
+  EXPECT_TRUE(r->SetRange(txn, kRegion, 10, 0).ok());
+  EXPECT_TRUE(r->EndTransaction(txn, rvm::CommitMode::kFlush).ok());
+}
+
+TEST(RvmRegion, RemapAfterUnmapReloadsFromFile) {
+  store::MemStore store;
+  auto r = std::move(*rvm::Rvm::Open(&store, 1, rvm::RvmOptions{}));
+  rvm::Region* region = *r->MapRegion(kRegion, 64);
+  // Dirty the image without committing, then unmap: the in-memory edit is
+  // discarded (the database file was never updated).
+  region->data()[0] = 99;
+  ASSERT_TRUE(r->UnmapRegion(kRegion).ok());
+  rvm::Region* again = *r->MapRegion(kRegion, 64);
+  EXPECT_EQ(0, again->data()[0]);
+}
+
+TEST(RvmRegion, SetRangeOnUnmappedRegionFails) {
+  store::MemStore store;
+  auto r = std::move(*rvm::Rvm::Open(&store, 1, rvm::RvmOptions{}));
+  (void)*r->MapRegion(kRegion, 64);
+  rvm::TxnId txn = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  ASSERT_TRUE(r->UnmapRegion(kRegion).ok());
+  EXPECT_EQ(base::StatusCode::kNotFound, r->SetRange(txn, kRegion, 0, 8).code());
+}
+
+TEST(RvmRegion, GetRegionReturnsNullWhenUnmapped) {
+  store::MemStore store;
+  auto r = std::move(*rvm::Rvm::Open(&store, 1, rvm::RvmOptions{}));
+  EXPECT_EQ(nullptr, r->GetRegion(kRegion));
+  (void)*r->MapRegion(kRegion, 64);
+  EXPECT_NE(nullptr, r->GetRegion(kRegion));
+}
+
+}  // namespace

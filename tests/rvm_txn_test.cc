@@ -1,0 +1,327 @@
+// RVM transaction semantics: set_range modes, commit, abort, flush modes,
+// lock records, external updates, stats, truncation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/base/rng.h"
+#include "src/rvm/recovery.h"
+#include "src/rvm/rvm.h"
+#include "src/store/mem_store.h"
+
+namespace {
+
+constexpr rvm::RegionId kRegion = 1;
+
+std::unique_ptr<rvm::Rvm> OpenRvm(store::MemStore* store, rvm::NodeId node = 1,
+                                  rvm::RvmOptions opts = {}) {
+  auto r = rvm::Rvm::Open(store, node, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(*r);
+}
+
+TEST(RvmTxn, SetRangeRequiresActiveTransaction) {
+  store::MemStore store;
+  auto r = OpenRvm(&store);
+  ASSERT_TRUE(r->MapRegion(kRegion, 1024).ok());
+  EXPECT_EQ(base::StatusCode::kFailedPrecondition, r->SetRange(99, kRegion, 0, 8).code());
+}
+
+TEST(RvmTxn, SetRangeValidatesBounds) {
+  store::MemStore store;
+  auto r = OpenRvm(&store);
+  ASSERT_TRUE(r->MapRegion(kRegion, 1024).ok());
+  rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  EXPECT_EQ(base::StatusCode::kOutOfRange, r->SetRange(t, kRegion, 1020, 8).code());
+  EXPECT_EQ(base::StatusCode::kNotFound, r->SetRange(t, 99, 0, 8).code());
+  EXPECT_TRUE(r->SetRange(t, kRegion, 1016, 8).ok());
+}
+
+TEST(RvmTxn, MapRegionTwiceFails) {
+  store::MemStore store;
+  auto r = OpenRvm(&store);
+  ASSERT_TRUE(r->MapRegion(kRegion, 1024).ok());
+  EXPECT_EQ(base::StatusCode::kAlreadyExists, r->MapRegion(kRegion, 1024).status().code());
+  ASSERT_TRUE(r->UnmapRegion(kRegion).ok());
+  EXPECT_TRUE(r->MapRegion(kRegion, 1024).ok());
+}
+
+TEST(RvmTxn, CommitIsDurableAbortIsNot) {
+  store::MemStore store;
+  {
+    auto r = OpenRvm(&store);
+    rvm::Region* region = *r->MapRegion(kRegion, 1024);
+
+    rvm::TxnId committed = r->BeginTransaction(rvm::RestoreMode::kRestore);
+    ASSERT_TRUE(r->SetRange(committed, kRegion, 0, 4).ok());
+    std::memcpy(region->data(), "KEEP", 4);
+    ASSERT_TRUE(r->EndTransaction(committed, rvm::CommitMode::kFlush).ok());
+
+    rvm::TxnId aborted = r->BeginTransaction(rvm::RestoreMode::kRestore);
+    ASSERT_TRUE(r->SetRange(aborted, kRegion, 8, 4).ok());
+    std::memcpy(region->data() + 8, "DROP", 4);
+    ASSERT_TRUE(r->AbortTransaction(aborted).ok());
+    EXPECT_EQ(0, region->data()[8]);
+  }
+  store.Crash();
+  ASSERT_TRUE(rvm::ReplayLogsIntoDatabase(&store, {rvm::LogFileName(1)}).ok());
+  auto r = OpenRvm(&store, 2);
+  rvm::Region* region = *r->MapRegion(kRegion, 1024);
+  EXPECT_EQ(0, std::memcmp(region->data(), "KEEP", 4));
+  EXPECT_EQ(0, region->data()[8]);
+}
+
+TEST(RvmTxn, AbortOfNoRestoreWithUpdatesFails) {
+  store::MemStore store;
+  auto r = OpenRvm(&store);
+  ASSERT_TRUE(r->MapRegion(kRegion, 1024).ok());
+  rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  ASSERT_TRUE(r->SetRange(t, kRegion, 0, 4).ok());
+  EXPECT_EQ(base::StatusCode::kFailedPrecondition, r->AbortTransaction(t).code());
+}
+
+TEST(RvmTxn, AbortRestoresOverlappingRangesInOrder) {
+  store::MemStore store;
+  auto r = OpenRvm(&store, 1, {.coalesce = rvm::CoalesceMode::kFullCoalesce});
+  rvm::Region* region = *r->MapRegion(kRegion, 64);
+  std::memset(region->data(), 'a', 64);
+  // Commit baseline so region file isn't relevant; we test in-memory undo.
+  rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kRestore);
+  ASSERT_TRUE(r->SetRange(t, kRegion, 0, 16).ok());
+  std::memset(region->data(), 'b', 16);
+  ASSERT_TRUE(r->SetRange(t, kRegion, 8, 16).ok());  // overlaps, snapshots 'b's + 'a's
+  std::memset(region->data() + 8, 'c', 16);
+  ASSERT_TRUE(r->AbortTransaction(t).ok());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ('a', region->data()[i]) << i;
+  }
+}
+
+TEST(RvmTxn, NoFlushCommitNeedsExplicitFlush) {
+  store::MemStore store;
+  auto r = OpenRvm(&store);
+  rvm::Region* region = *r->MapRegion(kRegion, 64);
+  rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  ASSERT_TRUE(r->SetRange(t, kRegion, 0, 4).ok());
+  std::memcpy(region->data(), "LAZY", 4);
+  ASSERT_TRUE(r->EndTransaction(t, rvm::CommitMode::kNoFlush).ok());
+  EXPECT_EQ(0u, store.sync_count());
+  ASSERT_TRUE(r->FlushLog().ok());
+  EXPECT_EQ(1u, store.sync_count());
+}
+
+TEST(RvmTxn, ReadOnlyTransactionWritesNoLogRecord) {
+  store::MemStore store;
+  auto r = OpenRvm(&store);
+  ASSERT_TRUE(r->MapRegion(kRegion, 64).ok());
+  rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kRestore);
+  ASSERT_TRUE(r->SetLockId(t, 5, 1).ok());
+  ASSERT_TRUE(r->EndTransaction(t, rvm::CommitMode::kFlush).ok());
+  auto txns = *rvm::ReadLogTransactions(&store, rvm::LogFileName(1));
+  EXPECT_TRUE(txns.empty());
+}
+
+TEST(RvmTxn, LockRecordsAppearInLog) {
+  store::MemStore store;
+  auto r = OpenRvm(&store);
+  rvm::Region* region = *r->MapRegion(kRegion, 64);
+  rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  ASSERT_TRUE(r->SetLockId(t, 17, 4).ok());
+  ASSERT_TRUE(r->SetLockId(t, 21, 9).ok());
+  ASSERT_TRUE(r->SetLockId(t, 17, 5).ok());  // re-set updates the sequence
+  ASSERT_TRUE(r->SetRange(t, kRegion, 0, 1).ok());
+  region->data()[0] = 1;
+  ASSERT_TRUE(r->EndTransaction(t, rvm::CommitMode::kFlush).ok());
+
+  auto txns = *rvm::ReadLogTransactions(&store, rvm::LogFileName(1));
+  ASSERT_EQ(1u, txns.size());
+  ASSERT_EQ(2u, txns[0].locks.size());
+  EXPECT_EQ((rvm::LockRecord{17, 5}), txns[0].locks[0]);
+  EXPECT_EQ((rvm::LockRecord{21, 9}), txns[0].locks[1]);
+}
+
+TEST(RvmTxn, CommitHookSeesIoVectors) {
+  store::MemStore store;
+  auto r = OpenRvm(&store);
+  rvm::Region* region = *r->MapRegion(kRegion, 64);
+  rvm::CommitContext captured;
+  std::vector<uint8_t> captured_bytes;
+  r->SetCommitHook([&](const rvm::CommitContext& ctx) {
+    captured = ctx;
+    for (const auto& range : ctx.ranges) {
+      captured_bytes.insert(captured_bytes.end(), range.data, range.data + range.len);
+    }
+  });
+  rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  ASSERT_TRUE(r->SetRange(t, kRegion, 4, 4).ok());
+  std::memcpy(region->data() + 4, "HOOK", 4);
+  ASSERT_TRUE(r->EndTransaction(t, rvm::CommitMode::kFlush).ok());
+  ASSERT_EQ(1u, captured.ranges.size());
+  EXPECT_EQ(4u, captured.ranges[0].offset);
+  EXPECT_EQ(0, std::memcmp(captured_bytes.data(), "HOOK", 4));
+}
+
+TEST(RvmTxn, ExternalUpdateBypassesLog) {
+  store::MemStore store;
+  auto r = OpenRvm(&store);
+  rvm::Region* region = *r->MapRegion(kRegion, 64);
+  uint8_t data[3] = {1, 2, 3};
+  ASSERT_TRUE(r->ApplyExternalUpdate(kRegion, 10, base::ByteSpan(data, 3)).ok());
+  EXPECT_EQ(2, region->data()[11]);
+  auto txns = *rvm::ReadLogTransactions(&store, rvm::LogFileName(1));
+  EXPECT_TRUE(txns.empty());
+  EXPECT_EQ(base::StatusCode::kOutOfRange,
+            r->ApplyExternalUpdate(kRegion, 62, base::ByteSpan(data, 3)).code());
+  EXPECT_EQ(base::StatusCode::kNotFound,
+            r->ApplyExternalUpdate(99, 0, base::ByteSpan(data, 3)).code());
+}
+
+TEST(RvmTxn, StatsCountUpdates) {
+  store::MemStore store;
+  auto r = OpenRvm(&store);
+  rvm::Region* region = *r->MapRegion(kRegion, 8192 * 4);
+  rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(r->SetRange(t, kRegion, i * 16, 8).ok());
+    std::memset(region->data() + i * 16, i, 8);
+  }
+  ASSERT_TRUE(r->SetRange(t, kRegion, 0, 8).ok());  // redundant
+  ASSERT_TRUE(r->SetRange(t, kRegion, 8192 * 3, 8).ok());
+  ASSERT_TRUE(r->EndTransaction(t, rvm::CommitMode::kFlush).ok());
+  const rvm::RvmStats& s = r->stats();
+  EXPECT_EQ(12u, s.set_range_calls);
+  EXPECT_EQ(1u, s.set_range_duplicates);
+  EXPECT_EQ(11u, s.ranges_logged);
+  EXPECT_EQ(11u * 8, s.bytes_logged);
+  EXPECT_EQ(2u, s.pages_logged);  // page 0 and page 3
+  EXPECT_EQ(1u, s.transactions_committed);
+  EXPECT_GT(s.log_bytes_written, s.bytes_logged);
+}
+
+TEST(RvmTxn, DiskLoggingDisabledStillDrivesHook) {
+  store::MemStore store;
+  rvm::RvmOptions opts;
+  opts.disk_logging = false;
+  auto r = OpenRvm(&store, 1, opts);
+  rvm::Region* region = *r->MapRegion(kRegion, 64);
+  int hook_calls = 0;
+  r->SetCommitHook([&](const rvm::CommitContext&) { ++hook_calls; });
+  rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  ASSERT_TRUE(r->SetRange(t, kRegion, 0, 4).ok());
+  std::memcpy(region->data(), "NOLG", 4);
+  ASSERT_TRUE(r->EndTransaction(t, rvm::CommitMode::kFlush).ok());
+  EXPECT_EQ(1, hook_calls);
+  EXPECT_EQ(0u, r->stats().log_bytes_written);
+  auto size = store.Open(rvm::LogFileName(1), true);
+  EXPECT_EQ(0u, *(*size)->Size());
+}
+
+TEST(RvmTxn, TruncateLogCheckpointsAndEmptiesLog) {
+  store::MemStore store;
+  auto r = OpenRvm(&store);
+  rvm::Region* region = *r->MapRegion(kRegion, 64);
+  rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  ASSERT_TRUE(r->SetRange(t, kRegion, 0, 4).ok());
+  std::memcpy(region->data(), "TRIM", 4);
+  ASSERT_TRUE(r->EndTransaction(t, rvm::CommitMode::kFlush).ok());
+  ASSERT_TRUE(r->TruncateLog().ok());
+
+  // Log is empty; database file holds the committed bytes.
+  auto log = std::move(*store.Open(rvm::LogFileName(1), false));
+  EXPECT_EQ(0u, *log->Size());
+  auto db = std::move(*store.Open(rvm::RegionFileName(kRegion), false));
+  char buf[4];
+  ASSERT_TRUE(db->ReadExact(0, buf, 4).ok());
+  EXPECT_EQ(0, std::memcmp(buf, "TRIM", 4));
+}
+
+TEST(RvmTxn, ReopenContinuesCommitSequence) {
+  store::MemStore store;
+  {
+    auto r = OpenRvm(&store);
+    rvm::Region* region = *r->MapRegion(kRegion, 64);
+    for (int i = 0; i < 3; ++i) {
+      rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+      ASSERT_TRUE(r->SetRange(t, kRegion, 0, 1).ok());
+      region->data()[0] = static_cast<uint8_t>(i);
+      ASSERT_TRUE(r->EndTransaction(t, rvm::CommitMode::kFlush).ok());
+    }
+    EXPECT_EQ(3u, r->commit_seq());
+  }
+  auto r = OpenRvm(&store);  // same node id, same log
+  EXPECT_EQ(3u, r->commit_seq());
+  rvm::Region* region = *r->MapRegion(kRegion, 64);
+  rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  ASSERT_TRUE(r->SetRange(t, kRegion, 0, 1).ok());
+  region->data()[0] = 9;
+  ASSERT_TRUE(r->EndTransaction(t, rvm::CommitMode::kFlush).ok());
+  auto txns = *rvm::ReadLogTransactions(&store, rvm::LogFileName(1));
+  ASSERT_EQ(4u, txns.size());
+  EXPECT_EQ(4u, txns.back().commit_seq);
+}
+
+TEST(RvmTxn, MultipleRegionsInOneTransaction) {
+  store::MemStore store;
+  auto r = OpenRvm(&store);
+  rvm::Region* a = *r->MapRegion(1, 64);
+  rvm::Region* b = *r->MapRegion(2, 64);
+  rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  ASSERT_TRUE(r->SetRange(t, 1, 0, 2).ok());
+  ASSERT_TRUE(r->SetRange(t, 2, 8, 2).ok());
+  std::memcpy(a->data(), "AA", 2);
+  std::memcpy(b->data() + 8, "BB", 2);
+  ASSERT_TRUE(r->EndTransaction(t, rvm::CommitMode::kFlush).ok());
+  auto txns = *rvm::ReadLogTransactions(&store, rvm::LogFileName(1));
+  ASSERT_EQ(1u, txns.size());
+  ASSERT_EQ(2u, txns[0].ranges.size());
+  EXPECT_EQ(1u, txns[0].ranges[0].region);
+  EXPECT_EQ(2u, txns[0].ranges[1].region);
+}
+
+// Property: a random sequence of committed transactions replays to exactly
+// the in-memory image, regardless of where the crash cuts unsynced state.
+class RvmRecoveryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RvmRecoveryPropertyTest, ReplayEqualsCommittedImage) {
+  base::Rng rng(GetParam());
+  store::MemStore store;
+  std::vector<uint8_t> expected(512, 0);
+  {
+    auto r = OpenRvm(&store);
+    rvm::Region* region = *r->MapRegion(kRegion, 512);
+    for (int txn_i = 0; txn_i < 20; ++txn_i) {
+      rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kRestore);
+      int ops = 1 + static_cast<int>(rng.Uniform(5));
+      std::vector<std::pair<uint64_t, std::vector<uint8_t>>> writes;
+      for (int op = 0; op < ops; ++op) {
+        uint64_t off = rng.Uniform(500);
+        uint64_t len = 1 + rng.Uniform(12);
+        ASSERT_TRUE(r->SetRange(t, kRegion, off, len).ok());
+        std::vector<uint8_t> bytes(len);
+        for (auto& x : bytes) {
+          x = static_cast<uint8_t>(rng.Next());
+        }
+        std::memcpy(region->data() + off, bytes.data(), len);
+        writes.emplace_back(off, std::move(bytes));
+      }
+      bool commit = rng.Chance(3, 4);
+      if (commit) {
+        ASSERT_TRUE(r->EndTransaction(t, rvm::CommitMode::kFlush).ok());
+        for (auto& [off, bytes] : writes) {
+          std::memcpy(expected.data() + off, bytes.data(), bytes.size());
+        }
+      } else {
+        ASSERT_TRUE(r->AbortTransaction(t).ok());
+      }
+    }
+  }
+  store.Crash();
+  ASSERT_TRUE(rvm::ReplayLogsIntoDatabase(&store, {rvm::LogFileName(1)}).ok());
+  auto r = OpenRvm(&store, 2);
+  rvm::Region* region = *r->MapRegion(kRegion, 512);
+  EXPECT_EQ(0, std::memcmp(region->data(), expected.data(), expected.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RvmRecoveryPropertyTest, ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace

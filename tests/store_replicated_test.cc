@@ -1,0 +1,155 @@
+// Replicated storage service: mirroring, failover, failure detection,
+// resynchronization, and the full log-based coherency stack running over a
+// replicated store that loses its primary.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/lbc/client.h"
+#include "src/rvm/recovery.h"
+#include "src/store/mem_store.h"
+#include "src/store/replicated_store.h"
+
+namespace {
+
+struct ReplicaSet {
+  explicit ReplicaSet(int n) : backends(n) {
+    std::vector<store::DurableStore*> ptrs;
+    for (auto& b : backends) {
+      ptrs.push_back(&b);
+    }
+    replicated = std::make_unique<store::ReplicatedStore>(ptrs);
+  }
+  std::vector<store::MemStore> backends;
+  std::unique_ptr<store::ReplicatedStore> replicated;
+};
+
+TEST(ReplicatedStore, WritesMirrorToAllReplicas) {
+  ReplicaSet rs(3);
+  auto file = std::move(*rs.replicated->Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("data", 4)).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  for (auto& backend : rs.backends) {
+    auto direct = std::move(*backend.Open("f", false));
+    char buf[4];
+    ASSERT_TRUE(direct->ReadExact(0, buf, 4).ok());
+    EXPECT_EQ(0, std::memcmp(buf, "data", 4));
+    EXPECT_EQ(1u, backend.sync_count());  // the Sync reached every replica
+  }
+}
+
+TEST(ReplicatedStore, ReadsFailOverWhenPrimaryDies) {
+  ReplicaSet rs(2);
+  auto file = std::move(*rs.replicated->Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("safe", 4)).ok());
+  rs.replicated->MarkDown(0);
+  char buf[4];
+  ASSERT_TRUE(file->ReadExact(0, buf, 4).ok());
+  EXPECT_EQ(0, std::memcmp(buf, "safe", 4));
+  EXPECT_EQ(1, rs.replicated->healthy_replicas());
+}
+
+TEST(ReplicatedStore, WriteFailureMarksReplicaDown) {
+  ReplicaSet rs(2);
+  auto file = std::move(*rs.replicated->Open("f", true));
+  rs.backends[0].FailWritesAfterBytes(0);  // replica 0 starts failing writes
+  ASSERT_TRUE(file->Write(0, base::AsBytes("x", 1)).ok());  // replica 1 carries it
+  EXPECT_FALSE(rs.replicated->IsUp(0));
+  EXPECT_TRUE(rs.replicated->IsUp(1));
+}
+
+TEST(ReplicatedStore, AllReplicasDownIsUnavailable) {
+  ReplicaSet rs(2);
+  auto file = std::move(*rs.replicated->Open("f", true));
+  rs.replicated->MarkDown(0);
+  rs.replicated->MarkDown(1);
+  EXPECT_FALSE(file->Write(0, base::AsBytes("x", 1)).ok());
+  char c;
+  EXPECT_FALSE(file->ReadExact(0, &c, 1).ok());
+}
+
+TEST(ReplicatedStore, MissingFileIsNotAReplicaFailure) {
+  ReplicaSet rs(2);
+  auto r = rs.replicated->Open("absent", /*create=*/false);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(base::StatusCode::kNotFound, r.status().code());
+  EXPECT_EQ(2, rs.replicated->healthy_replicas());
+}
+
+TEST(ReplicatedStore, ResyncAndReviveRestoresRedundancy) {
+  ReplicaSet rs(2);
+  {
+    auto file = std::move(*rs.replicated->Open("f", true));
+    ASSERT_TRUE(file->Write(0, base::AsBytes("v1", 2)).ok());
+  }
+  rs.replicated->MarkDown(1);
+  {
+    auto file = std::move(*rs.replicated->Open("f", true));
+    ASSERT_TRUE(file->Write(0, base::AsBytes("v2", 2)).ok());  // replica 1 misses this
+  }
+  // Repair: copy replica 0's state onto replica 1, then revive it.
+  ASSERT_TRUE(store::ReplicatedStore::CopyAll(&rs.backends[0], &rs.backends[1]).ok());
+  ASSERT_TRUE(rs.replicated->Revive(1).ok());
+  EXPECT_EQ(2, rs.replicated->healthy_replicas());
+  // Replica 1 is current again.
+  auto direct = std::move(*rs.backends[1].Open("f", false));
+  char buf[2];
+  ASSERT_TRUE(direct->ReadExact(0, buf, 2).ok());
+  EXPECT_EQ(0, std::memcmp(buf, "v2", 2));
+}
+
+TEST(ReplicatedStore, RenameAndRemoveMirror) {
+  ReplicaSet rs(2);
+  { auto file = std::move(*rs.replicated->Open("a", true)); }
+  ASSERT_TRUE(rs.replicated->Rename("a", "b").ok());
+  for (auto& backend : rs.backends) {
+    EXPECT_FALSE(*backend.Exists("a"));
+    EXPECT_TRUE(*backend.Exists("b"));
+  }
+  ASSERT_TRUE(rs.replicated->Remove("b").ok());
+  EXPECT_FALSE(*rs.replicated->Exists("b"));
+}
+
+// The headline property: the whole coherency + recovery stack survives the
+// death of the primary storage replica (paper §2: "the storage service
+// could be transparently replicated to reduce the probability of a server
+// failure").
+TEST(ReplicatedStore, CoherencyStackSurvivesPrimaryLoss) {
+  ReplicaSet rs(2);
+  constexpr rvm::RegionId kRegion = 1;
+  constexpr rvm::LockId kLock = 10;
+  lbc::Cluster cluster(rs.replicated.get());
+  cluster.DefineLock(kLock, kRegion, 1);
+  auto a = std::move(*lbc::Client::Create(&cluster, 1, {}));
+  auto b = std::move(*lbc::Client::Create(&cluster, 2, {}));
+  ASSERT_TRUE(a->MapRegion(kRegion, 4096).ok());
+  ASSERT_TRUE(b->MapRegion(kRegion, 4096).ok());
+
+  auto commit = [&](lbc::Client* c, uint8_t v) {
+    lbc::Transaction txn = c->Begin();
+    ASSERT_TRUE(txn.Acquire(kLock).ok());
+    ASSERT_TRUE(txn.SetRange(kRegion, 0, 1).ok());
+    c->GetRegion(kRegion)->data()[0] = v;
+    ASSERT_TRUE(txn.Commit().ok());
+  };
+  commit(a.get(), 1);
+  ASSERT_TRUE(b->WaitForAppliedSeq(kLock, 1, 5000));
+
+  // Primary storage replica dies; commits keep flowing to the survivor.
+  rs.replicated->MarkDown(0);
+  commit(b.get(), 2);
+  ASSERT_TRUE(a->WaitForAppliedSeq(kLock, 2, 5000));
+
+  // Recovery from the surviving replica alone sees both commits.
+  a.reset();
+  b.reset();
+  ASSERT_TRUE(rvm::ReplayLogsIntoDatabase(&rs.backends[1],
+                                          {rvm::LogFileName(1), rvm::LogFileName(2)})
+                  .ok());
+  auto db = std::move(*rs.backends[1].Open(rvm::RegionFileName(kRegion), false));
+  uint8_t value = 0;
+  ASSERT_TRUE(db->ReadExact(0, &value, 1).ok());
+  EXPECT_EQ(2, value);
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// DurableStore conformance tests run against both implementations, plus
+// MemStore-specific crash and failure-injection behaviour.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "src/store/durable_store.h"
+#include "src/store/mem_store.h"
+
+namespace {
+
+enum class StoreKind { kMem, kFile };
+
+class StoreConformanceTest : public ::testing::TestWithParam<StoreKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == StoreKind::kMem) {
+      store_ = std::make_unique<store::MemStore>();
+    } else {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("lbc_store_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name());
+      std::filesystem::remove_all(dir_);
+      store_ = std::move(*store::OpenFileStore(dir_.string()));
+    }
+  }
+
+  void TearDown() override {
+    store_.reset();
+    if (!dir_.empty()) {
+      std::filesystem::remove_all(dir_);
+    }
+  }
+
+  std::unique_ptr<store::DurableStore> store_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(StoreConformanceTest, OpenMissingWithoutCreateFails) {
+  auto r = store_->Open("nope", /*create=*/false);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(base::StatusCode::kNotFound, r.status().code());
+}
+
+TEST_P(StoreConformanceTest, WriteReadRoundTrip) {
+  auto file = std::move(*store_->Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("hello", 5)).ok());
+  char buf[5];
+  ASSERT_TRUE(file->ReadExact(0, buf, 5).ok());
+  EXPECT_EQ(0, std::memcmp(buf, "hello", 5));
+}
+
+TEST_P(StoreConformanceTest, WriteExtendsFile) {
+  auto file = std::move(*store_->Open("f", true));
+  ASSERT_TRUE(file->Write(100, base::AsBytes("x", 1)).ok());
+  EXPECT_EQ(101u, *file->Size());
+  // The gap reads as zeros.
+  char buf[3];
+  ASSERT_TRUE(file->ReadExact(50, buf, 3).ok());
+  EXPECT_EQ(0, buf[0]);
+}
+
+TEST_P(StoreConformanceTest, ReadPastEndIsShort) {
+  auto file = std::move(*store_->Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("abc", 3)).ok());
+  char buf[10];
+  EXPECT_EQ(3u, *file->Read(0, buf, 10));
+  EXPECT_EQ(0u, *file->Read(3, buf, 10));
+  EXPECT_EQ(base::StatusCode::kDataLoss, file->ReadExact(0, buf, 10).code());
+}
+
+TEST_P(StoreConformanceTest, AppendReturnsOffset) {
+  auto file = std::move(*store_->Open("f", true));
+  EXPECT_EQ(0u, *file->Append(base::AsBytes("aaa", 3)));
+  EXPECT_EQ(3u, *file->Append(base::AsBytes("bb", 2)));
+  EXPECT_EQ(5u, *file->Size());
+}
+
+TEST_P(StoreConformanceTest, TruncateShrinks) {
+  auto file = std::move(*store_->Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("abcdef", 6)).ok());
+  ASSERT_TRUE(file->Truncate(2).ok());
+  EXPECT_EQ(2u, *file->Size());
+}
+
+TEST_P(StoreConformanceTest, ExistsRemoveList) {
+  EXPECT_FALSE(*store_->Exists("f"));
+  { auto file = std::move(*store_->Open("f", true)); }
+  EXPECT_TRUE(*store_->Exists("f"));
+  auto names = *store_->List();
+  EXPECT_EQ(1u, names.size());
+  ASSERT_TRUE(store_->Remove("f").ok());
+  EXPECT_FALSE(*store_->Exists("f"));
+  // Removing a missing file is not an error (idempotent cleanup).
+  EXPECT_TRUE(store_->Remove("f").ok());
+}
+
+TEST_P(StoreConformanceTest, RenameMovesContent) {
+  {
+    auto file = std::move(*store_->Open("a", true));
+    ASSERT_TRUE(file->Write(0, base::AsBytes("data", 4)).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  ASSERT_TRUE(store_->Rename("a", "b").ok());
+  EXPECT_FALSE(*store_->Exists("a"));
+  auto file = std::move(*store_->Open("b", false));
+  char buf[4];
+  ASSERT_TRUE(file->ReadExact(0, buf, 4).ok());
+  EXPECT_EQ(0, std::memcmp(buf, "data", 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Impls, StoreConformanceTest,
+                         ::testing::Values(StoreKind::kMem, StoreKind::kFile),
+                         [](const auto& info) {
+                           return info.param == StoreKind::kMem ? "Mem" : "File";
+                         });
+
+// --- MemStore crash semantics ----------------------------------------------
+
+TEST(MemStoreCrash, UnsyncedWritesVanish) {
+  store::MemStore store;
+  auto file = std::move(*store.Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("SAFE", 4)).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Write(0, base::AsBytes("GONE", 4)).ok());
+  store.Crash();
+  char buf[4];
+  ASSERT_TRUE(file->ReadExact(0, buf, 4).ok());
+  EXPECT_EQ(0, std::memcmp(buf, "SAFE", 4));
+}
+
+TEST(MemStoreCrash, TornWriteLeavesPrefix) {
+  store::MemStore store;
+  auto file = std::move(*store.Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("AAAA", 4)).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Write(0, base::AsBytes("BBBB", 4)).ok());
+  store.Crash(/*torn_bytes=*/2);
+  char buf[4];
+  ASSERT_TRUE(file->ReadExact(0, buf, 4).ok());
+  EXPECT_EQ(0, std::memcmp(buf, "BBAA", 4));
+}
+
+TEST(MemStoreCrash, TornBudgetSpansWritesInOrder) {
+  store::MemStore store;
+  auto file = std::move(*store.Open("f", true));
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Write(0, base::AsBytes("11", 2)).ok());
+  ASSERT_TRUE(file->Write(2, base::AsBytes("22", 2)).ok());
+  ASSERT_TRUE(file->Write(4, base::AsBytes("33", 2)).ok());
+  store.Crash(/*torn_bytes=*/3);
+  char buf[6] = {0};
+  size_t n = *file->Read(0, buf, 6);
+  // First write fully survives, second tears after one byte, third is gone.
+  ASSERT_GE(n, 3u);
+  EXPECT_EQ(0, std::memcmp(buf, "112", 3));
+  EXPECT_EQ(3u, n);
+}
+
+TEST(MemStoreInjection, FailWritesAfterBudget) {
+  store::MemStore store;
+  auto file = std::move(*store.Open("f", true));
+  store.FailWritesAfterBytes(5);
+  ASSERT_TRUE(file->Write(0, base::AsBytes("1234", 4)).ok());
+  EXPECT_EQ(base::StatusCode::kIoError, file->Write(4, base::AsBytes("5678", 4)).code());
+  store.FailWritesAfterBytes(-1);
+  EXPECT_TRUE(file->Write(4, base::AsBytes("5678", 4)).ok());
+}
+
+TEST(MemStoreStats, CountsBytesAndSyncs) {
+  store::MemStore store;
+  auto file = std::move(*store.Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("12345", 5)).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  EXPECT_EQ(5u, store.total_bytes_written());
+  EXPECT_EQ(1u, store.sync_count());
+}
+
+TEST(MemStore, HandlesSurviveCrash) {
+  store::MemStore store;
+  auto a = std::move(*store.Open("f", true));
+  auto b = std::move(*store.Open("f", true));
+  ASSERT_TRUE(a->Write(0, base::AsBytes("x", 1)).ok());
+  ASSERT_TRUE(a->Sync().ok());
+  store.Crash();
+  char c;
+  ASSERT_TRUE(b->ReadExact(0, &c, 1).ok());
+  EXPECT_EQ('x', c);
+}
+
+}  // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trimming.dir/bench_ablation_trimming.cc.o"
+  "CMakeFiles/bench_ablation_trimming.dir/bench_ablation_trimming.cc.o.d"
+  "bench_ablation_trimming"
+  "bench_ablation_trimming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trimming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baselines_functional.dir/bench_baselines_functional.cc.o"
+  "CMakeFiles/bench_baselines_functional.dir/bench_baselines_functional.cc.o.d"
+  "bench_baselines_functional"
+  "bench_baselines_functional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baselines_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

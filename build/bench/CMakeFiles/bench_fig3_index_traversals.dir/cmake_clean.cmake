@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_index_traversals.dir/bench_fig3_index_traversals.cc.o"
+  "CMakeFiles/bench_fig3_index_traversals.dir/bench_fig3_index_traversals.cc.o.d"
+  "bench_fig3_index_traversals"
+  "bench_fig3_index_traversals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_index_traversals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

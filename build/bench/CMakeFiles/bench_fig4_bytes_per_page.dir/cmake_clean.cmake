@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_bytes_per_page.dir/bench_fig4_bytes_per_page.cc.o"
+  "CMakeFiles/bench_fig4_bytes_per_page.dir/bench_fig4_bytes_per_page.cc.o.d"
+  "bench_fig4_bytes_per_page"
+  "bench_fig4_bytes_per_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bytes_per_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_breakeven.dir/bench_fig7_breakeven.cc.o"
+  "CMakeFiles/bench_fig7_breakeven.dir/bench_fig7_breakeven.cc.o.d"
+  "bench_fig7_breakeven"
+  "bench_fig7_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_opcosts.dir/bench_table2_opcosts.cc.o"
+  "CMakeFiles/bench_table2_opcosts.dir/bench_table2_opcosts.cc.o.d"
+  "bench_table2_opcosts"
+  "bench_table2_opcosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_opcosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/lbc_bench_harness.dir/harness.cc.o.d"
+  "liblbc_bench_harness.a"
+  "liblbc_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_farm.dir/build_farm.cpp.o"
+  "CMakeFiles/build_farm.dir/build_farm.cpp.o.d"
+  "build_farm"
+  "build_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_cad.dir/collaborative_cad.cpp.o"
+  "CMakeFiles/collaborative_cad.dir/collaborative_cad.cpp.o.d"
+  "collaborative_cad"
+  "collaborative_cad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_cad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_review.dir/design_review.cpp.o"
+  "CMakeFiles/design_review.dir/design_review.cpp.o.d"
+  "design_review"
+  "design_review.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_review.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_merge_tool.dir/log_merge_tool.cpp.o"
+  "CMakeFiles/log_merge_tool.dir/log_merge_tool.cpp.o.d"
+  "log_merge_tool"
+  "log_merge_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_merge_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_base.dir/buffer.cc.o"
+  "CMakeFiles/lbc_base.dir/buffer.cc.o.d"
+  "CMakeFiles/lbc_base.dir/crc32.cc.o"
+  "CMakeFiles/lbc_base.dir/crc32.cc.o.d"
+  "CMakeFiles/lbc_base.dir/logging.cc.o"
+  "CMakeFiles/lbc_base.dir/logging.cc.o.d"
+  "CMakeFiles/lbc_base.dir/status.cc.o"
+  "CMakeFiles/lbc_base.dir/status.cc.o.d"
+  "liblbc_base.a"
+  "liblbc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cpycmp.cc" "src/baselines/CMakeFiles/lbc_baselines.dir/cpycmp.cc.o" "gcc" "src/baselines/CMakeFiles/lbc_baselines.dir/cpycmp.cc.o.d"
+  "/root/repo/src/baselines/page_dsm.cc" "src/baselines/CMakeFiles/lbc_baselines.dir/page_dsm.cc.o" "gcc" "src/baselines/CMakeFiles/lbc_baselines.dir/page_dsm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lbc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/lbc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvm/CMakeFiles/lbc_rvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/lbc_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

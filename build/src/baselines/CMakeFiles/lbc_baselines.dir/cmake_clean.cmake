@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_baselines.dir/cpycmp.cc.o"
+  "CMakeFiles/lbc_baselines.dir/cpycmp.cc.o.d"
+  "CMakeFiles/lbc_baselines.dir/page_dsm.cc.o"
+  "CMakeFiles/lbc_baselines.dir/page_dsm.cc.o.d"
+  "liblbc_baselines.a"
+  "liblbc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

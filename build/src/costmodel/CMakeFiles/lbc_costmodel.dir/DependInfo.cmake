@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/alpha_costs.cc" "src/costmodel/CMakeFiles/lbc_costmodel.dir/alpha_costs.cc.o" "gcc" "src/costmodel/CMakeFiles/lbc_costmodel.dir/alpha_costs.cc.o.d"
+  "/root/repo/src/costmodel/host_measure.cc" "src/costmodel/CMakeFiles/lbc_costmodel.dir/host_measure.cc.o" "gcc" "src/costmodel/CMakeFiles/lbc_costmodel.dir/host_measure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lbc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/lbc_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_costmodel.dir/alpha_costs.cc.o"
+  "CMakeFiles/lbc_costmodel.dir/alpha_costs.cc.o.d"
+  "CMakeFiles/lbc_costmodel.dir/host_measure.cc.o"
+  "CMakeFiles/lbc_costmodel.dir/host_measure.cc.o.d"
+  "liblbc_costmodel.a"
+  "liblbc_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

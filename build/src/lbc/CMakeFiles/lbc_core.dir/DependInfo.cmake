@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lbc/client.cc" "src/lbc/CMakeFiles/lbc_core.dir/client.cc.o" "gcc" "src/lbc/CMakeFiles/lbc_core.dir/client.cc.o.d"
+  "/root/repo/src/lbc/cluster.cc" "src/lbc/CMakeFiles/lbc_core.dir/cluster.cc.o" "gcc" "src/lbc/CMakeFiles/lbc_core.dir/cluster.cc.o.d"
+  "/root/repo/src/lbc/online_trim.cc" "src/lbc/CMakeFiles/lbc_core.dir/online_trim.cc.o" "gcc" "src/lbc/CMakeFiles/lbc_core.dir/online_trim.cc.o.d"
+  "/root/repo/src/lbc/standby.cc" "src/lbc/CMakeFiles/lbc_core.dir/standby.cc.o" "gcc" "src/lbc/CMakeFiles/lbc_core.dir/standby.cc.o.d"
+  "/root/repo/src/lbc/wire_format.cc" "src/lbc/CMakeFiles/lbc_core.dir/wire_format.cc.o" "gcc" "src/lbc/CMakeFiles/lbc_core.dir/wire_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lbc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/lbc_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvm/CMakeFiles/lbc_rvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/lbc_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

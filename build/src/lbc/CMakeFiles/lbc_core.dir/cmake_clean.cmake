@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_core.dir/client.cc.o"
+  "CMakeFiles/lbc_core.dir/client.cc.o.d"
+  "CMakeFiles/lbc_core.dir/cluster.cc.o"
+  "CMakeFiles/lbc_core.dir/cluster.cc.o.d"
+  "CMakeFiles/lbc_core.dir/online_trim.cc.o"
+  "CMakeFiles/lbc_core.dir/online_trim.cc.o.d"
+  "CMakeFiles/lbc_core.dir/standby.cc.o"
+  "CMakeFiles/lbc_core.dir/standby.cc.o.d"
+  "CMakeFiles/lbc_core.dir/wire_format.cc.o"
+  "CMakeFiles/lbc_core.dir/wire_format.cc.o.d"
+  "liblbc_core.a"
+  "liblbc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

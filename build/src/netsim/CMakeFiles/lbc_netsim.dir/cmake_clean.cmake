@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_netsim.dir/fabric.cc.o"
+  "CMakeFiles/lbc_netsim.dir/fabric.cc.o.d"
+  "liblbc_netsim.a"
+  "liblbc_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

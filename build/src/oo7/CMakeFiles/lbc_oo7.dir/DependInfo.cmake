@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oo7/avl_index.cc" "src/oo7/CMakeFiles/lbc_oo7.dir/avl_index.cc.o" "gcc" "src/oo7/CMakeFiles/lbc_oo7.dir/avl_index.cc.o.d"
+  "/root/repo/src/oo7/database.cc" "src/oo7/CMakeFiles/lbc_oo7.dir/database.cc.o" "gcc" "src/oo7/CMakeFiles/lbc_oo7.dir/database.cc.o.d"
+  "/root/repo/src/oo7/queries.cc" "src/oo7/CMakeFiles/lbc_oo7.dir/queries.cc.o" "gcc" "src/oo7/CMakeFiles/lbc_oo7.dir/queries.cc.o.d"
+  "/root/repo/src/oo7/structural.cc" "src/oo7/CMakeFiles/lbc_oo7.dir/structural.cc.o" "gcc" "src/oo7/CMakeFiles/lbc_oo7.dir/structural.cc.o.d"
+  "/root/repo/src/oo7/traversals.cc" "src/oo7/CMakeFiles/lbc_oo7.dir/traversals.cc.o" "gcc" "src/oo7/CMakeFiles/lbc_oo7.dir/traversals.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lbc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_oo7.dir/avl_index.cc.o"
+  "CMakeFiles/lbc_oo7.dir/avl_index.cc.o.d"
+  "CMakeFiles/lbc_oo7.dir/database.cc.o"
+  "CMakeFiles/lbc_oo7.dir/database.cc.o.d"
+  "CMakeFiles/lbc_oo7.dir/queries.cc.o"
+  "CMakeFiles/lbc_oo7.dir/queries.cc.o.d"
+  "CMakeFiles/lbc_oo7.dir/structural.cc.o"
+  "CMakeFiles/lbc_oo7.dir/structural.cc.o.d"
+  "CMakeFiles/lbc_oo7.dir/traversals.cc.o"
+  "CMakeFiles/lbc_oo7.dir/traversals.cc.o.d"
+  "liblbc_oo7.a"
+  "liblbc_oo7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_oo7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rvm/log_format.cc" "src/rvm/CMakeFiles/lbc_rvm.dir/log_format.cc.o" "gcc" "src/rvm/CMakeFiles/lbc_rvm.dir/log_format.cc.o.d"
+  "/root/repo/src/rvm/log_io.cc" "src/rvm/CMakeFiles/lbc_rvm.dir/log_io.cc.o" "gcc" "src/rvm/CMakeFiles/lbc_rvm.dir/log_io.cc.o.d"
+  "/root/repo/src/rvm/log_merge.cc" "src/rvm/CMakeFiles/lbc_rvm.dir/log_merge.cc.o" "gcc" "src/rvm/CMakeFiles/lbc_rvm.dir/log_merge.cc.o.d"
+  "/root/repo/src/rvm/range_set.cc" "src/rvm/CMakeFiles/lbc_rvm.dir/range_set.cc.o" "gcc" "src/rvm/CMakeFiles/lbc_rvm.dir/range_set.cc.o.d"
+  "/root/repo/src/rvm/recovery.cc" "src/rvm/CMakeFiles/lbc_rvm.dir/recovery.cc.o" "gcc" "src/rvm/CMakeFiles/lbc_rvm.dir/recovery.cc.o.d"
+  "/root/repo/src/rvm/rvm.cc" "src/rvm/CMakeFiles/lbc_rvm.dir/rvm.cc.o" "gcc" "src/rvm/CMakeFiles/lbc_rvm.dir/rvm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lbc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/lbc_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

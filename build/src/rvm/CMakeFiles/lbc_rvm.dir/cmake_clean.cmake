@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_rvm.dir/log_format.cc.o"
+  "CMakeFiles/lbc_rvm.dir/log_format.cc.o.d"
+  "CMakeFiles/lbc_rvm.dir/log_io.cc.o"
+  "CMakeFiles/lbc_rvm.dir/log_io.cc.o.d"
+  "CMakeFiles/lbc_rvm.dir/log_merge.cc.o"
+  "CMakeFiles/lbc_rvm.dir/log_merge.cc.o.d"
+  "CMakeFiles/lbc_rvm.dir/range_set.cc.o"
+  "CMakeFiles/lbc_rvm.dir/range_set.cc.o.d"
+  "CMakeFiles/lbc_rvm.dir/recovery.cc.o"
+  "CMakeFiles/lbc_rvm.dir/recovery.cc.o.d"
+  "CMakeFiles/lbc_rvm.dir/rvm.cc.o"
+  "CMakeFiles/lbc_rvm.dir/rvm.cc.o.d"
+  "liblbc_rvm.a"
+  "liblbc_rvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_rvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_store.dir/file_store.cc.o"
+  "CMakeFiles/lbc_store.dir/file_store.cc.o.d"
+  "CMakeFiles/lbc_store.dir/mem_store.cc.o"
+  "CMakeFiles/lbc_store.dir/mem_store.cc.o.d"
+  "CMakeFiles/lbc_store.dir/replicated_store.cc.o"
+  "CMakeFiles/lbc_store.dir/replicated_store.cc.o.d"
+  "liblbc_store.a"
+  "liblbc_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

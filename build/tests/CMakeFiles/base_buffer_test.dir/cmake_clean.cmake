@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_buffer_test.dir/base_buffer_test.cc.o"
+  "CMakeFiles/base_buffer_test.dir/base_buffer_test.cc.o.d"
+  "base_buffer_test"
+  "base_buffer_test.pdb"
+  "base_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_status_test.dir/base_status_test.cc.o"
+  "CMakeFiles/base_status_test.dir/base_status_test.cc.o.d"
+  "base_status_test"
+  "base_status_test.pdb"
+  "base_status_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_status_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

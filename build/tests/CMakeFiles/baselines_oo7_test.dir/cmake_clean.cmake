@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_oo7_test.dir/baselines_oo7_test.cc.o"
+  "CMakeFiles/baselines_oo7_test.dir/baselines_oo7_test.cc.o.d"
+  "baselines_oo7_test"
+  "baselines_oo7_test.pdb"
+  "baselines_oo7_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_oo7_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_oo7_test.dir/integration_oo7_test.cc.o"
+  "CMakeFiles/integration_oo7_test.dir/integration_oo7_test.cc.o.d"
+  "integration_oo7_test"
+  "integration_oo7_test.pdb"
+  "integration_oo7_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_oo7_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

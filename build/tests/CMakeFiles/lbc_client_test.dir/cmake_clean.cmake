@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_client_test.dir/lbc_client_test.cc.o"
+  "CMakeFiles/lbc_client_test.dir/lbc_client_test.cc.o.d"
+  "lbc_client_test"
+  "lbc_client_test.pdb"
+  "lbc_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

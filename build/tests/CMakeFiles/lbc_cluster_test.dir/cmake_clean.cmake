@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_cluster_test.dir/lbc_cluster_test.cc.o"
+  "CMakeFiles/lbc_cluster_test.dir/lbc_cluster_test.cc.o.d"
+  "lbc_cluster_test"
+  "lbc_cluster_test.pdb"
+  "lbc_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_extensions_test.dir/lbc_extensions_test.cc.o"
+  "CMakeFiles/lbc_extensions_test.dir/lbc_extensions_test.cc.o.d"
+  "lbc_extensions_test"
+  "lbc_extensions_test.pdb"
+  "lbc_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

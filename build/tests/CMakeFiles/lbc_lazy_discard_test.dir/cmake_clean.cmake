@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_lazy_discard_test.dir/lbc_lazy_discard_test.cc.o"
+  "CMakeFiles/lbc_lazy_discard_test.dir/lbc_lazy_discard_test.cc.o.d"
+  "lbc_lazy_discard_test"
+  "lbc_lazy_discard_test.pdb"
+  "lbc_lazy_discard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_lazy_discard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lbc_lazy_discard_test.
+# This may be replaced when dependencies are built.

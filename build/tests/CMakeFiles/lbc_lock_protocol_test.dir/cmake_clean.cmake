@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_lock_protocol_test.dir/lbc_lock_protocol_test.cc.o"
+  "CMakeFiles/lbc_lock_protocol_test.dir/lbc_lock_protocol_test.cc.o.d"
+  "lbc_lock_protocol_test"
+  "lbc_lock_protocol_test.pdb"
+  "lbc_lock_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_lock_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

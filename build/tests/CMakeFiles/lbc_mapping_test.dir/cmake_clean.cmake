@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_mapping_test.dir/lbc_mapping_test.cc.o"
+  "CMakeFiles/lbc_mapping_test.dir/lbc_mapping_test.cc.o.d"
+  "lbc_mapping_test"
+  "lbc_mapping_test.pdb"
+  "lbc_mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

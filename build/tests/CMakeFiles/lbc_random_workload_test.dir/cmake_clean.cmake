@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_random_workload_test.dir/lbc_random_workload_test.cc.o"
+  "CMakeFiles/lbc_random_workload_test.dir/lbc_random_workload_test.cc.o.d"
+  "lbc_random_workload_test"
+  "lbc_random_workload_test.pdb"
+  "lbc_random_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_random_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_robustness_test.dir/lbc_robustness_test.cc.o"
+  "CMakeFiles/lbc_robustness_test.dir/lbc_robustness_test.cc.o.d"
+  "lbc_robustness_test"
+  "lbc_robustness_test.pdb"
+  "lbc_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

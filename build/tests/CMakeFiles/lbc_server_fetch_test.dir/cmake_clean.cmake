@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_server_fetch_test.dir/lbc_server_fetch_test.cc.o"
+  "CMakeFiles/lbc_server_fetch_test.dir/lbc_server_fetch_test.cc.o.d"
+  "lbc_server_fetch_test"
+  "lbc_server_fetch_test.pdb"
+  "lbc_server_fetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_server_fetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

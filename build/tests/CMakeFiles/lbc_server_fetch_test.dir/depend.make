@@ -1,0 +1,2 @@
+# Empty dependencies file for lbc_server_fetch_test.
+# This may be replaced when dependencies are built.

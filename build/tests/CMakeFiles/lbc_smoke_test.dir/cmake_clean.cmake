@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_smoke_test.dir/lbc_smoke_test.cc.o"
+  "CMakeFiles/lbc_smoke_test.dir/lbc_smoke_test.cc.o.d"
+  "lbc_smoke_test"
+  "lbc_smoke_test.pdb"
+  "lbc_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_standby_test.dir/lbc_standby_test.cc.o"
+  "CMakeFiles/lbc_standby_test.dir/lbc_standby_test.cc.o.d"
+  "lbc_standby_test"
+  "lbc_standby_test.pdb"
+  "lbc_standby_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_standby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_txn_handle_test.dir/lbc_txn_handle_test.cc.o"
+  "CMakeFiles/lbc_txn_handle_test.dir/lbc_txn_handle_test.cc.o.d"
+  "lbc_txn_handle_test"
+  "lbc_txn_handle_test.pdb"
+  "lbc_txn_handle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_txn_handle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_wire_format_test.dir/lbc_wire_format_test.cc.o"
+  "CMakeFiles/lbc_wire_format_test.dir/lbc_wire_format_test.cc.o.d"
+  "lbc_wire_format_test"
+  "lbc_wire_format_test.pdb"
+  "lbc_wire_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_wire_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_delay_test.dir/netsim_delay_test.cc.o"
+  "CMakeFiles/netsim_delay_test.dir/netsim_delay_test.cc.o.d"
+  "netsim_delay_test"
+  "netsim_delay_test.pdb"
+  "netsim_delay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_fabric_test.dir/netsim_fabric_test.cc.o"
+  "CMakeFiles/netsim_fabric_test.dir/netsim_fabric_test.cc.o.d"
+  "netsim_fabric_test"
+  "netsim_fabric_test.pdb"
+  "netsim_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

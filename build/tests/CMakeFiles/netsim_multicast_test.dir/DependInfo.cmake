@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netsim_multicast_test.cc" "tests/CMakeFiles/netsim_multicast_test.dir/netsim_multicast_test.cc.o" "gcc" "tests/CMakeFiles/netsim_multicast_test.dir/netsim_multicast_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/lbc_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbc/CMakeFiles/lbc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvm/CMakeFiles/lbc_rvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/lbc_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/lbc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lbc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lbc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/lbc_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/oo7/CMakeFiles/lbc_oo7.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

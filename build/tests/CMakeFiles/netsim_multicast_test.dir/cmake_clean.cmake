@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_multicast_test.dir/netsim_multicast_test.cc.o"
+  "CMakeFiles/netsim_multicast_test.dir/netsim_multicast_test.cc.o.d"
+  "netsim_multicast_test"
+  "netsim_multicast_test.pdb"
+  "netsim_multicast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_multicast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

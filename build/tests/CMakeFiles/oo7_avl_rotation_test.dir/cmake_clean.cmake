@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo7_avl_rotation_test.dir/oo7_avl_rotation_test.cc.o"
+  "CMakeFiles/oo7_avl_rotation_test.dir/oo7_avl_rotation_test.cc.o.d"
+  "oo7_avl_rotation_test"
+  "oo7_avl_rotation_test.pdb"
+  "oo7_avl_rotation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo7_avl_rotation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

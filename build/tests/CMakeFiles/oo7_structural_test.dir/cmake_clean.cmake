@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo7_structural_test.dir/oo7_structural_test.cc.o"
+  "CMakeFiles/oo7_structural_test.dir/oo7_structural_test.cc.o.d"
+  "oo7_structural_test"
+  "oo7_structural_test.pdb"
+  "oo7_structural_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo7_structural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

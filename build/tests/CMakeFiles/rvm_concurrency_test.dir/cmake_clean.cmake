@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvm_concurrency_test.dir/rvm_concurrency_test.cc.o"
+  "CMakeFiles/rvm_concurrency_test.dir/rvm_concurrency_test.cc.o.d"
+  "rvm_concurrency_test"
+  "rvm_concurrency_test.pdb"
+  "rvm_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvm_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

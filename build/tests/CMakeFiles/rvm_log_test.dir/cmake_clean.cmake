@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvm_log_test.dir/rvm_log_test.cc.o"
+  "CMakeFiles/rvm_log_test.dir/rvm_log_test.cc.o.d"
+  "rvm_log_test"
+  "rvm_log_test.pdb"
+  "rvm_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvm_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

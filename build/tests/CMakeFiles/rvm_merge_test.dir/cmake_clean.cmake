@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvm_merge_test.dir/rvm_merge_test.cc.o"
+  "CMakeFiles/rvm_merge_test.dir/rvm_merge_test.cc.o.d"
+  "rvm_merge_test"
+  "rvm_merge_test.pdb"
+  "rvm_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvm_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvm_range_set_test.dir/rvm_range_set_test.cc.o"
+  "CMakeFiles/rvm_range_set_test.dir/rvm_range_set_test.cc.o.d"
+  "rvm_range_set_test"
+  "rvm_range_set_test.pdb"
+  "rvm_range_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvm_range_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvm_region_test.dir/rvm_region_test.cc.o"
+  "CMakeFiles/rvm_region_test.dir/rvm_region_test.cc.o.d"
+  "rvm_region_test"
+  "rvm_region_test.pdb"
+  "rvm_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvm_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

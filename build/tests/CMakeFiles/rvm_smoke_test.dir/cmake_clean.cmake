@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvm_smoke_test.dir/rvm_smoke_test.cc.o"
+  "CMakeFiles/rvm_smoke_test.dir/rvm_smoke_test.cc.o.d"
+  "rvm_smoke_test"
+  "rvm_smoke_test.pdb"
+  "rvm_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvm_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvm_txn_test.dir/rvm_txn_test.cc.o"
+  "CMakeFiles/rvm_txn_test.dir/rvm_txn_test.cc.o.d"
+  "rvm_txn_test"
+  "rvm_txn_test.pdb"
+  "rvm_txn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvm_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

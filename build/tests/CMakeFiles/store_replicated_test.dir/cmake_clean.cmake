@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_replicated_test.dir/store_replicated_test.cc.o"
+  "CMakeFiles/store_replicated_test.dir/store_replicated_test.cc.o.d"
+  "store_replicated_test"
+  "store_replicated_test.pdb"
+  "store_replicated_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_replicated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

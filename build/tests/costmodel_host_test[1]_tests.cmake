@@ -1,0 +1,3 @@
+add_test([=[HostMeasure.ProducesSensibleCosts]=]  /root/repo/build/tests/costmodel_host_test [==[--gtest_filter=HostMeasure.ProducesSensibleCosts]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[HostMeasure.ProducesSensibleCosts]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 120)
+set(  costmodel_host_test_TESTS HostMeasure.ProducesSensibleCosts)

@@ -6,8 +6,10 @@
 // applied, so long analyses never see the data shift underneath them. When
 // ready, the reviewer calls Accept() — the paper's `accept` primitive — and
 // moves forward to the newest committed version in one step.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "src/lbc/client.h"
 #include "src/store/mem_store.h"
@@ -32,6 +34,14 @@ void ReviseAll(lbc::Client* writer, uint32_t revision) {
 
 // The reviewer checks that every cell belongs to ONE revision — a torn
 // snapshot would mix revisions.
+// Delivery is asynchronous; Accept() only applies what has already arrived.
+// Wait until `count` updates are in (buffered or applied) before moving on.
+void WaitForUpdates(lbc::Client* reviewer, uint64_t count) {
+  for (int i = 0; i < 5000 && reviewer->stats().updates_received < count; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
 uint32_t AuditSnapshot(lbc::Client* reviewer) {
   const uint8_t* base = reviewer->GetRegion(kFloorplan)->data();
   uint32_t first;
@@ -62,7 +72,7 @@ int main() {
   reviewer->MapRegion(kFloorplan, 8192).value();
 
   ReviseAll(writer.get(), 1);
-  reviewer->WaitForAppliedSeq(kLock, 0, 100);  // let delivery settle
+  WaitForUpdates(reviewer.get(), 1);
   reviewer->Accept().ok();
   std::printf("reviewer starts the audit on revision %u\n", AuditSnapshot(reviewer.get()));
 
@@ -73,6 +83,7 @@ int main() {
 
   // Updates are in the reviewer's buffer, not its cache: the audit still
   // sees revision 1, perfectly consistent.
+  WaitForUpdates(reviewer.get(), 4);
   std::printf("mid-audit, reviewer still sees revision %u (buffered updates: %llu)\n",
               AuditSnapshot(reviewer.get()),
               static_cast<unsigned long long>(reviewer->stats().updates_received));

@@ -114,7 +114,17 @@ base::Status Client::Init() {
   ASSIGN_OR_RETURN(rvm_, rvm::Rvm::Open(cluster_->store(), node_, options_.rvm));
   rvm_->SetCommitHook([this](const rvm::CommitContext& ctx) { OnCommit(ctx); });
   endpoint_ = cluster_->fabric()->AddNode(node_);
-  endpoint_->StartReceiver([this](netsim::Message&& msg) { OnMessage(std::move(msg)); });
+  auto handler = [this](netsim::Message&& msg) { OnMessage(std::move(msg)); };
+  if (options_.reliable_transport) {
+    channel_ = std::make_unique<netsim::ReliableChannel>(endpoint_);
+    channel_->StartReceiver(handler);
+  } else {
+    endpoint_->StartReceiver(handler);
+  }
+  cluster_->NoteAlive(node_);
+  if (options_.heartbeat_interval_ms > 0) {
+    heartbeat_ = std::thread([this] { HeartbeatThreadMain(); });
+  }
   return base::OkStatus();
 }
 
@@ -134,8 +144,55 @@ void Client::Disconnect() {
     }
     disconnected_ = true;
   }
-  endpoint_->StopReceiver();
   cv_.notify_all();
+  if (heartbeat_.joinable()) {
+    heartbeat_.join();
+  }
+  if (channel_ != nullptr) {
+    channel_->Shutdown();
+  } else {
+    endpoint_->StopReceiver();
+  }
+}
+
+base::Status Client::SendTo(rvm::NodeId to, std::vector<uint8_t> payload) {
+  if (channel_ != nullptr) {
+    return channel_->Send(to, std::move(payload));
+  }
+  return endpoint_->Send(to, std::move(payload));
+}
+
+void Client::HeartbeatThreadMain() {
+  const auto interval = std::chrono::milliseconds(options_.heartbeat_interval_ms);
+  // Deaths this thread has already recovered from. Deaths declared by OTHER
+  // nodes must be swept too: the first detector's DeclareDead removes the
+  // victim from the lease registry, so without this sweep a manager that
+  // lost the detection race would never reclaim the victim's tokens.
+  std::set<rvm::NodeId> handled;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!disconnected_) {
+    lk.unlock();
+    cluster_->NoteAlive(node_);
+    if (options_.lease_timeout_ms > 0) {
+      auto lease = std::chrono::milliseconds(options_.lease_timeout_ms);
+      std::vector<rvm::NodeId> suspects = cluster_->LeaseExpired(lease);
+      for (rvm::NodeId dead : cluster_->DeadNodes()) {
+        suspects.push_back(dead);
+      }
+      for (rvm::NodeId suspect : suspects) {
+        if (suspect == node_ || !handled.insert(suspect).second) {
+          continue;
+        }
+        base::Status st = OnPeerDeath(suspect);
+        if (!st.ok()) {
+          LBC_LOG(Warning) << "peer-death recovery for node " << suspect
+                           << " failed: " << st.ToString();
+        }
+      }
+    }
+    lk.lock();
+    cv_.wait_for(lk, interval, [this] { return disconnected_; });
+  }
 }
 
 base::Result<rvm::Region*> Client::MapRegion(rvm::RegionId region, uint64_t length) {
@@ -327,7 +384,7 @@ void Client::BroadcastEager(const rvm::CommitContext& ctx) {
     for (rvm::NodeId peer : peers) {
       // One writev per peer, as in the prototype (§4.3.1): cost grows
       // linearly with the number of peers sharing the segment.
-      base::Status st = endpoint_->Send(peer, payload);
+      base::Status st = SendTo(peer, payload);
       if (!st.ok()) {
         LBC_LOG(Warning) << "coherency send to node " << peer
                          << " failed: " << st.ToString();
@@ -391,18 +448,14 @@ base::Result<uint64_t> Client::AcquireLock(rvm::LockId lock) {
       if (applied >= st.token_seq) {
         break;  // token here and every preceding update applied (§3.4)
       }
-      if (options_.policy == PropagationPolicy::kLazyServer) {
-        // Pull the missing records from the server's in-memory cache
-        // (§2.2's second lazy variant) and retry.
-        for (auto& rec : cluster_->FetchRecordsSince(lock, applied)) {
-          if (!TryApplyLocked(rec)) {
-            pending_.push_back(std::move(rec));
-          }
-        }
-        DrainPendingLocked();
-        if (applied_seq_[lock] >= st.token_seq) {
-          break;
-        }
+      // Pull the missing records from the server's in-memory cache and
+      // retry. Under kLazyServer this is the normal catch-up path (§2.2's
+      // second lazy variant); under every policy it also covers updates a
+      // dead writer committed but never propagated, which recovery
+      // republished to the cache.
+      FetchFromServerLocked(lock);
+      if (applied_seq_[lock] >= st.token_seq) {
+        break;
       }
       if (!counted_wait) {
         counted_wait = true;
@@ -410,9 +463,9 @@ base::Result<uint64_t> Client::AcquireLock(rvm::LockId lock) {
       }
     } else if (!st.have_token && !st.requested) {
       st.requested = true;
-      LockRequestMsg req{lock, node_, applied_seq_[lock]};
+      LockRequestMsg req{lock, node_, applied_seq_[lock], st.epoch};
       ++stats_.lock_messages_sent;
-      base::Status send_st = endpoint_->Send(spec.manager, EncodeLockRequest(req));
+      base::Status send_st = SendTo(spec.manager, EncodeLockRequest(req));
       if (!send_st.ok()) {
         st.requested = false;
         --acquires_waiting_;
@@ -458,6 +511,7 @@ void Client::PassTokenLocked(rvm::LockId lock, LockState& st) {
   LockTokenMsg token;
   token.lock = lock;
   token.token_seq = st.token_seq;
+  token.epoch = st.epoch;
   if (options_.policy == PropagationPolicy::kLazy) {
     // Drop records every current mapper has applied, then ship whatever the
     // requester is still missing (§2.2).
@@ -474,7 +528,7 @@ void Client::PassTokenLocked(rvm::LockId lock, LockState& st) {
   st.have_token = false;
   ++stats_.lock_messages_sent;
   base::Status send_st =
-      endpoint_->Send(fwd.requester, EncodeLockToken(token, options_.compress_headers));
+      SendTo(fwd.requester, EncodeLockToken(token, options_.compress_headers));
   if (!send_st.ok()) {
     LBC_LOG(Warning) << "token pass to node " << fwd.requester
                      << " failed: " << send_st.ToString();
@@ -492,6 +546,16 @@ void Client::OnMessage(netsim::Message&& msg) {
     LBC_LOG(Error) << "undecodable message from node " << msg.from;
     return;
   }
+  // Lock-protocol messages naming an undefined lock are adversarial (or
+  // corrupt): drop them before they can touch lock state.
+  auto known_lock = [this, &msg](rvm::LockId lock) {
+    if (cluster_->GetLock(lock).ok()) {
+      return true;
+    }
+    LBC_LOG(Error) << "lock message for undefined lock " << lock << " from node "
+                   << msg.from;
+    return false;
+  };
   switch (*type) {
     case MsgType::kUpdate: {
       rvm::TransactionRecord rec;
@@ -504,22 +568,36 @@ void Client::OnMessage(netsim::Message&& msg) {
     }
     case MsgType::kLockRequest: {
       LockRequestMsg req;
-      if (DecodeLockRequest(payload, &req).ok()) {
+      if (DecodeLockRequest(payload, &req).ok() && known_lock(req.lock)) {
         HandleLockRequest(req);
       }
       break;
     }
     case MsgType::kLockForward: {
       LockForwardMsg fwd;
-      if (DecodeLockForward(payload, &fwd).ok()) {
+      if (DecodeLockForward(payload, &fwd).ok() && known_lock(fwd.lock)) {
         HandleLockForward(fwd);
       }
       break;
     }
     case MsgType::kLockToken: {
       LockTokenMsg token;
-      if (DecodeLockToken(payload, &token).ok()) {
+      if (DecodeLockToken(payload, &token).ok() && known_lock(token.lock)) {
         HandleLockToken(std::move(token));
+      }
+      break;
+    }
+    case MsgType::kLockRevoke: {
+      LockRevokeMsg revoke;
+      if (DecodeLockRevoke(payload, &revoke).ok() && known_lock(revoke.lock)) {
+        HandleLockRevoke(revoke);
+      }
+      break;
+    }
+    case MsgType::kLockRevokeReply: {
+      LockRevokeReplyMsg reply;
+      if (DecodeLockRevokeReply(payload, &reply).ok() && known_lock(reply.lock)) {
+        HandleLockRevokeReply(reply);
       }
       break;
     }
@@ -547,9 +625,20 @@ void Client::HandleUpdate(rvm::TransactionRecord&& rec) {
 void Client::HandleLockRequest(const LockRequestMsg& msg) {
   std::unique_lock<std::mutex> lk(mu_);
   LockState& st = StateFor(msg.lock);
+  if (msg.epoch < st.epoch) {
+    // A request routed before a reclaim (possibly from the dead node
+    // itself). Drop it, but tell the requester the current epoch so a live
+    // node that merely missed the revoke — e.g. one that mapped the region
+    // after the reclaim — can resend instead of waiting forever.
+    LockRevokeMsg sync{msg.lock, st.epoch, node_};
+    ++stats_.lock_messages_sent;
+    lk.unlock();
+    SendTo(msg.requester, EncodeLockRevoke(sync)).ok();
+    return;
+  }
   rvm::NodeId prev_tail = st.queue_tail;
   st.queue_tail = msg.requester;
-  LockForwardMsg fwd{msg.lock, msg.requester, msg.applied_seq};
+  LockForwardMsg fwd{msg.lock, msg.requester, msg.applied_seq, st.epoch};
   if (prev_tail == node_) {
     HandleForwardLocked(fwd);
     cv_.notify_all();
@@ -557,7 +646,7 @@ void Client::HandleLockRequest(const LockRequestMsg& msg) {
   }
   ++stats_.lock_messages_sent;
   lk.unlock();
-  base::Status st_send = endpoint_->Send(prev_tail, EncodeLockForward(fwd));
+  base::Status st_send = SendTo(prev_tail, EncodeLockForward(fwd));
   if (!st_send.ok()) {
     LBC_LOG(Warning) << "lock forward to node " << prev_tail
                      << " failed: " << st_send.ToString();
@@ -566,6 +655,9 @@ void Client::HandleLockRequest(const LockRequestMsg& msg) {
 
 void Client::HandleLockForward(const LockForwardMsg& msg) {
   std::lock_guard<std::mutex> lk(mu_);
+  if (msg.epoch < StateFor(msg.lock).epoch) {
+    return;  // routed before a reclaim; the requester re-requests
+  }
   HandleForwardLocked(msg);
   cv_.notify_all();
 }
@@ -585,6 +677,13 @@ void Client::HandleForwardLocked(const LockForwardMsg& msg) {
 void Client::HandleLockToken(LockTokenMsg&& msg) {
   std::lock_guard<std::mutex> lk(mu_);
   LockState& st = StateFor(msg.lock);
+  if (msg.epoch < st.epoch) {
+    // A stale token overtaken by a reclaim (e.g. passed by a node that had
+    // not yet seen the revoke). The manager has reissued it; accepting this
+    // one could create two tokens.
+    return;
+  }
+  st.epoch = msg.epoch;
   // Lazy policy: the piggybacked records are exactly the updates this node
   // is missing; apply them before announcing the token.
   for (auto& rec : msg.piggyback) {
@@ -597,6 +696,173 @@ void Client::HandleLockToken(LockTokenMsg&& msg) {
   st.requested = false;
   st.token_seq = msg.token_seq;
   cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Client-failure recovery (token reclamation + update re-fetch)
+// ---------------------------------------------------------------------------
+
+base::Status Client::OnPeerDeath(rvm::NodeId dead) {
+  if (dead == node_) {
+    return base::InvalidArgument("node cannot declare itself dead");
+  }
+  // Server side first: merge the dead node's durable log into the database
+  // files and publish its records to the record cache, so everything below
+  // finds the post-merge baselines and fetchable records in place.
+  RETURN_IF_ERROR(cluster_->RecoverDeadClient(dead));
+  if (channel_ != nullptr) {
+    channel_->ForgetPeer(dead);  // stop retransmitting into the void
+  }
+  for (rvm::LockId lock : cluster_->AllLocks()) {
+    auto spec = cluster_->GetLock(lock);
+    if (!spec.ok() || spec->manager != node_) {
+      continue;  // each lock is reclaimed by its own (live) manager
+    }
+    StartReclaim(lock, spec->region, dead);
+  }
+  // Updates the dead writer committed but never propagated are now in the
+  // server record cache; pull whatever this cache is missing. (Mappers of
+  // regions whose locks other nodes manage do the same when the revoke
+  // reaches them.)
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [region, mapped] : mapped_regions_) {
+    for (rvm::LockId lock : cluster_->LocksForRegion(region)) {
+      FetchFromServerLocked(lock);
+    }
+  }
+  cv_.notify_all();
+  return base::OkStatus();
+}
+
+void Client::StartReclaim(rvm::LockId lock, rvm::RegionId region, rvm::NodeId dead) {
+  // RecoverDeadClient already withdrew the dead node's mappings, so this is
+  // the live mapper set.
+  std::vector<rvm::NodeId> mappers = cluster_->PeersOf(region, node_);
+  std::unique_lock<std::mutex> lk(mu_);
+  LockState& st = StateFor(lock);
+  if (st.reclaiming) {
+    return;  // a round is already in flight; it collects the same state
+  }
+  st.reclaiming = true;
+  st.epoch += 1;
+  // Wipe chain state built under the old epoch: the manager is the queue
+  // tail again, and live waiters re-request when the revoke reaches them.
+  st.requested = false;
+  st.next_holder.reset();
+  st.queue_tail = node_;
+  st.reclaim_owner = (st.have_token && st.held) ? node_ : 0;
+  st.reclaim_max_seq = std::max(st.token_seq, applied_seq_[lock]);
+  st.reclaim_pending.clear();
+  for (rvm::NodeId n : mappers) {
+    if (n != dead && n != node_) {
+      st.reclaim_pending.insert(n);
+    }
+  }
+  ++stats_.locks_reclaimed;
+  if (st.reclaim_pending.empty()) {
+    FinishReclaimLocked(lock, st);
+    cv_.notify_all();
+    return;
+  }
+  LockRevokeMsg revoke{lock, st.epoch, node_};
+  std::vector<uint8_t> payload = EncodeLockRevoke(revoke);
+  std::vector<rvm::NodeId> targets(st.reclaim_pending.begin(), st.reclaim_pending.end());
+  stats_.lock_messages_sent += targets.size();
+  lk.unlock();
+  for (rvm::NodeId n : targets) {
+    base::Status send_st = SendTo(n, payload);
+    if (!send_st.ok()) {
+      LBC_LOG(Warning) << "lock revoke to node " << n
+                       << " failed: " << send_st.ToString();
+    }
+  }
+}
+
+void Client::HandleLockRevoke(const LockRevokeMsg& msg) {
+  std::unique_lock<std::mutex> lk(mu_);
+  LockState& st = StateFor(msg.lock);
+  ++stats_.revokes_received;
+  if (msg.epoch <= st.epoch) {
+    return;  // stale or already-processed revoke
+  }
+  st.epoch = msg.epoch;
+  LockRevokeReplyMsg reply;
+  reply.lock = msg.lock;
+  reply.epoch = msg.epoch;
+  reply.node = node_;
+  reply.token_seq = st.token_seq;
+  reply.applied_seq = applied_seq_[msg.lock];
+  if (st.held) {
+    // A local transaction legitimately holds the lock: the token stays put
+    // and the manager anchors the rebuilt queue at this node.
+    reply.holding = true;
+  } else if (st.have_token) {
+    reply.had_token = true;
+    st.have_token = false;
+  }
+  st.requested = false;    // blocked acquires re-request under the new epoch
+  st.next_holder.reset();  // the chain is rebuilt from scratch at the manager
+  // The dead writer's unpropagated committed updates are in the server
+  // cache by now (recovery runs before the revoke is sent); catch up so the
+  // reissued token's interlock can be satisfied.
+  FetchFromServerLocked(msg.lock);
+  ++stats_.lock_messages_sent;
+  lk.unlock();
+  base::Status send_st = SendTo(msg.manager, EncodeLockRevokeReply(reply));
+  if (!send_st.ok()) {
+    LBC_LOG(Warning) << "revoke reply to node " << msg.manager
+                     << " failed: " << send_st.ToString();
+  }
+  cv_.notify_all();
+}
+
+void Client::HandleLockRevokeReply(const LockRevokeReplyMsg& msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  LockState& st = StateFor(msg.lock);
+  if (!st.reclaiming || msg.epoch != st.epoch) {
+    return;  // reply to an epoch-sync revoke, or from a superseded round
+  }
+  st.reclaim_pending.erase(msg.node);
+  st.reclaim_max_seq = std::max({st.reclaim_max_seq, msg.token_seq, msg.applied_seq});
+  if (msg.holding) {
+    st.reclaim_owner = msg.node;
+  }
+  if (st.reclaim_pending.empty()) {
+    FinishReclaimLocked(msg.lock, st);
+  }
+  cv_.notify_all();
+}
+
+void Client::FinishReclaimLocked(rvm::LockId lock, LockState& st) {
+  st.reclaiming = false;
+  st.reclaim_max_seq = std::max(st.reclaim_max_seq, cluster_->BaselineSeq(lock));
+  if (st.reclaim_owner != 0 && st.reclaim_owner != node_) {
+    // A live transaction holds the lock; the token stays with that node and
+    // the rebuilt waiter queue anchors behind it.
+    st.queue_tail = st.reclaim_owner;
+    st.have_token = false;
+    return;
+  }
+  // The token was lost with the dead node (or is already here): reissue it
+  // at the highest sequence any survivor — or the dead node's merged log —
+  // observed. Acquires the dead node completed above that never committed
+  // anything visible, so they are abandoned exactly like aborted ones.
+  st.have_token = true;
+  st.token_seq = std::max(st.token_seq, st.reclaim_max_seq);
+  if (st.next_holder.has_value() && !st.held) {
+    PassTokenLocked(lock, st);
+  }
+}
+
+void Client::FetchFromServerLocked(rvm::LockId lock) {
+  uint64_t applied = applied_seq_[lock];
+  for (auto& rec : cluster_->FetchRecordsSince(lock, applied)) {
+    ++stats_.records_fetched;
+    if (!TryApplyLocked(rec)) {
+      pending_.push_back(std::move(rec));
+    }
+  }
+  DrainPendingLocked();
 }
 
 // ---------------------------------------------------------------------------

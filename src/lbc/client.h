@@ -30,12 +30,15 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include "src/base/status.h"
 #include "src/lbc/cluster.h"
 #include "src/lbc/wire_format.h"
 #include "src/netsim/fabric.h"
+#include "src/netsim/reliable.h"
 #include "src/rvm/rvm.h"
 
 namespace lbc {
@@ -71,6 +74,19 @@ struct ClientOptions {
   // implies acceptance). Readers thus operate on a stable consistent
   // snapshot while writers progress elsewhere.
   bool versioned_reads = false;
+  // Run point-to-point traffic over netsim::ReliableChannel, restoring
+  // exactly-once FIFO delivery when the fabric injects faults. On a
+  // fault-free fabric the channel stays off the fast path: no retransmits
+  // fire and the only overhead is one small ACK frame per message.
+  // Multicast sends bypass the channel (best-effort, as in the paper).
+  bool reliable_transport = true;
+  // Failure detector. With heartbeat_interval_ms > 0 a background thread
+  // renews this node's lease in the cluster's liveness registry; if
+  // lease_timeout_ms > 0 too, the same thread watches for peers whose lease
+  // lapsed and runs OnPeerDeath for them. Both default off: tests and
+  // benches drive death detection explicitly.
+  uint64_t heartbeat_interval_ms = 0;
+  uint64_t lease_timeout_ms = 0;
 };
 
 struct ClientStats {
@@ -83,6 +99,9 @@ struct ClientStats {
   uint64_t lock_messages_sent = 0;
   uint64_t acquire_waits = 0;       // acquires that blocked on the interlock
   uint64_t network_nanos = 0;       // time in Send during commit broadcast
+  uint64_t records_fetched = 0;     // records pulled from the server cache
+  uint64_t locks_reclaimed = 0;     // reclaim rounds started as manager
+  uint64_t revokes_received = 0;    // revoke messages processed as mapper
 };
 
 class Client;
@@ -168,10 +187,20 @@ class Client {
   ClientStats stats() const;
   void ResetStats();
 
-  // Detaches from the fabric (stops the receiver thread) without destroying
-  // local state; used by crash tests. No messages are sent or received
-  // afterwards.
+  // Detaches from the fabric (stops the receiver and heartbeat threads)
+  // without destroying local state; used by crash tests. No messages are
+  // sent or received afterwards.
   void Disconnect();
+
+  // Client-failure recovery, run at a *surviving* node when `dead` is known
+  // to have failed (lease lapsed, or a test declares it): merges the dead
+  // node's durable log server-side (Cluster::RecoverDeadClient), then — for
+  // every lock this node manages — reclaims the token in case the dead node
+  // held or was queued for it, reissuing it at the correct sequence number.
+  // Locks managed by other live nodes are reclaimed by *their* managers'
+  // OnPeerDeath calls; a dead manager is out of scope (see DESIGN.md).
+  // Idempotent; safe to call from multiple survivors concurrently.
+  base::Status OnPeerDeath(rvm::NodeId dead);
 
  private:
   friend class Transaction;
@@ -187,6 +216,17 @@ class Client {
     rvm::NodeId queue_tail = 0;
     // Lazy policy: retained committed records for this lock, oldest first.
     std::deque<rvm::TransactionRecord> retained;
+    // Revocation epoch (see wire_format.h). Bumped by the manager per
+    // reclaim; lock messages with a lower epoch are stale and dropped.
+    uint64_t epoch = 0;
+    // Manager role: in-flight reclaim round (token revocation after a peer
+    // death). pending = mappers whose revoke reply is still outstanding;
+    // owner = live node that nacked because a local transaction holds the
+    // lock (0 if none); max_seq = highest token/applied sequence reported.
+    bool reclaiming = false;
+    std::set<rvm::NodeId> reclaim_pending;
+    rvm::NodeId reclaim_owner = 0;
+    uint64_t reclaim_max_seq = 0;
   };
 
   Client(Cluster* cluster, rvm::NodeId node, const ClientOptions& options)
@@ -214,6 +254,23 @@ class Client {
   void HandleLockForward(const LockForwardMsg& msg);
   void HandleForwardLocked(const LockForwardMsg& msg);
   void HandleLockToken(LockTokenMsg&& msg);
+  void HandleLockRevoke(const LockRevokeMsg& msg);
+  void HandleLockRevokeReply(const LockRevokeReplyMsg& msg);
+
+  // --- client-failure recovery ----------------------------------------------
+  // Begins a reclaim round for a lock this node manages. mu_ must NOT be
+  // held.
+  void StartReclaim(rvm::LockId lock, rvm::RegionId region, rvm::NodeId dead);
+  // Completes a reclaim round once every reply is in. mu_ must be held.
+  void FinishReclaimLocked(rvm::LockId lock, LockState& st);
+  // Pulls records this node is missing from the server record cache and
+  // applies what it can. mu_ must be held.
+  void FetchFromServerLocked(rvm::LockId lock);
+  // Heartbeat / lease-watch loop (runs when heartbeat_interval_ms > 0).
+  void HeartbeatThreadMain();
+
+  // Point-to-point send, routed through the reliable channel when enabled.
+  base::Status SendTo(rvm::NodeId to, std::vector<uint8_t> payload);
 
   // Applies `rec` if its lock-sequence predecessors are all applied; returns
   // true if applied (or duplicate). mu_ must be held.
@@ -238,6 +295,8 @@ class Client {
   ClientOptions options_;
   std::unique_ptr<rvm::Rvm> rvm_;
   netsim::Endpoint* endpoint_ = nullptr;
+  std::unique_ptr<netsim::ReliableChannel> channel_;
+  std::thread heartbeat_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

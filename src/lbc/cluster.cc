@@ -190,6 +190,79 @@ size_t Cluster::CachedRecordCount(rvm::LockId lock) const {
   return it == record_cache_.end() ? 0 : it->second.size();
 }
 
+void Cluster::NoteAlive(rvm::NodeId node) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (dead_.count(node) != 0) {
+    return;  // declared dead stays dead; see header
+  }
+  last_heartbeat_[node] = std::chrono::steady_clock::now();
+}
+
+void Cluster::DeclareDead(rvm::NodeId node) {
+  std::lock_guard<std::mutex> guard(mu_);
+  dead_.insert(node);
+  last_heartbeat_.erase(node);
+}
+
+bool Cluster::IsDead(rvm::NodeId node) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return dead_.count(node) != 0;
+}
+
+std::vector<rvm::NodeId> Cluster::DeadNodes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return {dead_.begin(), dead_.end()};
+}
+
+std::vector<rvm::NodeId> Cluster::LeaseExpired(std::chrono::milliseconds lease) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<rvm::NodeId> out;
+  auto deadline = std::chrono::steady_clock::now() - lease;
+  for (const auto& [node, beat] : last_heartbeat_) {
+    if (beat < deadline) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+base::Status Cluster::RecoverDeadClient(rvm::NodeId node) {
+  DeclareDead(node);
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (recovered_.count(node) != 0) {
+      return base::OkStatus();
+    }
+  }
+  std::string log_name = rvm::LogFileName(node);
+  ASSIGN_OR_RETURN(bool exists, store_->Exists(log_name));
+  std::vector<rvm::TransactionRecord> merged;
+  if (exists) {
+    ASSIGN_OR_RETURN(merged, rvm::MergeLogs(store_, {log_name}));
+    RETURN_IF_ERROR(rvm::ApplyToDatabase(store_, merged));
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!recovered_.insert(node).second) {
+    return base::OkStatus();  // lost a race with a concurrent detector
+  }
+  for (const auto& txn : merged) {
+    for (const auto& lock : txn.locks) {
+      uint64_t& baseline = baseline_seq_[lock.lock_id];
+      baseline = std::max(baseline, lock.sequence);
+      // Survivors whose cached image is missing this update re-fetch it
+      // from the record cache (the dead writer will never retransmit).
+      record_cache_[lock.lock_id].emplace(lock.sequence, txn);
+    }
+  }
+  for (auto& [region, nodes] : mappings_) {
+    nodes.erase(std::remove(nodes.begin(), nodes.end(), node), nodes.end());
+  }
+  for (auto& [lock, reports] : applied_reports_) {
+    reports.erase(node);
+  }
+  return base::OkStatus();
+}
+
 base::Status Cluster::RecoverAndTrim(const std::vector<rvm::NodeId>& nodes) {
   std::vector<std::string> log_names;
   for (rvm::NodeId node : nodes) {

@@ -13,8 +13,10 @@
 #ifndef SRC_LBC_CLUSTER_H_
 #define SRC_LBC_CLUSTER_H_
 
+#include <chrono>
 #include <map>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "src/base/status.h"
@@ -107,6 +109,38 @@ class Cluster {
   void TrimRecordCache(rvm::LockId lock);
   size_t CachedRecordCount(rvm::LockId lock) const;
 
+  // --- liveness and client-failure recovery --------------------------------
+  //
+  // Clients renew a lease in this server-resident registry (their heartbeat
+  // thread calls NoteAlive); a node whose lease lapses is *suspected* dead.
+  // Death itself is declared explicitly — by the detector that acts on the
+  // suspicion, or by a test — and is permanent: a late heartbeat from a
+  // declared-dead node does not resurrect it (its locks may have been
+  // reclaimed; the node must rejoin as a new mapping).
+
+  void NoteAlive(rvm::NodeId node);
+  void DeclareDead(rvm::NodeId node);
+  bool IsDead(rvm::NodeId node) const;
+  // Nodes whose last heartbeat is older than `lease`, excluding nodes
+  // already declared dead and nodes that never reported.
+  std::vector<rvm::NodeId> LeaseExpired(std::chrono::milliseconds lease) const;
+  // All nodes declared dead so far. Heartbeat threads sweep this as well as
+  // LeaseExpired: DeclareDead removes the node from the lease registry, so
+  // a survivor whose detection lost the race (e.g. a lock manager that must
+  // reclaim the dead node's token) would otherwise never see the expiry.
+  std::vector<rvm::NodeId> DeadNodes() const;
+
+  // Server-side half of client-failure recovery (§3.5 applied to a dead
+  // *client*): declares the node dead, merges its durable log via the
+  // regular log-merge path, replays it into the database files, advances
+  // the per-lock baselines to the dead node's last committed sequence
+  // numbers, publishes the merged records to the record cache (so survivors
+  // can re-fetch updates the dead writer committed but never managed to
+  // propagate), and withdraws the node from every region mapping. The dead
+  // node's log is NOT truncated: replay is idempotent redo, and a later
+  // full recovery may merge it again. Idempotent per node.
+  base::Status RecoverDeadClient(rvm::NodeId node);
+
  private:
   store::DurableStore* store_;
   netsim::Fabric fabric_;
@@ -118,6 +152,10 @@ class Cluster {
   std::map<rvm::LockId, std::map<rvm::NodeId, uint64_t>> applied_reports_;
   // Server-cached records, keyed by lock, ordered by that lock's sequence.
   std::map<rvm::LockId, std::map<uint64_t, rvm::TransactionRecord>> record_cache_;
+  // Liveness registry.
+  std::map<rvm::NodeId, std::chrono::steady_clock::time_point> last_heartbeat_;
+  std::set<rvm::NodeId> dead_;
+  std::set<rvm::NodeId> recovered_;  // dead nodes whose log has been merged
 };
 
 }  // namespace lbc

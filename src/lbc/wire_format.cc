@@ -77,7 +77,7 @@ base::Result<MsgType> PeekMsgType(base::ByteSpan payload) {
   }
   uint8_t t = payload[0];
   if (t < static_cast<uint8_t>(MsgType::kUpdate) ||
-      t > static_cast<uint8_t>(MsgType::kLockToken)) {
+      t > static_cast<uint8_t>(MsgType::kLockRevokeReply)) {
     return base::DataLoss("unknown message type");
   }
   return static_cast<MsgType>(t);
@@ -200,6 +200,7 @@ std::vector<uint8_t> EncodeLockRequest(const LockRequestMsg& msg) {
   w.WriteVarint(msg.lock);
   w.WriteVarint(msg.requester);
   w.WriteVarint(msg.applied_seq);
+  w.WriteVarint(msg.epoch);
   return w.TakeBytes();
 }
 
@@ -209,6 +210,7 @@ std::vector<uint8_t> EncodeLockForward(const LockForwardMsg& msg) {
   w.WriteVarint(msg.lock);
   w.WriteVarint(msg.requester);
   w.WriteVarint(msg.applied_seq);
+  w.WriteVarint(msg.epoch);
   return w.TakeBytes();
 }
 
@@ -217,6 +219,7 @@ std::vector<uint8_t> EncodeLockToken(const LockTokenMsg& msg, bool compress_head
   w.WriteU8(static_cast<uint8_t>(MsgType::kLockToken));
   w.WriteVarint(msg.lock);
   w.WriteVarint(msg.token_seq);
+  w.WriteVarint(msg.epoch);
   w.WriteVarint(msg.piggyback.size());
   for (const auto& rec : msg.piggyback) {
     std::vector<uint8_t> encoded = EncodeUpdateRecord(rec, compress_headers);
@@ -228,7 +231,8 @@ std::vector<uint8_t> EncodeLockToken(const LockTokenMsg& msg, bool compress_head
 namespace {
 
 base::Status DecodeRequestLike(base::ByteSpan payload, MsgType expect, rvm::LockId* lock,
-                               rvm::NodeId* requester, uint64_t* applied_seq) {
+                               rvm::NodeId* requester, uint64_t* applied_seq,
+                               uint64_t* epoch) {
   base::Reader r(payload);
   uint8_t type = 0;
   RETURN_IF_ERROR(r.ReadU8(&type));
@@ -239,6 +243,7 @@ base::Status DecodeRequestLike(base::ByteSpan payload, MsgType expect, rvm::Lock
   RETURN_IF_ERROR(r.ReadVarint(&lock64));
   RETURN_IF_ERROR(r.ReadVarint(&node));
   RETURN_IF_ERROR(r.ReadVarint(applied_seq));
+  RETURN_IF_ERROR(r.ReadVarint(epoch));
   *lock = lock64;
   *requester = static_cast<rvm::NodeId>(node);
   return base::OkStatus();
@@ -248,12 +253,74 @@ base::Status DecodeRequestLike(base::ByteSpan payload, MsgType expect, rvm::Lock
 
 base::Status DecodeLockRequest(base::ByteSpan payload, LockRequestMsg* out) {
   return DecodeRequestLike(payload, MsgType::kLockRequest, &out->lock, &out->requester,
-                           &out->applied_seq);
+                           &out->applied_seq, &out->epoch);
 }
 
 base::Status DecodeLockForward(base::ByteSpan payload, LockForwardMsg* out) {
   return DecodeRequestLike(payload, MsgType::kLockForward, &out->lock, &out->requester,
-                           &out->applied_seq);
+                           &out->applied_seq, &out->epoch);
+}
+
+std::vector<uint8_t> EncodeLockRevoke(const LockRevokeMsg& msg) {
+  base::Writer w;
+  w.WriteU8(static_cast<uint8_t>(MsgType::kLockRevoke));
+  w.WriteVarint(msg.lock);
+  w.WriteVarint(msg.epoch);
+  w.WriteVarint(msg.manager);
+  return w.TakeBytes();
+}
+
+base::Status DecodeLockRevoke(base::ByteSpan payload, LockRevokeMsg* out) {
+  base::Reader r(payload);
+  uint8_t type = 0;
+  RETURN_IF_ERROR(r.ReadU8(&type));
+  if (type != static_cast<uint8_t>(MsgType::kLockRevoke)) {
+    return base::InvalidArgument("not a lock revoke");
+  }
+  uint64_t lock = 0, manager = 0;
+  RETURN_IF_ERROR(r.ReadVarint(&lock));
+  RETURN_IF_ERROR(r.ReadVarint(&out->epoch));
+  RETURN_IF_ERROR(r.ReadVarint(&manager));
+  out->lock = lock;
+  out->manager = static_cast<rvm::NodeId>(manager);
+  return base::OkStatus();
+}
+
+std::vector<uint8_t> EncodeLockRevokeReply(const LockRevokeReplyMsg& msg) {
+  base::Writer w;
+  w.WriteU8(static_cast<uint8_t>(MsgType::kLockRevokeReply));
+  w.WriteVarint(msg.lock);
+  w.WriteVarint(msg.epoch);
+  w.WriteVarint(msg.node);
+  w.WriteU8(static_cast<uint8_t>((msg.holding ? 1 : 0) | (msg.had_token ? 2 : 0)));
+  w.WriteVarint(msg.token_seq);
+  w.WriteVarint(msg.applied_seq);
+  return w.TakeBytes();
+}
+
+base::Status DecodeLockRevokeReply(base::ByteSpan payload, LockRevokeReplyMsg* out) {
+  base::Reader r(payload);
+  uint8_t type = 0;
+  RETURN_IF_ERROR(r.ReadU8(&type));
+  if (type != static_cast<uint8_t>(MsgType::kLockRevokeReply)) {
+    return base::InvalidArgument("not a lock revoke reply");
+  }
+  uint64_t lock = 0, node = 0;
+  uint8_t flags = 0;
+  RETURN_IF_ERROR(r.ReadVarint(&lock));
+  RETURN_IF_ERROR(r.ReadVarint(&out->epoch));
+  RETURN_IF_ERROR(r.ReadVarint(&node));
+  RETURN_IF_ERROR(r.ReadU8(&flags));
+  if ((flags & ~uint8_t{3}) != 0) {
+    return base::DataLoss("bad revoke-reply flags");
+  }
+  RETURN_IF_ERROR(r.ReadVarint(&out->token_seq));
+  RETURN_IF_ERROR(r.ReadVarint(&out->applied_seq));
+  out->lock = lock;
+  out->node = static_cast<rvm::NodeId>(node);
+  out->holding = (flags & 1) != 0;
+  out->had_token = (flags & 2) != 0;
+  return base::OkStatus();
 }
 
 base::Status DecodeLockToken(base::ByteSpan payload, LockTokenMsg* out) {
@@ -266,6 +333,7 @@ base::Status DecodeLockToken(base::ByteSpan payload, LockTokenMsg* out) {
   uint64_t lock = 0, n_piggyback = 0;
   RETURN_IF_ERROR(r.ReadVarint(&lock));
   RETURN_IF_ERROR(r.ReadVarint(&out->token_seq));
+  RETURN_IF_ERROR(r.ReadVarint(&out->epoch));
   out->lock = lock;
   RETURN_IF_ERROR(r.ReadVarint(&n_piggyback));
   if (n_piggyback > r.remaining()) {

@@ -28,6 +28,8 @@ enum class MsgType : uint8_t {
   kLockRequest = 2,  // acquire request, client -> lock manager
   kLockForward = 3,  // manager -> previous queue tail
   kLockToken = 4,    // token pass, previous holder -> requester
+  kLockRevoke = 5,   // manager -> mappers: epoch bump, surrender idle tokens
+  kLockRevokeReply = 6,  // mapper -> manager: local token/sequence state
 };
 
 base::Result<MsgType> PeekMsgType(base::ByteSpan payload);
@@ -58,6 +60,13 @@ inline constexpr uint64_t kNearRangeBound = 256 * 1024;
 
 // --- lock protocol messages -------------------------------------------------
 
+// Every lock-protocol message carries the sender's view of the lock's
+// *revocation epoch*. The epoch starts at 0 and is bumped by the manager
+// each time it reclaims the token from a dead client; messages from before
+// the bump (a request or forward routed via the dead node, or the stale
+// token itself) are recognized by their lower epoch and discarded, so a
+// reissued token can never coexist with a resurrected old one.
+
 struct LockRequestMsg {
   rvm::LockId lock = 0;
   rvm::NodeId requester = 0;
@@ -65,12 +74,18 @@ struct LockRequestMsg {
   // requester; the holder uses it to select retained records to piggyback
   // under the lazy propagation policy (§2.2).
   uint64_t applied_seq = 0;
+  uint64_t epoch = 0;
+
+  bool operator==(const LockRequestMsg&) const = default;
 };
 
 struct LockForwardMsg {
   rvm::LockId lock = 0;
   rvm::NodeId requester = 0;
   uint64_t applied_seq = 0;
+  uint64_t epoch = 0;
+
+  bool operator==(const LockForwardMsg&) const = default;
 };
 
 struct LockTokenMsg {
@@ -79,17 +94,47 @@ struct LockTokenMsg {
   // recipient's next acquire gets token_seq + 1, and may not complete until
   // updates through token_seq have been applied locally (§3.4).
   uint64_t token_seq = 0;
+  uint64_t epoch = 0;
   // Lazy policy: retained update records the requester has not yet applied.
   std::vector<rvm::TransactionRecord> piggyback;
+};
+
+// Client-failure recovery (manager-driven token reclamation): the manager
+// broadcasts a revoke to every live mapper of the lock's region; each
+// mapper surrenders an idle token, reports its last-known token sequence
+// and applied sequence, and whether a local transaction legitimately holds
+// the lock right now (in which case the token stays put).
+struct LockRevokeMsg {
+  rvm::LockId lock = 0;
+  uint64_t epoch = 0;      // the NEW epoch being established
+  rvm::NodeId manager = 0; // where to send the reply
+
+  bool operator==(const LockRevokeMsg&) const = default;
+};
+
+struct LockRevokeReplyMsg {
+  rvm::LockId lock = 0;
+  uint64_t epoch = 0;
+  rvm::NodeId node = 0;
+  bool holding = false;    // a local transaction holds the lock: token stays
+  bool had_token = false;  // surrendered an idle token with this reply
+  uint64_t token_seq = 0;  // last token sequence this node observed
+  uint64_t applied_seq = 0;
+
+  bool operator==(const LockRevokeReplyMsg&) const = default;
 };
 
 std::vector<uint8_t> EncodeLockRequest(const LockRequestMsg& msg);
 std::vector<uint8_t> EncodeLockForward(const LockForwardMsg& msg);
 std::vector<uint8_t> EncodeLockToken(const LockTokenMsg& msg, bool compress_headers);
+std::vector<uint8_t> EncodeLockRevoke(const LockRevokeMsg& msg);
+std::vector<uint8_t> EncodeLockRevokeReply(const LockRevokeReplyMsg& msg);
 
 base::Status DecodeLockRequest(base::ByteSpan payload, LockRequestMsg* out);
 base::Status DecodeLockForward(base::ByteSpan payload, LockForwardMsg* out);
 base::Status DecodeLockToken(base::ByteSpan payload, LockTokenMsg* out);
+base::Status DecodeLockRevoke(base::ByteSpan payload, LockRevokeMsg* out);
+base::Status DecodeLockRevokeReply(base::ByteSpan payload, LockRevokeReplyMsg* out);
 
 }  // namespace lbc
 

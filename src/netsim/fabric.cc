@@ -139,6 +139,90 @@ void Fabric::SetLinkDelay(NodeId from, NodeId to, uint64_t delay_micros) {
   }
 }
 
+void Fabric::SetLinkFaults(NodeId from, NodeId to, const LinkFaults& faults) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!faults.any()) {
+    link_faults_.erase({from, to});
+    return;
+  }
+  link_faults_[{from, to}] = faults;
+}
+
+void Fabric::SetDefaultFaults(const LinkFaults& faults) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_faults_ = faults;
+}
+
+void Fabric::SeedFaults(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_seed_ = seed;
+  fault_rngs_.clear();
+}
+
+void Fabric::Partition(NodeId a, NodeId b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.insert({a, b});
+  partitions_.insert({b, a});
+}
+
+void Fabric::PartitionOneWay(NodeId from, NodeId to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.insert({from, to});
+}
+
+void Fabric::Heal(NodeId a, NodeId b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.erase({a, b});
+  partitions_.erase({b, a});
+}
+
+void Fabric::HealOneWay(NodeId from, NodeId to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.erase({from, to});
+}
+
+void Fabric::HealAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.clear();
+}
+
+bool Fabric::IsPartitioned(NodeId from, NodeId to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return partitions_.count({from, to}) != 0;
+}
+
+FaultStats Fabric::fault_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_stats_;
+}
+
+const LinkFaults& Fabric::FaultsForLocked(NodeId from, NodeId to) const {
+  auto it = link_faults_.find({from, to});
+  return it == link_faults_.end() ? default_faults_ : it->second;
+}
+
+base::Rng& Fabric::FaultRngLocked(NodeId from, NodeId to) {
+  auto it = fault_rngs_.find({from, to});
+  if (it == fault_rngs_.end()) {
+    // Per-link stream: decisions on one link are independent of traffic on
+    // every other link, so a fixed seed plus per-link send order replays.
+    uint64_t stream = fault_seed_ ^ (0x9E3779B97F4A7C15ull * (from + 1)) ^
+                      (0xC2B2AE3D27D4EB4Full * (to + 1));
+    it = fault_rngs_.emplace(std::make_pair(from, to), base::Rng(stream)).first;
+  }
+  return it->second;
+}
+
+void Fabric::ScheduleDelayedLocked(std::chrono::steady_clock::time_point deliver_at,
+                                   Message&& msg) {
+  delayed_.push(DelayedMessage{deliver_at, delay_seq_++, std::move(msg)});
+  if (!delay_thread_running_) {
+    delay_thread_running_ = true;
+    delay_thread_ = std::thread([this] { DelayThreadMain(); });
+  }
+  delay_cv_.notify_one();
+}
+
 void Fabric::DelayThreadMain() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
@@ -150,8 +234,11 @@ void Fabric::DelayThreadMain() {
       continue;
     }
     auto now = std::chrono::steady_clock::now();
-    if (delayed_.top().deliver_at > now) {
-      delay_cv_.wait_until(lock, delayed_.top().deliver_at);
+    // Copy the deadline: wait_until re-reads it after waking, and by then a
+    // concurrent ScheduleDelayedLocked push may have reallocated the queue.
+    auto deadline = delayed_.top().deliver_at;
+    if (deadline > now) {
+      delay_cv_.wait_until(lock, deadline);
       continue;
     }
     Message msg = std::move(const_cast<DelayedMessage&>(delayed_.top()).msg);
@@ -218,6 +305,7 @@ void Fabric::Shutdown() {
 
 base::Status Fabric::Deliver(NodeId from, NodeId to, std::vector<uint8_t> payload) {
   Endpoint* dest = nullptr;
+  bool duplicate = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
@@ -232,6 +320,45 @@ base::Status Fabric::Deliver(NodeId from, NodeId to, std::vector<uint8_t> payloa
     if (it == nodes_.end()) {
       return base::NotFound("no such node: " + std::to_string(to));
     }
+    if (partitions_.count({from, to}) != 0) {
+      // The sender's datagram is gone; Send still reports success.
+      ++fault_stats_.partitioned;
+      return base::OkStatus();
+    }
+    const LinkFaults& faults = FaultsForLocked(from, to);
+    if (faults.any()) {
+      base::Rng& rng = FaultRngLocked(from, to);
+      // Draw every decision unconditionally so the stream position per
+      // message is fixed regardless of which faults are enabled.
+      bool drop = rng.NextDouble() < faults.drop_probability;
+      duplicate = rng.NextDouble() < faults.duplicate_probability;
+      bool delay = rng.NextDouble() < faults.delay_probability;
+      uint64_t extra_us =
+          faults.delay_max_micros > faults.delay_min_micros
+              ? faults.delay_min_micros +
+                    rng.Uniform(faults.delay_max_micros - faults.delay_min_micros + 1)
+              : faults.delay_min_micros;
+      if (drop) {
+        ++fault_stats_.dropped;
+        return base::OkStatus();
+      }
+      if (duplicate) {
+        ++fault_stats_.duplicated;
+      }
+      if (delay) {
+        // Deliberately NOT clamped behind earlier traffic on the link:
+        // fault delay is the fabric's reordering mechanism.
+        ++fault_stats_.delayed;
+        auto deliver_at =
+            std::chrono::steady_clock::now() + std::chrono::microseconds(extra_us);
+        Message msg{from, to, std::move(payload)};
+        if (duplicate) {
+          ScheduleDelayedLocked(deliver_at, Message(msg));
+        }
+        ScheduleDelayedLocked(deliver_at, std::move(msg));
+        return base::OkStatus();
+      }
+    }
     auto delay_it = link_delay_us_.find({from, to});
     if (delay_it != link_delay_us_.end()) {
       // Schedule, preserving per-link order even across delay changes.
@@ -242,12 +369,17 @@ base::Status Fabric::Deliver(NodeId from, NodeId to, std::vector<uint8_t> payloa
         deliver_at = last;
       }
       last = deliver_at;
-      delayed_.push(DelayedMessage{deliver_at, delay_seq_++,
-                                   Message{from, to, std::move(payload)}});
-      delay_cv_.notify_one();
+      Message msg{from, to, std::move(payload)};
+      if (duplicate) {
+        ScheduleDelayedLocked(deliver_at, Message(msg));
+      }
+      ScheduleDelayedLocked(deliver_at, std::move(msg));
       return base::OkStatus();
     }
     dest = it->second.get();
+  }
+  if (duplicate) {
+    dest->Enqueue(Message{from, to, std::vector<uint8_t>(payload)});
   }
   dest->Enqueue(Message{from, to, std::move(payload)});
   return base::OkStatus();

@@ -1,10 +1,17 @@
 // In-process message fabric standing in for the prototype's TCP/IP links.
 //
-// Semantics match what log-based coherency assumes of TCP: reliable,
-// FIFO-ordered delivery per (sender, receiver) pair, with *no* ordering
-// across different senders — which is precisely what makes the §3.4
-// sequence-number interlock necessary. Tests reproduce the paper's
+// By default, semantics match what log-based coherency assumes of TCP:
+// reliable, FIFO-ordered delivery per (sender, receiver) pair, with *no*
+// ordering across different senders — which is precisely what makes the
+// §3.4 sequence-number interlock necessary. Tests reproduce the paper's
 // A->B->C token race deterministically with HoldLink/ReleaseLink.
+//
+// The fabric can also be made adversarial (an IP-like datagram network):
+// per-link fault policies inject probabilistic message drop, duplication
+// and extra delay (which reorders), and links can be partitioned outright.
+// Fault decisions are drawn from per-link deterministic RNG streams seeded
+// by SeedFaults, so a chaos run replays the same per-link loss pattern.
+// ReliableChannel (reliable.h) restores exactly-once FIFO delivery on top.
 //
 // Every endpoint counts the bytes and messages it sends and receives; the
 // Table 3 "Message Bytes" column is read off these counters.
@@ -21,9 +28,11 @@
 #include <chrono>
 #include <optional>
 #include <queue>
+#include <set>
 #include <thread>
 #include <vector>
 
+#include "src/base/rng.h"
 #include "src/base/status.h"
 
 namespace netsim {
@@ -42,6 +51,30 @@ struct EndpointStats {
   uint64_t messages_received = 0;
   uint64_t bytes_received = 0;
   uint64_t send_nanos = 0;  // wall time spent in Send ("Network I/O")
+};
+
+// Probabilistic fault policy for one directed link (or the whole fabric,
+// via SetDefaultFaults). All probabilities are in [0, 1].
+struct LinkFaults {
+  double drop_probability = 0.0;       // message silently vanishes
+  double duplicate_probability = 0.0;  // delivered twice (back to back)
+  // With delay_probability, a message takes an extra uniform delay in
+  // [delay_min_micros, delay_max_micros] — and, unlike SetLinkDelay, is NOT
+  // held behind earlier messages on the link, so delayed messages reorder.
+  double delay_probability = 0.0;
+  uint64_t delay_min_micros = 0;
+  uint64_t delay_max_micros = 0;
+
+  bool any() const {
+    return drop_probability > 0 || duplicate_probability > 0 || delay_probability > 0;
+  }
+};
+
+struct FaultStats {
+  uint64_t dropped = 0;      // messages lost to drop_probability
+  uint64_t duplicated = 0;   // extra copies injected
+  uint64_t delayed = 0;      // messages routed through the fault delay path
+  uint64_t partitioned = 0;  // messages lost to a partition
 };
 
 class Fabric;
@@ -125,6 +158,32 @@ class Fabric {
   // ordering.
   void SetLinkDelay(NodeId from, NodeId to, uint64_t delay_micros);
 
+  // Installs a probabilistic fault policy on the (from, to) link,
+  // overriding the fabric-wide default for that link. A default-constructed
+  // LinkFaults clears the per-link policy (the default applies again).
+  void SetLinkFaults(NodeId from, NodeId to, const LinkFaults& faults);
+
+  // Fault policy for every link without a per-link override.
+  void SetDefaultFaults(const LinkFaults& faults);
+
+  // Reseeds the deterministic fault RNG streams. Each link draws from its
+  // own stream (derived from `seed` and the link's node ids), so the
+  // decision sequence on a link depends only on the messages sent over it —
+  // chaos runs with a fixed seed and per-link send order replay exactly.
+  void SeedFaults(uint64_t seed);
+
+  // Partitions: messages on a partitioned directed link are silently
+  // dropped (the sender's Send still succeeds, as with IP). Partition/Heal
+  // affect both directions; the OneWay forms affect only (from, to).
+  void Partition(NodeId a, NodeId b);
+  void PartitionOneWay(NodeId from, NodeId to);
+  void Heal(NodeId a, NodeId b);
+  void HealOneWay(NodeId from, NodeId to);
+  void HealAll();
+  bool IsPartitioned(NodeId from, NodeId to) const;
+
+  FaultStats fault_stats() const;
+
   // Unblocks all receivers and joins receiver threads.
   void Shutdown();
 
@@ -133,11 +192,27 @@ class Fabric {
 
   base::Status Deliver(NodeId from, NodeId to, std::vector<uint8_t> payload);
   void DelayThreadMain();
+  // Queues msg on the delay thread for delivery at `deliver_at`; lazily
+  // starts the thread. mu_ must be held.
+  void ScheduleDelayedLocked(std::chrono::steady_clock::time_point deliver_at,
+                             Message&& msg);
+  // The (possibly default) fault policy for a link. mu_ must be held.
+  const LinkFaults& FaultsForLocked(NodeId from, NodeId to) const;
+  base::Rng& FaultRngLocked(NodeId from, NodeId to);
 
   mutable std::mutex mu_;
   std::map<NodeId, std::unique_ptr<Endpoint>> nodes_;
   std::map<std::pair<NodeId, NodeId>, std::deque<Message>> held_;
   bool shutdown_ = false;
+
+  // --- fault injection ----------------------------------------------------
+  std::map<std::pair<NodeId, NodeId>, LinkFaults> link_faults_;
+  LinkFaults default_faults_;
+  uint64_t fault_seed_ = 0;
+  // One RNG stream per directed link, created on first use from fault_seed_.
+  std::map<std::pair<NodeId, NodeId>, base::Rng> fault_rngs_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+  FaultStats fault_stats_;
 
   // --- delayed delivery ---------------------------------------------------
   struct DelayedMessage {

@@ -1,0 +1,232 @@
+#include "src/netsim/reliable.h"
+
+#include <algorithm>
+
+#include "src/base/buffer.h"
+
+namespace netsim {
+namespace {
+
+// Frame tags, disjoint from lbc::MsgType (< 0x10) so raw traffic injected
+// straight into an endpoint still parses as itself at the application.
+constexpr uint8_t kDataTag = 0xD1;
+constexpr uint8_t kAckTag = 0xA1;
+
+std::vector<uint8_t> EncodeData(uint64_t seq, const std::vector<uint8_t>& payload) {
+  base::Writer w;
+  w.WriteU8(kDataTag);
+  w.WriteVarint(seq);
+  w.WriteBytes(payload.data(), payload.size());
+  return w.TakeBytes();
+}
+
+std::vector<uint8_t> EncodeAck(uint64_t cumulative_seq) {
+  base::Writer w;
+  w.WriteU8(kAckTag);
+  w.WriteVarint(cumulative_seq);
+  return w.TakeBytes();
+}
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(Endpoint* endpoint, const ReliableChannelOptions& options)
+    : endpoint_(endpoint), options_(options) {}
+
+ReliableChannel::~ReliableChannel() { Shutdown(); }
+
+base::Status ReliableChannel::Send(NodeId to, std::vector<uint8_t> payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return base::Unavailable("reliable channel shut down");
+  }
+  PeerSendState& peer = send_state_[to];
+  uint64_t seq = peer.next_seq++;
+  std::vector<uint8_t> frame = EncodeData(seq, payload);
+  UnackedFrame entry;
+  entry.frame = frame;
+  entry.backoff_ms = options_.retransmit_initial_ms;
+  entry.next_resend =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(entry.backoff_ms);
+  peer.unacked.emplace(seq, std::move(entry));
+  ++stats_.data_frames_sent;
+  if (!retransmit_thread_running_) {
+    retransmit_thread_running_ = true;
+    retransmit_thread_ = std::thread([this] { RetransmitThreadMain(); });
+  }
+  retransmit_cv_.notify_one();
+  // Fabric sends never block on the receiver, so holding mu_ here only
+  // orders channel state ahead of the wire (fabric locks are leaves).
+  base::Status st = endpoint_->Send(to, std::move(frame));
+  if (st.code() == base::StatusCode::kNotFound) {
+    // Unknown destination will never ACK; don't retransmit into the void.
+    peer.unacked.erase(seq);
+  }
+  return st;
+}
+
+void ReliableChannel::StartReceiver(std::function<void(Message&&)> handler) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handler_ = std::move(handler);
+  }
+  endpoint_->StartReceiver([this](Message&& msg) { OnMessage(std::move(msg)); });
+}
+
+void ReliableChannel::OnMessage(Message&& msg) {
+  if (msg.payload.empty()) {
+    return;
+  }
+  uint8_t tag = msg.payload[0];
+  if (tag != kDataTag && tag != kAckTag) {
+    std::function<void(Message&&)> handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.raw_passthrough;
+      handler = handler_;
+    }
+    if (handler) {
+      handler(std::move(msg));
+    }
+    return;
+  }
+
+  base::Reader r(base::ByteSpan(msg.payload.data(), msg.payload.size()));
+  uint8_t tag_byte = 0;
+  uint64_t seq = 0;
+  if (!r.ReadU8(&tag_byte).ok() || !r.ReadVarint(&seq).ok()) {
+    return;  // corrupt frame: drop; the sender will retransmit DATA
+  }
+
+  if (tag == kAckTag) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = send_state_.find(msg.from);
+    if (it != send_state_.end()) {
+      auto& unacked = it->second.unacked;
+      unacked.erase(unacked.begin(), unacked.upper_bound(seq));
+    }
+    return;
+  }
+
+  // DATA frame.
+  base::ByteSpan rest;
+  if (!r.ReadBytes(r.remaining(), &rest).ok()) {
+    return;
+  }
+  std::vector<Message> deliver;
+  uint64_t ack = 0;
+  std::function<void(Message&&)> handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handler = handler_;
+    PeerRecvState& peer = recv_state_[msg.from];
+    if (seq <= peer.delivered) {
+      ++stats_.duplicates_dropped;  // retransmission of something delivered
+    } else if (seq == peer.delivered + 1) {
+      deliver.push_back(Message{msg.from, msg.to, {rest.begin(), rest.end()}});
+      peer.delivered = seq;
+      // Drain any buffered successors that are now in order.
+      auto it = peer.buffered.begin();
+      while (it != peer.buffered.end() && it->first == peer.delivered + 1) {
+        deliver.push_back(Message{msg.from, msg.to, std::move(it->second)});
+        peer.delivered = it->first;
+        it = peer.buffered.erase(it);
+      }
+      stats_.frames_delivered += deliver.size();
+    } else if (peer.buffered.emplace(seq, std::vector<uint8_t>(rest.begin(), rest.end()))
+                   .second) {
+      ++stats_.out_of_order_buffered;
+    } else {
+      ++stats_.duplicates_dropped;  // duplicate of an already-buffered frame
+    }
+    ack = peer.delivered;
+    ++stats_.acks_sent;
+  }
+  // Cumulative ACK: also re-acks duplicates, repairing lost ACKs.
+  endpoint_->Send(msg.from, EncodeAck(ack)).ok();
+  if (handler) {
+    for (auto& m : deliver) {
+      handler(std::move(m));  // single receiver thread: order preserved
+    }
+  }
+}
+
+void ReliableChannel::RetransmitThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    // Earliest pending deadline across all peers.
+    bool any = false;
+    auto next = std::chrono::steady_clock::time_point::max();
+    for (const auto& [node, peer] : send_state_) {
+      for (const auto& [seq, frame] : peer.unacked) {
+        any = true;
+        next = std::min(next, frame.next_resend);
+      }
+    }
+    if (!any) {
+      retransmit_cv_.wait(lock);
+      continue;
+    }
+    if (retransmit_cv_.wait_until(lock, next) == std::cv_status::no_timeout) {
+      continue;  // woken early: new frame or shutdown — recompute
+    }
+    auto now = std::chrono::steady_clock::now();
+    for (auto& [node, peer] : send_state_) {
+      for (auto it = peer.unacked.begin(); it != peer.unacked.end();) {
+        UnackedFrame& f = it->second;
+        if (f.next_resend > now) {
+          ++it;
+          continue;
+        }
+        if (options_.max_retransmits != 0 && f.attempts >= options_.max_retransmits) {
+          ++stats_.frames_abandoned;
+          it = peer.unacked.erase(it);
+          continue;
+        }
+        ++f.attempts;
+        ++stats_.retransmits;
+        f.backoff_ms = std::min(f.backoff_ms * 2, options_.retransmit_max_ms);
+        f.next_resend = now + std::chrono::milliseconds(f.backoff_ms);
+        endpoint_->Send(node, std::vector<uint8_t>(f.frame)).ok();
+        ++it;
+      }
+    }
+  }
+}
+
+void ReliableChannel::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+  }
+  retransmit_cv_.notify_all();
+  if (retransmit_thread_.joinable()) {
+    retransmit_thread_.join();
+  }
+  endpoint_->StopReceiver();
+}
+
+void ReliableChannel::ForgetPeer(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  send_state_.erase(node);
+  recv_state_.erase(node);
+}
+
+bool ReliableChannel::AllAcked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [node, peer] : send_state_) {
+    if (!peer.unacked.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ReliableChannelStats ReliableChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace netsim

@@ -39,6 +39,10 @@ TEST_P(FuzzDecodeTest, RandomBytesNeverCrashDecoders) {
     (void)lbc::DecodeLockForward(span, &fwd);
     lbc::LockTokenMsg token;
     (void)lbc::DecodeLockToken(span, &token);
+    lbc::LockRevokeMsg revoke;
+    (void)lbc::DecodeLockRevoke(span, &revoke);
+    lbc::LockRevokeReplyMsg reply;
+    (void)lbc::DecodeLockRevokeReply(span, &reply);
   }
 }
 
@@ -68,6 +72,164 @@ TEST_P(FuzzDecodeTest, MutatedValidUpdatesNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecodeTest, ::testing::Range<uint64_t>(0, 6));
+
+// Property: encode -> decode is the identity for every wire message type,
+// across randomized field values (including the varint edge values around
+// 2^7k and the compressed/uncompressed header modes).
+class RoundTripTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  // Values that stress every varint width.
+  uint64_t AnyU64(base::Rng& rng) {
+    switch (rng.Uniform(4)) {
+      case 0: return rng.Uniform(2);                      // 0 / 1
+      case 1: return 120 + rng.Uniform(16);               // 1-2 byte boundary
+      case 2: return rng.Uniform(1u << 20);               // mid-size
+      default: return rng.Next();                         // full 64-bit
+    }
+  }
+
+  rvm::TransactionRecord AnyRecord(base::Rng& rng) {
+    rvm::TransactionRecord rec;
+    rec.node = 1 + rng.Uniform(100);
+    rec.commit_seq = AnyU64(rng);
+    size_t nlocks = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < nlocks; ++i) {
+      rec.locks.push_back({1 + rng.Uniform(50), AnyU64(rng)});
+    }
+    // Ranges sorted by (region, offset), as the commit path produces them:
+    // exercises both delta and absolute address headers.
+    uint64_t offset = rng.Uniform(1 << 16);
+    size_t nranges = rng.Uniform(5);
+    for (size_t i = 0; i < nranges; ++i) {
+      rvm::RangeImage img;
+      img.region = 1;
+      img.offset = offset;
+      img.data.resize(1 + rng.Uniform(rng.Chance(1, 4) ? 8192 : 64));
+      for (auto& b : img.data) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      rec.ranges.push_back(std::move(img));
+      // Sometimes jump past the 256 KB near-range bound to force an
+      // absolute header mid-message.
+      offset += rec.ranges.back().data.size() +
+                (rng.Chance(1, 3) ? lbc::kNearRangeBound + 1 : 1 + rng.Uniform(4096));
+    }
+    return rec;
+  }
+};
+
+TEST_P(RoundTripTest, UpdateRecord) {
+  base::Rng rng(GetParam() * 0x9E3779B9u + 1);
+  for (int i = 0; i < 50; ++i) {
+    rvm::TransactionRecord rec = AnyRecord(rng);
+    for (bool compress : {true, false}) {
+      auto payload = lbc::EncodeUpdateRecord(rec, compress);
+      auto type = lbc::PeekMsgType(base::ByteSpan(payload.data(), payload.size()));
+      ASSERT_TRUE(type.ok());
+      EXPECT_EQ(lbc::MsgType::kUpdate, *type);
+      rvm::TransactionRecord out;
+      ASSERT_TRUE(
+          lbc::DecodeUpdate(base::ByteSpan(payload.data(), payload.size()), &out).ok());
+      EXPECT_EQ(rec.node, out.node);
+      EXPECT_EQ(rec.commit_seq, out.commit_seq);
+      EXPECT_EQ(rec.locks, out.locks);
+      EXPECT_EQ(rec.ranges, out.ranges);
+    }
+  }
+}
+
+TEST_P(RoundTripTest, LockRequest) {
+  base::Rng rng(GetParam() * 0x9E3779B9u + 2);
+  for (int i = 0; i < 200; ++i) {
+    lbc::LockRequestMsg msg{1 + rng.Uniform(50),
+                            static_cast<rvm::NodeId>(1 + rng.Uniform(100)), AnyU64(rng),
+                            AnyU64(rng)};
+    auto payload = lbc::EncodeLockRequest(msg);
+    lbc::LockRequestMsg out;
+    ASSERT_TRUE(
+        lbc::DecodeLockRequest(base::ByteSpan(payload.data(), payload.size()), &out).ok());
+    EXPECT_EQ(msg, out);
+  }
+}
+
+TEST_P(RoundTripTest, LockForward) {
+  base::Rng rng(GetParam() * 0x9E3779B9u + 3);
+  for (int i = 0; i < 200; ++i) {
+    lbc::LockForwardMsg msg{1 + rng.Uniform(50),
+                            static_cast<rvm::NodeId>(1 + rng.Uniform(100)), AnyU64(rng),
+                            AnyU64(rng)};
+    auto payload = lbc::EncodeLockForward(msg);
+    lbc::LockForwardMsg out;
+    ASSERT_TRUE(
+        lbc::DecodeLockForward(base::ByteSpan(payload.data(), payload.size()), &out).ok());
+    EXPECT_EQ(msg, out);
+  }
+}
+
+TEST_P(RoundTripTest, LockTokenWithPiggyback) {
+  base::Rng rng(GetParam() * 0x9E3779B9u + 4);
+  for (int i = 0; i < 30; ++i) {
+    lbc::LockTokenMsg msg;
+    msg.lock = 1 + rng.Uniform(50);
+    msg.token_seq = AnyU64(rng);
+    msg.epoch = AnyU64(rng);
+    size_t npiggy = rng.Uniform(4);
+    for (size_t p = 0; p < npiggy; ++p) {
+      msg.piggyback.push_back(AnyRecord(rng));
+    }
+    for (bool compress : {true, false}) {
+      auto payload = lbc::EncodeLockToken(msg, compress);
+      lbc::LockTokenMsg out;
+      ASSERT_TRUE(
+          lbc::DecodeLockToken(base::ByteSpan(payload.data(), payload.size()), &out).ok());
+      EXPECT_EQ(msg.lock, out.lock);
+      EXPECT_EQ(msg.token_seq, out.token_seq);
+      EXPECT_EQ(msg.epoch, out.epoch);
+      ASSERT_EQ(msg.piggyback.size(), out.piggyback.size());
+      for (size_t p = 0; p < npiggy; ++p) {
+        EXPECT_EQ(msg.piggyback[p].node, out.piggyback[p].node);
+        EXPECT_EQ(msg.piggyback[p].commit_seq, out.piggyback[p].commit_seq);
+        EXPECT_EQ(msg.piggyback[p].locks, out.piggyback[p].locks);
+        EXPECT_EQ(msg.piggyback[p].ranges, out.piggyback[p].ranges);
+      }
+    }
+  }
+}
+
+TEST_P(RoundTripTest, LockRevoke) {
+  base::Rng rng(GetParam() * 0x9E3779B9u + 5);
+  for (int i = 0; i < 200; ++i) {
+    lbc::LockRevokeMsg msg{1 + rng.Uniform(50), AnyU64(rng),
+                           static_cast<rvm::NodeId>(1 + rng.Uniform(100))};
+    auto payload = lbc::EncodeLockRevoke(msg);
+    lbc::LockRevokeMsg out;
+    ASSERT_TRUE(
+        lbc::DecodeLockRevoke(base::ByteSpan(payload.data(), payload.size()), &out).ok());
+    EXPECT_EQ(msg, out);
+  }
+}
+
+TEST_P(RoundTripTest, LockRevokeReply) {
+  base::Rng rng(GetParam() * 0x9E3779B9u + 6);
+  for (int i = 0; i < 200; ++i) {
+    lbc::LockRevokeReplyMsg msg;
+    msg.lock = 1 + rng.Uniform(50);
+    msg.epoch = AnyU64(rng);
+    msg.node = 1 + rng.Uniform(100);
+    msg.holding = rng.Chance(1, 2);
+    msg.had_token = rng.Chance(1, 2);
+    msg.token_seq = AnyU64(rng);
+    msg.applied_seq = AnyU64(rng);
+    auto payload = lbc::EncodeLockRevokeReply(msg);
+    lbc::LockRevokeReplyMsg out;
+    ASSERT_TRUE(
+        lbc::DecodeLockRevokeReply(base::ByteSpan(payload.data(), payload.size()), &out)
+            .ok());
+    EXPECT_EQ(msg, out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest, ::testing::Range<uint64_t>(0, 4));
 
 TEST(Robustness, LiveClientSurvivesGarbageTraffic) {
   store::MemStore store;

@@ -1,0 +1,481 @@
+// Chaos tests: the full stack under an adversarial fabric.
+//
+//   1. Fault injection is deterministic: the same seed yields the same
+//      per-link drop/duplicate decisions (and so the same survivor stream).
+//   2. ReliableChannel restores exactly-once FIFO delivery over a link that
+//      drops, duplicates, and reorders.
+//   3. End to end: a seeded random workload over a lossy, partitioned
+//      fabric — one client killed mid-commit — still converges: every
+//      surviving client's cached image is byte-identical, equals the
+//      crash-recovered database files, and the whole scenario is
+//      deterministic across two runs with the same seed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "src/base/rng.h"
+#include "src/lbc/client.h"
+#include "src/netsim/fabric.h"
+#include "src/netsim/reliable.h"
+#include "src/rvm/log_merge.h"
+#include "src/rvm/recovery.h"
+#include "src/store/mem_store.h"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// 1. Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+struct LossyRunResult {
+  std::vector<uint32_t> delivered;  // message ids in arrival order
+  netsim::FaultStats stats;
+};
+
+LossyRunResult RunLossyStream(uint64_t seed) {
+  netsim::Fabric fabric;
+  fabric.SeedFaults(seed);
+  netsim::LinkFaults faults;
+  faults.drop_probability = 0.3;
+  faults.duplicate_probability = 0.2;
+  netsim::Endpoint* a = fabric.AddNode(1);
+  netsim::Endpoint* b = fabric.AddNode(2);
+  fabric.SetLinkFaults(1, 2, faults);
+
+  constexpr uint32_t kMessages = 400;
+  for (uint32_t i = 0; i < kMessages; ++i) {
+    std::vector<uint8_t> payload(4);
+    std::memcpy(payload.data(), &i, 4);
+    EXPECT_TRUE(a->Send(2, std::move(payload)).ok());
+  }
+  LossyRunResult out;
+  out.stats = fabric.fault_stats();
+  // No delay faults: every survivor is already queued synchronously.
+  uint64_t expect = kMessages - out.stats.dropped + out.stats.duplicated;
+  for (uint64_t i = 0; i < expect; ++i) {
+    auto msg = b->Receive();
+    if (!msg.has_value()) {
+      break;
+    }
+    uint32_t id = 0;
+    std::memcpy(&id, msg->payload.data(), 4);
+    out.delivered.push_back(id);
+  }
+  return out;
+}
+
+TEST(FabricFaults, SameSeedSameFaultDecisions) {
+  LossyRunResult r1 = RunLossyStream(0xFEE1);
+  LossyRunResult r2 = RunLossyStream(0xFEE1);
+  EXPECT_GT(r1.stats.dropped, 0u);
+  EXPECT_GT(r1.stats.duplicated, 0u);
+  EXPECT_EQ(r1.stats.dropped, r2.stats.dropped);
+  EXPECT_EQ(r1.stats.duplicated, r2.stats.duplicated);
+  EXPECT_EQ(r1.delivered, r2.delivered);
+
+  // A different seed draws a different stream (overwhelmingly likely).
+  LossyRunResult r3 = RunLossyStream(0xFEE2);
+  EXPECT_NE(r1.delivered, r3.delivered);
+}
+
+TEST(FabricFaults, PartitionDropsSilentlyUntilHealed) {
+  netsim::Fabric fabric;
+  netsim::Endpoint* a = fabric.AddNode(1);
+  netsim::Endpoint* b = fabric.AddNode(2);
+  fabric.Partition(1, 2);
+  EXPECT_TRUE(fabric.IsPartitioned(1, 2));
+  EXPECT_TRUE(fabric.IsPartitioned(2, 1));
+  // Sends "succeed" (the sender cannot tell, as with IP) but nothing lands.
+  EXPECT_TRUE(a->Send(2, {1}).ok());
+  EXPECT_TRUE(b->Send(1, {2}).ok());
+  EXPECT_EQ(2u, fabric.fault_stats().partitioned);
+  fabric.Heal(1, 2);
+  EXPECT_FALSE(fabric.IsPartitioned(1, 2));
+  EXPECT_TRUE(a->Send(2, {3}).ok());
+  auto msg = b->Receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(3, msg->payload[0]);
+}
+
+// ---------------------------------------------------------------------------
+// 2. ReliableChannel: exactly-once FIFO over a hostile link
+// ---------------------------------------------------------------------------
+
+TEST(ReliableChannel, ExactlyOnceFifoOverLossyLink) {
+  netsim::Fabric fabric;
+  fabric.SeedFaults(0xC0FFEE);
+  netsim::LinkFaults faults;
+  faults.drop_probability = 0.25;
+  faults.duplicate_probability = 0.15;
+  faults.delay_probability = 0.2;  // bypasses FIFO: reorders
+  faults.delay_min_micros = 100;
+  faults.delay_max_micros = 2000;
+  fabric.SetDefaultFaults(faults);
+  netsim::Endpoint* a = fabric.AddNode(1);
+  netsim::Endpoint* b = fabric.AddNode(2);
+
+  netsim::ReliableChannel sender(a);
+  netsim::ReliableChannel receiver(b);
+  std::mutex mu;
+  std::vector<uint32_t> got;
+  receiver.StartReceiver([&](netsim::Message&& msg) {
+    uint32_t id = 0;
+    std::memcpy(&id, msg.payload.data(), 4);
+    std::lock_guard<std::mutex> lk(mu);
+    got.push_back(id);
+  });
+  sender.StartReceiver([](netsim::Message&&) {});  // drains ACK traffic
+
+  constexpr uint32_t kMessages = 200;
+  for (uint32_t i = 0; i < kMessages; ++i) {
+    std::vector<uint8_t> payload(4);
+    std::memcpy(payload.data(), &i, 4);
+    ASSERT_TRUE(sender.Send(2, std::move(payload)).ok());
+  }
+  for (int spin = 0; spin < 30000; ++spin) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (got.size() >= kMessages) {
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::lock_guard<std::mutex> lk(mu);
+  ASSERT_EQ(kMessages, got.size()) << "lost or duplicated messages";
+  for (uint32_t i = 0; i < kMessages; ++i) {
+    ASSERT_EQ(i, got[i]) << "delivery out of order at " << i;
+  }
+  // The link really was hostile, and the channel really did repair it.
+  EXPECT_GT(fabric.fault_stats().dropped, 0u);
+  EXPECT_GT(fabric.fault_stats().duplicated, 0u);
+  EXPECT_GT(sender.stats().retransmits, 0u);
+  EXPECT_GT(receiver.stats().duplicates_dropped, 0u);
+
+  for (int spin = 0; spin < 30000 && !sender.AllAcked(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(sender.AllAcked());
+  sender.Shutdown();
+  receiver.Shutdown();
+}
+
+// On a fault-free fabric the reliability layer must stay off the fast path:
+// no retransmissions, and the only extra bytes are the DATA frame header
+// (tag + varint sequence number) plus one small cumulative ACK per frame.
+TEST(ReliableChannel, CleanFabricCostIsHeaderPlusAckOnly) {
+  constexpr uint32_t kMessages = 256;
+  constexpr size_t kPayload = 64;
+
+  // Baseline: raw endpoint traffic.
+  uint64_t raw_bytes = 0;
+  {
+    netsim::Fabric fabric;
+    netsim::Endpoint* a = fabric.AddNode(1);
+    netsim::Endpoint* b = fabric.AddNode(2);
+    for (uint32_t i = 0; i < kMessages; ++i) {
+      ASSERT_TRUE(a->Send(2, std::vector<uint8_t>(kPayload, 0x5A)).ok());
+    }
+    for (uint32_t i = 0; i < kMessages; ++i) {
+      ASSERT_TRUE(b->Receive().has_value());
+    }
+    raw_bytes = a->stats().bytes_sent + b->stats().bytes_sent;
+  }
+
+  // Same workload through ReliableChannel. A long retransmission timeout
+  // guarantees any retransmission seen here is a real bug, not scheduling
+  // jitter on a loaded machine.
+  uint64_t reliable_bytes = 0;
+  uint64_t retransmits = 0;
+  uint64_t acks = 0;
+  {
+    netsim::Fabric fabric;
+    netsim::Endpoint* a = fabric.AddNode(1);
+    netsim::Endpoint* b = fabric.AddNode(2);
+    netsim::ReliableChannelOptions opts;
+    opts.retransmit_initial_ms = 2000;
+    netsim::ReliableChannel sender(a, opts);
+    netsim::ReliableChannel receiver(b, opts);
+    std::atomic<uint32_t> got{0};
+    receiver.StartReceiver([&](netsim::Message&&) { got.fetch_add(1); });
+    sender.StartReceiver([](netsim::Message&&) {});
+    for (uint32_t i = 0; i < kMessages; ++i) {
+      ASSERT_TRUE(sender.Send(2, std::vector<uint8_t>(kPayload, 0x5A)).ok());
+    }
+    for (int spin = 0; spin < 30000; ++spin) {
+      if (got.load() >= kMessages && sender.AllAcked()) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(kMessages, got.load());
+    EXPECT_TRUE(sender.AllAcked());
+    retransmits = sender.stats().retransmits;
+    acks = receiver.stats().acks_sent;
+    sender.Shutdown();
+    receiver.Shutdown();
+    reliable_bytes = a->stats().bytes_sent + b->stats().bytes_sent;
+  }
+
+  EXPECT_EQ(0u, retransmits);
+  ASSERT_GE(reliable_bytes, raw_bytes);
+  double per_msg =
+      static_cast<double>(reliable_bytes - raw_bytes) / static_cast<double>(kMessages);
+  std::printf("clean-fabric reliability overhead: %.2f bytes/message "
+              "(%llu raw -> %llu reliable, %llu ACK frames for %u DATA frames)\n",
+              per_msg, static_cast<unsigned long long>(raw_bytes),
+              static_cast<unsigned long long>(reliable_bytes),
+              static_cast<unsigned long long>(acks), kMessages);
+  EXPECT_LE(per_msg, 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Full chaos scenario
+// ---------------------------------------------------------------------------
+
+constexpr int kClients = 4;          // node ids 1..4; node 4 is the victim
+constexpr rvm::NodeId kVictim = 4;
+constexpr int kRegions = 2;
+constexpr uint64_t kRegionSize = 8192;
+constexpr int kLocksPerRegion = 2;
+constexpr int kTotalTxns = 40;
+constexpr int kVictimTxnsBeforeDeath = 5;
+constexpr rvm::LockId kVictimLastLock = 22;  // managed by live node 1
+
+rvm::LockId LockFor(int region, int k) { return region * 10 + k + 1; }
+
+// Managers are all survivors: a dead manager is out of scope (DESIGN.md).
+rvm::NodeId ManagerFor(int region, int k) {
+  return static_cast<rvm::NodeId>(1 + (region + k) % (kClients - 1));
+}
+
+struct ChaosResult {
+  std::vector<std::vector<uint8_t>> images;      // per region, survivors' view
+  std::vector<std::vector<uint8_t>> recovered;   // per region, post-crash db
+  netsim::FaultStats faults;
+  uint64_t min_records_fetched = UINT64_MAX;     // across survivors
+  uint64_t locks_reclaimed = 0;                  // across survivors
+};
+
+void RunChaosScenario(uint64_t seed, ChaosResult* out) {
+  ChaosResult& result = *out;
+  store::MemStore store;
+  auto cluster = std::make_unique<lbc::Cluster>(&store);
+  netsim::Fabric* fabric = cluster->fabric();
+  fabric->SeedFaults(seed);
+  netsim::LinkFaults faults;
+  faults.drop_probability = 0.15;       // >= 10% of messages dropped
+  faults.duplicate_probability = 0.10;  // >= 5% duplicated
+  faults.delay_probability = 0.10;      // delayed out of FIFO order
+  faults.delay_min_micros = 100;
+  faults.delay_max_micros = 3000;
+  fabric->SetDefaultFaults(faults);
+
+  for (int region = 1; region <= kRegions; ++region) {
+    for (int k = 0; k < kLocksPerRegion; ++k) {
+      cluster->DefineLock(LockFor(region, k), region, ManagerFor(region, k));
+    }
+  }
+  std::vector<std::unique_ptr<lbc::Client>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    lbc::ClientOptions options;  // reliable_transport defaults on
+    clients.push_back(
+        std::move(*lbc::Client::Create(cluster.get(), 1 + i, options)));
+    for (int region = 1; region <= kRegions; ++region) {
+      EXPECT_TRUE(clients.back()->MapRegion(region, kRegionSize).ok());
+    }
+  }
+  lbc::Client* victim = clients[kVictim - 1].get();
+
+  // One deterministic driver: commit order, lock sequence numbers, and every
+  // written byte depend only on the seed — however the fabric misbehaves.
+  base::Rng rng(seed * 77 + 1);
+  std::vector<uint64_t> committed_per_lock(100, 0);
+  int victim_txns = 0;
+  bool victim_dead = false;
+  // Joined on every exit path (ASSERT failures return early).
+  struct Joiner {
+    std::thread t;
+    ~Joiner() {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+  } healer;
+
+  auto run_txn = [&](lbc::Client* client, rvm::LockId lock, int region, int lock_k) {
+    lbc::Transaction txn = client->Begin();
+    ASSERT_TRUE(txn.Acquire(lock).ok());
+    // Each lock guards its own disjoint slice of the region, so strict 2PL
+    // serializes all conflicting writes.
+    uint64_t base_off = static_cast<uint64_t>(lock_k) * (kRegionSize / kLocksPerRegion);
+    int writes = 1 + static_cast<int>(rng.Uniform(4));
+    for (int w = 0; w < writes; ++w) {
+      uint64_t off = base_off + rng.Uniform(kRegionSize / kLocksPerRegion - 16);
+      uint64_t len = 1 + rng.Uniform(12);
+      ASSERT_TRUE(txn.SetRange(region, off, len).ok());
+      for (uint64_t b = 0; b < len; ++b) {
+        client->GetRegion(region)->data()[off + b] = static_cast<uint8_t>(rng.Next());
+      }
+    }
+    ASSERT_TRUE(txn.Commit(rvm::CommitMode::kFlush).ok());
+    ++committed_per_lock[lock];
+  };
+
+  for (int i = 0; i < kTotalTxns; ++i) {
+    int writer = i % kClients;
+    if (victim_dead && 1 + writer == static_cast<int>(kVictim)) {
+      writer = i % (kClients - 1);  // survivors only, still deterministic
+    }
+    lbc::Client* client = clients[writer].get();
+
+    if (i == kTotalTxns / 4) {
+      // One-way partition between two survivors, healed by a timer halfway
+      // through its life: the reliable channel retransmits across the gap.
+      fabric->PartitionOneWay(1, 2);
+      healer.t = std::thread([fabric] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+        fabric->HealOneWay(1, 2);
+      });
+    }
+
+    if (!victim_dead && client == victim && victim_txns == kVictimTxnsBeforeDeath) {
+      // Kill the victim mid-commit: it still holds the token for
+      // kVictimLastLock from its previous transaction, so this commit needs
+      // no lock traffic. The partition swallows the coherency broadcast —
+      // the transaction is durable in the victim's log but reaches nobody.
+      for (int s = 1; s < kClients; ++s) {
+        fabric->PartitionOneWay(kVictim, s);
+      }
+      int region = kVictimLastLock / 10;
+      int lock_k = static_cast<int>(kVictimLastLock % 10) - 1;
+      run_txn(victim, kVictimLastLock, region, lock_k);
+      victim->Disconnect();
+      victim_dead = true;
+      // Every survivor detects the death: the cluster merges the victim's
+      // log (once), and each survivor reclaims the locks it manages.
+      for (int s = 0; s < kClients - 1; ++s) {
+        ASSERT_TRUE(clients[s]->OnPeerDeath(kVictim).ok());
+      }
+      continue;
+    }
+
+    int region = 1 + (i % kRegions);
+    int lock_k = (i / kRegions) % kLocksPerRegion;
+    rvm::LockId lock = LockFor(region, lock_k);
+    if (!victim_dead && client == victim) {
+      // The victim's second-to-last transaction parks the token it will
+      // die with; its earlier ones run the normal workload.
+      if (victim_txns == kVictimTxnsBeforeDeath - 1) {
+        lock = kVictimLastLock;
+        region = kVictimLastLock / 10;
+        lock_k = static_cast<int>(kVictimLastLock % 10) - 1;
+      }
+      ++victim_txns;
+    }
+    run_txn(client, lock, region, lock_k);
+  }
+  if (healer.t.joinable()) {
+    healer.t.join();
+  }
+
+  // Quiesce: every survivor reaches every lock's final sequence number —
+  // including the victim's never-propagated commit, which only the server
+  // record cache can supply.
+  for (int region = 1; region <= kRegions; ++region) {
+    for (int k = 0; k < kLocksPerRegion; ++k) {
+      rvm::LockId lock = LockFor(region, k);
+      for (int c = 0; c < kClients - 1; ++c) {
+        ASSERT_TRUE(
+            clients[c]->WaitForAppliedSeq(lock, committed_per_lock[lock], 60000))
+            << "lock " << lock << " client " << clients[c]->node();
+      }
+    }
+  }
+
+  // Convergence across survivors.
+  for (int region = 1; region <= kRegions; ++region) {
+    const uint8_t* reference = clients[0]->GetRegion(region)->data();
+    for (int c = 1; c < kClients - 1; ++c) {
+      ASSERT_EQ(0,
+                std::memcmp(reference, clients[c]->GetRegion(region)->data(),
+                            kRegionSize))
+          << "client " << clients[c]->node() << " diverged on region " << region;
+    }
+    result.images.emplace_back(reference, reference + kRegionSize);
+  }
+  result.faults = fabric->fault_stats();
+  for (int c = 0; c < kClients - 1; ++c) {
+    lbc::ClientStats stats = clients[c]->stats();
+    result.min_records_fetched = std::min(result.min_records_fetched, stats.records_fetched);
+    result.locks_reclaimed += stats.locks_reclaimed;
+  }
+
+  // Durability: crash everything and recover from the merged logs — every
+  // node's log, the dead client's included.
+  std::vector<std::string> logs;
+  for (int c = 0; c < kClients; ++c) {
+    logs.push_back(rvm::LogFileName(1 + c));
+  }
+  clients.clear();
+  store.Crash();
+  EXPECT_TRUE(rvm::ReplayLogsIntoDatabase(&store, logs).ok());
+  for (int region = 1; region <= kRegions; ++region) {
+    auto file = std::move(*store.Open(rvm::RegionFileName(region), false));
+    std::vector<uint8_t> recovered(kRegionSize, 0);
+    auto file_size = file->Size();
+    EXPECT_TRUE(file_size.ok());
+    EXPECT_TRUE(file->ReadExact(0, recovered.data(),
+                                std::min<uint64_t>(*file_size, kRegionSize))
+                    .ok());
+    result.recovered.push_back(std::move(recovered));
+  }
+}
+
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosTest, LossyPartitionedClusterConvergesAndRecovers) {
+  ChaosResult run;
+  RunChaosScenario(GetParam(), &run);
+  if (::testing::Test::HasFatalFailure()) {
+    return;
+  }
+  // The fabric really was hostile.
+  EXPECT_GT(run.faults.dropped, 0u);
+  EXPECT_GT(run.faults.duplicated, 0u);
+  EXPECT_GT(run.faults.partitioned, 0u);
+  // Token reclamation ran, and every survivor re-fetched the victim's
+  // unpropagated commit from the server record cache.
+  EXPECT_GT(run.locks_reclaimed, 0u);
+  EXPECT_GE(run.min_records_fetched, 1u);
+  // Survivors' cached images equal the crash-recovered database files.
+  ASSERT_EQ(static_cast<size_t>(kRegions), run.recovered.size());
+  for (int region = 0; region < kRegions; ++region) {
+    EXPECT_EQ(run.images[region], run.recovered[region])
+        << "recovered database diverged on region " << (region + 1);
+  }
+}
+
+TEST(ChaosDeterminism, SameSeedSameFinalState) {
+  ChaosResult r1;
+  RunChaosScenario(0xDE7E12, &r1);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  ChaosResult r2;
+  RunChaosScenario(0xDE7E12, &r2);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  ASSERT_EQ(r1.images.size(), r2.images.size());
+  for (size_t region = 0; region < r1.images.size(); ++region) {
+    EXPECT_EQ(r1.images[region], r2.images[region])
+        << "final image not deterministic for region " << (region + 1);
+    EXPECT_EQ(r1.images[region], r1.recovered[region]);
+    EXPECT_EQ(r2.images[region], r2.recovered[region]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Range<uint64_t>(0, 3));
+
+}  // namespace

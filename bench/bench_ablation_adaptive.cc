@@ -20,7 +20,7 @@ int main() {
       bench::Oo7Harness harness(options);
       bench::TraversalRun run = harness.Run(name);
       LBC_CHECK(run.caches_match);
-      const rvm::RvmStats& s = harness.writer()->rvm()->stats();
+      const rvm::RvmStats s = harness.writer()->rvm()->stats();
       std::printf("%-8s %12u %12llu %14llu %14llu %12llu\n", name, threshold,
                   static_cast<unsigned long long>(s.ranges_logged),
                   static_cast<unsigned long long>(run.profile.bytes_updated),

@@ -60,7 +60,7 @@ Row RunPlainRvm(const std::string& label, rvm::CoalesceMode mode) {
   LBC_CHECK_OK(result.status);
   LBC_CHECK_OK(rvm->EndTransaction(txn, rvm::CommitMode::kFlush));
 
-  const rvm::RvmStats& s = rvm->stats();
+  const rvm::RvmStats s = rvm->stats();
   return Row{label,
              s.detect_nanos / 1e3,
              s.collect_nanos / 1e3,

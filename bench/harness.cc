@@ -5,6 +5,7 @@
 
 #include "src/base/clock.h"
 #include "src/base/logging.h"
+#include "src/obs/export.h"
 
 namespace bench {
 
@@ -93,7 +94,7 @@ TraversalRun Oo7Harness::Run(const std::string& name) {
     }
   }
 
-  const rvm::RvmStats& w = writer->rvm()->stats();
+  const rvm::RvmStats w = writer->rvm()->stats();
   lbc::ClientStats ws = writer->stats();
   run.profile.updates = w.set_range_calls;
   run.profile.bytes_updated = w.bytes_logged;
@@ -179,6 +180,14 @@ void RunFigureComparison(const std::vector<std::string>& names) {
   }
   std::printf("Shape check: Log wins when updates/page is small; Cpy/Cmp catches up\n"
               "as updates cluster; Page only competes when most of a page changes.\n");
+
+  std::string snapshot_path = obs::SnapshotPath();
+  base::Status status = obs::WriteJsonSnapshot(snapshot_path);
+  if (status.ok()) {
+    std::printf("obs snapshot: %s\n", snapshot_path.c_str());
+  } else {
+    std::printf("obs snapshot failed: %s\n", status.ToString().c_str());
+  }
 }
 
 }  // namespace bench

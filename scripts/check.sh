@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Full pre-merge check: the tier-1 build+test sweep, then a ThreadSanitizer
+# build of the concurrency-heavy netsim/lbc/obs tests (the chaos suite doubles
+# as the data-race check for the stats accessors and the obs counters).
+#
+# Usage: scripts/check.sh [--tsan-only | --tier1-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tier1=1
+run_tsan=1
+case "${1:-}" in
+  --tsan-only) run_tier1=0 ;;
+  --tier1-only) run_tsan=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--tsan-only | --tier1-only]" >&2; exit 2 ;;
+esac
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "$run_tier1" == 1 ]]; then
+  echo "=== tier-1: full build + ctest ==="
+  cmake -B build -S .
+  cmake --build build -j "$jobs"
+  (cd build && ctest --output-on-failure -j "$jobs")
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "=== TSan: netsim/lbc/obs concurrency tests ==="
+  cmake -B build-tsan -S . -DLBC_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs" --target \
+    netsim_chaos_test netsim_fabric_test netsim_multicast_test \
+    netsim_reliable_wakeup_test obs_metrics_test \
+    lbc_lock_protocol_test lbc_robustness_test rvm_concurrency_test
+  for t in netsim_chaos_test netsim_fabric_test netsim_multicast_test \
+           netsim_reliable_wakeup_test obs_metrics_test \
+           lbc_lock_protocol_test lbc_robustness_test rvm_concurrency_test; do
+    echo "--- tsan: $t"
+    ./build-tsan/tests/"$t"
+  done
+fi
+
+echo "All checks passed."

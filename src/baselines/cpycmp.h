@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "src/rvm/types.h"
@@ -46,14 +47,23 @@ class CpyCmpEngine {
   // Pages currently twinned (dirty pages this interval).
   uint64_t dirty_pages() const { return twins_.size(); }
 
-  const CpyCmpStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CpyCmpStats{}; }
+  // Point-in-time copy under the engine lock — never a reference into
+  // mutable state, so a snapshot taken while another thread commits is safe.
+  CpyCmpStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = CpyCmpStats{};
+  }
 
  private:
   uint8_t* base_;
   uint64_t len_;
   uint64_t page_size_;
   std::map<uint64_t, std::vector<uint8_t>> twins_;  // page index -> twin copy
+  mutable std::mutex mu_;  // guards stats_ (twins_ stays caller-serialized)
   CpyCmpStats stats_;
 };
 

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <set>
 
-#include "src/base/clock.h"
 #include "src/base/logging.h"
+#include "src/obs/trace.h"
 
 namespace lbc {
 
@@ -76,6 +76,9 @@ base::Status Transaction::Commit(rvm::CommitMode mode) {
   if (!open_) {
     return base::FailedPrecondition("transaction closed");
   }
+  // End-to-end commit latency: local commit + log write + broadcast +
+  // release (the per-phase split lives in the rvm.* and lbc.* counters).
+  obs::ScopedTimer commit_timer(nullptr, client_->obs_commit_latency_);
   open_ = false;
   base::Status st = client_->rvm()->EndTransaction(tid_, mode);
   if (!st.ok()) {
@@ -111,6 +114,16 @@ base::Result<std::unique_ptr<Client>> Client::Create(Cluster* cluster, rvm::Node
 }
 
 base::Status Client::Init() {
+  auto* reg = obs::MetricsRegistry::Global();
+  obs_network_nanos_ = reg->GetCounter(obs::NodeMetricName("lbc", node_, "network_nanos"));
+  obs_interlock_wait_nanos_ =
+      reg->GetCounter(obs::NodeMetricName("lbc", node_, "interlock_wait_nanos"));
+  obs_updates_sent_ = reg->GetCounter(obs::NodeMetricName("lbc", node_, "updates_sent"));
+  obs_update_bytes_sent_ =
+      reg->GetCounter(obs::NodeMetricName("lbc", node_, "update_bytes_sent"));
+  obs_acquire_latency_ = reg->GetHistogram(obs::NodeMetricName("lbc", node_, "acquire_nanos"));
+  obs_commit_latency_ = reg->GetHistogram(obs::NodeMetricName("lbc", node_, "commit_nanos"));
+
   ASSIGN_OR_RETURN(rvm_, rvm::Rvm::Open(cluster_->store(), node_, options_.rvm));
   rvm_->SetCommitHook([this](const rvm::CommitContext& ctx) { OnCommit(ctx); });
   endpoint_ = cluster_->fabric()->AddNode(node_);
@@ -369,7 +382,7 @@ void Client::BroadcastEager(const rvm::CommitContext& ctx) {
     return;
   }
 
-  base::Stopwatch timer;
+  obs::ScopedTimer timer(obs_network_nanos_);
   std::vector<uint8_t> payload = EncodeUpdate(ctx, options_.compress_headers);
   size_t sends = 0;
   if (options_.use_multicast) {
@@ -392,10 +405,16 @@ void Client::BroadcastEager(const rvm::CommitContext& ctx) {
     }
     sends = peers.size();
   }
+  obs_updates_sent_->Add(sends);
+  obs_update_bytes_sent_->Add(payload.size() * sends);
+  obs::TraceRing::Global()->Emit(
+      node_, obs::TraceType::kCommitBroadcast,
+      ctx.locks != nullptr && !ctx.locks->empty() ? ctx.locks->front().lock_id : 0,
+      ctx.commit_seq, payload.size() * sends);
   std::lock_guard<std::mutex> lk(mu_);
   stats_.updates_sent += sends;
   stats_.update_bytes_sent += payload.size() * sends;
-  stats_.network_nanos += static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  stats_.network_nanos += timer.StopNanos();
 }
 
 void Client::RetainForLazy(const rvm::CommitContext& ctx) {
@@ -431,6 +450,7 @@ base::Result<uint64_t> Client::AcquireLock(rvm::LockId lock) {
     return base::FailedPrecondition("lock's region not mapped on this node");
   }
 
+  obs::ScopedTimer acquire_timer(nullptr, obs_acquire_latency_);
   std::unique_lock<std::mutex> lk(mu_);
   if (options_.versioned_reads) {
     AcceptLocked();  // acquiring implies moving forward to the newest version
@@ -439,6 +459,7 @@ base::Result<uint64_t> Client::AcquireLock(rvm::LockId lock) {
   LockState& st = StateFor(lock);
   bool counted_wait = false;
   while (true) {
+    bool interlock_stalled = false;
     if (disconnected_) {
       --acquires_waiting_;
       return base::Unavailable("client disconnected");
@@ -457,9 +478,12 @@ base::Result<uint64_t> Client::AcquireLock(rvm::LockId lock) {
       if (applied_seq_[lock] >= st.token_seq) {
         break;
       }
+      interlock_stalled = true;
       if (!counted_wait) {
         counted_wait = true;
         ++stats_.acquire_waits;
+        obs::TraceRing::Global()->Emit(node_, obs::TraceType::kInterlockStall, lock,
+                                       applied_seq_[lock]);
       }
     } else if (!st.have_token && !st.requested) {
       st.requested = true;
@@ -472,7 +496,14 @@ base::Result<uint64_t> Client::AcquireLock(rvm::LockId lock) {
         return send_st;
       }
     }
-    cv_.wait(lk);
+    if (interlock_stalled) {
+      // Token is here but updates lag behind it: charge the wait to the
+      // paper's interlock cost.
+      obs::ScopedTimer wait_timer(obs_interlock_wait_nanos_);
+      cv_.wait(lk);
+    } else {
+      cv_.wait(lk);
+    }
   }
   --acquires_waiting_;
   uint64_t my_seq = ++st.token_seq;
@@ -527,8 +558,10 @@ void Client::PassTokenLocked(rvm::LockId lock, LockState& st) {
   }
   st.have_token = false;
   ++stats_.lock_messages_sent;
-  base::Status send_st =
-      SendTo(fwd.requester, EncodeLockToken(token, options_.compress_headers));
+  std::vector<uint8_t> payload = EncodeLockToken(token, options_.compress_headers);
+  obs::TraceRing::Global()->Emit(node_, obs::TraceType::kTokenPass, lock, st.token_seq,
+                                 payload.size());
+  base::Status send_st = SendTo(fwd.requester, std::move(payload));
   if (!send_st.ok()) {
     LBC_LOG(Warning) << "token pass to node " << fwd.requester
                      << " failed: " << send_st.ToString();
@@ -759,6 +792,7 @@ void Client::StartReclaim(rvm::LockId lock, rvm::RegionId region, rvm::NodeId de
     }
   }
   ++stats_.locks_reclaimed;
+  obs::TraceRing::Global()->Emit(node_, obs::TraceType::kReclaimRound, lock, st.epoch);
   if (st.reclaim_pending.empty()) {
     FinishReclaimLocked(lock, st);
     cv_.notify_all();
@@ -856,7 +890,12 @@ void Client::FinishReclaimLocked(rvm::LockId lock, LockState& st) {
 
 void Client::FetchFromServerLocked(rvm::LockId lock) {
   uint64_t applied = applied_seq_[lock];
-  for (auto& rec : cluster_->FetchRecordsSince(lock, applied)) {
+  std::vector<rvm::TransactionRecord> records = cluster_->FetchRecordsSince(lock, applied);
+  if (!records.empty()) {
+    obs::TraceRing::Global()->Emit(node_, obs::TraceType::kRecordFetch, lock, applied,
+                                   records.size());
+  }
+  for (auto& rec : records) {
     ++stats_.records_fetched;
     if (!TryApplyLocked(rec)) {
       pending_.push_back(std::move(rec));

@@ -36,6 +36,7 @@
 
 #include "src/base/status.h"
 #include "src/lbc/cluster.h"
+#include "src/obs/metrics.h"
 #include "src/lbc/wire_format.h"
 #include "src/netsim/fabric.h"
 #include "src/netsim/reliable.h"
@@ -312,6 +313,14 @@ class Client {
   std::deque<rvm::TransactionRecord> version_buffer_;
   ClientStats stats_;
   bool disconnected_ = false;
+
+  // Registered once in Init() (lbc.n<node>.*); hot paths bump the atomics.
+  obs::Counter* obs_network_nanos_ = nullptr;
+  obs::Counter* obs_interlock_wait_nanos_ = nullptr;
+  obs::Counter* obs_updates_sent_ = nullptr;
+  obs::Counter* obs_update_bytes_sent_ = nullptr;
+  obs::Histogram* obs_acquire_latency_ = nullptr;
+  obs::Histogram* obs_commit_latency_ = nullptr;
 };
 
 }  // namespace lbc

@@ -2,8 +2,34 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rvm/log_merge.h"
 #include "src/rvm/recovery.h"
+
+namespace {
+
+// Server-role counters (the cluster is logically one storage/lock server, so
+// these are process totals).
+struct ServerMetrics {
+  obs::Counter* records_cached;
+  obs::Counter* records_fetched;
+  obs::Counter* dead_clients_recovered;
+};
+
+ServerMetrics* GlobalServerMetrics() {
+  static ServerMetrics* metrics = [] {
+    auto* reg = obs::MetricsRegistry::Global();
+    auto* m = new ServerMetrics();
+    m->records_cached = reg->GetCounter("server.records_cached");
+    m->records_fetched = reg->GetCounter("server.records_fetched");
+    m->dead_clients_recovered = reg->GetCounter("server.dead_clients_recovered");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 namespace lbc {
 
@@ -153,6 +179,7 @@ void Cluster::CacheRecords(rvm::LockId lock, const rvm::TransactionRecord& rec) 
       break;
     }
   }
+  GlobalServerMetrics()->records_cached->Increment();
   std::lock_guard<std::mutex> guard(mu_);
   record_cache_[lock].emplace(seq, rec);
 }
@@ -169,6 +196,7 @@ std::vector<rvm::TransactionRecord> Cluster::FetchRecordsSince(rvm::LockId lock,
        ++rec_it) {
     out.push_back(rec_it->second);
   }
+  GlobalServerMetrics()->records_fetched->Add(out.size());
   return out;
 }
 
@@ -245,6 +273,9 @@ base::Status Cluster::RecoverDeadClient(rvm::NodeId node) {
   if (!recovered_.insert(node).second) {
     return base::OkStatus();  // lost a race with a concurrent detector
   }
+  GlobalServerMetrics()->dead_clients_recovered->Increment();
+  obs::TraceRing::Global()->Emit(node, obs::TraceType::kClientRecovered, /*lock=*/0,
+                                 /*seq=*/0, /*bytes=*/merged.size());
   for (const auto& txn : merged) {
     for (const auto& lock : txn.locks) {
       uint64_t& baseline = baseline_seq_[lock.lock_id];

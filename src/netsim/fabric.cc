@@ -1,25 +1,36 @@
 #include "src/netsim/fabric.h"
 
-#include "src/base/clock.h"
-
 namespace netsim {
+
+Endpoint::Endpoint(Fabric* fabric, NodeId id) : fabric_(fabric), id_(id) {
+  auto* reg = obs::MetricsRegistry::Global();
+  obs_messages_sent_ = reg->GetCounter(obs::NodeMetricName("netsim", id, "messages_sent"));
+  obs_bytes_sent_ = reg->GetCounter(obs::NodeMetricName("netsim", id, "bytes_sent"));
+  obs_messages_received_ =
+      reg->GetCounter(obs::NodeMetricName("netsim", id, "messages_received"));
+  obs_bytes_received_ =
+      reg->GetCounter(obs::NodeMetricName("netsim", id, "bytes_received"));
+  obs_send_nanos_ = reg->GetCounter(obs::NodeMetricName("netsim", id, "send_nanos"));
+}
 
 Endpoint::~Endpoint() { StopReceiver(); }
 
 base::Status Endpoint::Send(NodeId to, std::vector<uint8_t> payload) {
-  base::Stopwatch timer;
+  obs::ScopedTimer timer(obs_send_nanos_);
   size_t bytes = payload.size();
   RETURN_IF_ERROR(fabric_->Deliver(id_, to, std::move(payload)));
+  obs_messages_sent_->Increment();
+  obs_bytes_sent_->Add(bytes);
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
-  stats_.send_nanos += static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  stats_.send_nanos += timer.StopNanos();
   return base::OkStatus();
 }
 
 base::Status Endpoint::Multicast(const std::vector<NodeId>& to,
                                  std::vector<uint8_t> payload) {
-  base::Stopwatch timer;
+  obs::ScopedTimer timer(obs_send_nanos_);
   size_t bytes = payload.size();
   for (NodeId node : to) {
     // Copy per recipient; the accounting below still charges one send.
@@ -28,10 +39,12 @@ base::Status Endpoint::Multicast(const std::vector<NodeId>& to,
       return st;
     }
   }
+  obs_messages_sent_->Increment();
+  obs_bytes_sent_->Add(bytes);
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
-  stats_.send_nanos += static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  stats_.send_nanos += timer.StopNanos();
   return base::OkStatus();
 }
 
@@ -45,6 +58,8 @@ std::optional<Message> Endpoint::Receive() {
   inbox_.pop_front();
   ++stats_.messages_received;
   stats_.bytes_received += msg.payload.size();
+  obs_messages_received_->Increment();
+  obs_bytes_received_->Add(msg.payload.size());
   return msg;
 }
 
@@ -96,6 +111,14 @@ void Endpoint::Enqueue(Message&& msg) {
     inbox_.push_back(std::move(msg));
   }
   cv_.notify_one();
+}
+
+Fabric::Fabric() {
+  auto* reg = obs::MetricsRegistry::Global();
+  obs_dropped_ = reg->GetCounter("netsim.fabric.dropped");
+  obs_duplicated_ = reg->GetCounter("netsim.fabric.duplicated");
+  obs_delayed_ = reg->GetCounter("netsim.fabric.delayed");
+  obs_partitioned_ = reg->GetCounter("netsim.fabric.partitioned");
 }
 
 Endpoint* Fabric::AddNode(NodeId id) {
@@ -323,6 +346,7 @@ base::Status Fabric::Deliver(NodeId from, NodeId to, std::vector<uint8_t> payloa
     if (partitions_.count({from, to}) != 0) {
       // The sender's datagram is gone; Send still reports success.
       ++fault_stats_.partitioned;
+      obs_partitioned_->Increment();
       return base::OkStatus();
     }
     const LinkFaults& faults = FaultsForLocked(from, to);
@@ -340,15 +364,18 @@ base::Status Fabric::Deliver(NodeId from, NodeId to, std::vector<uint8_t> payloa
               : faults.delay_min_micros;
       if (drop) {
         ++fault_stats_.dropped;
+        obs_dropped_->Increment();
         return base::OkStatus();
       }
       if (duplicate) {
         ++fault_stats_.duplicated;
+        obs_duplicated_->Increment();
       }
       if (delay) {
         // Deliberately NOT clamped behind earlier traffic on the link:
         // fault delay is the fabric's reordering mechanism.
         ++fault_stats_.delayed;
+        obs_delayed_->Increment();
         auto deliver_at =
             std::chrono::steady_clock::now() + std::chrono::microseconds(extra_us);
         Message msg{from, to, std::move(payload)};

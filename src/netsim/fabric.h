@@ -34,6 +34,7 @@
 
 #include "src/base/rng.h"
 #include "src/base/status.h"
+#include "src/obs/metrics.h"
 
 namespace netsim {
 
@@ -114,7 +115,7 @@ class Endpoint {
 
  private:
   friend class Fabric;
-  Endpoint(Fabric* fabric, NodeId id) : fabric_(fabric), id_(id) {}
+  Endpoint(Fabric* fabric, NodeId id);
 
   void Enqueue(Message&& msg);
 
@@ -128,11 +129,19 @@ class Endpoint {
   EndpointStats stats_;
   std::thread receiver_;
   bool receiver_running_ = false;
+
+  // Registered once at construction (netsim.n<id>.*); bumped alongside the
+  // per-instance stats_ so snapshots see the whole cluster at once.
+  obs::Counter* obs_messages_sent_ = nullptr;
+  obs::Counter* obs_bytes_sent_ = nullptr;
+  obs::Counter* obs_messages_received_ = nullptr;
+  obs::Counter* obs_bytes_received_ = nullptr;
+  obs::Counter* obs_send_nanos_ = nullptr;
 };
 
 class Fabric {
  public:
-  Fabric() = default;
+  Fabric();
   ~Fabric() { Shutdown(); }
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -213,6 +222,11 @@ class Fabric {
   std::map<std::pair<NodeId, NodeId>, base::Rng> fault_rngs_;
   std::set<std::pair<NodeId, NodeId>> partitions_;
   FaultStats fault_stats_;
+  // Process-wide fault totals (netsim.fabric.*), registered at construction.
+  obs::Counter* obs_dropped_ = nullptr;
+  obs::Counter* obs_duplicated_ = nullptr;
+  obs::Counter* obs_delayed_ = nullptr;
+  obs::Counter* obs_partitioned_ = nullptr;
 
   // --- delayed delivery ---------------------------------------------------
   struct DelayedMessage {

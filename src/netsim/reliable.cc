@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/base/buffer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace netsim {
 namespace {
@@ -30,7 +32,13 @@ std::vector<uint8_t> EncodeAck(uint64_t cumulative_seq) {
 }  // namespace
 
 ReliableChannel::ReliableChannel(Endpoint* endpoint, const ReliableChannelOptions& options)
-    : endpoint_(endpoint), options_(options) {}
+    : endpoint_(endpoint), options_(options) {
+  auto* reg = obs::MetricsRegistry::Global();
+  obs_retransmits_ =
+      reg->GetCounter(obs::NodeMetricName("netsim", endpoint->id(), "retransmits"));
+  obs_frames_abandoned_ =
+      reg->GetCounter(obs::NodeMetricName("netsim", endpoint->id(), "frames_abandoned"));
+}
 
 ReliableChannel::~ReliableChannel() { Shutdown(); }
 
@@ -166,8 +174,16 @@ void ReliableChannel::RetransmitThreadMain() {
       retransmit_cv_.wait(lock);
       continue;
     }
-    if (retransmit_cv_.wait_until(lock, next) == std::cv_status::no_timeout) {
-      continue;  // woken early: new frame or shutdown — recompute
+    // Sleep until the earliest deadline. The wait's return reason is
+    // deliberately ignored: a spurious wakeup is indistinguishable from a
+    // notify, and under a steady stream of Send() notifies, treating
+    // no_timeout as "nothing due yet" would starve the scan below and stall
+    // due frames for an extra backoff period. Instead, always re-derive what
+    // is due from the state; frames whose deadline has not arrived are
+    // skipped cheaply.
+    retransmit_cv_.wait_until(lock, next);
+    if (shutdown_) {
+      break;
     }
     auto now = std::chrono::steady_clock::now();
     for (auto& [node, peer] : send_state_) {
@@ -179,11 +195,17 @@ void ReliableChannel::RetransmitThreadMain() {
         }
         if (options_.max_retransmits != 0 && f.attempts >= options_.max_retransmits) {
           ++stats_.frames_abandoned;
+          obs_frames_abandoned_->Increment();
+          obs::TraceRing::Global()->Emit(endpoint_->id(), obs::TraceType::kFrameAbandoned,
+                                         /*lock=*/0, it->first, f.frame.size());
           it = peer.unacked.erase(it);
           continue;
         }
         ++f.attempts;
         ++stats_.retransmits;
+        obs_retransmits_->Increment();
+        obs::TraceRing::Global()->Emit(endpoint_->id(), obs::TraceType::kRetransmit,
+                                       /*lock=*/0, it->first, f.frame.size());
         f.backoff_ms = std::min(f.backoff_ms * 2, options_.retransmit_max_ms);
         f.next_resend = now + std::chrono::milliseconds(f.backoff_ms);
         endpoint_->Send(node, std::vector<uint8_t>(f.frame)).ok();

@@ -114,6 +114,9 @@ class ReliableChannel {
 
   Endpoint* endpoint_;
   ReliableChannelOptions options_;
+  // Registered once at construction (netsim.n<id>.*).
+  obs::Counter* obs_retransmits_ = nullptr;
+  obs::Counter* obs_frames_abandoned_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable retransmit_cv_;

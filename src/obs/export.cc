@@ -1,0 +1,164 @@
+#include "src/obs/export.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace obs {
+namespace {
+
+// Metric names are [a-z0-9._] by convention, but escape defensively so a
+// stray name cannot produce invalid JSON.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TailEvents(const TraceRing* trace, size_t max_events) {
+  std::vector<TraceEvent> events;
+  if (trace == nullptr) return events;
+  events = trace->Snapshot();
+  if (events.size() > max_events) {
+    events.erase(events.begin(), events.end() - static_cast<ptrdiff_t>(max_events));
+  }
+  return events;
+}
+
+}  // namespace
+
+std::string DumpText(const MetricsRegistry& registry, const TraceRing* trace,
+                     size_t max_trace_events) {
+  auto snap = registry.TakeSnapshot();
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out << name << " count=" << h.count << " sum=" << h.sum << " min=" << h.min
+        << " max=" << h.max << " p50<=" << h.p50 << " p99<=" << h.p99 << "\n";
+  }
+  auto events = TailEvents(trace, max_trace_events);
+  if (trace != nullptr) {
+    out << "trace emitted=" << trace->total_emitted() << " dropped=" << trace->dropped()
+        << " showing=" << events.size() << "\n";
+    for (const auto& e : events) {
+      out << "  [" << e.nanos << "] n" << e.node << " " << TraceTypeName(e.type)
+          << " lock=" << e.lock << " seq=" << e.seq << " bytes=" << e.bytes << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string DumpText() { return DumpText(*MetricsRegistry::Global(), TraceRing::Global()); }
+
+std::string DumpJson(const MetricsRegistry& registry, const TraceRing* trace,
+                     size_t max_trace_events) {
+  auto snap = registry.TakeSnapshot();
+  std::ostringstream out;
+  out << "{";
+
+  out << "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  out << "},";
+
+  out << "\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  out << "},";
+
+  out << "\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+        << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"p50\":" << h.p50
+        << ",\"p99\":" << h.p99 << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (const auto& [lo, count] : h.buckets) {
+      if (!first_bucket) out << ",";
+      first_bucket = false;
+      out << "[" << lo << "," << count << "]";
+    }
+    out << "]}";
+  }
+  out << "}";
+
+  if (trace != nullptr) {
+    auto events = TailEvents(trace, max_trace_events);
+    out << ",\"trace\":{\"emitted\":" << trace->total_emitted()
+        << ",\"dropped\":" << trace->dropped() << ",\"events\":[";
+    first = true;
+    for (const auto& e : events) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"nanos\":" << e.nanos << ",\"node\":" << e.node << ",\"type\":\""
+          << TraceTypeName(e.type) << "\",\"lock\":" << e.lock << ",\"seq\":" << e.seq
+          << ",\"bytes\":" << e.bytes << "}";
+    }
+    out << "]}";
+  }
+
+  out << "}";
+  return out.str();
+}
+
+std::string DumpJson() { return DumpJson(*MetricsRegistry::Global(), TraceRing::Global()); }
+
+std::string SnapshotPath(const std::string& default_path) {
+  const char* env = std::getenv("LBC_OBS_OUT");
+  if (env != nullptr && env[0] != '\0') return env;
+  return default_path;
+}
+
+base::Status WriteJsonSnapshot(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return base::IoError("cannot open observability snapshot file: " + path);
+  }
+  out << DumpJson() << "\n";
+  out.close();
+  if (!out) {
+    return base::IoError("write failed for observability snapshot: " + path);
+  }
+  return base::OkStatus();
+}
+
+}  // namespace obs

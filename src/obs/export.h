@@ -1,0 +1,41 @@
+// Snapshot exporters: render the metrics registry + trace ring as
+// human-readable text or machine-readable JSON.
+//
+// Benches and chaos tests call WriteJsonSnapshot() on exit so every run
+// leaves a machine-readable record (BENCH_obs.json by default; override the
+// path with the LBC_OBS_OUT environment variable).
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace obs {
+
+// Plain-text dump: one "name value" line per counter/gauge, a summary line
+// per histogram, then the newest `max_trace_events` trace events.
+std::string DumpText(const MetricsRegistry& registry, const TraceRing* trace = nullptr,
+                     size_t max_trace_events = 32);
+std::string DumpText();  // global registry + global trace ring
+
+// JSON document:
+//   {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+//    p50,p99,buckets:[[lo,count],...]}},"trace":{emitted,dropped,
+//    events:[{nanos,node,type,lock,seq,bytes},...]}}
+std::string DumpJson(const MetricsRegistry& registry, const TraceRing* trace = nullptr,
+                     size_t max_trace_events = 1024);
+std::string DumpJson();  // global registry + global trace ring
+
+// Path a bench/test snapshot should go to: $LBC_OBS_OUT if set, else
+// `default_path`.
+std::string SnapshotPath(const std::string& default_path = "BENCH_obs.json");
+
+// Writes DumpJson() of the global registry + trace ring to `path`.
+base::Status WriteJsonSnapshot(const std::string& path);
+
+}  // namespace obs
+
+#endif  // SRC_OBS_EXPORT_H_

@@ -1,0 +1,86 @@
+#include "src/obs/trace.h"
+
+#include "src/base/clock.h"
+
+namespace obs {
+
+const char* TraceTypeName(TraceType type) {
+  switch (type) {
+    case TraceType::kCommitBroadcast:
+      return "commit_broadcast";
+    case TraceType::kTokenPass:
+      return "token_pass";
+    case TraceType::kInterlockStall:
+      return "interlock_stall";
+    case TraceType::kRetransmit:
+      return "retransmit";
+    case TraceType::kFrameAbandoned:
+      return "frame_abandoned";
+    case TraceType::kReclaimRound:
+      return "reclaim_round";
+    case TraceType::kRecordFetch:
+      return "record_fetch";
+    case TraceType::kClientRecovered:
+      return "client_recovered";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+TraceRing* TraceRing::Global() {
+  static TraceRing* ring = new TraceRing();  // never destroyed
+  return ring;
+}
+
+void TraceRing::Emit(uint64_t node, TraceType type, uint64_t lock, uint64_t seq,
+                     uint64_t bytes) {
+  TraceEvent e;
+  e.nanos = base::SteadyClock::Instance()->NowNanos();
+  e.node = node;
+  e.type = type;
+  e.lock = lock;
+  e.seq = seq;
+  e.bytes = bytes;
+  std::lock_guard<std::mutex> guard(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[next_ % capacity_] = e;
+  }
+  ++next_;
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Oldest event lives at next_ % capacity_ (the slot about to be reused).
+    size_t start = next_ % capacity_;
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(start + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t TraceRing::total_emitted() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return next_;
+}
+
+uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return next_ > ring_.size() ? next_ - ring_.size() : 0;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+}  // namespace obs

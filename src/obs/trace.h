@@ -1,0 +1,81 @@
+// Bounded protocol trace ring.
+//
+// A trace event is one protocol-level action — a commit broadcast, a token
+// pass, an interlock stall, a retransmission, a reclaim round — stamped with
+// the emitting node, the lock and sequence number involved, and a byte count
+// where one applies. The ring keeps the most recent `capacity` events; when
+// something goes wrong in a chaos run, the tail of the ring is the story of
+// what the cluster was doing.
+//
+// Emit() is O(1): one mutex acquire (uncontended in practice — events are
+// protocol-rate, not byte-rate) and one slot overwrite. Snapshot() returns
+// the retained events oldest-first.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace obs {
+
+enum class TraceType : uint8_t {
+  kCommitBroadcast = 0,  // writer pushed a committed record to peers
+  kTokenPass = 1,        // lock token handed to another node
+  kInterlockStall = 2,   // §3.4 interlock: token held, waiting for updates
+  kRetransmit = 3,       // reliable channel re-sent an unacked frame
+  kFrameAbandoned = 4,   // reliable channel gave up on a frame
+  kReclaimRound = 5,     // token reclaim epoch started (suspected loss)
+  kRecordFetch = 6,      // lazy-server: client fetched records from server
+  kClientRecovered = 7,  // server merged a dead client's log
+};
+
+// Stable lowercase name for exports ("commit_broadcast", ...).
+const char* TraceTypeName(TraceType type);
+
+struct TraceEvent {
+  uint64_t nanos = 0;  // steady-clock stamp, filled by Emit
+  uint64_t node = 0;
+  TraceType type = TraceType::kCommitBroadcast;
+  uint64_t lock = 0;
+  uint64_t seq = 0;
+  uint64_t bytes = 0;
+};
+
+class TraceRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 8192;
+
+  explicit TraceRing(size_t capacity = kDefaultCapacity);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  // Process-wide ring the production wiring emits into.
+  static TraceRing* Global();
+
+  // Records an event (timestamp filled in here). Oldest events are
+  // overwritten once the ring is full.
+  void Emit(uint64_t node, TraceType type, uint64_t lock = 0, uint64_t seq = 0,
+            uint64_t bytes = 0);
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+  // Events ever emitted / overwritten before they could be snapshot.
+  uint64_t total_emitted() const;
+  uint64_t dropped() const;
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // slot i holds event number (next_ - size + i)
+  uint64_t next_ = 0;             // total events ever emitted
+};
+
+}  // namespace obs
+
+#endif  // SRC_OBS_TRACE_H_

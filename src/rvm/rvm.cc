@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "src/base/clock.h"
+#include "src/obs/metrics.h"
 #include "src/rvm/log_format.h"
 #include "src/rvm/recovery.h"
 
@@ -16,6 +16,15 @@ base::Result<std::unique_ptr<Rvm>> Rvm::Open(store::DurableStore* store, NodeId 
 }
 
 base::Status Rvm::Init() {
+  auto* reg = obs::MetricsRegistry::Global();
+  obs_detect_nanos_ = reg->GetCounter(obs::NodeMetricName("rvm", node_, "detect_nanos"));
+  obs_collect_nanos_ = reg->GetCounter(obs::NodeMetricName("rvm", node_, "collect_nanos"));
+  obs_disk_nanos_ = reg->GetCounter(obs::NodeMetricName("rvm", node_, "disk_nanos"));
+  obs_apply_nanos_ = reg->GetCounter(obs::NodeMetricName("rvm", node_, "apply_nanos"));
+  obs_commits_ = reg->GetCounter(obs::NodeMetricName("rvm", node_, "commits"));
+  obs_commit_latency_ =
+      reg->GetHistogram(obs::NodeMetricName("rvm", node_, "commit_nanos"));
+
   ASSIGN_OR_RETURN(auto file, store_->Open(LogFileName(node_), /*create=*/true));
   // Append after any existing valid records; a torn tail is overwritten.
   uint64_t valid_end = 0;
@@ -82,7 +91,7 @@ TxnId Rvm::BeginTransaction(RestoreMode mode) {
 }
 
 base::Status Rvm::SetRange(TxnId txn_id, RegionId region_id, uint64_t offset, uint64_t len) {
-  base::Stopwatch timer;
+  obs::ScopedTimer timer(obs_detect_nanos_);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end() || !it->second.active) {
@@ -118,7 +127,7 @@ base::Status Rvm::SetRange(TxnId txn_id, RegionId region_id, uint64_t offset, ui
   if (outcome == AddOutcome::kExactDuplicate) {
     ++stats_.set_range_duplicates;
   }
-  stats_.detect_nanos += static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  stats_.detect_nanos += timer.StopNanos();
   return base::OkStatus();
 }
 
@@ -141,9 +150,12 @@ base::Status Rvm::SetLockId(TxnId txn_id, LockId lock, uint64_t sequence) {
 }
 
 base::Status Rvm::EndTransaction(TxnId txn_id, CommitMode mode) {
+  // Whole-commit latency (gather + log write + commit hook) for the
+  // histogram; the phase counters below split the same work.
+  obs::ScopedTimer commit_timer(nullptr, obs_commit_latency_);
   CommitContext ctx;
   {
-    base::Stopwatch collect_timer;
+    obs::ScopedTimer collect_timer(obs_collect_nanos_);
     std::unique_lock<std::mutex> lock(mu_);
     auto it = txns_.find(txn_id);
     if (it == txns_.end() || !it->second.active) {
@@ -218,9 +230,9 @@ base::Status Rvm::EndTransaction(TxnId txn_id, CommitMode mode) {
       // Gather the record parts straight from the region images: the redo
       // log write is the only copy made of the new values.
       EncodedTransactionMeta meta = EncodeTransactionMeta(ctx);
-      stats_.collect_nanos += static_cast<uint64_t>(collect_timer.ElapsedSeconds() * 1e9);
+      stats_.collect_nanos += collect_timer.StopNanos();
 
-      base::Stopwatch disk_timer;
+      obs::ScopedTimer disk_timer(obs_disk_nanos_);
       std::vector<base::ByteSpan> parts;
       parts.reserve(1 + 2 * ctx.ranges.size());
       parts.push_back(base::ByteSpan(meta.header.data(), meta.header.size()));
@@ -237,12 +249,13 @@ base::Status Rvm::EndTransaction(TxnId txn_id, CommitMode mode) {
       } else {
         log_dirty_ = false;
       }
-      stats_.disk_nanos += static_cast<uint64_t>(disk_timer.ElapsedSeconds() * 1e9);
+      stats_.disk_nanos += disk_timer.StopNanos();
     } else {
-      stats_.collect_nanos += static_cast<uint64_t>(collect_timer.ElapsedSeconds() * 1e9);
+      stats_.collect_nanos += collect_timer.StopNanos();
     }
 
     ++stats_.transactions_committed;
+    obs_commits_->Increment();
     // Keep the lock records alive for the hook invocation below.
     Txn finished = std::move(txn);
     txns_.erase(it);
@@ -291,7 +304,7 @@ base::Status Rvm::FlushLog() {
 
 base::Status Rvm::ApplyExternalUpdate(RegionId region_id, uint64_t offset,
                                       base::ByteSpan data) {
-  base::Stopwatch timer;
+  obs::ScopedTimer timer(obs_apply_nanos_);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = regions_.find(region_id);
   if (it == regions_.end()) {
@@ -304,8 +317,23 @@ base::Status Rvm::ApplyExternalUpdate(RegionId region_id, uint64_t offset,
   std::copy(data.begin(), data.end(), region->data() + offset);
   ++stats_.external_updates_applied;
   stats_.external_bytes_applied += data.size();
-  stats_.apply_nanos += static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  stats_.apply_nanos += timer.StopNanos();
   return base::OkStatus();
+}
+
+RvmStats Rvm::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Rvm::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = RvmStats{};
+}
+
+uint64_t Rvm::commit_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return commit_seq_;
 }
 
 base::Status Rvm::ResetLog() {

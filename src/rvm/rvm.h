@@ -26,6 +26,7 @@
 
 #include "src/base/buffer.h"
 #include "src/base/status.h"
+#include "src/obs/metrics.h"
 #include "src/rvm/log_io.h"
 #include "src/rvm/range_set.h"
 #include "src/rvm/types.h"
@@ -170,9 +171,11 @@ class Rvm {
   // records — is kept, in order. Serialized against commits.
   base::Status TrimLogWithBaselines(const std::map<LockId, uint64_t>& baselines);
 
-  const RvmStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = RvmStats{}; }
-  uint64_t commit_seq() const { return commit_seq_; }
+  // Point-in-time copy taken under the instance lock; safe to call while
+  // receiver threads are applying external updates.
+  RvmStats stats() const;
+  void ResetStats();
+  uint64_t commit_seq() const;
 
  private:
   Rvm(store::DurableStore* store, NodeId node, const RvmOptions& options)
@@ -197,7 +200,7 @@ class Rvm {
   NodeId node_;
   RvmOptions options_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::map<RegionId, std::unique_ptr<Region>> regions_;
   std::map<TxnId, Txn> txns_;
   TxnId next_txn_ = 1;
@@ -206,6 +209,16 @@ class Rvm {
   bool log_dirty_ = false;  // unsynced kNoFlush commits pending
   CommitHook commit_hook_;
   RvmStats stats_;
+
+  // Registered once in Init(); hot paths only bump the atomics. These mirror
+  // the phase fields of RvmStats into the process-wide registry under
+  // rvm.n<node>.<phase>_nanos.
+  obs::Counter* obs_detect_nanos_ = nullptr;
+  obs::Counter* obs_collect_nanos_ = nullptr;
+  obs::Counter* obs_disk_nanos_ = nullptr;
+  obs::Counter* obs_apply_nanos_ = nullptr;
+  obs::Counter* obs_commits_ = nullptr;
+  obs::Histogram* obs_commit_latency_ = nullptr;
 };
 
 }  // namespace rvm

@@ -8,6 +8,7 @@
 #include <filesystem>
 
 #include "src/store/durable_store.h"
+#include "src/store/store_metrics.h"
 
 namespace store {
 namespace {
@@ -44,6 +45,9 @@ class PosixFile : public DurableFile {
       }
       total += static_cast<size_t>(n);
     }
+    StoreMetrics* m = GlobalStoreMetrics();
+    m->reads->Increment();
+    m->read_bytes->Add(total);
     return total;
   }
 
@@ -60,6 +64,9 @@ class PosixFile : public DurableFile {
       }
       total += static_cast<size_t>(n);
     }
+    StoreMetrics* m = GlobalStoreMetrics();
+    m->writes->Increment();
+    m->write_bytes->Add(total);
     return base::OkStatus();
   }
 
@@ -70,9 +77,12 @@ class PosixFile : public DurableFile {
   }
 
   base::Status Sync() override {
+    StoreMetrics* m = GlobalStoreMetrics();
+    obs::ScopedTimer timer(m->sync_nanos);
     if (::fdatasync(fd_) != 0) {
       return ErrnoStatus("fdatasync");
     }
+    m->syncs->Increment();
     return base::OkStatus();
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/store/store_metrics.h"
+
 namespace store {
 
 // A handle onto a MemStore file. Handles stay valid across Crash(); they see
@@ -20,6 +22,9 @@ class MemFile : public DurableFile {
     }
     size_t n = std::min<size_t>(len, data.size() - offset);
     std::memcpy(buf, data.data() + offset, n);
+    StoreMetrics* m = GlobalStoreMetrics();
+    m->reads->Increment();
+    m->read_bytes->Add(n);
     return n;
   }
 
@@ -38,6 +43,9 @@ class MemFile : public DurableFile {
     std::memcpy(vec.data() + offset, data.data(), data.size());
     state_->unsynced_writes.emplace_back(offset, data.size());
     owner_->total_bytes_written_ += data.size();
+    StoreMetrics* m = GlobalStoreMetrics();
+    m->writes->Increment();
+    m->write_bytes->Add(data.size());
     return base::OkStatus();
   }
 
@@ -52,10 +60,13 @@ class MemFile : public DurableFile {
   }
 
   base::Status Sync() override {
+    StoreMetrics* m = GlobalStoreMetrics();
+    obs::ScopedTimer timer(m->sync_nanos);
     std::lock_guard<std::mutex> lock(owner_->mu_);
     state_->durable_data = state_->volatile_data;
     state_->unsynced_writes.clear();
     ++owner_->sync_count_;
+    m->syncs->Increment();
     return base::OkStatus();
   }
 

@@ -1,0 +1,38 @@
+// Process-wide store-layer instruments (store.*), shared by every
+// DurableStore implementation. The storage service is logically one shared
+// server (the paper's NFS server), so these are process totals rather than
+// per-node counters.
+#ifndef SRC_STORE_STORE_METRICS_H_
+#define SRC_STORE_STORE_METRICS_H_
+
+#include "src/obs/metrics.h"
+
+namespace store {
+
+struct StoreMetrics {
+  obs::Counter* reads;
+  obs::Counter* read_bytes;
+  obs::Counter* writes;
+  obs::Counter* write_bytes;
+  obs::Counter* syncs;
+  obs::Counter* sync_nanos;
+};
+
+inline StoreMetrics* GlobalStoreMetrics() {
+  static StoreMetrics* metrics = [] {
+    auto* reg = obs::MetricsRegistry::Global();
+    auto* m = new StoreMetrics();
+    m->reads = reg->GetCounter("store.reads");
+    m->read_bytes = reg->GetCounter("store.read_bytes");
+    m->writes = reg->GetCounter("store.writes");
+    m->write_bytes = reg->GetCounter("store.write_bytes");
+    m->syncs = reg->GetCounter("store.syncs");
+    m->sync_nanos = reg->GetCounter("store.sync_nanos");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace store
+
+#endif  // SRC_STORE_STORE_METRICS_H_

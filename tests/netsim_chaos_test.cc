@@ -20,11 +20,30 @@
 #include "src/lbc/client.h"
 #include "src/netsim/fabric.h"
 #include "src/netsim/reliable.h"
+#include "src/obs/export.h"
 #include "src/rvm/log_merge.h"
 #include "src/rvm/recovery.h"
 #include "src/store/mem_store.h"
 
 namespace {
+
+// Dump the accumulated metrics + protocol trace once the whole suite is done,
+// so a chaos run doubles as an observability smoke test.
+class ObsSnapshotEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    std::string path = obs::SnapshotPath();
+    base::Status status = obs::WriteJsonSnapshot(path);
+    if (status.ok()) {
+      std::printf("obs snapshot: %s\n", path.c_str());
+    } else {
+      std::printf("obs snapshot failed: %s\n", status.ToString().c_str());
+    }
+  }
+};
+
+const ::testing::Environment* const kObsEnv =
+    ::testing::AddGlobalTestEnvironment(new ObsSnapshotEnvironment());
 
 // ---------------------------------------------------------------------------
 // 1. Deterministic fault injection

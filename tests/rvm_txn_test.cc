@@ -188,7 +188,7 @@ TEST(RvmTxn, StatsCountUpdates) {
   ASSERT_TRUE(r->SetRange(t, kRegion, 0, 8).ok());  // redundant
   ASSERT_TRUE(r->SetRange(t, kRegion, 8192 * 3, 8).ok());
   ASSERT_TRUE(r->EndTransaction(t, rvm::CommitMode::kFlush).ok());
-  const rvm::RvmStats& s = r->stats();
+  const rvm::RvmStats s = r->stats();
   EXPECT_EQ(12u, s.set_range_calls);
   EXPECT_EQ(1u, s.set_range_duplicates);
   EXPECT_EQ(11u, s.ranges_logged);

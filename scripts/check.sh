@@ -1,20 +1,28 @@
 #!/usr/bin/env bash
 # Full pre-merge check: the tier-1 build+test sweep, then a ThreadSanitizer
 # build of the concurrency-heavy netsim/lbc/obs tests (the chaos suite doubles
-# as the data-race check for the stats accessors and the obs counters).
+# as the data-race check for the stats accessors and the obs counters), then
+# the exhaustive crash-schedule sweep.
 #
-# Usage: scripts/check.sh [--tsan-only | --tier1-only]
+# Usage: scripts/check.sh [--tsan-only | --tier1-only | --crash-sweep]
+#
+# The crash sweep re-runs crash_explorer_test with the full (unbudgeted)
+# schedule set. Tune it through the environment:
+#   LBC_CRASH_BUDGET  max schedules per sweep (0 = exhaustive, the default)
+#   LBC_CRASH_SEED    sample-selection seed when a budget is set
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tier1=1
 run_tsan=1
+run_crash=1
 case "${1:-}" in
-  --tsan-only) run_tier1=0 ;;
-  --tier1-only) run_tsan=0 ;;
+  --tsan-only) run_tier1=0; run_crash=0 ;;
+  --tier1-only) run_tsan=0; run_crash=0 ;;
+  --crash-sweep) run_tier1=0; run_tsan=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only | --tier1-only]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tsan-only | --tier1-only | --crash-sweep]" >&2; exit 2 ;;
 esac
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -39,6 +47,15 @@ if [[ "$run_tsan" == 1 ]]; then
     echo "--- tsan: $t"
     ./build-tsan/tests/"$t"
   done
+fi
+
+if [[ "$run_crash" == 1 ]]; then
+  echo "=== crash sweep: every mutating store op, torn variants included ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target crash_explorer_test
+  LBC_CRASH_BUDGET="${LBC_CRASH_BUDGET:-0}" \
+  LBC_CRASH_SEED="${LBC_CRASH_SEED:-24301}" \
+    ./build/tests/crash_explorer_test
 fi
 
 echo "All checks passed."

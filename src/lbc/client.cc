@@ -135,6 +135,7 @@ base::Status Client::Init() {
     endpoint_->StartReceiver(handler);
   }
   cluster_->NoteAlive(node_);
+  server_epoch_seen_ = cluster_->ServerEpoch();
   if (options_.heartbeat_interval_ms > 0) {
     heartbeat_ = std::thread([this] { HeartbeatThreadMain(); });
   }
@@ -186,6 +187,24 @@ void Client::HeartbeatThreadMain() {
   while (!disconnected_) {
     lk.unlock();
     cluster_->NoteAlive(node_);
+    // Outage detection: a bumped server epoch means a restarted server wiped
+    // our directory entries — replay them. While the server is down we just
+    // keep beating (NoteAlive is dropped) and back off.
+    if (cluster_->ServerUp()) {
+      uint64_t epoch = cluster_->ServerEpoch();
+      bool stale;
+      {
+        std::lock_guard<std::mutex> lk2(mu_);
+        stale = epoch != server_epoch_seen_;
+      }
+      if (stale) {
+        base::Status st = RejoinServer();
+        if (!st.ok()) {
+          LBC_LOG(Warning) << "node " << node_
+                           << " rejoin after server restart failed: " << st.ToString();
+        }
+      }
+    }
     if (options_.lease_timeout_ms > 0) {
       auto lease = std::chrono::milliseconds(options_.lease_timeout_ms);
       std::vector<rvm::NodeId> suspects = cluster_->LeaseExpired(lease);
@@ -206,6 +225,36 @@ void Client::HeartbeatThreadMain() {
     lk.lock();
     cv_.wait_for(lk, interval, [this] { return disconnected_; });
   }
+}
+
+base::Status Client::RejoinServer() {
+  if (!cluster_->ServerUp()) {
+    return base::Unavailable("server down");
+  }
+  uint64_t epoch = cluster_->ServerEpoch();
+  std::vector<rvm::RegionId> regions;
+  std::vector<std::pair<rvm::LockId, uint64_t>> applied;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    server_epoch_seen_ = epoch;
+    regions.reserve(mapped_regions_.size());
+    for (const auto& [region, mapped] : mapped_regions_) {
+      regions.push_back(region);
+    }
+    if (options_.policy != PropagationPolicy::kEager) {
+      for (const auto& [lock, seq] : applied_seq_) {
+        applied.emplace_back(lock, seq);
+      }
+    }
+  }
+  cluster_->NoteAlive(node_);
+  for (rvm::RegionId region : regions) {
+    cluster_->RegisterMapping(region, node_);
+  }
+  for (const auto& [lock, seq] : applied) {
+    cluster_->NoteApplied(lock, node_, seq);
+  }
+  return base::OkStatus();
 }
 
 base::Result<rvm::Region*> Client::MapRegion(rvm::RegionId region, uint64_t length) {

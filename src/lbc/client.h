@@ -203,6 +203,15 @@ class Client {
   // Idempotent; safe to call from multiple survivors concurrently.
   base::Status OnPeerDeath(rvm::NodeId dead);
 
+  // Re-registers this node with a restarted server: liveness, region
+  // mappings, and applied-sequence reports (the soft directory state a
+  // server crash wiped). Client-resident state — lock tokens, sequence
+  // numbers, the cached images, the redo log — carries over untouched, so
+  // commits resume exactly where they left off. Idempotent; invoked
+  // automatically by the heartbeat thread when it observes a new server
+  // epoch, or explicitly by a driver after Cluster::RestartServer.
+  base::Status RejoinServer();
+
  private:
   friend class Transaction;
 
@@ -313,6 +322,9 @@ class Client {
   std::deque<rvm::TransactionRecord> version_buffer_;
   ClientStats stats_;
   bool disconnected_ = false;
+  // Last server restart epoch this node has registered with; a mismatch
+  // against Cluster::ServerEpoch means our directory entries were wiped.
+  uint64_t server_epoch_seen_ = 0;
 
   // Registered once in Init() (lbc.n<node>.*); hot paths bump the atomics.
   obs::Counter* obs_network_nanos_ = nullptr;

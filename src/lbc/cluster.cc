@@ -15,6 +15,7 @@ struct ServerMetrics {
   obs::Counter* records_cached;
   obs::Counter* records_fetched;
   obs::Counter* dead_clients_recovered;
+  obs::Counter* rebuilds;  // directory rebuilds after a server crash
 };
 
 ServerMetrics* GlobalServerMetrics() {
@@ -24,6 +25,7 @@ ServerMetrics* GlobalServerMetrics() {
     m->records_cached = reg->GetCounter("server.records_cached");
     m->records_fetched = reg->GetCounter("server.records_fetched");
     m->dead_clients_recovered = reg->GetCounter("server.dead_clients_recovered");
+    m->rebuilds = reg->GetCounter("server.rebuilds");
     return m;
   }();
   return metrics;
@@ -70,6 +72,9 @@ std::vector<rvm::LockId> Cluster::AllLocks() const {
 
 void Cluster::RegisterMapping(rvm::RegionId region, rvm::NodeId node) {
   std::lock_guard<std::mutex> guard(mu_);
+  if (!server_up_) {
+    return;  // lost; the client re-registers at RejoinServer
+  }
   auto& nodes = mappings_[region];
   if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
     nodes.push_back(node);
@@ -89,6 +94,9 @@ void Cluster::UnregisterMapping(rvm::RegionId region, rvm::NodeId node) {
 std::vector<rvm::NodeId> Cluster::PeersOf(rvm::RegionId region, rvm::NodeId exclude) const {
   std::lock_guard<std::mutex> guard(mu_);
   std::vector<rvm::NodeId> out;
+  if (!server_up_) {
+    return out;
+  }
   auto it = mappings_.find(region);
   if (it == mappings_.end()) {
     return out;
@@ -102,6 +110,9 @@ std::vector<rvm::NodeId> Cluster::PeersOf(rvm::RegionId region, rvm::NodeId excl
 }
 
 base::Status Cluster::ReplayAndRecordBaselines(const std::vector<std::string>& log_names) {
+  if (!ServerUp()) {
+    return base::Unavailable("server down");
+  }
   if (log_names.empty()) {
     return base::OkStatus();
   }
@@ -119,24 +130,36 @@ base::Status Cluster::ReplayAndRecordBaselines(const std::vector<std::string>& l
 
 uint64_t Cluster::BaselineSeq(rvm::LockId lock) const {
   std::lock_guard<std::mutex> guard(mu_);
+  if (!server_up_) {
+    return 0;
+  }
   auto it = baseline_seq_.find(lock);
   return it == baseline_seq_.end() ? 0 : it->second;
 }
 
 void Cluster::RecordBaseline(rvm::LockId lock, uint64_t seq) {
   std::lock_guard<std::mutex> guard(mu_);
+  if (!server_up_) {
+    return;
+  }
   uint64_t& baseline = baseline_seq_[lock];
   baseline = std::max(baseline, seq);
 }
 
 void Cluster::NoteApplied(rvm::LockId lock, rvm::NodeId node, uint64_t seq) {
   std::lock_guard<std::mutex> guard(mu_);
+  if (!server_up_) {
+    return;  // lost; the client re-reports at RejoinServer
+  }
   uint64_t& reported = applied_reports_[lock][node];
   reported = std::max(reported, seq);
 }
 
 uint64_t Cluster::MinApplied(rvm::LockId lock, rvm::NodeId exclude) const {
   std::lock_guard<std::mutex> guard(mu_);
+  if (!server_up_) {
+    return 0;  // conservative: nobody may discard anything while we're down
+  }
   auto lock_it = locks_.find(lock);
   if (lock_it == locks_.end()) {
     return 0;
@@ -179,8 +202,11 @@ void Cluster::CacheRecords(rvm::LockId lock, const rvm::TransactionRecord& rec) 
       break;
     }
   }
-  GlobalServerMetrics()->records_cached->Increment();
   std::lock_guard<std::mutex> guard(mu_);
+  if (!server_up_) {
+    return;
+  }
+  GlobalServerMetrics()->records_cached->Increment();
   record_cache_[lock].emplace(seq, rec);
 }
 
@@ -188,6 +214,9 @@ std::vector<rvm::TransactionRecord> Cluster::FetchRecordsSince(rvm::LockId lock,
                                                                uint64_t after_seq) const {
   std::lock_guard<std::mutex> guard(mu_);
   std::vector<rvm::TransactionRecord> out;
+  if (!server_up_) {
+    return out;
+  }
   auto it = record_cache_.find(lock);
   if (it == record_cache_.end()) {
     return out;
@@ -220,7 +249,7 @@ size_t Cluster::CachedRecordCount(rvm::LockId lock) const {
 
 void Cluster::NoteAlive(rvm::NodeId node) {
   std::lock_guard<std::mutex> guard(mu_);
-  if (dead_.count(node) != 0) {
+  if (!server_up_ || dead_.count(node) != 0) {
     return;  // declared dead stays dead; see header
   }
   last_heartbeat_[node] = std::chrono::steady_clock::now();
@@ -228,6 +257,9 @@ void Cluster::NoteAlive(rvm::NodeId node) {
 
 void Cluster::DeclareDead(rvm::NodeId node) {
   std::lock_guard<std::mutex> guard(mu_);
+  if (!server_up_) {
+    return;
+  }
   dead_.insert(node);
   last_heartbeat_.erase(node);
 }
@@ -255,6 +287,9 @@ std::vector<rvm::NodeId> Cluster::LeaseExpired(std::chrono::milliseconds lease) 
 }
 
 base::Status Cluster::RecoverDeadClient(rvm::NodeId node) {
+  if (!ServerUp()) {
+    return base::Unavailable("server down");
+  }
   DeclareDead(node);
   {
     std::lock_guard<std::mutex> guard(mu_);
@@ -295,6 +330,9 @@ base::Status Cluster::RecoverDeadClient(rvm::NodeId node) {
 }
 
 base::Status Cluster::RecoverAndTrim(const std::vector<rvm::NodeId>& nodes) {
+  if (!ServerUp()) {
+    return base::Unavailable("server down");
+  }
   std::vector<std::string> log_names;
   for (rvm::NodeId node : nodes) {
     std::string name = rvm::LogFileName(node);
@@ -310,6 +348,71 @@ base::Status Cluster::RecoverAndTrim(const std::vector<rvm::NodeId>& nodes) {
     RETURN_IF_ERROR(file->Sync());
   }
   return base::OkStatus();
+}
+
+void Cluster::KillServer() {
+  std::lock_guard<std::mutex> guard(mu_);
+  server_up_ = false;
+  // Everything server-resident and soft dies with the machine. The lock
+  // table survives: it is static configuration, not run-time state.
+  mappings_.clear();
+  baseline_seq_.clear();
+  applied_reports_.clear();
+  record_cache_.clear();
+  last_heartbeat_.clear();
+  dead_.clear();
+  recovered_.clear();
+}
+
+base::Status Cluster::RestartServer() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (server_up_) {
+      return base::OkStatus();
+    }
+  }
+  // Recovery at boot (§3.5): merge every client log still on the store and
+  // replay it into the database files, then rebuild the per-lock baselines
+  // and the record cache from the merged history. Records that an earlier
+  // trim already removed from the logs are in the database files and at or
+  // below any baseline those trims established, so nothing is lost.
+  ASSIGN_OR_RETURN(auto names, store_->List());
+  std::vector<std::string> log_names;
+  for (const auto& name : names) {
+    if (name.rfind("log_", 0) == 0 && name.size() > 8 &&
+        name.compare(name.size() - 4, 4, ".rvm") == 0) {
+      log_names.push_back(name);
+    }
+  }
+  std::vector<rvm::TransactionRecord> merged;
+  if (!log_names.empty()) {
+    ASSIGN_OR_RETURN(merged, rvm::MergeLogs(store_, log_names));
+    RETURN_IF_ERROR(rvm::ApplyToDatabase(store_, merged));
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const auto& txn : merged) {
+    for (const auto& lock : txn.locks) {
+      uint64_t& baseline = baseline_seq_[lock.lock_id];
+      baseline = std::max(baseline, lock.sequence);
+      // Survivors that missed a dead or partitioned writer's update can
+      // still fetch it: the rebuilt cache holds the full merged history.
+      record_cache_[lock.lock_id].emplace(lock.sequence, txn);
+    }
+  }
+  server_up_ = true;
+  ++server_epoch_;
+  GlobalServerMetrics()->rebuilds->Increment();
+  return base::OkStatus();
+}
+
+bool Cluster::ServerUp() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return server_up_;
+}
+
+uint64_t Cluster::ServerEpoch() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return server_epoch_;
 }
 
 }  // namespace lbc

@@ -141,6 +141,34 @@ class Cluster {
   // full recovery may merge it again. Idempotent per node.
   base::Status RecoverDeadClient(rvm::NodeId node);
 
+  // --- server crash + restart ----------------------------------------------
+  //
+  // The logically centralized server holds only *soft* directory state: the
+  // region-mapping directory, per-lock baselines, applied-sequence reports,
+  // the record cache, and the liveness registry. All of it is recomputable
+  // from the clients' durable redo logs, so a server crash loses nothing
+  // that matters — RestartServer reruns the §3.5 merge at boot to rebuild
+  // it. The lock *table* (lock -> region/manager) is static configuration
+  // and survives, as do client-resident lock tokens and sequence numbers.
+  //
+  // While the server is down, directory mutations are dropped and queries
+  // return conservative answers (no peers, zero baselines, empty cache);
+  // maintenance entry points fail with UNAVAILABLE. Callers simulating a
+  // full server-machine crash should also take the shared store offline
+  // (CrashPointStore::SetOffline) so commits fail at the log write.
+
+  void KillServer();
+  // Rebuilds the directory from the merged client logs (replaying them into
+  // the database files along the way — recovery at boot), bumps the restart
+  // epoch, and resumes service. Live clients notice the epoch change via
+  // their heartbeat thread (or an explicit Client::RejoinServer) and
+  // re-register their mappings and applied reports.
+  base::Status RestartServer();
+  bool ServerUp() const;
+  // Incremented by every restart; clients track it to detect that their
+  // registrations were wiped and must be replayed.
+  uint64_t ServerEpoch() const;
+
  private:
   store::DurableStore* store_;
   netsim::Fabric fabric_;
@@ -156,6 +184,8 @@ class Cluster {
   std::map<rvm::NodeId, std::chrono::steady_clock::time_point> last_heartbeat_;
   std::set<rvm::NodeId> dead_;
   std::set<rvm::NodeId> recovered_;  // dead nodes whose log has been merged
+  bool server_up_ = true;
+  uint64_t server_epoch_ = 0;
 };
 
 }  // namespace lbc

@@ -2,11 +2,33 @@
 
 #include <map>
 
+#include "src/obs/metrics.h"
 #include "src/rvm/log_format.h"
 #include "src/rvm/log_io.h"
 #include "src/rvm/log_merge.h"
 
 namespace rvm {
+namespace {
+
+// Process-wide recovery instruments (rvm.*): recovery is a whole-cluster
+// event, so these are totals rather than per-node counters.
+struct RecoveryMetrics {
+  obs::Counter* replays;              // ReplayLogsIntoDatabase invocations
+  obs::Counter* torn_tails_detected;  // log scans that hit a torn tail
+};
+
+RecoveryMetrics* GlobalRecoveryMetrics() {
+  static RecoveryMetrics* metrics = [] {
+    auto* reg = obs::MetricsRegistry::Global();
+    auto* m = new RecoveryMetrics();
+    m->replays = reg->GetCounter("rvm.recovery_replays");
+    m->torn_tails_detected = reg->GetCounter("rvm.torn_tails_detected");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 base::Result<std::vector<TransactionRecord>> ReadLogTransactions(store::DurableStore* store,
                                                                  const std::string& log_name,
@@ -31,6 +53,9 @@ base::Result<std::vector<TransactionRecord>> ReadLogTransactions(store::DurableS
     TransactionRecord txn;
     RETURN_IF_ERROR(DecodeTransaction(span, &txn));
     txns.push_back(std::move(txn));
+  }
+  if (reader.tail_was_torn()) {
+    GlobalRecoveryMetrics()->torn_tails_detected->Increment();
   }
   if (tail_was_torn != nullptr) {
     *tail_was_torn = reader.tail_was_torn();
@@ -62,11 +87,25 @@ base::Status ApplyToDatabase(store::DurableStore* store,
 
 base::Status ReplayLogsIntoDatabase(store::DurableStore* store,
                                     const std::vector<std::string>& log_names) {
-  if (log_names.size() == 1) {
-    ASSIGN_OR_RETURN(auto txns, ReadLogTransactions(store, log_names[0]));
+  GlobalRecoveryMetrics()->replays->Increment();
+  // A named log may not exist: a node that crashed before its first flush
+  // never made the file durable. Such a node has no committed transactions,
+  // so its log reads as empty.
+  std::vector<std::string> present;
+  for (const std::string& name : log_names) {
+    ASSIGN_OR_RETURN(bool exists, store->Exists(name));
+    if (exists) {
+      present.push_back(name);
+    }
+  }
+  if (present.empty()) {
+    return base::OkStatus();
+  }
+  if (present.size() == 1) {
+    ASSIGN_OR_RETURN(auto txns, ReadLogTransactions(store, present[0]));
     return ApplyToDatabase(store, txns);
   }
-  ASSIGN_OR_RETURN(auto merged, MergeLogs(store, log_names));
+  ASSIGN_OR_RETURN(auto merged, MergeLogs(store, present));
   return ApplyToDatabase(store, merged);
 }
 

@@ -28,7 +28,9 @@ base::Status ApplyToDatabase(store::DurableStore* store,
                              const std::vector<TransactionRecord>& txns);
 
 // Full recovery path: read the named logs, merge them into a single order
-// (single log: no merge needed), and replay into the database files. Logs
+// (single log: no merge needed), and replay into the database files. A
+// named log that does not exist is treated as empty — a node that crashed
+// before its first flush has no durable log and nothing to recover. Logs
 // are left intact; callers truncate them afterwards if desired.
 base::Status ReplayLogsIntoDatabase(store::DurableStore* store,
                                     const std::vector<std::string>& log_names);

@@ -402,6 +402,11 @@ base::Status Rvm::TrimLogWithBaselines(const std::map<LockId, uint64_t>& baselin
     RETURN_IF_ERROR(writer.Sync());
   }
   RETURN_IF_ERROR(store_->Rename(temp_name, LogFileName(node_)));
+  // Make the swap itself durable. Without this barrier, a crash after the
+  // rename can resurrect the *old* log inode under the live name while the
+  // commits we append below land only on the new (unlinked-at-crash) inode —
+  // recovery would then silently drop them. The crash explorer pins this.
+  RETURN_IF_ERROR(store_->SyncDir());
   ASSIGN_OR_RETURN(auto reopened, store_->Open(LogFileName(node_), /*create=*/false));
   ASSIGN_OR_RETURN(uint64_t new_size, reopened->Size());
   log_ = std::make_unique<LogWriter>(std::move(reopened), new_size);

@@ -1,0 +1,284 @@
+#include "src/store/crash_point_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/store/store_metrics.h"
+
+namespace store {
+namespace {
+
+base::Status OfflineStatus() {
+  return base::Unavailable("store offline (server down)");
+}
+
+base::Status CrashedStatus() {
+  return base::Unavailable("injected crash: store halted until reboot");
+}
+
+}  // namespace
+
+// A handle that routes every operation through the owner's crash gate.
+class CrashPointFile : public DurableFile {
+ public:
+  CrashPointFile(CrashPointStore* owner, std::unique_ptr<DurableFile> base)
+      : owner_(owner), base_(std::move(base)) {}
+
+  base::Result<size_t> Read(uint64_t offset, void* buf, size_t len) override {
+    {
+      std::lock_guard<std::mutex> lock(owner_->mu_);
+      RETURN_IF_ERROR(owner_->UsableLocked());
+    }
+    return base_->Read(offset, buf, len);
+  }
+
+  base::Status Write(uint64_t offset, base::ByteSpan data) override {
+    {
+      std::lock_guard<std::mutex> lock(owner_->mu_);
+      RETURN_IF_ERROR(owner_->UsableLocked());
+      uint64_t index;
+      if (owner_->CountOpLocked(CrashOpKind::kWrite, &index)) {
+        bool torn = InjectTornPrefixLocked(offset, data);
+        owner_->TriggerCrashLocked(index, torn);
+        return CrashedStatus();
+      }
+    }
+    return base_->Write(offset, data);
+  }
+
+  base::Result<uint64_t> Append(base::ByteSpan data) override {
+    {
+      std::lock_guard<std::mutex> lock(owner_->mu_);
+      RETURN_IF_ERROR(owner_->UsableLocked());
+      uint64_t index;
+      if (owner_->CountOpLocked(CrashOpKind::kAppend, &index)) {
+        bool torn = false;
+        auto size = base_->Size();
+        if (size.ok()) {
+          torn = InjectTornPrefixLocked(*size, data);
+        }
+        owner_->TriggerCrashLocked(index, torn);
+        return CrashedStatus();
+      }
+    }
+    return base_->Append(data);
+  }
+
+  base::Status Sync() override {
+    {
+      std::lock_guard<std::mutex> lock(owner_->mu_);
+      RETURN_IF_ERROR(owner_->UsableLocked());
+      uint64_t index;
+      if (owner_->CountOpLocked(CrashOpKind::kSync, &index)) {
+        owner_->TriggerCrashLocked(index, /*torn=*/false);
+        return CrashedStatus();
+      }
+    }
+    return base_->Sync();
+  }
+
+  base::Result<uint64_t> Size() const override {
+    {
+      std::lock_guard<std::mutex> lock(owner_->mu_);
+      RETURN_IF_ERROR(owner_->UsableLocked());
+    }
+    return base_->Size();
+  }
+
+  base::Status Truncate(uint64_t size) override {
+    {
+      std::lock_guard<std::mutex> lock(owner_->mu_);
+      RETURN_IF_ERROR(owner_->UsableLocked());
+      uint64_t index;
+      if (owner_->CountOpLocked(CrashOpKind::kTruncate, &index)) {
+        owner_->TriggerCrashLocked(index, /*torn=*/false);
+        return CrashedStatus();
+      }
+    }
+    return base_->Truncate(size);
+  }
+
+ private:
+  // Persists min(torn_bytes, len) bytes of the interrupted write at its
+  // target offset and syncs the file: the slice of the in-order writeback
+  // that made it to the platter. Caller holds owner_->mu_.
+  bool InjectTornPrefixLocked(uint64_t offset, base::ByteSpan data) {
+    size_t torn = std::min(owner_->torn_bytes_, data.size());
+    if (torn == 0) {
+      return false;
+    }
+    // Best-effort by design: the machine is dying; nobody observes errors.
+    if (base_->Write(offset, base::ByteSpan(data.data(), torn)).ok()) {
+      (void)base_->Sync();
+      return true;
+    }
+    return false;
+  }
+
+  CrashPointStore* owner_;
+  std::unique_ptr<DurableFile> base_;
+};
+
+CrashPointStore::CrashPointStore(DurableStore* base) : base_(base) {}
+
+base::Result<std::unique_ptr<DurableFile>> CrashPointStore::Open(
+    const std::string& name, bool create) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RETURN_IF_ERROR(UsableLocked());
+    if (create) {
+      ASSIGN_OR_RETURN(bool exists, base_->Exists(name));
+      if (!exists) {
+        uint64_t index;
+        if (CountOpLocked(CrashOpKind::kCreate, &index)) {
+          TriggerCrashLocked(index, /*torn=*/false);
+          return CrashedStatus();
+        }
+      }
+    }
+  }
+  ASSIGN_OR_RETURN(auto file, base_->Open(name, create));
+  return std::unique_ptr<DurableFile>(new CrashPointFile(this, std::move(file)));
+}
+
+base::Status CrashPointStore::Remove(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RETURN_IF_ERROR(UsableLocked());
+    uint64_t index;
+    if (CountOpLocked(CrashOpKind::kRemove, &index)) {
+      TriggerCrashLocked(index, /*torn=*/false);
+      return CrashedStatus();
+    }
+  }
+  return base_->Remove(name);
+}
+
+base::Result<bool> CrashPointStore::Exists(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RETURN_IF_ERROR(UsableLocked());
+  }
+  return base_->Exists(name);
+}
+
+base::Result<std::vector<std::string>> CrashPointStore::List() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RETURN_IF_ERROR(UsableLocked());
+  }
+  return base_->List();
+}
+
+base::Status CrashPointStore::Rename(const std::string& from,
+                                     const std::string& to) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RETURN_IF_ERROR(UsableLocked());
+    uint64_t index;
+    if (CountOpLocked(CrashOpKind::kRename, &index)) {
+      TriggerCrashLocked(index, /*torn=*/false);
+      return CrashedStatus();
+    }
+  }
+  return base_->Rename(from, to);
+}
+
+base::Status CrashPointStore::SyncDir() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RETURN_IF_ERROR(UsableLocked());
+    uint64_t index;
+    if (CountOpLocked(CrashOpKind::kSyncDir, &index)) {
+      TriggerCrashLocked(index, /*torn=*/false);
+      return CrashedStatus();
+    }
+  }
+  return base_->SyncDir();
+}
+
+void CrashPointStore::ArmCrashAtOp(uint64_t op_index, size_t torn_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = true;
+  crash_at_ = op_index;
+  torn_bytes_ = torn_bytes;
+}
+
+void CrashPointStore::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  crashed_ = false;
+  torn_bytes_ = 0;
+}
+
+void CrashPointStore::ResetOpCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_seq_ = 0;
+  op_kinds_.clear();
+}
+
+void CrashPointStore::SetCrashHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hook_ = std::move(hook);
+}
+
+void CrashPointStore::SetOffline(bool offline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  offline_ = offline;
+}
+
+bool CrashPointStore::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+bool CrashPointStore::offline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return offline_;
+}
+
+uint64_t CrashPointStore::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_seq_;
+}
+
+uint64_t CrashPointStore::crash_op() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crash_op_;
+}
+
+std::vector<CrashOpKind> CrashPointStore::op_kinds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_kinds_;
+}
+
+base::Status CrashPointStore::UsableLocked() const {
+  if (offline_) {
+    return OfflineStatus();
+  }
+  if (crashed_) {
+    return CrashedStatus();
+  }
+  return base::OkStatus();
+}
+
+bool CrashPointStore::CountOpLocked(CrashOpKind kind, uint64_t* index) {
+  *index = op_seq_++;
+  op_kinds_.push_back(kind);
+  return armed_ && *index == crash_at_;
+}
+
+void CrashPointStore::TriggerCrashLocked(uint64_t index, bool torn) {
+  crashed_ = true;
+  crash_op_ = index;
+  StoreMetrics* m = GlobalStoreMetrics();
+  m->crash_points_injected->Increment();
+  if (torn) {
+    m->torn_tails_injected->Increment();
+  }
+  if (hook_) {
+    hook_();
+  }
+}
+
+}  // namespace store

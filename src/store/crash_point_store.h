@@ -1,0 +1,121 @@
+// CrashPointStore: a DurableStore decorator for systematic crash-state
+// enumeration (in the style of ALICE / CrashMonkey's B3).
+//
+// The decorator numbers every *mutating* operation that flows through it —
+// Write, Append, Sync, Truncate, creating Open, Remove, Rename, SyncDir —
+// and can be armed to inject a deterministic crash immediately before the
+// Nth such operation. A crash halts the store: the armed operation is not
+// performed, and every subsequent operation (reads included) fails with
+// UNAVAILABLE until Disarm() models the reboot. If the interrupted operation
+// is a Write or Append, an optional *torn tail* variant first persists a
+// prefix of the interrupted data to the underlying file and syncs it —
+// modeling an in-order writeback cache that was mid-flush when power died.
+//
+// The decorator works over any DurableStore. Over a MemStore, wire
+// SetCrashHook to MemStore::Crash so the simulated machine death also drops
+// all other unsynced state at the crash point.
+//
+// SetOffline models a storage-server outage rather than a crash: operations
+// fail while offline and resume when brought back, with no state loss of
+// their own (pair with MemStore::Crash for a server machine crash).
+#ifndef SRC_STORE_CRASH_POINT_STORE_H_
+#define SRC_STORE_CRASH_POINT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/store/durable_store.h"
+
+namespace store {
+
+// Kind of each numbered mutating operation, logged in execution order so an
+// explorer can pick torn-tail variants only for write-like indices.
+enum class CrashOpKind : uint8_t {
+  kWrite,
+  kAppend,
+  kSync,
+  kTruncate,
+  kCreate,   // Open(create=true) of a file that did not exist
+  kRemove,
+  kRename,
+  kSyncDir,
+};
+
+inline bool IsWriteLikeOp(CrashOpKind kind) {
+  return kind == CrashOpKind::kWrite || kind == CrashOpKind::kAppend;
+}
+
+class CrashPointStore : public DurableStore {
+ public:
+  // Does not own `base`; it must outlive this store and all open handles.
+  explicit CrashPointStore(DurableStore* base);
+
+  // --- DurableStore --------------------------------------------------------
+  base::Result<std::unique_ptr<DurableFile>> Open(const std::string& name,
+                                                  bool create) override;
+  base::Status Remove(const std::string& name) override;
+  base::Result<bool> Exists(const std::string& name) override;
+  base::Result<std::vector<std::string>> List() override;
+  base::Status Rename(const std::string& from, const std::string& to) override;
+  base::Status SyncDir() override;
+
+  // --- crash-point control -------------------------------------------------
+
+  // Arms a crash immediately before the mutating operation whose index (in
+  // the current numbering epoch, see ResetOpCount) equals `op_index`. If that
+  // operation is a Write/Append and `torn_bytes` > 0, min(torn_bytes, len)
+  // bytes of the interrupted data are persisted and synced first.
+  void ArmCrashAtOp(uint64_t op_index, size_t torn_bytes = 0);
+
+  // Models the reboot: clears the crashed/armed state so recovery code can
+  // run through the same decorator (and be crash-tested in turn).
+  void Disarm();
+
+  // Starts a new numbering epoch (op_count()==0, empty op_kinds()); used to
+  // count and then target the recovery path separately from the workload.
+  void ResetOpCount();
+
+  // Hook invoked at the crash point, after any torn prefix was persisted.
+  // Typically MemStore::Crash(0) on the wrapped store.
+  void SetCrashHook(std::function<void()> hook);
+
+  // Storage-server outage: while offline, every operation fails with
+  // UNAVAILABLE; no crash is recorded and no hook runs.
+  void SetOffline(bool offline);
+
+  bool crashed() const;
+  bool offline() const;
+  uint64_t op_count() const;   // mutating ops observed this epoch
+  uint64_t crash_op() const;   // index the last crash fired at
+  std::vector<CrashOpKind> op_kinds() const;
+
+ private:
+  friend class CrashPointFile;
+
+  // Returns non-OK if the store is offline or crashed. Caller holds mu_.
+  base::Status UsableLocked() const;
+
+  // Numbers one mutating op; returns true if the crash fires at it (caller
+  // must handle any torn prefix *before* calling TriggerCrashLocked).
+  bool CountOpLocked(CrashOpKind kind, uint64_t* index);
+
+  void TriggerCrashLocked(uint64_t index, bool torn);
+
+  mutable std::mutex mu_;
+  DurableStore* base_;
+  std::function<void()> hook_;
+  bool offline_ = false;
+  bool crashed_ = false;
+  bool armed_ = false;
+  uint64_t crash_at_ = 0;
+  size_t torn_bytes_ = 0;
+  uint64_t op_seq_ = 0;
+  uint64_t crash_op_ = 0;
+  std::vector<CrashOpKind> op_kinds_;
+};
+
+}  // namespace store
+
+#endif  // SRC_STORE_CRASH_POINT_STORE_H_

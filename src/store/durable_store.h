@@ -2,10 +2,13 @@
 //
 // RVM's durability story depends only on: random-access reads/writes, append,
 // an explicit Sync barrier after which data survives a crash, and truncate.
-// Two implementations are provided:
+// Implementations:
 //   - FileStore: a directory of POSIX files (production path).
 //   - MemStore:  an in-memory store with crash simulation and torn-write
 //                injection, used by the recovery and failure-injection tests.
+//   - ReplicatedStore: mirrors any of the above across replicas.
+//   - CrashPointStore: a decorator that numbers every mutating operation and
+//                injects a deterministic crash at the Nth one (crash_point_store.h).
 #ifndef SRC_STORE_DURABLE_STORE_H_
 #define SRC_STORE_DURABLE_STORE_H_
 
@@ -48,6 +51,17 @@ class DurableFile {
 };
 
 // A namespace of durable files.
+//
+// Namespace durability contract (matches POSIX directory semantics): creating,
+// renaming, or removing a file changes only the *volatile* namespace. The
+// change survives a crash only after a barrier:
+//   - a file's creation (under its current names) becomes durable when that
+//     file is first Sync()ed, or at the next SyncDir();
+//   - Rename and Remove become durable only at the next SyncDir().
+// FileStore issues the barrier internally after every namespace operation
+// (fsync of the parent directory), so callers get durable-at-return behavior
+// on real filesystems; MemStore deliberately does not, so the crash explorer
+// can catch missing-SyncDir bugs in-memory.
 class DurableStore {
  public:
   virtual ~DurableStore() = default;
@@ -61,6 +75,10 @@ class DurableStore {
 
   // Atomically renames a file (used for checkpoint swap during truncation).
   virtual base::Status Rename(const std::string& from, const std::string& to) = 0;
+
+  // Namespace durability barrier: all prior creations, renames, and removals
+  // survive a crash after this returns (fsync of the directory).
+  virtual base::Status SyncDir() = 0;
 };
 
 // Creates a store over a filesystem directory (created if absent).

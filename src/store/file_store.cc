@@ -111,11 +111,22 @@ class FileStore : public DurableStore {
 
   base::Result<std::unique_ptr<DurableFile>> Open(const std::string& name,
                                                   bool create) override {
-    int flags = O_RDWR;
-    if (create) {
-      flags |= O_CREAT;
+    // Open without O_CREAT first so we know whether this call created the
+    // file; a creation must be followed by an fsync of the parent directory
+    // or a crash can lose the new name (the dirent is volatile until then).
+    int fd = ::open(Path(name).c_str(), O_RDWR);
+    if (fd < 0 && errno == ENOENT && create) {
+      fd = ::open(Path(name).c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+      if (fd < 0 && errno == EEXIST) {
+        fd = ::open(Path(name).c_str(), O_RDWR);  // lost a creation race
+      } else if (fd >= 0) {
+        base::Status st = SyncDir();
+        if (!st.ok()) {
+          ::close(fd);
+          return st;
+        }
+      }
     }
-    int fd = ::open(Path(name).c_str(), flags, 0644);
     if (fd < 0) {
       if (errno == ENOENT) {
         return base::NotFound("file not found: " + name);
@@ -126,10 +137,13 @@ class FileStore : public DurableStore {
   }
 
   base::Status Remove(const std::string& name) override {
-    if (::unlink(Path(name).c_str()) != 0 && errno != ENOENT) {
+    if (::unlink(Path(name).c_str()) != 0) {
+      if (errno == ENOENT) {
+        return base::OkStatus();
+      }
       return ErrnoStatus("unlink " + name);
     }
-    return base::OkStatus();
+    return SyncDir();
   }
 
   base::Result<bool> Exists(const std::string& name) override {
@@ -161,6 +175,26 @@ class FileStore : public DurableStore {
     if (::rename(Path(from).c_str(), Path(to).c_str()) != 0) {
       return ErrnoStatus("rename " + from + " -> " + to);
     }
+    // Without this barrier a crash right after rename() can surface the old
+    // name again (or neither), losing the §3.4 checkpoint swap.
+    return SyncDir();
+  }
+
+  base::Status SyncDir() override {
+    int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0) {
+      return base::IoError("open directory for fsync " + dir_ + ": " +
+                           std::strerror(errno) +
+                           " (namespace changes are not crash-durable)");
+    }
+    int rc = ::fsync(dfd);
+    int saved_errno = errno;
+    ::close(dfd);
+    if (rc != 0) {
+      errno = saved_errno;
+      return ErrnoStatus("fsync directory " + dir_);
+    }
+    GlobalStoreMetrics()->dir_syncs->Increment();
     return base::OkStatus();
   }
 

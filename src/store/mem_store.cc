@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 
 #include "src/store/store_metrics.h"
 
@@ -65,6 +66,9 @@ class MemFile : public DurableFile {
     std::lock_guard<std::mutex> lock(owner_->mu_);
     state_->durable_data = state_->volatile_data;
     state_->unsynced_writes.clear();
+    // fsync of a freshly created file also commits its creation (the inode
+    // reaches disk); a pending rename of an already-durable file does not.
+    owner_->CommitCreationLocked(state_);
     ++owner_->sync_count_;
     m->syncs->Increment();
     return base::OkStatus();
@@ -95,6 +99,8 @@ base::Result<std::unique_ptr<DurableFile>> MemStore::Open(const std::string& nam
     if (!create) {
       return base::NotFound("file not found: " + name);
     }
+    // Creation is volatile: the name enters the durable namespace only at the
+    // file's first Sync or at the next SyncDir.
     it = files_.emplace(name, std::make_shared<FileState>()).first;
   }
   return std::unique_ptr<DurableFile>(new MemFile(this, it->second));
@@ -102,7 +108,7 @@ base::Result<std::unique_ptr<DurableFile>> MemStore::Open(const std::string& nam
 
 base::Status MemStore::Remove(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  files_.erase(name);
+  files_.erase(name);  // durable namespace keeps the name until SyncDir
   return base::OkStatus();
 }
 
@@ -132,9 +138,36 @@ base::Status MemStore::Rename(const std::string& from, const std::string& to) {
   return base::OkStatus();
 }
 
+base::Status MemStore::SyncDir() {
+  std::lock_guard<std::mutex> lock(mu_);
+  durable_files_ = files_;
+  StoreMetrics* m = GlobalStoreMetrics();
+  m->dir_syncs->Increment();
+  return base::OkStatus();
+}
+
+void MemStore::CommitCreationLocked(const std::shared_ptr<FileState>& state) {
+  for (const auto& [name, durable] : durable_files_) {
+    if (durable == state) {
+      return;  // inode already durable under some name; keep it
+    }
+  }
+  for (const auto& [name, vol] : files_) {
+    if (vol == state) {
+      durable_files_[name] = state;
+    }
+  }
+}
+
 void MemStore::Crash(size_t torn_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, state] : files_) {
+  // Visit every inode reachable from either namespace exactly once (a file
+  // may be linked under several names, e.g. mid-rename).
+  std::set<FileState*> seen;
+  auto crash_inode = [&](const std::shared_ptr<FileState>& state) {
+    if (!seen.insert(state.get()).second) {
+      return;
+    }
     std::vector<uint8_t> image = state->durable_data;
     // Let a prefix of the unsynced writes (up to torn_bytes total, with the
     // final write possibly partial) reach the durable image.
@@ -156,7 +189,16 @@ void MemStore::Crash(size_t torn_bytes) {
     state->volatile_data = image;
     state->durable_data = image;
     state->unsynced_writes.clear();
+  };
+  for (auto& [name, state] : files_) {
+    crash_inode(state);
   }
+  for (auto& [name, state] : durable_files_) {
+    crash_inode(state);
+  }
+  // Roll the namespace back: unsynced creations vanish, unsynced renames and
+  // removes are undone.
+  files_ = durable_files_;
 }
 
 void MemStore::FailWritesAfterBytes(int64_t bytes) {

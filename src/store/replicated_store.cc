@@ -178,6 +178,10 @@ base::Status ReplicatedStore::Rename(const std::string& from, const std::string&
   return shared_->OnAll([&](DurableStore* s, size_t) { return s->Rename(from, to); });
 }
 
+base::Status ReplicatedStore::SyncDir() {
+  return shared_->OnAll([](DurableStore* s, size_t) { return s->SyncDir(); });
+}
+
 int ReplicatedStore::healthy_replicas() const {
   std::lock_guard<std::mutex> lock(shared_->mu);
   int n = 0;

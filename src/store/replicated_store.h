@@ -29,6 +29,7 @@ class ReplicatedStore : public DurableStore {
   base::Result<bool> Exists(const std::string& name) override;
   base::Result<std::vector<std::string>> List() override;
   base::Status Rename(const std::string& from, const std::string& to) override;
+  base::Status SyncDir() override;
 
   // --- replica management --------------------------------------------------
 

@@ -16,6 +16,9 @@ struct StoreMetrics {
   obs::Counter* write_bytes;
   obs::Counter* syncs;
   obs::Counter* sync_nanos;
+  obs::Counter* dir_syncs;              // namespace durability barriers
+  obs::Counter* crash_points_injected;  // CrashPointStore crashes fired
+  obs::Counter* torn_tails_injected;    // crashes that left a torn prefix
 };
 
 inline StoreMetrics* GlobalStoreMetrics() {
@@ -28,6 +31,9 @@ inline StoreMetrics* GlobalStoreMetrics() {
     m->write_bytes = reg->GetCounter("store.write_bytes");
     m->syncs = reg->GetCounter("store.syncs");
     m->sync_nanos = reg->GetCounter("store.sync_nanos");
+    m->dir_syncs = reg->GetCounter("store.dir_syncs");
+    m->crash_points_injected = reg->GetCounter("store.crash_points_injected");
+    m->torn_tails_injected = reg->GetCounter("store.torn_tails_injected");
     return m;
   }();
   return metrics;

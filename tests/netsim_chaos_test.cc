@@ -5,8 +5,10 @@
 //   2. ReliableChannel restores exactly-once FIFO delivery over a link that
 //      drops, duplicates, and reorders.
 //   3. End to end: a seeded random workload over a lossy, partitioned
-//      fabric — one client killed mid-commit — still converges: every
-//      surviving client's cached image is byte-identical, equals the
+//      fabric — one client killed mid-commit, then the storage server
+//      itself killed and restarted mid-run (store offline, directories
+//      wiped, rebuilt from the merged client logs) — still converges:
+//      every surviving client's cached image is byte-identical, equals the
 //      crash-recovered database files, and the whole scenario is
 //      deterministic across two runs with the same seed.
 #include <gtest/gtest.h>
@@ -23,6 +25,7 @@
 #include "src/obs/export.h"
 #include "src/rvm/log_merge.h"
 #include "src/rvm/recovery.h"
+#include "src/store/crash_point_store.h"
 #include "src/store/mem_store.h"
 
 namespace {
@@ -264,6 +267,10 @@ constexpr int kLocksPerRegion = 2;
 constexpr int kTotalTxns = 40;
 constexpr int kVictimTxnsBeforeDeath = 5;
 constexpr rvm::LockId kVictimLastLock = 22;  // managed by live node 1
+// The storage server machine is killed (store offline + directories wiped)
+// right before this driver step — well after the victim's death at step 19,
+// so both recoveries compose in one run.
+constexpr int kServerCrashTxn = 30;
 
 rvm::LockId LockFor(int region, int k) { return region * 10 + k + 1; }
 
@@ -282,7 +289,9 @@ struct ChaosResult {
 
 void RunChaosScenario(uint64_t seed, ChaosResult* out) {
   ChaosResult& result = *out;
-  store::MemStore store;
+  store::MemStore mem;
+  store::CrashPointStore store(&mem);
+  store.SetCrashHook([&mem] { mem.Crash(0); });
   auto cluster = std::make_unique<lbc::Cluster>(&store);
   netsim::Fabric* fabric = cluster->fabric();
   fabric->SeedFaults(seed);
@@ -360,6 +369,56 @@ void RunChaosScenario(uint64_t seed, ChaosResult* out) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1500));
         fabric->HealOneWay(1, 2);
       });
+    }
+
+    if (i == kServerCrashTxn) {
+      // Whole-server-machine crash: the store goes dark and every
+      // server-resident directory (mappings, baselines, applied reports,
+      // record cache, liveness) is wiped. Client-resident state — lock
+      // tokens and their sequence numbers — survives untouched.
+      uint64_t epoch_before = cluster->ServerEpoch();
+      store.SetOffline(true);
+      cluster->KillServer();
+      ASSERT_FALSE(cluster->ServerUp());
+
+      // A survivor that tries to commit during the outage fails at the log
+      // write and backs out cleanly: undo copies restore its image and the
+      // locks release without consuming sequence numbers — the client's
+      // "back off and retry later" path.
+      {
+        lbc::Client* blocked = clients[0].get();
+        lbc::Transaction txn = blocked->Begin();
+        ASSERT_TRUE(txn.Acquire(LockFor(1, 0)).ok());
+        uint64_t off = rng.Uniform(kRegionSize / kLocksPerRegion - 16);
+        ASSERT_TRUE(txn.SetRange(1, off, 8).ok());
+        for (uint64_t b = 0; b < 8; ++b) {
+          blocked->GetRegion(1)->data()[off + b] = static_cast<uint8_t>(rng.Next());
+        }
+        base::Status st = txn.Commit(rvm::CommitMode::kFlush);
+        ASSERT_FALSE(st.ok()) << "commit must fail while the server is down";
+      }
+
+      // Power-cycle the machine: volatile store state is lost (kFlush
+      // commits lose nothing), then the server reboots and rebuilds its
+      // directory from the merged client logs (§3.5 at boot).
+      mem.Crash(0);
+      store.SetOffline(false);
+      ASSERT_TRUE(cluster->RestartServer().ok());
+      ASSERT_TRUE(cluster->ServerUp());
+      EXPECT_EQ(epoch_before + 1, cluster->ServerEpoch());
+      // The rebuilt baselines remember every sequence number the logs hold.
+      for (int region = 1; region <= kRegions; ++region) {
+        for (int k = 0; k < kLocksPerRegion; ++k) {
+          rvm::LockId lock = LockFor(region, k);
+          EXPECT_EQ(committed_per_lock[lock], cluster->BaselineSeq(lock))
+              << "rebuilt baseline for lock " << lock;
+        }
+      }
+      // Survivors notice the epoch bump and re-register their mappings and
+      // applied positions; the interrupted writer retries in later steps.
+      for (int s = 0; s < kClients - 1; ++s) {
+        ASSERT_TRUE(clients[s]->RejoinServer().ok());
+      }
     }
 
     if (!victim_dead && client == victim && victim_txns == kVictimTxnsBeforeDeath) {
@@ -441,7 +500,7 @@ void RunChaosScenario(uint64_t seed, ChaosResult* out) {
     logs.push_back(rvm::LogFileName(1 + c));
   }
   clients.clear();
-  store.Crash();
+  mem.Crash(0);
   EXPECT_TRUE(rvm::ReplayLogsIntoDatabase(&store, logs).ok());
   for (int region = 1; region <= kRegions; ++region) {
     auto file = std::move(*store.Open(rvm::RegionFileName(region), false));

@@ -1,40 +1,52 @@
-// DurableStore conformance tests run against both implementations, plus
-// MemStore-specific crash and failure-injection behaviour.
+// DurableStore conformance tests run against every implementation (including
+// the CrashPointStore decorator over each), plus MemStore-specific crash and
+// failure-injection behaviour and CrashPointStore crash-injection tests.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
+#include <cstring>
 #include <filesystem>
 #include <memory>
+#include <vector>
 
+#include "src/store/crash_point_store.h"
 #include "src/store/durable_store.h"
 #include "src/store/mem_store.h"
 
 namespace {
 
-enum class StoreKind { kMem, kFile };
+enum class StoreKind { kMem, kFile, kCrashPointMem, kCrashPointFile };
 
 class StoreConformanceTest : public ::testing::TestWithParam<StoreKind> {
  protected:
   void SetUp() override {
-    if (GetParam() == StoreKind::kMem) {
-      store_ = std::make_unique<store::MemStore>();
+    StoreKind kind = GetParam();
+    if (kind == StoreKind::kMem || kind == StoreKind::kCrashPointMem) {
+      backing_ = std::make_unique<store::MemStore>();
     } else {
       dir_ = std::filesystem::temp_directory_path() /
              ("lbc_store_test_" + std::to_string(::getpid()) + "_" +
               ::testing::UnitTest::GetInstance()->current_test_info()->name());
       std::filesystem::remove_all(dir_);
-      store_ = std::move(*store::OpenFileStore(dir_.string()));
+      backing_ = std::move(*store::OpenFileStore(dir_.string()));
+    }
+    if (kind == StoreKind::kCrashPointMem || kind == StoreKind::kCrashPointFile) {
+      store_ = std::make_unique<store::CrashPointStore>(backing_.get());
+    } else {
+      store_ = std::move(backing_);
     }
   }
 
   void TearDown() override {
     store_.reset();
+    backing_.reset();
     if (!dir_.empty()) {
       std::filesystem::remove_all(dir_);
     }
   }
 
+  std::unique_ptr<store::DurableStore> backing_;  // set when store_ decorates
   std::unique_ptr<store::DurableStore> store_;
   std::filesystem::path dir_;
 };
@@ -112,10 +124,24 @@ TEST_P(StoreConformanceTest, RenameMovesContent) {
   EXPECT_EQ(0, std::memcmp(buf, "data", 4));
 }
 
+TEST_P(StoreConformanceTest, SyncDirSucceeds) {
+  { auto file = std::move(*store_->Open("f", true)); }
+  EXPECT_TRUE(store_->SyncDir().ok());
+  ASSERT_TRUE(store_->Rename("f", "g").ok());
+  EXPECT_TRUE(store_->SyncDir().ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(Impls, StoreConformanceTest,
-                         ::testing::Values(StoreKind::kMem, StoreKind::kFile),
+                         ::testing::Values(StoreKind::kMem, StoreKind::kFile,
+                                           StoreKind::kCrashPointMem,
+                                           StoreKind::kCrashPointFile),
                          [](const auto& info) {
-                           return info.param == StoreKind::kMem ? "Mem" : "File";
+                           switch (info.param) {
+                             case StoreKind::kMem: return "Mem";
+                             case StoreKind::kFile: return "File";
+                             case StoreKind::kCrashPointMem: return "CrashPointMem";
+                             default: return "CrashPointFile";
+                           }
                          });
 
 // --- MemStore crash semantics ----------------------------------------------
@@ -189,6 +215,211 @@ TEST(MemStore, HandlesSurviveCrash) {
   char c;
   ASSERT_TRUE(b->ReadExact(0, &c, 1).ok());
   EXPECT_EQ('x', c);
+}
+
+// --- MemStore namespace durability (real-FS dirent semantics) ---------------
+
+TEST(MemStoreNamespace, UnsyncedCreationVanishesAtCrash) {
+  store::MemStore store;
+  {
+    auto file = std::move(*store.Open("f", true));
+    ASSERT_TRUE(file->Write(0, base::AsBytes("data", 4)).ok());
+    // No Sync, no SyncDir: the dirent never reached disk.
+  }
+  store.Crash();
+  EXPECT_FALSE(*store.Exists("f"));
+}
+
+TEST(MemStoreNamespace, FileSyncCommitsCreation) {
+  store::MemStore store;
+  auto file = std::move(*store.Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("data", 4)).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  store.Crash();
+  EXPECT_TRUE(*store.Exists("f"));
+  char buf[4];
+  ASSERT_TRUE(file->ReadExact(0, buf, 4).ok());
+  EXPECT_EQ(0, std::memcmp(buf, "data", 4));
+}
+
+TEST(MemStoreNamespace, SyncDirCommitsCreationButNotContent) {
+  store::MemStore store;
+  auto file = std::move(*store.Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("data", 4)).ok());
+  ASSERT_TRUE(store.SyncDir().ok());
+  store.Crash();
+  // The name survives (dirent fsynced) but the unsynced bytes do not.
+  EXPECT_TRUE(*store.Exists("f"));
+  EXPECT_EQ(0u, *file->Size());
+}
+
+TEST(MemStoreNamespace, UnsyncedRenameRollsBackAtCrash) {
+  store::MemStore store;
+  {
+    auto file = std::move(*store.Open("a", true));
+    ASSERT_TRUE(file->Write(0, base::AsBytes("v", 1)).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  ASSERT_TRUE(store.Rename("a", "b").ok());
+  store.Crash();
+  EXPECT_TRUE(*store.Exists("a"));
+  EXPECT_FALSE(*store.Exists("b"));
+}
+
+TEST(MemStoreNamespace, SyncDirCommitsRename) {
+  store::MemStore store;
+  {
+    auto file = std::move(*store.Open("a", true));
+    ASSERT_TRUE(file->Write(0, base::AsBytes("v", 1)).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  ASSERT_TRUE(store.Rename("a", "b").ok());
+  ASSERT_TRUE(store.SyncDir().ok());
+  store.Crash();
+  EXPECT_FALSE(*store.Exists("a"));
+  EXPECT_TRUE(*store.Exists("b"));
+}
+
+TEST(MemStoreNamespace, FileSyncDoesNotCommitRename) {
+  store::MemStore store;
+  auto file = std::move(*store.Open("a", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("v", 1)).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(store.Rename("a", "b").ok());
+  // fsync of the file flushes content but not the parent directory: the
+  // rename itself stays volatile (this is what loses a checkpoint swap).
+  ASSERT_TRUE(file->Sync().ok());
+  store.Crash();
+  EXPECT_TRUE(*store.Exists("a"));
+  EXPECT_FALSE(*store.Exists("b"));
+}
+
+TEST(MemStoreNamespace, UnsyncedRemoveRollsBackAtCrash) {
+  store::MemStore store;
+  {
+    auto file = std::move(*store.Open("f", true));
+    ASSERT_TRUE(file->Write(0, base::AsBytes("v", 1)).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  ASSERT_TRUE(store.Remove("f").ok());
+  EXPECT_FALSE(*store.Exists("f"));
+  store.Crash();
+  EXPECT_TRUE(*store.Exists("f"));  // unlink never reached disk
+}
+
+TEST(MemStoreNamespace, SyncDirCommitsRemove) {
+  store::MemStore store;
+  {
+    auto file = std::move(*store.Open("f", true));
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  ASSERT_TRUE(store.Remove("f").ok());
+  ASSERT_TRUE(store.SyncDir().ok());
+  store.Crash();
+  EXPECT_FALSE(*store.Exists("f"));
+}
+
+// --- CrashPointStore --------------------------------------------------------
+
+TEST(CrashPointStore, NumbersMutatingOpsAndLogsKinds) {
+  store::MemStore mem;
+  store::CrashPointStore cps(&mem);
+  auto file = std::move(*cps.Open("f", true));             // op 0: create
+  ASSERT_TRUE(file->Write(0, base::AsBytes("x", 1)).ok()); // op 1: write
+  ASSERT_TRUE(file->Sync().ok());                          // op 2: sync
+  ASSERT_TRUE(file->Append(base::AsBytes("y", 1)).ok());   // op 3: append
+  ASSERT_TRUE(file->Truncate(1).ok());                     // op 4: truncate
+  ASSERT_TRUE(cps.Rename("f", "g").ok());                  // op 5: rename
+  ASSERT_TRUE(cps.SyncDir().ok());                         // op 6: syncdir
+  ASSERT_TRUE(cps.Remove("g").ok());                       // op 7: remove
+  // Reads, Exists, List, and re-opens of existing files are not mutations.
+  { auto again = std::move(*cps.Open("g", true)); }        // op 8: create again
+  EXPECT_TRUE(*cps.Exists("g"));
+  EXPECT_EQ(9u, cps.op_count());
+  using K = store::CrashOpKind;
+  std::vector<K> expected = {K::kCreate, K::kWrite,  K::kSync,
+                             K::kAppend, K::kTruncate, K::kRename,
+                             K::kSyncDir, K::kRemove, K::kCreate};
+  EXPECT_EQ(expected, cps.op_kinds());
+}
+
+TEST(CrashPointStore, CrashHaltsStoreUntilDisarm) {
+  store::MemStore mem;
+  bool hook_ran = false;
+  store::CrashPointStore cps(&mem);
+  cps.SetCrashHook([&] {
+    hook_ran = true;
+    mem.Crash(0);
+  });
+  auto file = std::move(*cps.Open("f", true));  // op 0
+  ASSERT_TRUE(file->Write(0, base::AsBytes("AA", 2)).ok());  // op 1
+  ASSERT_TRUE(file->Sync().ok());                            // op 2
+  cps.ArmCrashAtOp(3);
+  auto st = file->Write(0, base::AsBytes("BB", 2));          // op 3: boom
+  EXPECT_EQ(base::StatusCode::kUnavailable, st.code());
+  EXPECT_TRUE(cps.crashed());
+  EXPECT_TRUE(hook_ran);
+  EXPECT_EQ(3u, cps.crash_op());
+  // Everything fails until reboot, reads included.
+  char buf[2];
+  EXPECT_FALSE(file->Read(0, buf, 2).ok());
+  EXPECT_FALSE(cps.Exists("f").ok());
+  cps.Disarm();
+  ASSERT_TRUE(file->ReadExact(0, buf, 2).ok());
+  EXPECT_EQ(0, std::memcmp(buf, "AA", 2));  // interrupted write never landed
+}
+
+TEST(CrashPointStore, TornVariantPersistsPrefixOfInterruptedWrite) {
+  store::MemStore mem;
+  store::CrashPointStore cps(&mem);
+  cps.SetCrashHook([&] { mem.Crash(0); });
+  auto file = std::move(*cps.Open("f", true));               // op 0
+  ASSERT_TRUE(file->Write(0, base::AsBytes("AAAA", 4)).ok());  // op 1
+  ASSERT_TRUE(file->Sync().ok());                              // op 2
+  cps.ArmCrashAtOp(3, /*torn_bytes=*/2);
+  EXPECT_FALSE(file->Write(0, base::AsBytes("BBBB", 4)).ok());  // op 3
+  cps.Disarm();
+  char buf[4];
+  ASSERT_TRUE(file->ReadExact(0, buf, 4).ok());
+  EXPECT_EQ(0, std::memcmp(buf, "BBAA", 4));
+}
+
+TEST(CrashPointStore, CrashAtCreateLeavesNoFile) {
+  store::MemStore mem;
+  store::CrashPointStore cps(&mem);
+  cps.SetCrashHook([&] { mem.Crash(0); });
+  cps.ArmCrashAtOp(0);
+  EXPECT_FALSE(cps.Open("f", true).ok());
+  cps.Disarm();
+  EXPECT_FALSE(*cps.Exists("f"));
+}
+
+TEST(CrashPointStore, ResetOpCountStartsNewEpoch) {
+  store::MemStore mem;
+  store::CrashPointStore cps(&mem);
+  auto file = std::move(*cps.Open("f", true));
+  ASSERT_TRUE(file->Sync().ok());
+  EXPECT_EQ(2u, cps.op_count());
+  cps.ResetOpCount();
+  EXPECT_EQ(0u, cps.op_count());
+  ASSERT_TRUE(file->Sync().ok());
+  EXPECT_EQ(1u, cps.op_count());
+}
+
+TEST(CrashPointStore, OfflineFailsEverythingWithoutCrashing) {
+  store::MemStore mem;
+  store::CrashPointStore cps(&mem);
+  auto file = std::move(*cps.Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("x", 1)).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  cps.SetOffline(true);
+  char c;
+  EXPECT_EQ(base::StatusCode::kUnavailable, file->Write(1, base::AsBytes("y", 1)).code());
+  EXPECT_EQ(base::StatusCode::kUnavailable, file->Read(0, &c, 1).status().code());
+  EXPECT_FALSE(cps.crashed());
+  cps.SetOffline(false);
+  ASSERT_TRUE(file->ReadExact(0, &c, 1).ok());
+  EXPECT_EQ('x', c);  // no state was lost by the outage itself
 }
 
 }  // namespace

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Repo lint gate for the concurrency discipline (see DESIGN.md).
+
+Checks, over every C++ source file under src/, tests/, bench/, examples/
+and tools/:
+
+  1. No bare standard-library synchronization primitives outside
+     src/base/sync.{h,cc}: std::mutex, std::recursive_mutex,
+     std::lock_guard, std::unique_lock, std::scoped_lock,
+     std::condition_variable[_any]. All locking goes through base::Mutex /
+     base::MutexLock / base::CondVar so the Clang thread-safety annotations
+     and the runtime lock-order detector see every acquisition.
+
+  2. Every method whose name ends in `Locked(` declared in a header must
+     carry an LBC_REQUIRES(...) annotation (the *Locked suffix is the
+     repo's convention for "caller holds the instance lock").
+
+  3. No reference-returning accessor on a line that also names a
+     LBC_GUARDED_BY member, i.e. `T& member()` returning a guarded field —
+     handing out a reference lets callers bypass the capability.
+
+Exit status 0 when clean, 1 with findings on stderr.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCAN_DIRS = ["src", "tests", "bench", "examples", "tools"]
+EXEMPT = {
+    os.path.join("src", "base", "sync.h"),
+    os.path.join("src", "base", "sync.cc"),
+}
+
+BARE_SYNC = re.compile(
+    r"\bstd::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable(_any)?)\b"
+)
+# A *Locked method declaration in a header: name ends in Locked, directly
+# followed by an argument list. Definitions in .cc files repeat the
+# annotation-carrying declaration, so headers are the enforcement point.
+LOCKED_DECL = re.compile(r"\b(\w+Locked)\s*\(")
+REQUIRES = re.compile(r"\bLBC_REQUIRES\s*\(")
+GUARDED_MEMBER = re.compile(r"^\s*.*\b(\w+_)\s+LBC_GUARDED_BY\s*\(")
+REF_ACCESSOR = re.compile(r"&\s+(\w+)\s*\(\s*\)\s*(const\s*)?{\s*return\s+(\w+_)\s*;")
+
+
+def iter_files():
+    for d in SCAN_DIRS:
+        root = os.path.join(REPO_ROOT, d)
+        if not os.path.isdir(root):
+            continue
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    path = os.path.join(dirpath, name)
+                    rel = os.path.relpath(path, REPO_ROOT)
+                    if rel not in EXEMPT:
+                        yield path, rel
+
+
+def strip_comments(line):
+    # Good enough for this codebase: no block comments spanning code lines.
+    return re.sub(r"//.*$", "", line)
+
+
+def check_file(path, rel, findings):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        lines = f.readlines()
+
+    guarded = set()
+    for lineno, raw in enumerate(lines, 1):
+        line = strip_comments(raw)
+        m = GUARDED_MEMBER.match(line)
+        if m:
+            guarded.add(m.group(1))
+
+    in_header = rel.endswith((".h", ".hpp"))
+    for lineno, raw in enumerate(lines, 1):
+        line = strip_comments(raw)
+        if BARE_SYNC.search(line):
+            findings.append(
+                f"{rel}:{lineno}: bare std synchronization primitive; use "
+                f"base::Mutex / base::MutexLock / base::CondVar from "
+                f"src/base/sync.h"
+            )
+        if in_header:
+            m = LOCKED_DECL.search(line)
+            # Declaration heuristics: skip calls (lines ending in ';' are
+            # declarations in headers; calls inside inline bodies contain
+            # '(' after control keywords or assignments — the reliable
+            # signal is the annotation on the same logical statement).
+            if m and not REQUIRES.search(line):
+                stmt = line
+                j = lineno
+                while j < len(lines) and ";" not in stmt and "{" not in stmt:
+                    stmt += strip_comments(lines[j])
+                    j += 1
+                if not REQUIRES.search(stmt) and "LBC_NO_THREAD_SAFETY_ANALYSIS" not in stmt:
+                    # Ignore uses that are clearly calls: preceded by '.',
+                    # '->', or '::' with an object expression.
+                    before = line[: m.start(1)]
+                    if before.rstrip().endswith((".", "->", "::")) or "=" in before:
+                        continue
+                    findings.append(
+                        f"{rel}:{lineno}: {m.group(1)}() lacks LBC_REQUIRES(...) "
+                        f"(the *Locked suffix promises the caller holds the lock)"
+                    )
+            if guarded:
+                m = REF_ACCESSOR.search(line)
+                if m and m.group(3) in guarded:
+                    findings.append(
+                        f"{rel}:{lineno}: accessor {m.group(1)}() returns a "
+                        f"reference to guarded member {m.group(3)}; return a "
+                        f"copy taken under the lock instead"
+                    )
+
+
+def main():
+    findings = []
+    for path, rel in iter_files():
+        check_file(path, rel, findings)
+    if findings:
+        for f in findings:
+            print(f, file=sys.stderr)
+        print(f"\nlint.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

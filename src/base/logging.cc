@@ -3,13 +3,16 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
+
+#include "src/base/sync.h"
 
 namespace base {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-std::mutex g_emit_mutex;
+// Logging happens under arbitrary module locks, so this is the leaf-most
+// rank in the lock-order map.
+Mutex g_emit_mutex{"base.log", LockRank::kLogging};
 
 const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
@@ -39,7 +42,7 @@ LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void EmitLogLine(LogLevel level, const char* file, int line, const std::string& message) {
   {
-    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    MutexLock lock(g_emit_mutex);
     std::fprintf(stderr, "[%c %s:%d] %s\n", LevelChar(level), Basename(file), line,
                  message.c_str());
     std::fflush(stderr);

@@ -18,7 +18,7 @@ void CpyCmpEngine::NoteWrite(uint64_t offset, uint64_t len) {
     uint64_t page_len = std::min(page_size_, len_ - page_start);
     twins_.emplace(page, std::vector<uint8_t>(base_ + page_start,
                                               base_ + page_start + page_len));
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     ++stats_.write_faults;
     ++stats_.pages_twinned;
   }
@@ -26,7 +26,7 @@ void CpyCmpEngine::NoteWrite(uint64_t offset, uint64_t len) {
 
 std::vector<Diff> CpyCmpEngine::CollectDiffs(rvm::RegionId region) {
   std::vector<Diff> diffs;
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   for (const auto& [page, twin] : twins_) {
     ++stats_.pages_compared;
     const uint8_t* cur = base_ + page * page_size_;

@@ -12,9 +12,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "src/base/sync.h"
 #include "src/rvm/types.h"
 
 namespace baselines {
@@ -50,11 +50,11 @@ class CpyCmpEngine {
   // Point-in-time copy under the engine lock — never a reference into
   // mutable state, so a snapshot taken while another thread commits is safe.
   CpyCmpStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     return stats_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     stats_ = CpyCmpStats{};
   }
 
@@ -63,8 +63,9 @@ class CpyCmpEngine {
   uint64_t len_;
   uint64_t page_size_;
   std::map<uint64_t, std::vector<uint8_t>> twins_;  // page index -> twin copy
-  mutable std::mutex mu_;  // guards stats_ (twins_ stays caller-serialized)
-  CpyCmpStats stats_;
+  // Guards stats_ only (twins_ stays caller-serialized).
+  mutable base::Mutex mu_{"baselines.cpycmp", base::LockRank::kCpyCmp};
+  CpyCmpStats stats_ LBC_GUARDED_BY(mu_);
 };
 
 }  // namespace baselines

@@ -41,22 +41,22 @@ PageDsmNode::PageDsmNode(netsim::Fabric* fabric, netsim::NodeId id, netsim::Node
 PageDsmNode::~PageDsmNode() { endpoint_->StopReceiver(); }
 
 PageAccess PageDsmNode::AccessOf(uint64_t page) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   return access_[page];
 }
 
 PageDsmStats PageDsmNode::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   return stats_;
 }
 
 void PageDsmNode::ResetStats() {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   stats_ = PageDsmStats{};
 }
 
 std::string PageDsmNode::DebugString(uint64_t page) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   std::string out = "node " + std::to_string(id_) + ": access=";
   out += std::to_string(static_cast<int>(access_[page]));
   auto gen_it = grant_gen_.find(page);
@@ -83,15 +83,15 @@ base::Status PageDsmNode::SendMsg(netsim::NodeId to, const std::vector<uint8_t>&
 
 base::Status PageDsmNode::Fault(uint64_t offset, bool write) {
   uint64_t page = offset / page_size_;
-  std::unique_lock<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   if (page >= access_.size()) {
     return base::OutOfRange("offset beyond DSM buffer");
   }
-  auto satisfied = [&] {
-    return write ? access_[page] == PageAccess::kWrite
-                 : access_[page] != PageAccess::kInvalid;
-  };
-  if (satisfied()) {
+  // The access check is written out inline (not a lambda) so the thread-
+  // safety analysis sees every guarded read under the capability.
+  bool satisfied = write ? access_[page] == PageAccess::kWrite
+                         : access_[page] != PageAccess::kInvalid;
+  if (satisfied) {
     return base::OkStatus();
   }
   if (write) {
@@ -103,16 +103,23 @@ base::Status PageDsmNode::Fault(uint64_t offset, bool write) {
   // before we observe it, in which case we simply fault again. The request
   // carries the requester id explicitly because the manager re-injects
   // queued requests to itself (transport `from` would name the manager).
-  while (!satisfied()) {
+  while (true) {
+    satisfied = write ? access_[page] == PageAccess::kWrite
+                      : access_[page] != PageAccess::kInvalid;
+    if (satisfied) {
+      break;
+    }
     uint64_t gen = grant_gen_[page];
     base::Writer w;
     w.WriteU8(static_cast<uint8_t>(write ? Msg::kWriteReq : Msg::kReadReq));
     w.WriteVarint(page);
     w.WriteVarint(id_);
-    lk.unlock();
+    lk.Unlock();
     RETURN_IF_ERROR(SendMsg(manager_, w.TakeBytes()));
-    lk.lock();
-    cv_.wait(lk, [&] { return grant_gen_[page] != gen; });
+    lk.Lock();
+    while (grant_gen_[page] == gen) {
+      cv_.Wait(lk);
+    }
   }
   return base::OkStatus();
 }
@@ -148,7 +155,7 @@ void PageDsmNode::OnMessage(netsim::Message&& msg) {
       }
       std::vector<uint8_t> data_msg;
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        base::MutexLock lk(mu_);
         uint64_t start = page * page_size_;
         uint64_t len = std::min<uint64_t>(page_size_, buffer_.size() - start);
         base::Writer w;
@@ -174,12 +181,12 @@ void PageDsmNode::OnMessage(netsim::Message&& msg) {
         return;
       }
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        base::MutexLock lk(mu_);
         std::memcpy(buffer_.data() + page * page_size_, bytes.data(), bytes.size());
         access_[page] = write_grant ? PageAccess::kWrite : PageAccess::kRead;
         ++grant_gen_[page];
       }
-      cv_.notify_all();
+      cv_.NotifyAll();
       // Tell the manager the transfer is complete so it can serve the next
       // request for this page.
       SendMsg(manager_, Encode(static_cast<uint8_t>(Msg::kDone), page)).ok();
@@ -190,18 +197,18 @@ void PageDsmNode::OnMessage(netsim::Message&& msg) {
       uint8_t write_grant = 0;
       r.ReadU8(&write_grant).ok();
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        base::MutexLock lk(mu_);
         access_[page] = write_grant ? PageAccess::kWrite : PageAccess::kRead;
         ++grant_gen_[page];
       }
-      cv_.notify_all();
+      cv_.NotifyAll();
       SendMsg(manager_, Encode(static_cast<uint8_t>(Msg::kDone), page)).ok();
       break;
     }
 
     case Msg::kInvalidate: {
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        base::MutexLock lk(mu_);
         access_[page] = PageAccess::kInvalid;
         ++stats_.invalidations_received;
       }
@@ -210,7 +217,7 @@ void PageDsmNode::OnMessage(netsim::Message&& msg) {
     }
 
     case Msg::kInvAck: {
-      std::lock_guard<std::mutex> lk(mu_);
+      base::MutexLock lk(mu_);
       auto it = directory_.find(page);
       if (it == directory_.end() || !it->second.busy) {
         return;
@@ -225,7 +232,7 @@ void PageDsmNode::OnMessage(netsim::Message&& msg) {
     case Msg::kDone: {
       std::vector<uint8_t> next;
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        base::MutexLock lk(mu_);
         auto it = directory_.find(page);
         if (it == directory_.end()) {
           return;
@@ -248,7 +255,7 @@ void PageDsmNode::OnMessage(netsim::Message&& msg) {
 
 void PageDsmNode::HandleRequest(netsim::NodeId from, uint64_t page, bool write,
                                 std::vector<uint8_t> raw) {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   PageDir& dir = directory_[page];
   if (dir.busy) {
     // One request per page at a time; replay the rest on kDone.

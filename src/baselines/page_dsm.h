@@ -11,17 +11,16 @@
 #ifndef SRC_BASELINES_PAGE_DSM_H_
 #define SRC_BASELINES_PAGE_DSM_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/sync.h"
 #include "src/netsim/fabric.h"
 
 namespace baselines {
@@ -92,7 +91,7 @@ class PageDsmNode {
   void OnMessage(netsim::Message&& msg);
   void HandleRequest(netsim::NodeId from, uint64_t page, bool write,
                      std::vector<uint8_t> raw);
-  void GrantLocked(uint64_t page, PageDir& dir);
+  void GrantLocked(uint64_t page, PageDir& dir) LBC_REQUIRES(mu_);
   base::Status Fault(uint64_t offset, bool write);
   base::Status SendMsg(netsim::NodeId to, const std::vector<uint8_t>& payload);
 
@@ -102,12 +101,13 @@ class PageDsmNode {
   uint64_t page_size_;
   std::vector<uint8_t> buffer_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<PageAccess> access_;
-  std::map<uint64_t, uint64_t> grant_gen_;  // bumps on every grant install
-  std::map<uint64_t, PageDir> directory_;   // manager role only
-  PageDsmStats stats_;
+  mutable base::Mutex mu_{"baselines.pagedsm", base::LockRank::kPageDsm};
+  base::CondVar cv_;
+  std::vector<PageAccess> access_ LBC_GUARDED_BY(mu_);
+  // Bumps on every grant install.
+  std::map<uint64_t, uint64_t> grant_gen_ LBC_GUARDED_BY(mu_);
+  std::map<uint64_t, PageDir> directory_ LBC_GUARDED_BY(mu_);  // manager role only
+  PageDsmStats stats_ LBC_GUARDED_BY(mu_);
   netsim::Endpoint* endpoint_ = nullptr;
 };
 

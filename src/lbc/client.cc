@@ -135,7 +135,12 @@ base::Status Client::Init() {
     endpoint_->StartReceiver(handler);
   }
   cluster_->NoteAlive(node_);
-  server_epoch_seen_ = cluster_->ServerEpoch();
+  {
+    // server_epoch_seen_ is guarded; Init is an ordinary method (the
+    // heartbeat thread starts below), so take the lock for the write.
+    base::MutexLock lk(mu_);
+    server_epoch_seen_ = cluster_->ServerEpoch();
+  }
   if (options_.heartbeat_interval_ms > 0) {
     heartbeat_ = std::thread([this] { HeartbeatThreadMain(); });
   }
@@ -152,13 +157,13 @@ Client::~Client() {
 
 void Client::Disconnect() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    base::MutexLock lk(mu_);
     if (disconnected_) {
       return;
     }
     disconnected_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (heartbeat_.joinable()) {
     heartbeat_.join();
   }
@@ -183,9 +188,9 @@ void Client::HeartbeatThreadMain() {
   // victim from the lease registry, so without this sweep a manager that
   // lost the detection race would never reclaim the victim's tokens.
   std::set<rvm::NodeId> handled;
-  std::unique_lock<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   while (!disconnected_) {
-    lk.unlock();
+    lk.Unlock();
     cluster_->NoteAlive(node_);
     // Outage detection: a bumped server epoch means a restarted server wiped
     // our directory entries — replay them. While the server is down we just
@@ -194,7 +199,7 @@ void Client::HeartbeatThreadMain() {
       uint64_t epoch = cluster_->ServerEpoch();
       bool stale;
       {
-        std::lock_guard<std::mutex> lk2(mu_);
+        base::MutexLock lk2(mu_);
         stale = epoch != server_epoch_seen_;
       }
       if (stale) {
@@ -222,8 +227,16 @@ void Client::HeartbeatThreadMain() {
         }
       }
     }
-    lk.lock();
-    cv_.wait_for(lk, interval, [this] { return disconnected_; });
+    lk.Lock();
+    // Sleep for one interval, leaving early if Disconnect() is called. The
+    // predicate is written as an explicit loop so the guarded read of
+    // disconnected_ stays visible to the thread-safety analysis.
+    const auto deadline = std::chrono::steady_clock::now() + interval;
+    while (!disconnected_) {
+      if (!cv_.WaitUntil(lk, deadline)) {
+        break;  // interval elapsed
+      }
+    }
   }
 }
 
@@ -235,7 +248,7 @@ base::Status Client::RejoinServer() {
   std::vector<rvm::RegionId> regions;
   std::vector<std::pair<rvm::LockId, uint64_t>> applied;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    base::MutexLock lk(mu_);
     server_epoch_seen_ = epoch;
     regions.reserve(mapped_regions_.size());
     for (const auto& [region, mapped] : mapped_regions_) {
@@ -260,7 +273,7 @@ base::Status Client::RejoinServer() {
 base::Result<rvm::Region*> Client::MapRegion(rvm::RegionId region, uint64_t length) {
   ASSIGN_OR_RETURN(rvm::Region * r, rvm_->MapRegion(region, length));
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    base::MutexLock lk(mu_);
     mapped_regions_[region] = true;
     // The image just loaded from the database file reflects everything up
     // to each lock's trim baseline: adopt those sequence numbers so the
@@ -277,14 +290,14 @@ base::Result<rvm::Region*> Client::MapRegion(rvm::RegionId region, uint64_t leng
 base::Status Client::UnmapRegion(rvm::RegionId region) {
   cluster_->UnregisterMapping(region, node_);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    base::MutexLock lk(mu_);
     mapped_regions_.erase(region);
   }
   return rvm_->UnmapRegion(region);
 }
 
 std::vector<rvm::RegionId> Client::MappedRegions() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   std::vector<rvm::RegionId> out;
   out.reserve(mapped_regions_.size());
   for (const auto& [region, mapped] : mapped_regions_) {
@@ -298,23 +311,23 @@ Transaction Client::Begin(rvm::RestoreMode mode) {
 }
 
 ClientStats Client::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   return stats_;
 }
 
 void Client::ResetStats() {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   stats_ = ClientStats{};
 }
 
 uint64_t Client::AppliedSeq(rvm::LockId lock) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   auto it = applied_seq_.find(lock);
   return it == applied_seq_.end() ? 0 : it->second;
 }
 
 size_t Client::RetainedCount(rvm::LockId lock) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   auto it = locks_.find(lock);
   return it == locks_.end() ? 0 : it->second.retained.size();
 }
@@ -351,11 +364,19 @@ void Client::TrimRetainedLocked(rvm::LockId lock, LockState& st) {
 }
 
 bool Client::WaitForAppliedSeq(rvm::LockId lock, uint64_t seq, int timeout_ms) {
-  std::unique_lock<std::mutex> lk(mu_);
-  return cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms), [&] {
+  base::MutexLock lk(mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
     auto it = applied_seq_.find(lock);
-    return it != applied_seq_.end() && it->second >= seq;
-  });
+    if (it != applied_seq_.end() && it->second >= seq) {
+      return true;
+    }
+    if (!cv_.WaitUntil(lk, deadline)) {
+      auto late = applied_seq_.find(lock);
+      return late != applied_seq_.end() && late->second >= seq;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -460,7 +481,7 @@ void Client::BroadcastEager(const rvm::CommitContext& ctx) {
       node_, obs::TraceType::kCommitBroadcast,
       ctx.locks != nullptr && !ctx.locks->empty() ? ctx.locks->front().lock_id : 0,
       ctx.commit_seq, payload.size() * sends);
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   stats_.updates_sent += sends;
   stats_.update_bytes_sent += payload.size() * sends;
   stats_.network_nanos += timer.StopNanos();
@@ -468,7 +489,7 @@ void Client::BroadcastEager(const rvm::CommitContext& ctx) {
 
 void Client::RetainForLazy(const rvm::CommitContext& ctx) {
   rvm::TransactionRecord rec = MaterializeRecord(ctx);
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   for (const auto& lock : rec.locks) {
     LockState& st = StateFor(lock.lock_id);
     st.retained.push_back(rec);
@@ -500,7 +521,7 @@ base::Result<uint64_t> Client::AcquireLock(rvm::LockId lock) {
   }
 
   obs::ScopedTimer acquire_timer(nullptr, obs_acquire_latency_);
-  std::unique_lock<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   if (options_.versioned_reads) {
     AcceptLocked();  // acquiring implies moving forward to the newest version
   }
@@ -549,9 +570,9 @@ base::Result<uint64_t> Client::AcquireLock(rvm::LockId lock) {
       // Token is here but updates lag behind it: charge the wait to the
       // paper's interlock cost.
       obs::ScopedTimer wait_timer(obs_interlock_wait_nanos_);
-      cv_.wait(lk);
+      cv_.Wait(lk);
     } else {
-      cv_.wait(lk);
+      cv_.Wait(lk);
     }
   }
   --acquires_waiting_;
@@ -561,7 +582,7 @@ base::Result<uint64_t> Client::AcquireLock(rvm::LockId lock) {
 }
 
 void Client::ReleaseLocks(const std::vector<rvm::LockRecord>& held, bool committed_updates) {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   for (const auto& rec : held) {
     LockState& st = StateFor(rec.lock_id);
     st.held = false;
@@ -582,7 +603,7 @@ void Client::ReleaseLocks(const std::vector<rvm::LockRecord>& held, bool committ
     }
   }
   DrainPendingLocked();
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void Client::PassTokenLocked(rvm::LockId lock, LockState& st) {
@@ -687,7 +708,7 @@ void Client::OnMessage(netsim::Message&& msg) {
 }
 
 void Client::HandleUpdate(rvm::TransactionRecord&& rec) {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   ++stats_.updates_received;
   if (options_.versioned_reads && acquires_waiting_ == 0) {
     // Versioned-read model: stay on the current consistent version until
@@ -701,11 +722,11 @@ void Client::HandleUpdate(rvm::TransactionRecord&& rec) {
   } else {
     DrainPendingLocked();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void Client::HandleLockRequest(const LockRequestMsg& msg) {
-  std::unique_lock<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   LockState& st = StateFor(msg.lock);
   if (msg.epoch < st.epoch) {
     // A request routed before a reclaim (possibly from the dead node
@@ -714,7 +735,7 @@ void Client::HandleLockRequest(const LockRequestMsg& msg) {
     // after the reclaim — can resend instead of waiting forever.
     LockRevokeMsg sync{msg.lock, st.epoch, node_};
     ++stats_.lock_messages_sent;
-    lk.unlock();
+    lk.Unlock();
     SendTo(msg.requester, EncodeLockRevoke(sync)).ok();
     return;
   }
@@ -723,11 +744,11 @@ void Client::HandleLockRequest(const LockRequestMsg& msg) {
   LockForwardMsg fwd{msg.lock, msg.requester, msg.applied_seq, st.epoch};
   if (prev_tail == node_) {
     HandleForwardLocked(fwd);
-    cv_.notify_all();
+    cv_.NotifyAll();
     return;
   }
   ++stats_.lock_messages_sent;
-  lk.unlock();
+  lk.Unlock();
   base::Status st_send = SendTo(prev_tail, EncodeLockForward(fwd));
   if (!st_send.ok()) {
     LBC_LOG(Warning) << "lock forward to node " << prev_tail
@@ -736,12 +757,12 @@ void Client::HandleLockRequest(const LockRequestMsg& msg) {
 }
 
 void Client::HandleLockForward(const LockForwardMsg& msg) {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   if (msg.epoch < StateFor(msg.lock).epoch) {
     return;  // routed before a reclaim; the requester re-requests
   }
   HandleForwardLocked(msg);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void Client::HandleForwardLocked(const LockForwardMsg& msg) {
@@ -757,7 +778,7 @@ void Client::HandleForwardLocked(const LockForwardMsg& msg) {
 }
 
 void Client::HandleLockToken(LockTokenMsg&& msg) {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   LockState& st = StateFor(msg.lock);
   if (msg.epoch < st.epoch) {
     // A stale token overtaken by a reclaim (e.g. passed by a node that had
@@ -777,7 +798,7 @@ void Client::HandleLockToken(LockTokenMsg&& msg) {
   st.have_token = true;
   st.requested = false;
   st.token_seq = msg.token_seq;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 // ---------------------------------------------------------------------------
@@ -806,13 +827,13 @@ base::Status Client::OnPeerDeath(rvm::NodeId dead) {
   // server record cache; pull whatever this cache is missing. (Mappers of
   // regions whose locks other nodes manage do the same when the revoke
   // reaches them.)
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   for (const auto& [region, mapped] : mapped_regions_) {
     for (rvm::LockId lock : cluster_->LocksForRegion(region)) {
       FetchFromServerLocked(lock);
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return base::OkStatus();
 }
 
@@ -820,7 +841,7 @@ void Client::StartReclaim(rvm::LockId lock, rvm::RegionId region, rvm::NodeId de
   // RecoverDeadClient already withdrew the dead node's mappings, so this is
   // the live mapper set.
   std::vector<rvm::NodeId> mappers = cluster_->PeersOf(region, node_);
-  std::unique_lock<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   LockState& st = StateFor(lock);
   if (st.reclaiming) {
     return;  // a round is already in flight; it collects the same state
@@ -844,14 +865,14 @@ void Client::StartReclaim(rvm::LockId lock, rvm::RegionId region, rvm::NodeId de
   obs::TraceRing::Global()->Emit(node_, obs::TraceType::kReclaimRound, lock, st.epoch);
   if (st.reclaim_pending.empty()) {
     FinishReclaimLocked(lock, st);
-    cv_.notify_all();
+    cv_.NotifyAll();
     return;
   }
   LockRevokeMsg revoke{lock, st.epoch, node_};
   std::vector<uint8_t> payload = EncodeLockRevoke(revoke);
   std::vector<rvm::NodeId> targets(st.reclaim_pending.begin(), st.reclaim_pending.end());
   stats_.lock_messages_sent += targets.size();
-  lk.unlock();
+  lk.Unlock();
   for (rvm::NodeId n : targets) {
     base::Status send_st = SendTo(n, payload);
     if (!send_st.ok()) {
@@ -862,7 +883,7 @@ void Client::StartReclaim(rvm::LockId lock, rvm::RegionId region, rvm::NodeId de
 }
 
 void Client::HandleLockRevoke(const LockRevokeMsg& msg) {
-  std::unique_lock<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   LockState& st = StateFor(msg.lock);
   ++stats_.revokes_received;
   if (msg.epoch <= st.epoch) {
@@ -890,17 +911,17 @@ void Client::HandleLockRevoke(const LockRevokeMsg& msg) {
   // reissued token's interlock can be satisfied.
   FetchFromServerLocked(msg.lock);
   ++stats_.lock_messages_sent;
-  lk.unlock();
+  lk.Unlock();
   base::Status send_st = SendTo(msg.manager, EncodeLockRevokeReply(reply));
   if (!send_st.ok()) {
     LBC_LOG(Warning) << "revoke reply to node " << msg.manager
                      << " failed: " << send_st.ToString();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void Client::HandleLockRevokeReply(const LockRevokeReplyMsg& msg) {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   LockState& st = StateFor(msg.lock);
   if (!st.reclaiming || msg.epoch != st.epoch) {
     return;  // reply to an epoch-sync revoke, or from a superseded round
@@ -913,7 +934,7 @@ void Client::HandleLockRevokeReply(const LockRevokeReplyMsg& msg) {
   if (st.reclaim_pending.empty()) {
     FinishReclaimLocked(msg.lock, st);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void Client::FinishReclaimLocked(rvm::LockId lock, LockState& st) {
@@ -1019,9 +1040,9 @@ void Client::DrainPendingLocked() {
 }
 
 base::Status Client::Accept() {
-  std::lock_guard<std::mutex> lk(mu_);
+  base::MutexLock lk(mu_);
   AcceptLocked();
-  cv_.notify_all();
+  cv_.NotifyAll();
   return base::OkStatus();
 }
 

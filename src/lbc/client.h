@@ -24,17 +24,16 @@
 #ifndef SRC_LBC_CLIENT_H_
 #define SRC_LBC_CLIENT_H_
 
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/sync.h"
 #include "src/lbc/cluster.h"
 #include "src/obs/metrics.h"
 #include "src/lbc/wire_format.h"
@@ -262,7 +261,7 @@ class Client {
   void HandleUpdate(rvm::TransactionRecord&& rec);
   void HandleLockRequest(const LockRequestMsg& msg);
   void HandleLockForward(const LockForwardMsg& msg);
-  void HandleForwardLocked(const LockForwardMsg& msg);
+  void HandleForwardLocked(const LockForwardMsg& msg) LBC_REQUIRES(mu_);
   void HandleLockToken(LockTokenMsg&& msg);
   void HandleLockRevoke(const LockRevokeMsg& msg);
   void HandleLockRevokeReply(const LockRevokeReplyMsg& msg);
@@ -270,12 +269,13 @@ class Client {
   // --- client-failure recovery ----------------------------------------------
   // Begins a reclaim round for a lock this node manages. mu_ must NOT be
   // held.
-  void StartReclaim(rvm::LockId lock, rvm::RegionId region, rvm::NodeId dead);
-  // Completes a reclaim round once every reply is in. mu_ must be held.
-  void FinishReclaimLocked(rvm::LockId lock, LockState& st);
+  void StartReclaim(rvm::LockId lock, rvm::RegionId region, rvm::NodeId dead)
+      LBC_EXCLUDES(mu_);
+  // Completes a reclaim round once every reply is in.
+  void FinishReclaimLocked(rvm::LockId lock, LockState& st) LBC_REQUIRES(mu_);
   // Pulls records this node is missing from the server record cache and
-  // applies what it can. mu_ must be held.
-  void FetchFromServerLocked(rvm::LockId lock);
+  // applies what it can.
+  void FetchFromServerLocked(rvm::LockId lock) LBC_REQUIRES(mu_);
   // Heartbeat / lease-watch loop (runs when heartbeat_interval_ms > 0).
   void HeartbeatThreadMain();
 
@@ -283,22 +283,22 @@ class Client {
   base::Status SendTo(rvm::NodeId to, std::vector<uint8_t> payload);
 
   // Applies `rec` if its lock-sequence predecessors are all applied; returns
-  // true if applied (or duplicate). mu_ must be held.
-  bool TryApplyLocked(const rvm::TransactionRecord& rec);
-  // Applies buffered updates until no more progress. mu_ must be held.
-  void DrainPendingLocked();
-  // Applies the versioned-read buffer. mu_ must be held.
-  void AcceptLocked();
-  // Token pass helper. mu_ must be held.
-  void PassTokenLocked(rvm::LockId lock, LockState& st);
+  // true if applied (or duplicate).
+  bool TryApplyLocked(const rvm::TransactionRecord& rec) LBC_REQUIRES(mu_);
+  // Applies buffered updates until no more progress.
+  void DrainPendingLocked() LBC_REQUIRES(mu_);
+  // Applies the versioned-read buffer.
+  void AcceptLocked() LBC_REQUIRES(mu_);
+  // Token pass helper.
+  void PassTokenLocked(rvm::LockId lock, LockState& st) LBC_REQUIRES(mu_);
   // Discards retained records every current mapper has applied (§2.2's
-  // hold-count scheme, via the server directory). mu_ must be held.
-  void TrimRetainedLocked(rvm::LockId lock, LockState& st);
+  // hold-count scheme, via the server directory).
+  void TrimRetainedLocked(rvm::LockId lock, LockState& st) LBC_REQUIRES(mu_);
   // Reports this node's applied sequence to the server directory (lazy
-  // policy only). mu_ must be held.
-  void ReportAppliedLocked(rvm::LockId lock);
+  // policy only).
+  void ReportAppliedLocked(rvm::LockId lock) LBC_REQUIRES(mu_);
 
-  LockState& StateFor(rvm::LockId lock);
+  LockState& StateFor(rvm::LockId lock) LBC_REQUIRES(mu_);
 
   Cluster* cluster_;
   rvm::NodeId node_;
@@ -308,23 +308,23 @@ class Client {
   std::unique_ptr<netsim::ReliableChannel> channel_;
   std::thread heartbeat_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<rvm::LockId, LockState> locks_;
-  std::map<rvm::LockId, uint64_t> applied_seq_;
-  std::map<rvm::RegionId, bool> mapped_regions_;
+  mutable base::Mutex mu_{"lbc.client", base::LockRank::kClient};
+  base::CondVar cv_;
+  std::map<rvm::LockId, LockState> locks_ LBC_GUARDED_BY(mu_);
+  std::map<rvm::LockId, uint64_t> applied_seq_ LBC_GUARDED_BY(mu_);
+  std::map<rvm::RegionId, bool> mapped_regions_ LBC_GUARDED_BY(mu_);
   // Acquires currently blocked in AcquireLock; while nonzero, versioned-read
   // buffering is bypassed so the interlock can make progress.
-  int acquires_waiting_ = 0;
+  int acquires_waiting_ LBC_GUARDED_BY(mu_) = 0;
   // Updates waiting for their predecessors (§3.4).
-  std::vector<rvm::TransactionRecord> pending_;
+  std::vector<rvm::TransactionRecord> pending_ LBC_GUARDED_BY(mu_);
   // Versioned-read buffer: updates held until Accept().
-  std::deque<rvm::TransactionRecord> version_buffer_;
-  ClientStats stats_;
-  bool disconnected_ = false;
+  std::deque<rvm::TransactionRecord> version_buffer_ LBC_GUARDED_BY(mu_);
+  ClientStats stats_ LBC_GUARDED_BY(mu_);
+  bool disconnected_ LBC_GUARDED_BY(mu_) = false;
   // Last server restart epoch this node has registered with; a mismatch
   // against Cluster::ServerEpoch means our directory entries were wiped.
-  uint64_t server_epoch_seen_ = 0;
+  uint64_t server_epoch_seen_ LBC_GUARDED_BY(mu_) = 0;
 
   // Registered once in Init() (lbc.n<node>.*); hot paths bump the atomics.
   obs::Counter* obs_network_nanos_ = nullptr;

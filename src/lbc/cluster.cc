@@ -36,12 +36,12 @@ ServerMetrics* GlobalServerMetrics() {
 namespace lbc {
 
 void Cluster::DefineLock(rvm::LockId lock, rvm::RegionId region, rvm::NodeId manager) {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   locks_[lock] = LockSpec{region, manager};
 }
 
 base::Result<LockSpec> Cluster::GetLock(rvm::LockId lock) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   auto it = locks_.find(lock);
   if (it == locks_.end()) {
     return base::NotFound("undefined lock: " + std::to_string(lock));
@@ -50,7 +50,7 @@ base::Result<LockSpec> Cluster::GetLock(rvm::LockId lock) const {
 }
 
 std::vector<rvm::LockId> Cluster::LocksForRegion(rvm::RegionId region) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   std::vector<rvm::LockId> out;
   for (const auto& [lock, spec] : locks_) {
     if (spec.region == region) {
@@ -61,7 +61,7 @@ std::vector<rvm::LockId> Cluster::LocksForRegion(rvm::RegionId region) const {
 }
 
 std::vector<rvm::LockId> Cluster::AllLocks() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   std::vector<rvm::LockId> out;
   out.reserve(locks_.size());
   for (const auto& [lock, spec] : locks_) {
@@ -71,7 +71,7 @@ std::vector<rvm::LockId> Cluster::AllLocks() const {
 }
 
 void Cluster::RegisterMapping(rvm::RegionId region, rvm::NodeId node) {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   if (!server_up_) {
     return;  // lost; the client re-registers at RejoinServer
   }
@@ -82,7 +82,7 @@ void Cluster::RegisterMapping(rvm::RegionId region, rvm::NodeId node) {
 }
 
 void Cluster::UnregisterMapping(rvm::RegionId region, rvm::NodeId node) {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   auto it = mappings_.find(region);
   if (it == mappings_.end()) {
     return;
@@ -92,7 +92,7 @@ void Cluster::UnregisterMapping(rvm::RegionId region, rvm::NodeId node) {
 }
 
 std::vector<rvm::NodeId> Cluster::PeersOf(rvm::RegionId region, rvm::NodeId exclude) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   std::vector<rvm::NodeId> out;
   if (!server_up_) {
     return out;
@@ -118,7 +118,7 @@ base::Status Cluster::ReplayAndRecordBaselines(const std::vector<std::string>& l
   }
   ASSIGN_OR_RETURN(auto merged, rvm::MergeLogs(store_, log_names));
   RETURN_IF_ERROR(rvm::ApplyToDatabase(store_, merged));
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   for (const auto& txn : merged) {
     for (const auto& lock : txn.locks) {
       uint64_t& baseline = baseline_seq_[lock.lock_id];
@@ -129,7 +129,7 @@ base::Status Cluster::ReplayAndRecordBaselines(const std::vector<std::string>& l
 }
 
 uint64_t Cluster::BaselineSeq(rvm::LockId lock) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   if (!server_up_) {
     return 0;
   }
@@ -138,7 +138,7 @@ uint64_t Cluster::BaselineSeq(rvm::LockId lock) const {
 }
 
 void Cluster::RecordBaseline(rvm::LockId lock, uint64_t seq) {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   if (!server_up_) {
     return;
   }
@@ -147,7 +147,7 @@ void Cluster::RecordBaseline(rvm::LockId lock, uint64_t seq) {
 }
 
 void Cluster::NoteApplied(rvm::LockId lock, rvm::NodeId node, uint64_t seq) {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   if (!server_up_) {
     return;  // lost; the client re-reports at RejoinServer
   }
@@ -156,7 +156,7 @@ void Cluster::NoteApplied(rvm::LockId lock, rvm::NodeId node, uint64_t seq) {
 }
 
 uint64_t Cluster::MinApplied(rvm::LockId lock, rvm::NodeId exclude) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   if (!server_up_) {
     return 0;  // conservative: nobody may discard anything while we're down
   }
@@ -202,7 +202,7 @@ void Cluster::CacheRecords(rvm::LockId lock, const rvm::TransactionRecord& rec) 
       break;
     }
   }
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   if (!server_up_) {
     return;
   }
@@ -212,7 +212,7 @@ void Cluster::CacheRecords(rvm::LockId lock, const rvm::TransactionRecord& rec) 
 
 std::vector<rvm::TransactionRecord> Cluster::FetchRecordsSince(rvm::LockId lock,
                                                                uint64_t after_seq) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   std::vector<rvm::TransactionRecord> out;
   if (!server_up_) {
     return out;
@@ -232,7 +232,7 @@ std::vector<rvm::TransactionRecord> Cluster::FetchRecordsSince(rvm::LockId lock,
 void Cluster::TrimRecordCache(rvm::LockId lock) {
   // Reuse MinApplied's bookkeeping; exclude nothing (node 0 is never real).
   uint64_t min_applied = MinApplied(lock, /*exclude=*/0);
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   auto it = record_cache_.find(lock);
   if (it == record_cache_.end()) {
     return;
@@ -242,13 +242,13 @@ void Cluster::TrimRecordCache(rvm::LockId lock) {
 }
 
 size_t Cluster::CachedRecordCount(rvm::LockId lock) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   auto it = record_cache_.find(lock);
   return it == record_cache_.end() ? 0 : it->second.size();
 }
 
 void Cluster::NoteAlive(rvm::NodeId node) {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   if (!server_up_ || dead_.count(node) != 0) {
     return;  // declared dead stays dead; see header
   }
@@ -256,7 +256,7 @@ void Cluster::NoteAlive(rvm::NodeId node) {
 }
 
 void Cluster::DeclareDead(rvm::NodeId node) {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   if (!server_up_) {
     return;
   }
@@ -265,17 +265,17 @@ void Cluster::DeclareDead(rvm::NodeId node) {
 }
 
 bool Cluster::IsDead(rvm::NodeId node) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   return dead_.count(node) != 0;
 }
 
 std::vector<rvm::NodeId> Cluster::DeadNodes() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   return {dead_.begin(), dead_.end()};
 }
 
 std::vector<rvm::NodeId> Cluster::LeaseExpired(std::chrono::milliseconds lease) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   std::vector<rvm::NodeId> out;
   auto deadline = std::chrono::steady_clock::now() - lease;
   for (const auto& [node, beat] : last_heartbeat_) {
@@ -292,7 +292,7 @@ base::Status Cluster::RecoverDeadClient(rvm::NodeId node) {
   }
   DeclareDead(node);
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    base::MutexLock guard(mu_);
     if (recovered_.count(node) != 0) {
       return base::OkStatus();
     }
@@ -304,7 +304,7 @@ base::Status Cluster::RecoverDeadClient(rvm::NodeId node) {
     ASSIGN_OR_RETURN(merged, rvm::MergeLogs(store_, {log_name}));
     RETURN_IF_ERROR(rvm::ApplyToDatabase(store_, merged));
   }
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   if (!recovered_.insert(node).second) {
     return base::OkStatus();  // lost a race with a concurrent detector
   }
@@ -351,7 +351,7 @@ base::Status Cluster::RecoverAndTrim(const std::vector<rvm::NodeId>& nodes) {
 }
 
 void Cluster::KillServer() {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   server_up_ = false;
   // Everything server-resident and soft dies with the machine. The lock
   // table survives: it is static configuration, not run-time state.
@@ -366,7 +366,7 @@ void Cluster::KillServer() {
 
 base::Status Cluster::RestartServer() {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    base::MutexLock guard(mu_);
     if (server_up_) {
       return base::OkStatus();
     }
@@ -389,7 +389,7 @@ base::Status Cluster::RestartServer() {
     ASSIGN_OR_RETURN(merged, rvm::MergeLogs(store_, log_names));
     RETURN_IF_ERROR(rvm::ApplyToDatabase(store_, merged));
   }
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   for (const auto& txn : merged) {
     for (const auto& lock : txn.locks) {
       uint64_t& baseline = baseline_seq_[lock.lock_id];
@@ -406,12 +406,12 @@ base::Status Cluster::RestartServer() {
 }
 
 bool Cluster::ServerUp() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   return server_up_;
 }
 
 uint64_t Cluster::ServerEpoch() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   return server_epoch_;
 }
 

@@ -15,11 +15,11 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/sync.h"
 #include "src/netsim/fabric.h"
 #include "src/rvm/types.h"
 #include "src/store/durable_store.h"
@@ -173,19 +173,23 @@ class Cluster {
   store::DurableStore* store_;
   netsim::Fabric fabric_;
 
-  mutable std::mutex mu_;
-  std::map<rvm::LockId, LockSpec> locks_;
-  std::map<rvm::RegionId, std::vector<rvm::NodeId>> mappings_;
-  std::map<rvm::LockId, uint64_t> baseline_seq_;
-  std::map<rvm::LockId, std::map<rvm::NodeId, uint64_t>> applied_reports_;
+  mutable base::Mutex mu_{"lbc.cluster", base::LockRank::kCluster};
+  std::map<rvm::LockId, LockSpec> locks_ LBC_GUARDED_BY(mu_);
+  std::map<rvm::RegionId, std::vector<rvm::NodeId>> mappings_ LBC_GUARDED_BY(mu_);
+  std::map<rvm::LockId, uint64_t> baseline_seq_ LBC_GUARDED_BY(mu_);
+  std::map<rvm::LockId, std::map<rvm::NodeId, uint64_t>> applied_reports_
+      LBC_GUARDED_BY(mu_);
   // Server-cached records, keyed by lock, ordered by that lock's sequence.
-  std::map<rvm::LockId, std::map<uint64_t, rvm::TransactionRecord>> record_cache_;
+  std::map<rvm::LockId, std::map<uint64_t, rvm::TransactionRecord>> record_cache_
+      LBC_GUARDED_BY(mu_);
   // Liveness registry.
-  std::map<rvm::NodeId, std::chrono::steady_clock::time_point> last_heartbeat_;
-  std::set<rvm::NodeId> dead_;
-  std::set<rvm::NodeId> recovered_;  // dead nodes whose log has been merged
-  bool server_up_ = true;
-  uint64_t server_epoch_ = 0;
+  std::map<rvm::NodeId, std::chrono::steady_clock::time_point> last_heartbeat_
+      LBC_GUARDED_BY(mu_);
+  std::set<rvm::NodeId> dead_ LBC_GUARDED_BY(mu_);
+  // Dead nodes whose log has been merged.
+  std::set<rvm::NodeId> recovered_ LBC_GUARDED_BY(mu_);
+  bool server_up_ LBC_GUARDED_BY(mu_) = true;
+  uint64_t server_epoch_ LBC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lbc

@@ -21,7 +21,7 @@ base::Status Endpoint::Send(NodeId to, std::vector<uint8_t> payload) {
   RETURN_IF_ERROR(fabric_->Deliver(id_, to, std::move(payload)));
   obs_messages_sent_->Increment();
   obs_bytes_sent_->Add(bytes);
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
   stats_.send_nanos += timer.StopNanos();
@@ -41,7 +41,7 @@ base::Status Endpoint::Multicast(const std::vector<NodeId>& to,
   }
   obs_messages_sent_->Increment();
   obs_bytes_sent_->Add(bytes);
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
   stats_.send_nanos += timer.StopNanos();
@@ -49,8 +49,10 @@ base::Status Endpoint::Multicast(const std::vector<NodeId>& to,
 }
 
 std::optional<Message> Endpoint::Receive() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !inbox_.empty() || shutdown_; });
+  base::MutexLock lock(mu_);
+  while (inbox_.empty() && !shutdown_) {
+    cv_.Wait(lock);
+  }
   if (inbox_.empty()) {
     return std::nullopt;
   }
@@ -65,7 +67,7 @@ std::optional<Message> Endpoint::Receive() {
 
 void Endpoint::StartReceiver(std::function<void(Message&&)> handler) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     if (receiver_running_) {
       return;
     }
@@ -80,37 +82,37 @@ void Endpoint::StartReceiver(std::function<void(Message&&)> handler) {
 
 void Endpoint::StopReceiver() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     if (!receiver_running_) {
       return;
     }
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (receiver_.joinable()) {
     receiver_.join();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   receiver_running_ = false;
   shutdown_ = false;  // endpoint stays usable for polling receives
 }
 
 EndpointStats Endpoint::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return stats_;
 }
 
 void Endpoint::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   stats_ = EndpointStats{};
 }
 
 void Endpoint::Enqueue(Message&& msg) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     inbox_.push_back(std::move(msg));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 Fabric::Fabric() {
@@ -122,7 +124,7 @@ Fabric::Fabric() {
 }
 
 Endpoint* Fabric::AddNode(NodeId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = nodes_.find(id);
   if (it != nodes_.end()) {
     return it->second.get();
@@ -134,13 +136,13 @@ Endpoint* Fabric::AddNode(NodeId id) {
 }
 
 Endpoint* Fabric::GetNode(NodeId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : it->second.get();
 }
 
 std::vector<NodeId> Fabric::Nodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::vector<NodeId> ids;
   ids.reserve(nodes_.size());
   for (const auto& [id, node] : nodes_) {
@@ -150,7 +152,7 @@ std::vector<NodeId> Fabric::Nodes() const {
 }
 
 void Fabric::SetLinkDelay(NodeId from, NodeId to, uint64_t delay_micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   if (delay_micros == 0) {
     link_delay_us_.erase({from, to});
     return;
@@ -163,7 +165,7 @@ void Fabric::SetLinkDelay(NodeId from, NodeId to, uint64_t delay_micros) {
 }
 
 void Fabric::SetLinkFaults(NodeId from, NodeId to, const LinkFaults& faults) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   if (!faults.any()) {
     link_faults_.erase({from, to});
     return;
@@ -172,50 +174,50 @@ void Fabric::SetLinkFaults(NodeId from, NodeId to, const LinkFaults& faults) {
 }
 
 void Fabric::SetDefaultFaults(const LinkFaults& faults) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   default_faults_ = faults;
 }
 
 void Fabric::SeedFaults(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   fault_seed_ = seed;
   fault_rngs_.clear();
 }
 
 void Fabric::Partition(NodeId a, NodeId b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   partitions_.insert({a, b});
   partitions_.insert({b, a});
 }
 
 void Fabric::PartitionOneWay(NodeId from, NodeId to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   partitions_.insert({from, to});
 }
 
 void Fabric::Heal(NodeId a, NodeId b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   partitions_.erase({a, b});
   partitions_.erase({b, a});
 }
 
 void Fabric::HealOneWay(NodeId from, NodeId to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   partitions_.erase({from, to});
 }
 
 void Fabric::HealAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   partitions_.clear();
 }
 
 bool Fabric::IsPartitioned(NodeId from, NodeId to) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return partitions_.count({from, to}) != 0;
 }
 
 FaultStats Fabric::fault_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return fault_stats_;
 }
 
@@ -243,17 +245,19 @@ void Fabric::ScheduleDelayedLocked(std::chrono::steady_clock::time_point deliver
     delay_thread_running_ = true;
     delay_thread_ = std::thread([this] { DelayThreadMain(); });
   }
-  delay_cv_.notify_one();
+  delay_cv_.NotifyOne();
 }
 
 void Fabric::DelayThreadMain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   while (true) {
     if (shutdown_) {
       return;
     }
     if (delayed_.empty()) {
-      delay_cv_.wait(lock, [this] { return shutdown_ || !delayed_.empty(); });
+      while (!shutdown_ && delayed_.empty()) {
+        delay_cv_.Wait(lock);
+      }
       continue;
     }
     auto now = std::chrono::steady_clock::now();
@@ -261,7 +265,7 @@ void Fabric::DelayThreadMain() {
     // concurrent ScheduleDelayedLocked push may have reallocated the queue.
     auto deadline = delayed_.top().deliver_at;
     if (deadline > now) {
-      delay_cv_.wait_until(lock, deadline);
+      delay_cv_.WaitUntil(lock, deadline);
       continue;
     }
     Message msg = std::move(const_cast<DelayedMessage&>(delayed_.top()).msg);
@@ -271,14 +275,14 @@ void Fabric::DelayThreadMain() {
       continue;
     }
     Endpoint* dest = it->second.get();
-    lock.unlock();
+    lock.Unlock();
     dest->Enqueue(std::move(msg));
-    lock.lock();
+    lock.Lock();
   }
 }
 
 void Fabric::HoldLink(NodeId from, NodeId to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   held_.try_emplace({from, to});
 }
 
@@ -286,7 +290,7 @@ void Fabric::ReleaseLink(NodeId from, NodeId to) {
   std::deque<Message> pending;
   Endpoint* dest = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     auto it = held_.find({from, to});
     if (it == held_.end()) {
       return;
@@ -307,7 +311,7 @@ void Fabric::Shutdown() {
   std::vector<Endpoint*> endpoints;
   bool join_delay_thread = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     if (shutdown_) {
       return;
     }
@@ -317,7 +321,7 @@ void Fabric::Shutdown() {
       endpoints.push_back(node.get());
     }
   }
-  delay_cv_.notify_all();
+  delay_cv_.NotifyAll();
   if (join_delay_thread && delay_thread_.joinable()) {
     delay_thread_.join();
   }
@@ -330,7 +334,7 @@ base::Status Fabric::Deliver(NodeId from, NodeId to, std::vector<uint8_t> payloa
   Endpoint* dest = nullptr;
   bool duplicate = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     if (shutdown_) {
       return base::Unavailable("fabric shut down");
     }

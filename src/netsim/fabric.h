@@ -18,13 +18,11 @@
 #ifndef SRC_NETSIM_FABRIC_H_
 #define SRC_NETSIM_FABRIC_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <chrono>
 #include <optional>
 #include <queue>
@@ -34,6 +32,7 @@
 
 #include "src/base/rng.h"
 #include "src/base/status.h"
+#include "src/base/sync.h"
 #include "src/obs/metrics.h"
 
 namespace netsim {
@@ -122,13 +121,13 @@ class Endpoint {
   Fabric* fabric_;
   NodeId id_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> inbox_;
-  bool shutdown_ = false;
-  EndpointStats stats_;
+  mutable base::Mutex mu_{"netsim.endpoint", base::LockRank::kEndpoint};
+  base::CondVar cv_;
+  std::deque<Message> inbox_ LBC_GUARDED_BY(mu_);
+  bool shutdown_ LBC_GUARDED_BY(mu_) = false;
+  EndpointStats stats_ LBC_GUARDED_BY(mu_);
   std::thread receiver_;
-  bool receiver_running_ = false;
+  bool receiver_running_ LBC_GUARDED_BY(mu_) = false;
 
   // Registered once at construction (netsim.n<id>.*); bumped alongside the
   // per-instance stats_ so snapshots see the whole cluster at once.
@@ -202,26 +201,26 @@ class Fabric {
   base::Status Deliver(NodeId from, NodeId to, std::vector<uint8_t> payload);
   void DelayThreadMain();
   // Queues msg on the delay thread for delivery at `deliver_at`; lazily
-  // starts the thread. mu_ must be held.
+  // starts the thread.
   void ScheduleDelayedLocked(std::chrono::steady_clock::time_point deliver_at,
-                             Message&& msg);
-  // The (possibly default) fault policy for a link. mu_ must be held.
-  const LinkFaults& FaultsForLocked(NodeId from, NodeId to) const;
-  base::Rng& FaultRngLocked(NodeId from, NodeId to);
+                             Message&& msg) LBC_REQUIRES(mu_);
+  // The (possibly default) fault policy for a link.
+  const LinkFaults& FaultsForLocked(NodeId from, NodeId to) const LBC_REQUIRES(mu_);
+  base::Rng& FaultRngLocked(NodeId from, NodeId to) LBC_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<NodeId, std::unique_ptr<Endpoint>> nodes_;
-  std::map<std::pair<NodeId, NodeId>, std::deque<Message>> held_;
-  bool shutdown_ = false;
+  mutable base::Mutex mu_{"netsim.fabric", base::LockRank::kFabric};
+  std::map<NodeId, std::unique_ptr<Endpoint>> nodes_ LBC_GUARDED_BY(mu_);
+  std::map<std::pair<NodeId, NodeId>, std::deque<Message>> held_ LBC_GUARDED_BY(mu_);
+  bool shutdown_ LBC_GUARDED_BY(mu_) = false;
 
   // --- fault injection ----------------------------------------------------
-  std::map<std::pair<NodeId, NodeId>, LinkFaults> link_faults_;
-  LinkFaults default_faults_;
-  uint64_t fault_seed_ = 0;
+  std::map<std::pair<NodeId, NodeId>, LinkFaults> link_faults_ LBC_GUARDED_BY(mu_);
+  LinkFaults default_faults_ LBC_GUARDED_BY(mu_);
+  uint64_t fault_seed_ LBC_GUARDED_BY(mu_) = 0;
   // One RNG stream per directed link, created on first use from fault_seed_.
-  std::map<std::pair<NodeId, NodeId>, base::Rng> fault_rngs_;
-  std::set<std::pair<NodeId, NodeId>> partitions_;
-  FaultStats fault_stats_;
+  std::map<std::pair<NodeId, NodeId>, base::Rng> fault_rngs_ LBC_GUARDED_BY(mu_);
+  std::set<std::pair<NodeId, NodeId>> partitions_ LBC_GUARDED_BY(mu_);
+  FaultStats fault_stats_ LBC_GUARDED_BY(mu_);
   // Process-wide fault totals (netsim.fabric.*), registered at construction.
   obs::Counter* obs_dropped_ = nullptr;
   obs::Counter* obs_duplicated_ = nullptr;
@@ -238,17 +237,17 @@ class Fabric {
                                             : seq > other.seq;
     }
   };
-  std::map<std::pair<NodeId, NodeId>, uint64_t> link_delay_us_;
+  std::map<std::pair<NodeId, NodeId>, uint64_t> link_delay_us_ LBC_GUARDED_BY(mu_);
   // Last scheduled delivery per link, so FIFO survives delay changes.
   std::map<std::pair<NodeId, NodeId>, std::chrono::steady_clock::time_point>
-      link_last_delivery_;
+      link_last_delivery_ LBC_GUARDED_BY(mu_);
   std::priority_queue<DelayedMessage, std::vector<DelayedMessage>,
                       std::greater<DelayedMessage>>
-      delayed_;
-  uint64_t delay_seq_ = 0;
-  std::condition_variable delay_cv_;
+      delayed_ LBC_GUARDED_BY(mu_);
+  uint64_t delay_seq_ LBC_GUARDED_BY(mu_) = 0;
+  base::CondVar delay_cv_;
   std::thread delay_thread_;
-  bool delay_thread_running_ = false;
+  bool delay_thread_running_ LBC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace netsim

@@ -43,7 +43,7 @@ ReliableChannel::ReliableChannel(Endpoint* endpoint, const ReliableChannelOption
 ReliableChannel::~ReliableChannel() { Shutdown(); }
 
 base::Status ReliableChannel::Send(NodeId to, std::vector<uint8_t> payload) {
-  std::unique_lock<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   if (shutdown_) {
     return base::Unavailable("reliable channel shut down");
   }
@@ -61,7 +61,7 @@ base::Status ReliableChannel::Send(NodeId to, std::vector<uint8_t> payload) {
     retransmit_thread_running_ = true;
     retransmit_thread_ = std::thread([this] { RetransmitThreadMain(); });
   }
-  retransmit_cv_.notify_one();
+  retransmit_cv_.NotifyOne();
   // Fabric sends never block on the receiver, so holding mu_ here only
   // orders channel state ahead of the wire (fabric locks are leaves).
   base::Status st = endpoint_->Send(to, std::move(frame));
@@ -74,7 +74,7 @@ base::Status ReliableChannel::Send(NodeId to, std::vector<uint8_t> payload) {
 
 void ReliableChannel::StartReceiver(std::function<void(Message&&)> handler) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     handler_ = std::move(handler);
   }
   endpoint_->StartReceiver([this](Message&& msg) { OnMessage(std::move(msg)); });
@@ -88,7 +88,7 @@ void ReliableChannel::OnMessage(Message&& msg) {
   if (tag != kDataTag && tag != kAckTag) {
     std::function<void(Message&&)> handler;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      base::MutexLock lock(mu_);
       ++stats_.raw_passthrough;
       handler = handler_;
     }
@@ -106,7 +106,7 @@ void ReliableChannel::OnMessage(Message&& msg) {
   }
 
   if (tag == kAckTag) {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     auto it = send_state_.find(msg.from);
     if (it != send_state_.end()) {
       auto& unacked = it->second.unacked;
@@ -124,7 +124,7 @@ void ReliableChannel::OnMessage(Message&& msg) {
   uint64_t ack = 0;
   std::function<void(Message&&)> handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     handler = handler_;
     PeerRecvState& peer = recv_state_[msg.from];
     if (seq <= peer.delivered) {
@@ -159,7 +159,7 @@ void ReliableChannel::OnMessage(Message&& msg) {
 }
 
 void ReliableChannel::RetransmitThreadMain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   while (!shutdown_) {
     // Earliest pending deadline across all peers.
     bool any = false;
@@ -171,7 +171,7 @@ void ReliableChannel::RetransmitThreadMain() {
       }
     }
     if (!any) {
-      retransmit_cv_.wait(lock);
+      retransmit_cv_.Wait(lock);
       continue;
     }
     // Sleep until the earliest deadline. The wait's return reason is
@@ -181,7 +181,7 @@ void ReliableChannel::RetransmitThreadMain() {
     // due frames for an extra backoff period. Instead, always re-derive what
     // is due from the state; frames whose deadline has not arrived are
     // skipped cheaply.
-    retransmit_cv_.wait_until(lock, next);
+    retransmit_cv_.WaitUntil(lock, next);
     if (shutdown_) {
       break;
     }
@@ -217,13 +217,13 @@ void ReliableChannel::RetransmitThreadMain() {
 
 void ReliableChannel::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     if (shutdown_) {
       return;
     }
     shutdown_ = true;
   }
-  retransmit_cv_.notify_all();
+  retransmit_cv_.NotifyAll();
   if (retransmit_thread_.joinable()) {
     retransmit_thread_.join();
   }
@@ -231,13 +231,13 @@ void ReliableChannel::Shutdown() {
 }
 
 void ReliableChannel::ForgetPeer(NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   send_state_.erase(node);
   recv_state_.erase(node);
 }
 
 bool ReliableChannel::AllAcked() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   for (const auto& [node, peer] : send_state_) {
     if (!peer.unacked.empty()) {
       return false;
@@ -247,7 +247,7 @@ bool ReliableChannel::AllAcked() const {
 }
 
 ReliableChannelStats ReliableChannel::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return stats_;
 }
 

@@ -24,15 +24,14 @@
 #ifndef SRC_NETSIM_RELIABLE_H_
 #define SRC_NETSIM_RELIABLE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/sync.h"
 #include "src/netsim/fabric.h"
 
 namespace netsim {
@@ -118,15 +117,15 @@ class ReliableChannel {
   obs::Counter* obs_retransmits_ = nullptr;
   obs::Counter* obs_frames_abandoned_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::condition_variable retransmit_cv_;
-  std::function<void(Message&&)> handler_;
-  std::map<NodeId, PeerSendState> send_state_;
-  std::map<NodeId, PeerRecvState> recv_state_;
-  ReliableChannelStats stats_;
+  mutable base::Mutex mu_{"netsim.reliable", base::LockRank::kReliable};
+  base::CondVar retransmit_cv_;
+  std::function<void(Message&&)> handler_ LBC_GUARDED_BY(mu_);
+  std::map<NodeId, PeerSendState> send_state_ LBC_GUARDED_BY(mu_);
+  std::map<NodeId, PeerRecvState> recv_state_ LBC_GUARDED_BY(mu_);
+  ReliableChannelStats stats_ LBC_GUARDED_BY(mu_);
   std::thread retransmit_thread_;
-  bool retransmit_thread_running_ = false;
-  bool shutdown_ = false;
+  bool retransmit_thread_running_ LBC_GUARDED_BY(mu_) = false;
+  bool shutdown_ LBC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace netsim

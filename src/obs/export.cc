@@ -4,8 +4,22 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/base/sync.h"
+
 namespace obs {
 namespace {
+
+// The lock-order detector lives below the metrics layer (base must not
+// depend on obs), so its counters are merged into the snapshot here rather
+// than registered as regular Counter objects.
+void MergeLockOrderCounters(std::map<std::string, uint64_t>* counters) {
+  base::LockOrderCounters lo = base::GetLockOrderCounters();
+  (*counters)["sync.lockorder.acquires_checked"] = lo.acquires_checked;
+  (*counters)["sync.lockorder.edges_recorded"] = lo.edges_recorded;
+  (*counters)["sync.lockorder.cycles_detected"] = lo.cycles_detected;
+  (*counters)["sync.lockorder.rank_inversions"] = lo.rank_inversions;
+  (*counters)["sync.lockorder.self_recursions"] = lo.self_recursions;
+}
 
 // Metric names are [a-z0-9._] by convention, but escape defensively so a
 // stray name cannot produce invalid JSON.
@@ -54,6 +68,7 @@ std::vector<TraceEvent> TailEvents(const TraceRing* trace, size_t max_events) {
 std::string DumpText(const MetricsRegistry& registry, const TraceRing* trace,
                      size_t max_trace_events) {
   auto snap = registry.TakeSnapshot();
+  MergeLockOrderCounters(&snap.counters);
   std::ostringstream out;
   for (const auto& [name, value] : snap.counters) {
     out << name << " " << value << "\n";
@@ -82,6 +97,7 @@ std::string DumpText() { return DumpText(*MetricsRegistry::Global(), TraceRing::
 std::string DumpJson(const MetricsRegistry& registry, const TraceRing* trace,
                      size_t max_trace_events) {
   auto snap = registry.TakeSnapshot();
+  MergeLockOrderCounters(&snap.counters);
   std::ostringstream out;
   out << "{";
 

@@ -75,7 +75,7 @@ MetricsRegistry* MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   LBC_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
@@ -83,7 +83,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   LBC_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
@@ -91,7 +91,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   LBC_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
@@ -99,7 +99,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   Snapshot snap;
   for (const auto& [name, c] : counters_) {
     snap.counters[name] = c->value();
@@ -127,7 +127,7 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

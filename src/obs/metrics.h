@@ -29,11 +29,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/base/clock.h"
+#include "src/base/sync.h"
 
 namespace obs {
 
@@ -157,10 +157,10 @@ class MetricsRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable base::Mutex mu_{"obs.metrics", base::LockRank::kObs};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ LBC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ LBC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ LBC_GUARDED_BY(mu_);
 };
 
 // "rvm" + 3 + "detect_nanos" -> "rvm.n3.detect_nanos".

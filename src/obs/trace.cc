@@ -42,7 +42,7 @@ void TraceRing::Emit(uint64_t node, TraceType type, uint64_t lock, uint64_t seq,
   e.lock = lock;
   e.seq = seq;
   e.bytes = bytes;
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(e);
   } else {
@@ -52,7 +52,7 @@ void TraceRing::Emit(uint64_t node, TraceType type, uint64_t lock, uint64_t seq,
 }
 
 std::vector<TraceEvent> TraceRing::Snapshot() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -68,17 +68,17 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
 }
 
 uint64_t TraceRing::total_emitted() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   return next_;
 }
 
 uint64_t TraceRing::dropped() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   return next_ > ring_.size() ? next_ - ring_.size() : 0;
 }
 
 void TraceRing::Clear() {
-  std::lock_guard<std::mutex> guard(mu_);
+  base::MutexLock guard(mu_);
   ring_.clear();
   next_ = 0;
 }

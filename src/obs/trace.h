@@ -15,8 +15,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "src/base/sync.h"
 
 namespace obs {
 
@@ -71,9 +72,10 @@ class TraceRing {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;  // slot i holds event number (next_ - size + i)
-  uint64_t next_ = 0;             // total events ever emitted
+  mutable base::Mutex mu_{"obs.trace", base::LockRank::kObs};
+  // slot i holds event number (next_ - size + i)
+  std::vector<TraceEvent> ring_ LBC_GUARDED_BY(mu_);
+  uint64_t next_ LBC_GUARDED_BY(mu_) = 0;  // total events ever emitted
 };
 
 }  // namespace obs

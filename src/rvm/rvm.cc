@@ -16,6 +16,9 @@ base::Result<std::unique_ptr<Rvm>> Rvm::Open(store::DurableStore* store, NodeId 
 }
 
 base::Status Rvm::Init() {
+  // Init runs before the instance escapes Open(), but commit_seq_ and log_
+  // are guarded members and this is an ordinary method, so hold the lock.
+  base::MutexLock lock(mu_);
   auto* reg = obs::MetricsRegistry::Global();
   obs_detect_nanos_ = reg->GetCounter(obs::NodeMetricName("rvm", node_, "detect_nanos"));
   obs_collect_nanos_ = reg->GetCounter(obs::NodeMetricName("rvm", node_, "collect_nanos"));
@@ -50,7 +53,7 @@ base::Status Rvm::Init() {
 }
 
 base::Result<Region*> Rvm::MapRegion(RegionId id, uint64_t length) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   if (regions_.count(id)) {
     return base::AlreadyExists("region already mapped: " + std::to_string(id));
   }
@@ -68,13 +71,13 @@ base::Result<Region*> Rvm::MapRegion(RegionId id, uint64_t length) {
 }
 
 Region* Rvm::GetRegion(RegionId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = regions_.find(id);
   return it == regions_.end() ? nullptr : it->second.get();
 }
 
 base::Status Rvm::UnmapRegion(RegionId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   if (regions_.erase(id) == 0) {
     return base::NotFound("region not mapped: " + std::to_string(id));
   }
@@ -82,7 +85,7 @@ base::Status Rvm::UnmapRegion(RegionId id) {
 }
 
 TxnId Rvm::BeginTransaction(RestoreMode mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   TxnId id = next_txn_++;
   Txn& txn = txns_[id];
   txn.mode = mode;
@@ -92,7 +95,7 @@ TxnId Rvm::BeginTransaction(RestoreMode mode) {
 
 base::Status Rvm::SetRange(TxnId txn_id, RegionId region_id, uint64_t offset, uint64_t len) {
   obs::ScopedTimer timer(obs_detect_nanos_);
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end() || !it->second.active) {
     return base::FailedPrecondition("no such active transaction");
@@ -132,7 +135,7 @@ base::Status Rvm::SetRange(TxnId txn_id, RegionId region_id, uint64_t offset, ui
 }
 
 base::Status Rvm::SetLockId(TxnId txn_id, LockId lock, uint64_t sequence) {
-  std::lock_guard<std::mutex> lock_guard(mu_);
+  base::MutexLock lock_guard(mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end() || !it->second.active) {
     return base::FailedPrecondition("no such active transaction");
@@ -156,7 +159,7 @@ base::Status Rvm::EndTransaction(TxnId txn_id, CommitMode mode) {
   CommitContext ctx;
   {
     obs::ScopedTimer collect_timer(obs_collect_nanos_);
-    std::unique_lock<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     auto it = txns_.find(txn_id);
     if (it == txns_.end() || !it->second.active) {
       return base::FailedPrecondition("no such active transaction");
@@ -259,7 +262,7 @@ base::Status Rvm::EndTransaction(TxnId txn_id, CommitMode mode) {
     // Keep the lock records alive for the hook invocation below.
     Txn finished = std::move(txn);
     txns_.erase(it);
-    lock.unlock();
+    lock.Unlock();
 
     ctx.locks = &finished.locks;
     if (commit_hook_) {
@@ -270,7 +273,7 @@ base::Status Rvm::EndTransaction(TxnId txn_id, CommitMode mode) {
 }
 
 base::Status Rvm::AbortTransaction(TxnId txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end() || !it->second.active) {
     return base::FailedPrecondition("no such active transaction");
@@ -293,7 +296,7 @@ base::Status Rvm::AbortTransaction(TxnId txn_id) {
 }
 
 base::Status Rvm::FlushLog() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   if (!options_.disk_logging) {
     return base::OkStatus();
   }
@@ -305,7 +308,7 @@ base::Status Rvm::FlushLog() {
 base::Status Rvm::ApplyExternalUpdate(RegionId region_id, uint64_t offset,
                                       base::ByteSpan data) {
   obs::ScopedTimer timer(obs_apply_nanos_);
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = regions_.find(region_id);
   if (it == regions_.end()) {
     return base::NotFound("region not mapped: " + std::to_string(region_id));
@@ -322,22 +325,22 @@ base::Status Rvm::ApplyExternalUpdate(RegionId region_id, uint64_t offset,
 }
 
 RvmStats Rvm::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return stats_;
 }
 
 void Rvm::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   stats_ = RvmStats{};
 }
 
 uint64_t Rvm::commit_seq() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return commit_seq_;
 }
 
 base::Status Rvm::ResetLog() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   if (!options_.disk_logging) {
     return base::OkStatus();
   }
@@ -347,7 +350,7 @@ base::Status Rvm::ResetLog() {
 }
 
 base::Status Rvm::TrimLogWithBaselines(const std::map<LockId, uint64_t>& baselines) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   if (!options_.disk_logging) {
     return base::OkStatus();
   }
@@ -415,7 +418,7 @@ base::Status Rvm::TrimLogWithBaselines(const std::map<LockId, uint64_t>& baselin
 }
 
 base::Status Rvm::TruncateLog() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   if (!options_.disk_logging) {
     return base::FailedPrecondition("disk logging disabled");
   }

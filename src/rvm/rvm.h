@@ -21,11 +21,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/base/buffer.h"
 #include "src/base/status.h"
+#include "src/base/sync.h"
 #include "src/obs/metrics.h"
 #include "src/rvm/log_io.h"
 #include "src/rvm/range_set.h"
@@ -200,15 +200,16 @@ class Rvm {
   NodeId node_;
   RvmOptions options_;
 
-  mutable std::mutex mu_;
-  std::map<RegionId, std::unique_ptr<Region>> regions_;
-  std::map<TxnId, Txn> txns_;
-  TxnId next_txn_ = 1;
-  uint64_t commit_seq_ = 0;
-  std::unique_ptr<LogWriter> log_;
-  bool log_dirty_ = false;  // unsynced kNoFlush commits pending
+  mutable base::Mutex mu_{"rvm", base::LockRank::kRvm};
+  std::map<RegionId, std::unique_ptr<Region>> regions_ LBC_GUARDED_BY(mu_);
+  std::map<TxnId, Txn> txns_ LBC_GUARDED_BY(mu_);
+  TxnId next_txn_ LBC_GUARDED_BY(mu_) = 1;
+  uint64_t commit_seq_ LBC_GUARDED_BY(mu_) = 0;
+  std::unique_ptr<LogWriter> log_ LBC_GUARDED_BY(mu_);
+  // Unsynced kNoFlush commits pending.
+  bool log_dirty_ LBC_GUARDED_BY(mu_) = false;
   CommitHook commit_hook_;
-  RvmStats stats_;
+  RvmStats stats_ LBC_GUARDED_BY(mu_);
 
   // Registered once in Init(); hot paths only bump the atomics. These mirror
   // the phase fields of RvmStats into the process-wide registry under

@@ -26,7 +26,7 @@ class CrashPointFile : public DurableFile {
 
   base::Result<size_t> Read(uint64_t offset, void* buf, size_t len) override {
     {
-      std::lock_guard<std::mutex> lock(owner_->mu_);
+      base::MutexLock lock(owner_->mu_);
       RETURN_IF_ERROR(owner_->UsableLocked());
     }
     return base_->Read(offset, buf, len);
@@ -34,7 +34,7 @@ class CrashPointFile : public DurableFile {
 
   base::Status Write(uint64_t offset, base::ByteSpan data) override {
     {
-      std::lock_guard<std::mutex> lock(owner_->mu_);
+      base::MutexLock lock(owner_->mu_);
       RETURN_IF_ERROR(owner_->UsableLocked());
       uint64_t index;
       if (owner_->CountOpLocked(CrashOpKind::kWrite, &index)) {
@@ -48,7 +48,7 @@ class CrashPointFile : public DurableFile {
 
   base::Result<uint64_t> Append(base::ByteSpan data) override {
     {
-      std::lock_guard<std::mutex> lock(owner_->mu_);
+      base::MutexLock lock(owner_->mu_);
       RETURN_IF_ERROR(owner_->UsableLocked());
       uint64_t index;
       if (owner_->CountOpLocked(CrashOpKind::kAppend, &index)) {
@@ -66,7 +66,7 @@ class CrashPointFile : public DurableFile {
 
   base::Status Sync() override {
     {
-      std::lock_guard<std::mutex> lock(owner_->mu_);
+      base::MutexLock lock(owner_->mu_);
       RETURN_IF_ERROR(owner_->UsableLocked());
       uint64_t index;
       if (owner_->CountOpLocked(CrashOpKind::kSync, &index)) {
@@ -79,7 +79,7 @@ class CrashPointFile : public DurableFile {
 
   base::Result<uint64_t> Size() const override {
     {
-      std::lock_guard<std::mutex> lock(owner_->mu_);
+      base::MutexLock lock(owner_->mu_);
       RETURN_IF_ERROR(owner_->UsableLocked());
     }
     return base_->Size();
@@ -87,7 +87,7 @@ class CrashPointFile : public DurableFile {
 
   base::Status Truncate(uint64_t size) override {
     {
-      std::lock_guard<std::mutex> lock(owner_->mu_);
+      base::MutexLock lock(owner_->mu_);
       RETURN_IF_ERROR(owner_->UsableLocked());
       uint64_t index;
       if (owner_->CountOpLocked(CrashOpKind::kTruncate, &index)) {
@@ -101,8 +101,9 @@ class CrashPointFile : public DurableFile {
  private:
   // Persists min(torn_bytes, len) bytes of the interrupted write at its
   // target offset and syncs the file: the slice of the in-order writeback
-  // that made it to the platter. Caller holds owner_->mu_.
-  bool InjectTornPrefixLocked(uint64_t offset, base::ByteSpan data) {
+  // that made it to the platter.
+  bool InjectTornPrefixLocked(uint64_t offset, base::ByteSpan data)
+      LBC_REQUIRES(owner_->mu_) {
     size_t torn = std::min(owner_->torn_bytes_, data.size());
     if (torn == 0) {
       return false;
@@ -124,7 +125,7 @@ CrashPointStore::CrashPointStore(DurableStore* base) : base_(base) {}
 base::Result<std::unique_ptr<DurableFile>> CrashPointStore::Open(
     const std::string& name, bool create) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     RETURN_IF_ERROR(UsableLocked());
     if (create) {
       ASSIGN_OR_RETURN(bool exists, base_->Exists(name));
@@ -143,7 +144,7 @@ base::Result<std::unique_ptr<DurableFile>> CrashPointStore::Open(
 
 base::Status CrashPointStore::Remove(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     RETURN_IF_ERROR(UsableLocked());
     uint64_t index;
     if (CountOpLocked(CrashOpKind::kRemove, &index)) {
@@ -156,7 +157,7 @@ base::Status CrashPointStore::Remove(const std::string& name) {
 
 base::Result<bool> CrashPointStore::Exists(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     RETURN_IF_ERROR(UsableLocked());
   }
   return base_->Exists(name);
@@ -164,7 +165,7 @@ base::Result<bool> CrashPointStore::Exists(const std::string& name) {
 
 base::Result<std::vector<std::string>> CrashPointStore::List() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     RETURN_IF_ERROR(UsableLocked());
   }
   return base_->List();
@@ -173,7 +174,7 @@ base::Result<std::vector<std::string>> CrashPointStore::List() {
 base::Status CrashPointStore::Rename(const std::string& from,
                                      const std::string& to) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     RETURN_IF_ERROR(UsableLocked());
     uint64_t index;
     if (CountOpLocked(CrashOpKind::kRename, &index)) {
@@ -186,7 +187,7 @@ base::Status CrashPointStore::Rename(const std::string& from,
 
 base::Status CrashPointStore::SyncDir() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     RETURN_IF_ERROR(UsableLocked());
     uint64_t index;
     if (CountOpLocked(CrashOpKind::kSyncDir, &index)) {
@@ -198,57 +199,57 @@ base::Status CrashPointStore::SyncDir() {
 }
 
 void CrashPointStore::ArmCrashAtOp(uint64_t op_index, size_t torn_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   armed_ = true;
   crash_at_ = op_index;
   torn_bytes_ = torn_bytes;
 }
 
 void CrashPointStore::Disarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   armed_ = false;
   crashed_ = false;
   torn_bytes_ = 0;
 }
 
 void CrashPointStore::ResetOpCount() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   op_seq_ = 0;
   op_kinds_.clear();
 }
 
 void CrashPointStore::SetCrashHook(std::function<void()> hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   hook_ = std::move(hook);
 }
 
 void CrashPointStore::SetOffline(bool offline) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   offline_ = offline;
 }
 
 bool CrashPointStore::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return crashed_;
 }
 
 bool CrashPointStore::offline() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return offline_;
 }
 
 uint64_t CrashPointStore::op_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return op_seq_;
 }
 
 uint64_t CrashPointStore::crash_op() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return crash_op_;
 }
 
 std::vector<CrashOpKind> CrashPointStore::op_kinds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return op_kinds_;
 }
 

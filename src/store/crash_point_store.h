@@ -23,9 +23,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
 
+#include "src/base/sync.h"
 #include "src/store/durable_store.h"
 
 namespace store {
@@ -94,26 +94,26 @@ class CrashPointStore : public DurableStore {
  private:
   friend class CrashPointFile;
 
-  // Returns non-OK if the store is offline or crashed. Caller holds mu_.
-  base::Status UsableLocked() const;
+  // Returns non-OK if the store is offline or crashed.
+  base::Status UsableLocked() const LBC_REQUIRES(mu_);
 
   // Numbers one mutating op; returns true if the crash fires at it (caller
   // must handle any torn prefix *before* calling TriggerCrashLocked).
-  bool CountOpLocked(CrashOpKind kind, uint64_t* index);
+  bool CountOpLocked(CrashOpKind kind, uint64_t* index) LBC_REQUIRES(mu_);
 
-  void TriggerCrashLocked(uint64_t index, bool torn);
+  void TriggerCrashLocked(uint64_t index, bool torn) LBC_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable base::Mutex mu_{"store.crashpoint", base::LockRank::kStoreCrashPoint};
   DurableStore* base_;
-  std::function<void()> hook_;
-  bool offline_ = false;
-  bool crashed_ = false;
-  bool armed_ = false;
-  uint64_t crash_at_ = 0;
-  size_t torn_bytes_ = 0;
-  uint64_t op_seq_ = 0;
-  uint64_t crash_op_ = 0;
-  std::vector<CrashOpKind> op_kinds_;
+  std::function<void()> hook_ LBC_GUARDED_BY(mu_);
+  bool offline_ LBC_GUARDED_BY(mu_) = false;
+  bool crashed_ LBC_GUARDED_BY(mu_) = false;
+  bool armed_ LBC_GUARDED_BY(mu_) = false;
+  uint64_t crash_at_ LBC_GUARDED_BY(mu_) = 0;
+  size_t torn_bytes_ LBC_GUARDED_BY(mu_) = 0;
+  uint64_t op_seq_ LBC_GUARDED_BY(mu_) = 0;
+  uint64_t crash_op_ LBC_GUARDED_BY(mu_) = 0;
+  std::vector<CrashOpKind> op_kinds_ LBC_GUARDED_BY(mu_);
 };
 
 }  // namespace store

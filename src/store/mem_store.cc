@@ -16,7 +16,7 @@ class MemFile : public DurableFile {
       : owner_(owner), state_(std::move(state)) {}
 
   base::Result<size_t> Read(uint64_t offset, void* buf, size_t len) override {
-    std::lock_guard<std::mutex> lock(owner_->mu_);
+    base::MutexLock lock(owner_->mu_);
     const auto& data = state_->volatile_data;
     if (offset >= data.size()) {
       return size_t{0};
@@ -30,7 +30,7 @@ class MemFile : public DurableFile {
   }
 
   base::Status Write(uint64_t offset, base::ByteSpan data) override {
-    std::lock_guard<std::mutex> lock(owner_->mu_);
+    base::MutexLock lock(owner_->mu_);
     if (owner_->fail_after_bytes_ >= 0) {
       if (owner_->fail_after_bytes_ < static_cast<int64_t>(data.size())) {
         return base::IoError("injected write failure");
@@ -53,7 +53,7 @@ class MemFile : public DurableFile {
   base::Result<uint64_t> Append(base::ByteSpan data) override {
     uint64_t size;
     {
-      std::lock_guard<std::mutex> lock(owner_->mu_);
+      base::MutexLock lock(owner_->mu_);
       size = state_->volatile_data.size();
     }
     RETURN_IF_ERROR(Write(size, data));
@@ -63,7 +63,7 @@ class MemFile : public DurableFile {
   base::Status Sync() override {
     StoreMetrics* m = GlobalStoreMetrics();
     obs::ScopedTimer timer(m->sync_nanos);
-    std::lock_guard<std::mutex> lock(owner_->mu_);
+    base::MutexLock lock(owner_->mu_);
     state_->durable_data = state_->volatile_data;
     state_->unsynced_writes.clear();
     // fsync of a freshly created file also commits its creation (the inode
@@ -75,12 +75,12 @@ class MemFile : public DurableFile {
   }
 
   base::Result<uint64_t> Size() const override {
-    std::lock_guard<std::mutex> lock(owner_->mu_);
+    base::MutexLock lock(owner_->mu_);
     return static_cast<uint64_t>(state_->volatile_data.size());
   }
 
   base::Status Truncate(uint64_t size) override {
-    std::lock_guard<std::mutex> lock(owner_->mu_);
+    base::MutexLock lock(owner_->mu_);
     state_->volatile_data.resize(size);
     state_->unsynced_writes.emplace_back(size, 0);
     return base::OkStatus();
@@ -93,7 +93,7 @@ class MemFile : public DurableFile {
 
 base::Result<std::unique_ptr<DurableFile>> MemStore::Open(const std::string& name,
                                                           bool create) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) {
     if (!create) {
@@ -107,18 +107,18 @@ base::Result<std::unique_ptr<DurableFile>> MemStore::Open(const std::string& nam
 }
 
 base::Status MemStore::Remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   files_.erase(name);  // durable namespace keeps the name until SyncDir
   return base::OkStatus();
 }
 
 base::Result<bool> MemStore::Exists(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return files_.count(name) > 0;
 }
 
 base::Result<std::vector<std::string>> MemStore::List() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, state] : files_) {
@@ -128,7 +128,7 @@ base::Result<std::vector<std::string>> MemStore::List() {
 }
 
 base::Status MemStore::Rename(const std::string& from, const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto it = files_.find(from);
   if (it == files_.end()) {
     return base::NotFound("rename source missing: " + from);
@@ -139,7 +139,7 @@ base::Status MemStore::Rename(const std::string& from, const std::string& to) {
 }
 
 base::Status MemStore::SyncDir() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   durable_files_ = files_;
   StoreMetrics* m = GlobalStoreMetrics();
   m->dir_syncs->Increment();
@@ -160,7 +160,7 @@ void MemStore::CommitCreationLocked(const std::shared_ptr<FileState>& state) {
 }
 
 void MemStore::Crash(size_t torn_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   // Visit every inode reachable from either namespace exactly once (a file
   // may be linked under several names, e.g. mid-rename).
   std::set<FileState*> seen;
@@ -202,17 +202,17 @@ void MemStore::Crash(size_t torn_bytes) {
 }
 
 void MemStore::FailWritesAfterBytes(int64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   fail_after_bytes_ = bytes;
 }
 
 uint64_t MemStore::total_bytes_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return total_bytes_written_;
 }
 
 uint64_t MemStore::sync_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return sync_count_;
 }
 

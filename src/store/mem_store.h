@@ -16,10 +16,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/base/sync.h"
 #include "src/store/durable_store.h"
 
 namespace store {
@@ -67,16 +67,16 @@ class MemStore : public DurableStore {
   // Registers the inode's current volatile name(s) in the durable namespace
   // (called from a file Sync: fsync of a fresh file commits its creation, but
   // it does NOT commit a pending rename — the durable namespace keeps any
-  // name it already had). Caller holds mu_.
-  void CommitCreationLocked(const std::shared_ptr<FileState>& state);
+  // name it already had).
+  void CommitCreationLocked(const std::shared_ptr<FileState>& state) LBC_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable base::Mutex mu_{"store.mem", base::LockRank::kStoreMem};
   // Volatile and durable namespaces; entries may share FileState inodes.
-  std::map<std::string, std::shared_ptr<FileState>> files_;
-  std::map<std::string, std::shared_ptr<FileState>> durable_files_;
-  int64_t fail_after_bytes_ = -1;  // <0 means disabled
-  uint64_t total_bytes_written_ = 0;
-  uint64_t sync_count_ = 0;
+  std::map<std::string, std::shared_ptr<FileState>> files_ LBC_GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<FileState>> durable_files_ LBC_GUARDED_BY(mu_);
+  int64_t fail_after_bytes_ LBC_GUARDED_BY(mu_) = -1;  // <0 means disabled
+  uint64_t total_bytes_written_ LBC_GUARDED_BY(mu_) = 0;
+  uint64_t sync_count_ LBC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace store

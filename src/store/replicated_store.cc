@@ -15,7 +15,7 @@ class ReplicatedFile : public DurableFile {
       : shared_(std::move(shared)), files_(std::move(files)) {}
 
   base::Result<size_t> Read(uint64_t offset, void* buf, size_t len) override {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    base::MutexLock lock(shared_->mu);
     base::Status last_error = base::Unavailable("no replicas up");
     for (size_t i = 0; i < files_.size(); ++i) {
       if (!shared_->up[i] || files_[i] == nullptr) {
@@ -48,7 +48,7 @@ class ReplicatedFile : public DurableFile {
   }
 
   base::Result<uint64_t> Size() const override {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    base::MutexLock lock(shared_->mu);
     base::Status last_error = base::Unavailable("no replicas up");
     for (size_t i = 0; i < files_.size(); ++i) {
       if (!shared_->up[i] || files_[i] == nullptr) {
@@ -71,7 +71,7 @@ class ReplicatedFile : public DurableFile {
  private:
   template <typename Fn>
   base::Status OnAllFiles(Fn&& op) {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    base::MutexLock lock(shared_->mu);
     int survivors = 0;
     base::Status last_error;
     for (size_t i = 0; i < files_.size(); ++i) {
@@ -100,6 +100,10 @@ class ReplicatedFile : public DurableFile {
 
 ReplicatedStore::ReplicatedStore(std::vector<DurableStore*> replicas)
     : shared_(std::make_shared<Shared>()) {
+  // Shared state is initialized under its lock: this constructor is not the
+  // Shared struct's own, so the analysis (correctly) treats these as plain
+  // accesses to guarded fields.
+  base::MutexLock lock(shared_->mu);
   shared_->replicas = std::move(replicas);
   shared_->up.assign(shared_->replicas.size(), true);
 }
@@ -108,7 +112,7 @@ base::Result<std::unique_ptr<DurableFile>> ReplicatedStore::Open(const std::stri
                                                                  bool create) {
   std::vector<std::unique_ptr<DurableFile>> files;
   {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    base::MutexLock lock(shared_->mu);
     files.resize(shared_->replicas.size());
     int survivors = 0;
     base::Status last_error = base::Unavailable("no replicas up");
@@ -141,7 +145,7 @@ base::Status ReplicatedStore::Remove(const std::string& name) {
 }
 
 base::Result<bool> ReplicatedStore::Exists(const std::string& name) {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  base::MutexLock lock(shared_->mu);
   base::Status last_error = base::Unavailable("no replicas up");
   for (size_t i = 0; i < shared_->replicas.size(); ++i) {
     if (!shared_->up[i]) {
@@ -158,7 +162,7 @@ base::Result<bool> ReplicatedStore::Exists(const std::string& name) {
 }
 
 base::Result<std::vector<std::string>> ReplicatedStore::List() {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  base::MutexLock lock(shared_->mu);
   base::Status last_error = base::Unavailable("no replicas up");
   for (size_t i = 0; i < shared_->replicas.size(); ++i) {
     if (!shared_->up[i]) {
@@ -183,7 +187,7 @@ base::Status ReplicatedStore::SyncDir() {
 }
 
 int ReplicatedStore::healthy_replicas() const {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  base::MutexLock lock(shared_->mu);
   int n = 0;
   for (bool up : shared_->up) {
     n += up ? 1 : 0;
@@ -192,19 +196,19 @@ int ReplicatedStore::healthy_replicas() const {
 }
 
 bool ReplicatedStore::IsUp(size_t index) const {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  base::MutexLock lock(shared_->mu);
   return index < shared_->up.size() && shared_->up[index];
 }
 
 void ReplicatedStore::MarkDown(size_t index) {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  base::MutexLock lock(shared_->mu);
   if (index < shared_->up.size()) {
     shared_->up[index] = false;
   }
 }
 
 base::Status ReplicatedStore::Revive(size_t index) {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  base::MutexLock lock(shared_->mu);
   if (index >= shared_->up.size()) {
     return base::InvalidArgument("no such replica");
   }

@@ -11,9 +11,9 @@
 #define SRC_STORE_REPLICATED_STORE_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "src/base/sync.h"
 #include "src/store/durable_store.h"
 
 namespace store {
@@ -48,15 +48,15 @@ class ReplicatedStore : public DurableStore {
   // Implementation detail shared with the file handles (public only because
   // the handle type lives in the .cc's anonymous namespace).
   struct Shared {
-    mutable std::mutex mu;
-    std::vector<DurableStore*> replicas;
-    std::vector<bool> up;
+    mutable base::Mutex mu{"store.replicated", base::LockRank::kStoreReplicated};
+    std::vector<DurableStore*> replicas LBC_GUARDED_BY(mu);
+    std::vector<bool> up LBC_GUARDED_BY(mu);
 
     // Runs op on every healthy replica; marks failures down. Fails only if
     // no replica survives.
     template <typename Fn>
     base::Status OnAll(Fn&& op) {
-      std::lock_guard<std::mutex> lock(mu);
+      base::MutexLock lock(mu);
       int survivors = 0;
       base::Status last_error;
       for (size_t i = 0; i < replicas.size(); ++i) {

@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "src/base/rng.h"
+#include "src/base/sync.h"
 #include "src/lbc/client.h"
 #include "src/rvm/log_merge.h"
 #include "src/rvm/recovery.h"
@@ -57,7 +58,7 @@ TEST_P(RandomWorkloadTest, ConvergesAndRecovers) {
   // Drive the random workload from one thread per client.
   std::vector<std::thread> threads;
   std::vector<uint64_t> committed_per_lock(100, 0);
-  std::mutex seq_mu;
+  base::Mutex seq_mu("test.random_workload.seq");
   for (int c = 0; c < kClients; ++c) {
     threads.emplace_back([&, c] {
       base::Rng rng(GetParam() * 1000 + static_cast<uint64_t>(c));
@@ -90,7 +91,7 @@ TEST_P(RandomWorkloadTest, ConvergesAndRecovers) {
         } else {
           ASSERT_TRUE(txn.Commit(rvm::CommitMode::kFlush).ok());
           if (!read_only) {
-            std::lock_guard<std::mutex> g(seq_mu);
+            base::MutexLock g(seq_mu);
             ++committed_per_lock[lock];
           }
         }

@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "src/base/rng.h"
+#include "src/base/sync.h"
 #include "src/lbc/client.h"
 #include "src/netsim/fabric.h"
 #include "src/netsim/reliable.h"
@@ -141,12 +142,12 @@ TEST(ReliableChannel, ExactlyOnceFifoOverLossyLink) {
 
   netsim::ReliableChannel sender(a);
   netsim::ReliableChannel receiver(b);
-  std::mutex mu;
+  base::Mutex mu("test.chaos.got");
   std::vector<uint32_t> got;
   receiver.StartReceiver([&](netsim::Message&& msg) {
     uint32_t id = 0;
     std::memcpy(&id, msg.payload.data(), 4);
-    std::lock_guard<std::mutex> lk(mu);
+    base::MutexLock lk(mu);
     got.push_back(id);
   });
   sender.StartReceiver([](netsim::Message&&) {});  // drains ACK traffic
@@ -159,7 +160,7 @@ TEST(ReliableChannel, ExactlyOnceFifoOverLossyLink) {
   }
   for (int spin = 0; spin < 30000; ++spin) {
     {
-      std::lock_guard<std::mutex> lk(mu);
+      base::MutexLock lk(mu);
       if (got.size() >= kMessages) {
         break;
       }
@@ -167,7 +168,7 @@ TEST(ReliableChannel, ExactlyOnceFifoOverLossyLink) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
-  std::lock_guard<std::mutex> lk(mu);
+  base::MutexLock lk(mu);
   ASSERT_EQ(kMessages, got.size()) << "lost or duplicated messages";
   for (uint32_t i = 0; i < kMessages; ++i) {
     ASSERT_EQ(i, got[i]) << "delivery out of order at " << i;

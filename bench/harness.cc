@@ -6,6 +6,8 @@
 #include "src/base/clock.h"
 #include "src/base/logging.h"
 #include "src/obs/export.h"
+#include "src/rvm/page_checksum.h"
+#include "src/rvm/scrub.h"
 
 namespace bench {
 
@@ -181,6 +183,11 @@ void RunFigureComparison(const std::vector<std::string>& names) {
   std::printf("Shape check: Log wins when updates/page is small; Cpy/Cmp catches up\n"
               "as updates cluster; Page only competes when most of a page changes.\n");
 
+  // Register the integrity/scrub counter families before snapshotting, so
+  // every fig bench's BENCH_obs.json reports them — zeros included: a bench
+  // run that verified no pages and repaired nothing should say so.
+  rvm::GlobalIntegrityMetrics();
+  rvm::GlobalScrubMetrics();
   std::string snapshot_path = obs::SnapshotPath();
   base::Status status = obs::WriteJsonSnapshot(snapshot_path);
   if (status.ok()) {

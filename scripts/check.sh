@@ -7,7 +7,7 @@
 # and the exhaustive crash-schedule sweep.
 #
 # Usage: scripts/check.sh [--tsan-only | --tier1-only | --crash-sweep |
-#                          --static | --asan]
+#                          --static | --asan | --corruption-sweep]
 #
 # --static runs the concurrency-discipline gate on its own:
 #   * scripts/lint.py (always — no toolchain dependency),
@@ -15,6 +15,11 @@
 #     -Wthread-safety to errors (skipped with a note if clang++ is absent),
 #   * clang-tidy over src/ using the repo .clang-tidy and the exported
 #     compile_commands.json (skipped with a note if clang-tidy is absent).
+#
+# --corruption-sweep runs the silent-corruption gate on its own: the
+# deterministic bit-rot sweep (every page x replica x fault kind, both the
+# replica and merged-log repair paths) plus the replicated-store conformance
+# and resync-crash suites that back it.
 #
 # The crash sweep re-runs crash_explorer_test with the full (unbudgeted)
 # schedule set. Tune it through the environment:
@@ -29,14 +34,16 @@ run_static=1
 run_tsan=1
 run_asan=1
 run_crash=1
+run_corrupt=1
 case "${1:-}" in
-  --tsan-only) run_tier1=0; run_static=0; run_asan=0; run_crash=0 ;;
-  --tier1-only) run_static=0; run_tsan=0; run_asan=0; run_crash=0 ;;
-  --crash-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0 ;;
-  --static) run_tier1=0; run_tsan=0; run_asan=0; run_crash=0 ;;
-  --asan) run_tier1=0; run_static=0; run_tsan=0; run_crash=0 ;;
+  --tsan-only) run_tier1=0; run_static=0; run_asan=0; run_crash=0; run_corrupt=0 ;;
+  --tier1-only) run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0 ;;
+  --crash-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_corrupt=0 ;;
+  --static) run_tier1=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0 ;;
+  --asan) run_tier1=0; run_static=0; run_tsan=0; run_crash=0; run_corrupt=0 ;;
+  --corruption-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_crash=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only | --tier1-only | --crash-sweep | --static | --asan]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tsan-only | --tier1-only | --crash-sweep | --static | --asan | --corruption-sweep]" >&2; exit 2 ;;
 esac
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -102,11 +109,22 @@ if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DLBC_SANITIZE=address,undefined
   asan_tests=(store_test store_replicated_test rvm_smoke_test rvm_log_test \
               rvm_txn_test rvm_merge_test rvm_region_test rvm_concurrency_test \
-              crash_explorer_test base_sync_test)
+              crash_explorer_test base_sync_test corruption_sweep_test)
   cmake --build build-asan -j "$jobs" --target "${asan_tests[@]}"
   for t in "${asan_tests[@]}"; do
     echo "--- asan: $t"
     ./build-asan/tests/"$t"
+  done
+fi
+
+if [[ "$run_corrupt" == 1 ]]; then
+  echo "=== corruption sweep: bit-rot injection + scrub-and-repair ==="
+  cmake -B build -S . >/dev/null
+  corrupt_tests=(corruption_sweep_test store_test store_replicated_test)
+  cmake --build build -j "$jobs" --target "${corrupt_tests[@]}"
+  for t in "${corrupt_tests[@]}"; do
+    echo "--- corruption: $t"
+    ./build/tests/"$t"
   done
 fi
 

@@ -90,6 +90,7 @@ struct LockRank {
   static constexpr int kEndpoint = 55;         // netsim::Endpoint::mu_
   static constexpr int kStoreReplicated = 58;  // store::ReplicatedStore
   static constexpr int kStoreCrashPoint = 60;  // store::CrashPointStore
+  static constexpr int kStoreCorrupt = 62;     // store::CorruptionInjectingStore
   static constexpr int kStoreMem = 65;         // store::MemStore
   static constexpr int kCpyCmp = 70;           // baselines::CpyCmpEngine
   static constexpr int kObs = 80;              // obs registry / trace ring

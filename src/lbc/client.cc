@@ -5,6 +5,7 @@
 
 #include "src/base/logging.h"
 #include "src/obs/trace.h"
+#include "src/rvm/page_checksum.h"
 
 namespace lbc {
 
@@ -271,7 +272,26 @@ base::Status Client::RejoinServer() {
 }
 
 base::Result<rvm::Region*> Client::MapRegion(rvm::RegionId region, uint64_t length) {
-  ASSIGN_OR_RETURN(rvm::Region * r, rvm_->MapRegion(region, length));
+  // The image fetch verifies every page against the checksum sidecar and
+  // fails with DATA_LOSS on rot — corrupt bytes are never handed to the
+  // application. Before giving up, ask the cluster's scrubber (if attached)
+  // to repair the region from a replica or the merged logs, then re-fetch,
+  // bounded so an unrepairable region still fails cleanly.
+  constexpr int kMaxFetchAttempts = 3;
+  base::Result<rvm::Region*> mapped = rvm_->MapRegion(region, length);
+  for (int attempt = 1; attempt < kMaxFetchAttempts && !mapped.ok() &&
+                        mapped.status().code() == base::StatusCode::kDataLoss;
+       ++attempt) {
+    if (!cluster_->TryRepairRegion(region)) {
+      break;
+    }
+    rvm::GlobalIntegrityMetrics()->image_fetch_retries->Increment();
+    mapped = rvm_->MapRegion(region, length);
+  }
+  if (!mapped.ok()) {
+    return mapped.status();
+  }
+  rvm::Region* r = *mapped;
   {
     base::MutexLock lk(mu_);
     mapped_regions_[region] = true;

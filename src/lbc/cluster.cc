@@ -6,6 +6,7 @@
 #include "src/obs/trace.h"
 #include "src/rvm/log_merge.h"
 #include "src/rvm/recovery.h"
+#include "src/rvm/scrub.h"
 
 namespace {
 
@@ -348,6 +349,24 @@ base::Status Cluster::RecoverAndTrim(const std::vector<rvm::NodeId>& nodes) {
     RETURN_IF_ERROR(file->Sync());
   }
   return base::OkStatus();
+}
+
+void Cluster::SetScrubber(rvm::Scrubber* scrubber) {
+  base::MutexLock guard(mu_);
+  scrubber_ = scrubber;
+}
+
+bool Cluster::TryRepairRegion(rvm::RegionId region) {
+  rvm::Scrubber* scrubber = nullptr;
+  {
+    base::MutexLock guard(mu_);
+    scrubber = scrubber_;
+  }
+  if (scrubber == nullptr) {
+    return false;
+  }
+  auto report = scrubber->ScrubRegion(region);
+  return report.ok();
 }
 
 void Cluster::KillServer() {

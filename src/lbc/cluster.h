@@ -24,6 +24,10 @@
 #include "src/rvm/types.h"
 #include "src/store/durable_store.h"
 
+namespace rvm {
+class Scrubber;
+}  // namespace rvm
+
 namespace lbc {
 
 struct LockSpec {
@@ -157,6 +161,20 @@ class Cluster {
   // full server-machine crash should also take the shared store offline
   // (CrashPointStore::SetOffline) so commits fail at the log write.
 
+  // --- integrity scrubber hook ---------------------------------------------
+  //
+  // A cluster may carry a scrubber (rvm::Scrubber over the same store). When
+  // a client's image fetch fails checksum verification (DATA_LOSS), it calls
+  // TryRepairRegion between bounded re-fetch attempts, giving the server a
+  // chance to heal the page from a replica or the merged logs before the
+  // client gives up. The cluster does not own the scrubber.
+
+  void SetScrubber(rvm::Scrubber* scrubber);
+  // Runs a targeted scrub of `region`'s pages (and the logs reconstruction
+  // needs). Returns false when no scrubber is attached or the scrub itself
+  // errored. The cluster mutex is never held across the scrub.
+  bool TryRepairRegion(rvm::RegionId region);
+
   void KillServer();
   // Rebuilds the directory from the merged client logs (replaying them into
   // the database files along the way — recovery at boot), bumps the restart
@@ -190,6 +208,7 @@ class Cluster {
   std::set<rvm::NodeId> recovered_ LBC_GUARDED_BY(mu_);
   bool server_up_ LBC_GUARDED_BY(mu_) = true;
   uint64_t server_epoch_ LBC_GUARDED_BY(mu_) = 0;
+  rvm::Scrubber* scrubber_ LBC_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace lbc

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "src/rvm/page_checksum.h"
 #include "src/rvm/types.h"
 
 namespace lbc {
@@ -33,6 +34,11 @@ base::Status CheckpointFromStandby(Cluster* cluster, Client* standby,
                      cluster->store()->Open(rvm::RegionFileName(region), /*create=*/true));
     RETURN_IF_ERROR(file->Write(0, base::ByteSpan(r->data(), r->size())));
     RETURN_IF_ERROR(file->Sync());
+    // Re-checksum the whole region from the file just written (read-back
+    // verification of the checkpoint image). Must precede the trims below:
+    // if we crash in between, the untrimmed logs still cover every page
+    // whose sidecar entry is stale, and boot-time replay rewrites it.
+    RETURN_IF_ERROR(rvm::RewriteRegionChecksums(cluster->store(), region));
   }
   for (const auto& [lock, seq] : baselines) {
     cluster->RecordBaseline(lock, seq);

@@ -4,6 +4,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/rvm/log_format.h"
+#include "src/rvm/page_checksum.h"
 #include "src/rvm/recovery.h"
 
 namespace rvm {
@@ -63,6 +64,16 @@ base::Result<Region*> Rvm::MapRegion(RegionId id, uint64_t length) {
   uint64_t to_read = std::min<uint64_t>(file_size, length);
   if (to_read > 0) {
     RETURN_IF_ERROR(file->ReadExact(0, image.data(), to_read));
+  }
+  // Integrity gate on the image fetch: a page that fails its sidecar
+  // checksum must not become a client's cached truth. Refuse the mapping
+  // (DATA_LOSS) and leave repair to the scrubber — the client retries.
+  ASSIGN_OR_RETURN(auto bad_pages,
+                   VerifyImagePages(store_, id, image.data(), to_read, file_size));
+  if (!bad_pages.empty()) {
+    return base::DataLoss("region " + std::to_string(id) + " failed checksum on " +
+                          std::to_string(bad_pages.size()) + " page(s); first bad page " +
+                          std::to_string(bad_pages.front()));
   }
   auto region = std::make_unique<Region>(id, std::move(image));
   Region* raw = region.get();

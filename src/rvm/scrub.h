@@ -1,0 +1,121 @@
+// Background scrubber: walks the database pages and the per-client redo
+// logs, detects silent corruption via the page-checksum sidecars and the
+// log frame CRCs, and repairs what it can through two independent paths:
+//
+//   1. Replica read-repair. Over a store::ReplicatedStore, each replica's
+//      copy of a page is checked against its own sidecar entry. A page that
+//      is self-consistent on at least one replica is authoritative: bad
+//      copies are rewritten in place and the repaired replica is marked
+//      suspect. Logs are repaired the same way — a log whose frame chain
+//      breaks *before* later valid frames (mid-log rot, as opposed to the
+//      legitimate torn tail a crash leaves) is rewritten from the peer
+//      replica with the longest clean chain.
+//
+//   2. Log-based page reconstruction (the single-page analogue of full
+//      recovery, per the paper's §3.4 merge): when every replica's copy of
+//      a page is bad, the page is rebuilt from its last trimmed baseline —
+//      region files start zero-filled, and every later change is a redo
+//      record — by replaying the merged client logs over a zero page. The
+//      candidate is accepted only if it matches the sidecar checksum, so a
+//      reconstruction that a checkpoint has made impossible (records
+//      trimmed) is rejected rather than guessed.
+//
+// A sidecar entry whose self-guard fails (rot in the sidecar, not the data)
+// reads as "no entry"; the scrubber rebuilds it from any replica whose data
+// matches the surviving entries, or bootstraps first-time checksums for
+// pages that never had one.
+//
+// The scrubber is stateless between runs and safe to run from a background
+// thread concurrently with committing clients (commits only append to logs,
+// and a clean log scan never writes). Repairs that rewrite whole log files
+// assume the named logs have no active writer — quiesce first, as the
+// corruption sweep does. Every run's findings are returned in a ScrubReport
+// and mirrored into the scrub.* counters.
+#ifndef SRC_RVM_SCRUB_H_
+#define SRC_RVM_SCRUB_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/obs/metrics.h"
+#include "src/rvm/types.h"
+#include "src/store/durable_store.h"
+#include "src/store/replicated_store.h"
+
+namespace rvm {
+
+struct ScrubReport {
+  uint64_t pages_scanned = 0;
+  uint64_t page_mismatches = 0;        // page copies whose data failed verification
+  uint64_t repaired_from_replica = 0;  // page copies rewritten from a clean replica
+  uint64_t repaired_from_log = 0;      // pages rebuilt from the merged logs
+  uint64_t entries_rebuilt = 0;        // sidecar entries restored (sidecar rot)
+  uint64_t entries_bootstrapped = 0;   // first-time checksums for unprotected pages
+  uint64_t replica_divergence = 0;     // self-consistent replicas that disagree
+  uint64_t logs_scanned = 0;
+  uint64_t log_records_scanned = 0;
+  uint64_t log_corruptions = 0;        // mid-log rot detected (not torn tails)
+  uint64_t log_repairs = 0;            // log files rewritten from a peer replica
+  uint64_t unrepairable = 0;           // damage neither repair path could fix
+
+  // True when this run found nothing wrong (a converged scrub).
+  bool clean() const {
+    return page_mismatches == 0 && replica_divergence == 0 && log_corruptions == 0 &&
+           log_repairs == 0 && entries_rebuilt == 0 && unrepairable == 0;
+  }
+};
+
+// Process-wide scrubber instruments (scrub.*).
+struct ScrubMetrics {
+  obs::Counter* runs;
+  obs::Counter* pages_scanned;
+  obs::Counter* page_mismatches;
+  obs::Counter* repaired_from_replica;
+  obs::Counter* repaired_from_log;
+  obs::Counter* entries_rebuilt;
+  obs::Counter* entries_bootstrapped;
+  obs::Counter* replica_divergence;
+  obs::Counter* logs_scanned;
+  obs::Counter* log_records_scanned;
+  obs::Counter* log_corruptions;
+  obs::Counter* log_repairs;
+  obs::Counter* unrepairable;
+  obs::Counter* suspects_marked;
+};
+ScrubMetrics* GlobalScrubMetrics();
+
+class Scrubber {
+ public:
+  // `store` is the stack the cluster runs over. Pass `replicated` (the same
+  // object, downcast) to enable the replica repair path; without it the
+  // scrubber detects and falls back to log reconstruction only.
+  explicit Scrubber(store::DurableStore* store,
+                    store::ReplicatedStore* replicated = nullptr)
+      : store_(store), replicated_(replicated) {}
+
+  // Scrubs every log and every region database file found in the store.
+  base::Result<ScrubReport> ScrubOnce();
+
+  // Targeted variant (client re-fetch path): scrubs the logs (page
+  // reconstruction needs them intact) and then one region's pages.
+  base::Result<ScrubReport> ScrubRegion(RegionId region);
+
+ private:
+  struct RunState;
+
+  base::Status ScrubLogs(RunState* run, ScrubReport* report);
+  base::Status ScrubRegionPages(RunState* run, RegionId region, ScrubReport* report);
+  // Zero page + every merged redo range that overlaps it, in order.
+  base::Result<std::vector<uint8_t>> ReconstructPage(RunState* run, RegionId region,
+                                                     uint64_t page);
+
+  store::DurableStore* store_;
+  store::ReplicatedStore* replicated_;
+};
+
+}  // namespace rvm
+
+#endif  // SRC_RVM_SCRUB_H_

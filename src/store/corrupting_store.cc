@@ -1,0 +1,221 @@
+#include "src/store/corrupting_store.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/store/store_metrics.h"
+
+namespace store {
+namespace {
+
+base::Status InjectedReadError(const std::string& name) {
+  GlobalStoreMetrics()->corrupt_io_errors->Increment();
+  return base::IoError("injected read error: " + name);
+}
+
+base::Status InjectedWriteError(const std::string& name) {
+  GlobalStoreMetrics()->corrupt_io_errors->Increment();
+  return base::IoError("injected write error: " + name);
+}
+
+base::Status InjectedSyncError(const std::string& name) {
+  GlobalStoreMetrics()->corrupt_io_errors->Increment();
+  return base::IoError("injected sync error: " + name);
+}
+
+}  // namespace
+
+// A handle that consults the owner's per-file EIO gates on every operation.
+class CorruptingFile : public DurableFile {
+ public:
+  CorruptingFile(CorruptionInjectingStore* owner, std::string name,
+                 std::unique_ptr<DurableFile> base)
+      : owner_(owner), name_(std::move(name)), base_(std::move(base)) {}
+
+  base::Result<size_t> Read(uint64_t offset, void* buf, size_t len) override {
+    if (owner_->ReadFails(name_)) {
+      return InjectedReadError(name_);
+    }
+    return base_->Read(offset, buf, len);
+  }
+
+  base::Status Write(uint64_t offset, base::ByteSpan data) override {
+    if (owner_->WriteFails(name_)) {
+      return InjectedWriteError(name_);
+    }
+    return base_->Write(offset, data);
+  }
+
+  base::Result<uint64_t> Append(base::ByteSpan data) override {
+    if (owner_->WriteFails(name_)) {
+      return InjectedWriteError(name_);
+    }
+    return base_->Append(data);
+  }
+
+  base::Status Sync() override {
+    if (owner_->SyncFails(name_)) {
+      return InjectedSyncError(name_);
+    }
+    return base_->Sync();
+  }
+
+  base::Result<uint64_t> Size() const override { return base_->Size(); }
+
+  base::Status Truncate(uint64_t size) override {
+    if (owner_->WriteFails(name_)) {
+      return InjectedWriteError(name_);
+    }
+    return base_->Truncate(size);
+  }
+
+ private:
+  CorruptionInjectingStore* owner_;
+  std::string name_;
+  std::unique_ptr<DurableFile> base_;
+};
+
+CorruptionInjectingStore::CorruptionInjectingStore(DurableStore* base, uint64_t seed)
+    : base_(base), rng_(seed) {}
+
+base::Result<std::unique_ptr<DurableFile>> CorruptionInjectingStore::Open(
+    const std::string& name, bool create) {
+  ASSIGN_OR_RETURN(auto file, base_->Open(name, create));
+  return std::unique_ptr<DurableFile>(new CorruptingFile(this, name, std::move(file)));
+}
+
+base::Status CorruptionInjectingStore::Remove(const std::string& name) {
+  return base_->Remove(name);
+}
+
+base::Result<bool> CorruptionInjectingStore::Exists(const std::string& name) {
+  return base_->Exists(name);
+}
+
+base::Result<std::vector<std::string>> CorruptionInjectingStore::List() {
+  return base_->List();
+}
+
+base::Status CorruptionInjectingStore::Rename(const std::string& from,
+                                              const std::string& to) {
+  return base_->Rename(from, to);
+}
+
+base::Status CorruptionInjectingStore::SyncDir() { return base_->SyncDir(); }
+
+base::Status CorruptionInjectingStore::FlipBit(const std::string& name,
+                                               uint64_t offset, uint32_t bit) {
+  if (bit > 7) {
+    return base::InvalidArgument("bit index out of range");
+  }
+  // Go through the underlying store so the damage lands even if this file's
+  // I/O gates are armed — rot does not care about EIO.
+  ASSIGN_OR_RETURN(auto file, base_->Open(name, /*create=*/false));
+  ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (offset >= size) {
+    return base::InvalidArgument("corruption offset beyond end of file");
+  }
+  uint8_t byte = 0;
+  RETURN_IF_ERROR(file->ReadExact(offset, &byte, 1));
+  byte ^= static_cast<uint8_t>(1u << bit);
+  RETURN_IF_ERROR(file->Write(offset, base::ByteSpan(&byte, 1)));
+  RETURN_IF_ERROR(file->Sync());
+  {
+    base::MutexLock lock(mu_);
+    ++injected_;
+  }
+  GlobalStoreMetrics()->corrupt_bits_flipped->Increment();
+  return base::OkStatus();
+}
+
+base::Status CorruptionInjectingStore::ZeroRange(const std::string& name,
+                                                 uint64_t offset, uint64_t len) {
+  ASSIGN_OR_RETURN(auto file, base_->Open(name, /*create=*/false));
+  ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (offset >= size) {
+    return base::InvalidArgument("corruption offset beyond end of file");
+  }
+  size_t n = static_cast<size_t>(std::min(len, size - offset));
+  std::vector<uint8_t> zeros(n, 0);
+  RETURN_IF_ERROR(file->Write(offset, base::ByteSpan(zeros.data(), zeros.size())));
+  RETURN_IF_ERROR(file->Sync());
+  {
+    base::MutexLock lock(mu_);
+    ++injected_;
+  }
+  GlobalStoreMetrics()->corrupt_ranges_zeroed->Increment();
+  return base::OkStatus();
+}
+
+base::Result<uint64_t> CorruptionInjectingStore::CorruptRandomBit(const std::string& name) {
+  ASSIGN_OR_RETURN(auto file, base_->Open(name, /*create=*/false));
+  ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (size == 0) {
+    return base::InvalidArgument("cannot corrupt an empty file");
+  }
+  uint64_t offset;
+  uint32_t bit;
+  {
+    base::MutexLock lock(mu_);
+    offset = rng_.Uniform(size);
+    bit = static_cast<uint32_t>(rng_.Uniform(8));
+  }
+  RETURN_IF_ERROR(FlipBit(name, offset, bit));
+  return offset;
+}
+
+void CorruptionInjectingStore::FailReads(const std::string& name, bool fail) {
+  base::MutexLock lock(mu_);
+  if (fail) {
+    fail_reads_.insert(name);
+  } else {
+    fail_reads_.erase(name);
+  }
+}
+
+void CorruptionInjectingStore::FailWrites(const std::string& name, bool fail) {
+  base::MutexLock lock(mu_);
+  if (fail) {
+    fail_writes_.insert(name);
+  } else {
+    fail_writes_.erase(name);
+  }
+}
+
+void CorruptionInjectingStore::FailSyncs(const std::string& name, bool fail) {
+  base::MutexLock lock(mu_);
+  if (fail) {
+    fail_syncs_.insert(name);
+  } else {
+    fail_syncs_.erase(name);
+  }
+}
+
+void CorruptionInjectingStore::ClearFailures() {
+  base::MutexLock lock(mu_);
+  fail_reads_.clear();
+  fail_writes_.clear();
+  fail_syncs_.clear();
+}
+
+uint64_t CorruptionInjectingStore::injected_corruptions() const {
+  base::MutexLock lock(mu_);
+  return injected_;
+}
+
+bool CorruptionInjectingStore::ReadFails(const std::string& name) const {
+  base::MutexLock lock(mu_);
+  return fail_reads_.count(name) > 0;
+}
+
+bool CorruptionInjectingStore::WriteFails(const std::string& name) const {
+  base::MutexLock lock(mu_);
+  return fail_writes_.count(name) > 0;
+}
+
+bool CorruptionInjectingStore::SyncFails(const std::string& name) const {
+  base::MutexLock lock(mu_);
+  return fail_syncs_.count(name) > 0;
+}
+
+}  // namespace store

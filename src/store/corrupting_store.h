@@ -1,0 +1,89 @@
+// CorruptionInjectingStore: a DurableStore decorator that models silent
+// media faults — the failure class the crash explorer cannot reach.
+//
+// Two fault families, both deterministic:
+//   * At-rest corruption: FlipBit / ZeroRange / CorruptRandomBit mutate the
+//     *stored* bytes of a file through the underlying store immediately (and
+//     sync them), exactly like bit rot or a misdirected write that the drive
+//     acknowledged. Nothing in the I/O path observes an error — detection is
+//     entirely up to checksums above.
+//   * I/O errors: FailReads / FailWrites / FailSyncs arm per-file EIO gates;
+//     the matching operations on handles opened through this store fail with
+//     IO_ERROR until the gate is cleared (an unreadable sector, a dying
+//     disk). Injection helpers bypass the gates so a test can corrupt a file
+//     it has also made unreadable.
+//
+// The decorator slots in exactly like CrashPointStore: wrap any replica's
+// backing store and run the ordinary stack (ReplicatedStore, Rvm, clients)
+// over it. Randomized helpers draw from a seeded base::Rng so every sweep is
+// reproducible.
+#ifndef SRC_STORE_CORRUPTING_STORE_H_
+#define SRC_STORE_CORRUPTING_STORE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "src/base/rng.h"
+#include "src/base/sync.h"
+#include "src/store/durable_store.h"
+
+namespace store {
+
+class CorruptionInjectingStore : public DurableStore {
+ public:
+  // Does not own `base`; it must outlive this store and all open handles.
+  explicit CorruptionInjectingStore(DurableStore* base, uint64_t seed = 0x0DDB17);
+
+  // --- DurableStore --------------------------------------------------------
+  base::Result<std::unique_ptr<DurableFile>> Open(const std::string& name,
+                                                  bool create) override;
+  base::Status Remove(const std::string& name) override;
+  base::Result<bool> Exists(const std::string& name) override;
+  base::Result<std::vector<std::string>> List() override;
+  base::Status Rename(const std::string& from, const std::string& to) override;
+  base::Status SyncDir() override;
+
+  // --- at-rest corruption --------------------------------------------------
+  // Each helper mutates the stored bytes via the underlying store and syncs,
+  // so the damage is what a later reader (or a simulated crash) observes.
+
+  // Flips bit `bit` (0-7) of the byte at `offset`. Fails if out of range.
+  base::Status FlipBit(const std::string& name, uint64_t offset, uint32_t bit);
+
+  // Zeroes `len` bytes at `offset` (a zeroed sector), clamped to file size.
+  base::Status ZeroRange(const std::string& name, uint64_t offset, uint64_t len);
+
+  // Flips one seeded-random bit somewhere in the file; returns the byte
+  // offset chosen. Fails on an empty file.
+  base::Result<uint64_t> CorruptRandomBit(const std::string& name);
+
+  // --- I/O error gates -----------------------------------------------------
+
+  void FailReads(const std::string& name, bool fail);
+  void FailWrites(const std::string& name, bool fail);
+  void FailSyncs(const std::string& name, bool fail);
+  void ClearFailures();
+
+  // Total at-rest corruptions injected (bit flips + zeroed ranges).
+  uint64_t injected_corruptions() const;
+
+ private:
+  friend class CorruptingFile;
+
+  bool ReadFails(const std::string& name) const;
+  bool WriteFails(const std::string& name) const;
+  bool SyncFails(const std::string& name) const;
+
+  mutable base::Mutex mu_{"store.corrupt", base::LockRank::kStoreCorrupt};
+  DurableStore* base_;
+  base::Rng rng_ LBC_GUARDED_BY(mu_);
+  std::set<std::string> fail_reads_ LBC_GUARDED_BY(mu_);
+  std::set<std::string> fail_writes_ LBC_GUARDED_BY(mu_);
+  std::set<std::string> fail_syncs_ LBC_GUARDED_BY(mu_);
+  uint64_t injected_ LBC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace store
+
+#endif  // SRC_STORE_CORRUPTING_STORE_H_

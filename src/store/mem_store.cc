@@ -17,6 +17,9 @@ class MemFile : public DurableFile {
 
   base::Result<size_t> Read(uint64_t offset, void* buf, size_t len) override {
     base::MutexLock lock(owner_->mu_);
+    if (owner_->fail_reads_) {
+      return base::IoError("injected read failure");
+    }
     const auto& data = state_->volatile_data;
     if (offset >= data.size()) {
       return size_t{0};
@@ -119,6 +122,9 @@ base::Result<bool> MemStore::Exists(const std::string& name) {
 
 base::Result<std::vector<std::string>> MemStore::List() {
   base::MutexLock lock(mu_);
+  if (fail_reads_) {
+    return base::IoError("injected read failure");
+  }
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, state] : files_) {
@@ -204,6 +210,11 @@ void MemStore::Crash(size_t torn_bytes) {
 void MemStore::FailWritesAfterBytes(int64_t bytes) {
   base::MutexLock lock(mu_);
   fail_after_bytes_ = bytes;
+}
+
+void MemStore::FailReads(bool fail) {
+  base::MutexLock lock(mu_);
+  fail_reads_ = fail;
 }
 
 uint64_t MemStore::total_bytes_written() const {

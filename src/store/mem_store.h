@@ -49,6 +49,11 @@ class MemStore : public DurableStore {
   // IO_ERROR until cleared with a negative value.
   void FailWritesAfterBytes(int64_t bytes);
 
+  // While enabled, Read and List fail with IO_ERROR (a dying disk that can
+  // still absorb writes) — the read-side complement of FailWritesAfterBytes,
+  // used to exercise degraded-replica paths.
+  void FailReads(bool fail);
+
   // Counters for assertions in tests.
   uint64_t total_bytes_written() const;
   uint64_t sync_count() const;
@@ -75,6 +80,7 @@ class MemStore : public DurableStore {
   std::map<std::string, std::shared_ptr<FileState>> files_ LBC_GUARDED_BY(mu_);
   std::map<std::string, std::shared_ptr<FileState>> durable_files_ LBC_GUARDED_BY(mu_);
   int64_t fail_after_bytes_ LBC_GUARDED_BY(mu_) = -1;  // <0 means disabled
+  bool fail_reads_ LBC_GUARDED_BY(mu_) = false;
   uint64_t total_bytes_written_ LBC_GUARDED_BY(mu_) = 0;
   uint64_t sync_count_ LBC_GUARDED_BY(mu_) = 0;
 };

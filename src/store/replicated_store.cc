@@ -106,6 +106,7 @@ ReplicatedStore::ReplicatedStore(std::vector<DurableStore*> replicas)
   base::MutexLock lock(shared_->mu);
   shared_->replicas = std::move(replicas);
   shared_->up.assign(shared_->replicas.size(), true);
+  shared_->suspect.assign(shared_->replicas.size(), false);
 }
 
 base::Result<std::unique_ptr<DurableFile>> ReplicatedStore::Open(const std::string& name,
@@ -216,6 +217,28 @@ base::Status ReplicatedStore::Revive(size_t index) {
   return base::OkStatus();
 }
 
+size_t ReplicatedStore::replica_count() const {
+  base::MutexLock lock(shared_->mu);
+  return shared_->replicas.size();
+}
+
+DurableStore* ReplicatedStore::replica(size_t index) const {
+  base::MutexLock lock(shared_->mu);
+  return index < shared_->replicas.size() ? shared_->replicas[index] : nullptr;
+}
+
+void ReplicatedStore::MarkSuspect(size_t index) {
+  base::MutexLock lock(shared_->mu);
+  if (index < shared_->suspect.size()) {
+    shared_->suspect[index] = true;
+  }
+}
+
+bool ReplicatedStore::IsSuspect(size_t index) const {
+  base::MutexLock lock(shared_->mu);
+  return index < shared_->suspect.size() && shared_->suspect[index];
+}
+
 base::Status ReplicatedStore::CopyAll(DurableStore* from, DurableStore* to) {
   ASSIGN_OR_RETURN(auto names, from->List());
   for (const std::string& name : names) {
@@ -233,7 +256,19 @@ base::Status ReplicatedStore::CopyAll(DurableStore* from, DurableStore* to) {
     }
     RETURN_IF_ERROR(dst->Sync());
   }
-  return base::OkStatus();
+  // A replica that diverged while down may hold files the source no longer
+  // has (e.g. a log the source trimmed and renamed away). Reads fan out by
+  // name, so a stale file must not survive the resync.
+  ASSIGN_OR_RETURN(auto existing, to->List());
+  for (const std::string& name : existing) {
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      RETURN_IF_ERROR(to->Remove(name));
+    }
+  }
+  // Namespace barrier: without it, a crash after Revive could roll back the
+  // removals (and any not-yet-synced creations), leaving a "healthy" replica
+  // whose durable namespace disagrees with its peers.
+  return to->SyncDir();
 }
 
 }  // namespace store

@@ -42,8 +42,24 @@ class ReplicatedStore : public DurableStore {
   // resynchronized its contents (see CopyAll).
   base::Status Revive(size_t index);
 
-  // Copies every file of `from` into `to` (resynchronization helper).
+  // Makes `to` an exact copy of `from` (resynchronization helper): every
+  // source file is copied and fsynced, stale destination-only files are
+  // removed, and the destination namespace is SyncDir'd — so the replica's
+  // state is fully durable before the caller declares it healthy (Revive).
   static base::Status CopyAll(DurableStore* from, DurableStore* to);
+
+  // --- scrubber interface --------------------------------------------------
+  //
+  // The integrity scrubber (rvm::Scrubber) cross-checks replicas against the
+  // page checksums and rewrites bad copies in place, bypassing the
+  // first-healthy read path. A repaired replica stays in rotation but is
+  // flagged *suspect* so an operator (or test) can see which medium rotted.
+
+  size_t replica_count() const;
+  // Direct access to one replica's backing store (scrub read-repair only).
+  DurableStore* replica(size_t index) const;
+  void MarkSuspect(size_t index);
+  bool IsSuspect(size_t index) const;
 
   // Implementation detail shared with the file handles (public only because
   // the handle type lives in the .cc's anonymous namespace).
@@ -51,6 +67,7 @@ class ReplicatedStore : public DurableStore {
     mutable base::Mutex mu{"store.replicated", base::LockRank::kStoreReplicated};
     std::vector<DurableStore*> replicas LBC_GUARDED_BY(mu);
     std::vector<bool> up LBC_GUARDED_BY(mu);
+    std::vector<bool> suspect LBC_GUARDED_BY(mu);  // repaired by scrub at least once
 
     // Runs op on every healthy replica; marks failures down. Fails only if
     // no replica survives.

@@ -19,6 +19,9 @@ struct StoreMetrics {
   obs::Counter* dir_syncs;              // namespace durability barriers
   obs::Counter* crash_points_injected;  // CrashPointStore crashes fired
   obs::Counter* torn_tails_injected;    // crashes that left a torn prefix
+  obs::Counter* corrupt_bits_flipped;   // CorruptionInjectingStore bit flips
+  obs::Counter* corrupt_ranges_zeroed;  // CorruptionInjectingStore zeroed sectors
+  obs::Counter* corrupt_io_errors;      // injected EIO returns (read/write/sync)
 };
 
 inline StoreMetrics* GlobalStoreMetrics() {
@@ -34,6 +37,9 @@ inline StoreMetrics* GlobalStoreMetrics() {
     m->dir_syncs = reg->GetCounter("store.dir_syncs");
     m->crash_points_injected = reg->GetCounter("store.crash_points_injected");
     m->torn_tails_injected = reg->GetCounter("store.torn_tails_injected");
+    m->corrupt_bits_flipped = reg->GetCounter("store.corrupt.bits_flipped");
+    m->corrupt_ranges_zeroed = reg->GetCounter("store.corrupt.ranges_zeroed");
+    m->corrupt_io_errors = reg->GetCounter("store.corrupt.io_errors");
     return m;
   }();
   return metrics;

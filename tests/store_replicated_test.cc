@@ -3,10 +3,14 @@
 // replicated store that loses its primary.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "src/lbc/client.h"
 #include "src/rvm/recovery.h"
+#include "src/store/crash_point_store.h"
 #include "src/store/mem_store.h"
 #include "src/store/replicated_store.h"
 
@@ -96,6 +100,78 @@ TEST(ReplicatedStore, ResyncAndReviveRestoresRedundancy) {
   char buf[2];
   ASSERT_TRUE(direct->ReadExact(0, buf, 2).ok());
   EXPECT_EQ(0, std::memcmp(buf, "v2", 2));
+}
+
+// Pins CopyAll's durability contract: when Revive is called, the repaired
+// replica's state must survive a power loss — file contents fsynced, stale
+// destination-only files durably removed. A crash is driven at every
+// mutating op of the resync, followed by reboot + retry + power loss.
+TEST(ReplicatedStore, CopyAllSurvivesCrashAtEveryOp) {
+  auto prepare = [](store::MemStore* src, store::MemStore* dst) {
+    {
+      auto f = std::move(*src->Open("f", true));
+      ASSERT_TRUE(f->Write(0, base::AsBytes("fresh-f", 7)).ok());
+      ASSERT_TRUE(f->Sync().ok());
+      auto g = std::move(*src->Open("g", true));
+      ASSERT_TRUE(g->Write(0, base::AsBytes("fresh-g!", 8)).ok());
+      ASSERT_TRUE(g->Sync().ok());
+    }
+    {
+      // The destination diverged while down: an outdated copy of one file
+      // plus a file the source no longer has — both durable on dst.
+      auto f = std::move(*dst->Open("f", true));
+      ASSERT_TRUE(f->Write(0, base::AsBytes("old", 3)).ok());
+      ASSERT_TRUE(f->Sync().ok());
+      auto s = std::move(*dst->Open("stale", true));
+      ASSERT_TRUE(s->Write(0, base::AsBytes("junk", 4)).ok());
+      ASSERT_TRUE(s->Sync().ok());
+    }
+    ASSERT_TRUE(dst->SyncDir().ok());
+  };
+  auto expect_matches_source = [](store::MemStore* src, store::MemStore* dst) {
+    auto src_names = *src->List();
+    auto dst_names = *dst->List();
+    std::sort(src_names.begin(), src_names.end());
+    std::sort(dst_names.begin(), dst_names.end());
+    EXPECT_EQ(src_names, dst_names);
+    for (const std::string& name : src_names) {
+      auto a = std::move(*src->Open(name, false));
+      auto b = std::move(*dst->Open(name, false));
+      ASSERT_EQ(*a->Size(), *b->Size()) << name;
+      std::vector<char> want(*a->Size()), got(*b->Size());
+      ASSERT_TRUE(a->ReadExact(0, want.data(), want.size()).ok());
+      ASSERT_TRUE(b->ReadExact(0, got.data(), got.size()).ok());
+      EXPECT_EQ(want, got) << name;
+    }
+  };
+
+  // Count the resync's mutating ops with an unharmed dry run.
+  uint64_t total_ops = 0;
+  {
+    store::MemStore src, dst;
+    prepare(&src, &dst);
+    store::CrashPointStore cps(&dst);
+    ASSERT_TRUE(store::ReplicatedStore::CopyAll(&src, &cps).ok());
+    total_ops = cps.op_count();
+  }
+  ASSERT_GT(total_ops, 0u);
+
+  for (uint64_t crash_at = 0; crash_at < total_ops; ++crash_at) {
+    SCOPED_TRACE("crash at op " + std::to_string(crash_at));
+    store::MemStore src, dst;
+    prepare(&src, &dst);
+    store::CrashPointStore cps(&dst);
+    cps.SetCrashHook([&] { dst.Crash(0); });
+    cps.ArmCrashAtOp(crash_at);
+    EXPECT_FALSE(store::ReplicatedStore::CopyAll(&src, &cps).ok());
+    cps.Disarm();
+    // Reboot: the interrupted resync restarts from scratch and must land
+    // the replica in a fully durable source-identical state...
+    ASSERT_TRUE(store::ReplicatedStore::CopyAll(&src, &cps).ok());
+    // ...that survives a power loss right before Revive.
+    dst.Crash(0);
+    expect_matches_source(&src, &dst);
+  }
 }
 
 TEST(ReplicatedStore, RenameAndRemoveMirror) {

@@ -10,36 +10,58 @@
 #include <memory>
 #include <vector>
 
+#include "src/store/corrupting_store.h"
 #include "src/store/crash_point_store.h"
 #include "src/store/durable_store.h"
 #include "src/store/mem_store.h"
+#include "src/store/replicated_store.h"
 
 namespace {
 
-enum class StoreKind { kMem, kFile, kCrashPointMem, kCrashPointFile };
+enum class StoreKind {
+  kMem,
+  kFile,
+  kCrashPointMem,
+  kCrashPointFile,
+  kReplicatedMem,
+  kCorruptingMem,
+};
 
 class StoreConformanceTest : public ::testing::TestWithParam<StoreKind> {
  protected:
   void SetUp() override {
     StoreKind kind = GetParam();
-    if (kind == StoreKind::kMem || kind == StoreKind::kCrashPointMem) {
-      backing_ = std::make_unique<store::MemStore>();
-    } else {
+    if (kind == StoreKind::kFile || kind == StoreKind::kCrashPointFile) {
       dir_ = std::filesystem::temp_directory_path() /
              ("lbc_store_test_" + std::to_string(::getpid()) + "_" +
               ::testing::UnitTest::GetInstance()->current_test_info()->name());
       std::filesystem::remove_all(dir_);
       backing_ = std::move(*store::OpenFileStore(dir_.string()));
-    }
-    if (kind == StoreKind::kCrashPointMem || kind == StoreKind::kCrashPointFile) {
-      store_ = std::make_unique<store::CrashPointStore>(backing_.get());
     } else {
-      store_ = std::move(backing_);
+      backing_ = std::make_unique<store::MemStore>();
+    }
+    switch (kind) {
+      case StoreKind::kCrashPointMem:
+      case StoreKind::kCrashPointFile:
+        store_ = std::make_unique<store::CrashPointStore>(backing_.get());
+        break;
+      case StoreKind::kReplicatedMem:
+        backing2_ = std::make_unique<store::MemStore>();
+        store_ = std::make_unique<store::ReplicatedStore>(
+            std::vector<store::DurableStore*>{backing_.get(), backing2_.get()});
+        break;
+      case StoreKind::kCorruptingMem:
+        store_ = std::make_unique<store::CorruptionInjectingStore>(backing_.get());
+        break;
+      default:
+        store_ = std::move(backing_);
+        break;
     }
   }
 
   void TearDown() override {
     store_.reset();
+    backing2_.reset();
     backing_.reset();
     if (!dir_.empty()) {
       std::filesystem::remove_all(dir_);
@@ -47,6 +69,7 @@ class StoreConformanceTest : public ::testing::TestWithParam<StoreKind> {
   }
 
   std::unique_ptr<store::DurableStore> backing_;  // set when store_ decorates
+  std::unique_ptr<store::DurableStore> backing2_;  // second replica (kReplicatedMem)
   std::unique_ptr<store::DurableStore> store_;
   std::filesystem::path dir_;
 };
@@ -134,13 +157,17 @@ TEST_P(StoreConformanceTest, SyncDirSucceeds) {
 INSTANTIATE_TEST_SUITE_P(Impls, StoreConformanceTest,
                          ::testing::Values(StoreKind::kMem, StoreKind::kFile,
                                            StoreKind::kCrashPointMem,
-                                           StoreKind::kCrashPointFile),
+                                           StoreKind::kCrashPointFile,
+                                           StoreKind::kReplicatedMem,
+                                           StoreKind::kCorruptingMem),
                          [](const auto& info) {
                            switch (info.param) {
                              case StoreKind::kMem: return "Mem";
                              case StoreKind::kFile: return "File";
                              case StoreKind::kCrashPointMem: return "CrashPointMem";
-                             default: return "CrashPointFile";
+                             case StoreKind::kCrashPointFile: return "CrashPointFile";
+                             case StoreKind::kReplicatedMem: return "ReplicatedMem";
+                             default: return "CorruptingMem";
                            }
                          });
 
@@ -404,6 +431,105 @@ TEST(CrashPointStore, ResetOpCountStartsNewEpoch) {
   EXPECT_EQ(0u, cps.op_count());
   ASSERT_TRUE(file->Sync().ok());
   EXPECT_EQ(1u, cps.op_count());
+}
+
+// --- MemStore read-side injection -------------------------------------------
+
+TEST(MemStoreInjection, FailReadsAffectsReadAndList) {
+  store::MemStore store;
+  auto file = std::move(*store.Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("x", 1)).ok());
+  store.FailReads(true);
+  char c;
+  EXPECT_EQ(base::StatusCode::kIoError, file->Read(0, &c, 1).status().code());
+  EXPECT_EQ(base::StatusCode::kIoError, store.List().status().code());
+  // Writes still land while reads fail (a half-dead medium).
+  EXPECT_TRUE(file->Write(1, base::AsBytes("y", 1)).ok());
+  store.FailReads(false);
+  ASSERT_TRUE(file->ReadExact(0, &c, 1).ok());
+  EXPECT_EQ('x', c);
+}
+
+// --- CorruptionInjectingStore ------------------------------------------------
+
+TEST(CorruptingStore, FlipBitMutatesStoredByte) {
+  store::MemStore mem;
+  store::CorruptionInjectingStore cs(&mem);
+  auto file = std::move(*cs.Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("\x0F", 1)).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(cs.FlipBit("f", 0, 7).ok());
+  char c;
+  ASSERT_TRUE(file->ReadExact(0, &c, 1).ok());
+  EXPECT_EQ('\x8F', c);
+  EXPECT_EQ(1u, cs.injected_corruptions());
+  // The damage is already durable: it survives a simulated power loss.
+  mem.Crash();
+  ASSERT_TRUE(file->ReadExact(0, &c, 1).ok());
+  EXPECT_EQ('\x8F', c);
+}
+
+TEST(CorruptingStore, FlipBitOutOfRangeFails) {
+  store::MemStore mem;
+  store::CorruptionInjectingStore cs(&mem);
+  { auto file = std::move(*cs.Open("f", true)); }
+  EXPECT_FALSE(cs.FlipBit("f", 0, 0).ok());  // empty file
+  EXPECT_FALSE(cs.FlipBit("missing", 0, 0).ok());
+}
+
+TEST(CorruptingStore, ZeroRangeClampsToFileSize) {
+  store::MemStore mem;
+  store::CorruptionInjectingStore cs(&mem);
+  auto file = std::move(*cs.Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("abcdef", 6)).ok());
+  ASSERT_TRUE(cs.ZeroRange("f", 4, 100).ok());
+  char buf[6];
+  ASSERT_TRUE(file->ReadExact(0, buf, 6).ok());
+  EXPECT_EQ(0, std::memcmp(buf, "abcd\0\0", 6));
+  EXPECT_EQ(6u, *file->Size());  // zeroing never extends the file
+}
+
+TEST(CorruptingStore, CorruptRandomBitIsSeededDeterministic) {
+  auto run = [](uint64_t seed) {
+    store::MemStore mem;
+    store::CorruptionInjectingStore cs(&mem, seed);
+    auto file = std::move(*cs.Open("f", true));
+    std::vector<uint8_t> data(128, 0xAA);
+    EXPECT_TRUE(file->Write(0, base::ByteSpan(data.data(), data.size())).ok());
+    return *cs.CorruptRandomBit("f");
+  };
+  EXPECT_EQ(run(1234), run(1234));
+}
+
+TEST(CorruptingStore, ReadGateFailsOnlyTheNamedFile) {
+  store::MemStore mem;
+  store::CorruptionInjectingStore cs(&mem);
+  auto bad = std::move(*cs.Open("bad", true));
+  auto good = std::move(*cs.Open("good", true));
+  ASSERT_TRUE(bad->Write(0, base::AsBytes("x", 1)).ok());
+  ASSERT_TRUE(good->Write(0, base::AsBytes("y", 1)).ok());
+  cs.FailReads("bad", true);
+  char c;
+  EXPECT_EQ(base::StatusCode::kIoError, bad->Read(0, &c, 1).status().code());
+  EXPECT_TRUE(good->ReadExact(0, &c, 1).ok());
+  cs.ClearFailures();
+  EXPECT_TRUE(bad->ReadExact(0, &c, 1).ok());
+}
+
+TEST(CorruptingStore, WriteAndSyncGates) {
+  store::MemStore mem;
+  store::CorruptionInjectingStore cs(&mem);
+  auto file = std::move(*cs.Open("f", true));
+  cs.FailWrites("f", true);
+  EXPECT_EQ(base::StatusCode::kIoError, file->Write(0, base::AsBytes("x", 1)).code());
+  EXPECT_EQ(base::StatusCode::kIoError, file->Append(base::AsBytes("x", 1)).status().code());
+  EXPECT_EQ(base::StatusCode::kIoError, file->Truncate(0).code());
+  cs.FailWrites("f", false);
+  ASSERT_TRUE(file->Write(0, base::AsBytes("x", 1)).ok());
+  cs.FailSyncs("f", true);
+  EXPECT_EQ(base::StatusCode::kIoError, file->Sync().code());
+  cs.FailSyncs("f", false);
+  EXPECT_TRUE(file->Sync().ok());
 }
 
 TEST(CrashPointStore, OfflineFailsEverythingWithoutCrashing) {

@@ -117,6 +117,7 @@ base::Status Cluster::ReplayAndRecordBaselines(const std::vector<std::string>& l
   if (log_names.empty()) {
     return base::OkStatus();
   }
+  base::MutexLock db_guard(db_mu_);
   ASSIGN_OR_RETURN(auto merged, rvm::MergeLogs(store_, log_names));
   RETURN_IF_ERROR(rvm::ApplyToDatabase(store_, merged));
   base::MutexLock guard(mu_);
@@ -302,6 +303,7 @@ base::Status Cluster::RecoverDeadClient(rvm::NodeId node) {
   ASSIGN_OR_RETURN(bool exists, store_->Exists(log_name));
   std::vector<rvm::TransactionRecord> merged;
   if (exists) {
+    base::MutexLock db_guard(db_mu_);
     ASSIGN_OR_RETURN(merged, rvm::MergeLogs(store_, {log_name}));
     RETURN_IF_ERROR(rvm::ApplyToDatabase(store_, merged));
   }
@@ -365,6 +367,13 @@ bool Cluster::TryRepairRegion(rvm::RegionId region) {
   if (scrubber == nullptr) {
     return false;
   }
+  // Serialize the repair's database-file writes with the cluster's other
+  // writers (trim/recovery replay, standby checkpoint): an unserialized
+  // repair_copy could interleave with ApplyToDatabase on the same page and
+  // leave a half-repaired, half-replayed hybrid on disk. The scrub itself
+  // never rewrites logs (ScrubRegion is detect-only for them), so live
+  // appenders need no quiescing here.
+  base::MutexLock db_guard(db_mu_);
   auto report = scrubber->ScrubRegion(region);
   return report.ok();
 }
@@ -405,6 +414,7 @@ base::Status Cluster::RestartServer() {
   }
   std::vector<rvm::TransactionRecord> merged;
   if (!log_names.empty()) {
+    base::MutexLock db_guard(db_mu_);
     ASSIGN_OR_RETURN(merged, rvm::MergeLogs(store_, log_names));
     RETURN_IF_ERROR(rvm::ApplyToDatabase(store_, merged));
   }

@@ -170,10 +170,21 @@ class Cluster {
   // client gives up. The cluster does not own the scrubber.
 
   void SetScrubber(rvm::Scrubber* scrubber);
-  // Runs a targeted scrub of `region`'s pages (and the logs reconstruction
-  // needs). Returns false when no scrubber is attached or the scrub itself
-  // errored. The cluster mutex is never held across the scrub.
+  // Runs a targeted scrub of `region`'s pages (and a detect-only scan of
+  // the logs reconstruction needs — this path never rewrites a log, since
+  // their owners may be mid-append). Returns false when no scrubber is
+  // attached or the scrub itself errored. The repair's database-file writes
+  // are serialized with the cluster's other writers via DbMutex(); the
+  // directory mutex mu_ is never held across the scrub.
   bool TryRepairRegion(rvm::RegionId region);
+
+  // Serializes every writer of the permanent database files that runs
+  // through this cluster: recovery/trim replay (ApplyToDatabase), the
+  // standby checkpoint's region-file writes, and the scrubber's page
+  // repairs (TryRepairRegion). Without it a repair_copy could interleave
+  // with a concurrent replay on the same page. Public so helpers that write
+  // the database files directly (lbc::CheckpointFromStandby) can hold it.
+  base::Mutex& DbMutex() LBC_RETURN_CAPABILITY(db_mu_) { return db_mu_; }
 
   void KillServer();
   // Rebuilds the directory from the merged client logs (replaying them into
@@ -191,6 +202,10 @@ class Cluster {
   store::DurableStore* store_;
   netsim::Fabric fabric_;
 
+  // Database-file writer lock (see DbMutex()). Ranked below mu_ so a
+  // writer may consult the directory mid-operation; it guards on-store
+  // state, not members, so it carries no LBC_GUARDED_BY users.
+  mutable base::Mutex db_mu_{"lbc.cluster.db", base::LockRank::kClusterDb};
   mutable base::Mutex mu_{"lbc.cluster", base::LockRank::kCluster};
   std::map<rvm::LockId, LockSpec> locks_ LBC_GUARDED_BY(mu_);
   std::map<rvm::RegionId, std::vector<rvm::NodeId>> mappings_ LBC_GUARDED_BY(mu_);

@@ -27,18 +27,23 @@ base::Status CheckpointFromStandby(Cluster* cluster, Client* standby,
   // 2. Write the standby's images to the permanent database files. Commits
   //    racing this write only touch bytes whose records stay in the logs
   //    (their sequence numbers exceed the cut), so the file is a consistent
-  //    base for replay either way.
-  for (rvm::RegionId region : standby->MappedRegions()) {
-    const rvm::Region* r = standby->GetRegion(region);
-    ASSIGN_OR_RETURN(auto file,
-                     cluster->store()->Open(rvm::RegionFileName(region), /*create=*/true));
-    RETURN_IF_ERROR(file->Write(0, base::ByteSpan(r->data(), r->size())));
-    RETURN_IF_ERROR(file->Sync());
-    // Re-checksum the whole region from the file just written (read-back
-    // verification of the checkpoint image). Must precede the trims below:
-    // if we crash in between, the untrimmed logs still cover every page
-    // whose sidecar entry is stale, and boot-time replay rewrites it.
-    RETURN_IF_ERROR(rvm::RewriteRegionChecksums(cluster->store(), region));
+  //    base for replay either way. The cluster's database-writer lock keeps
+  //    recovery replay and scrub repairs from interleaving with the image
+  //    write on the same pages.
+  {
+    base::MutexLock db_guard(cluster->DbMutex());
+    for (rvm::RegionId region : standby->MappedRegions()) {
+      const rvm::Region* r = standby->GetRegion(region);
+      ASSIGN_OR_RETURN(auto file,
+                       cluster->store()->Open(rvm::RegionFileName(region), /*create=*/true));
+      RETURN_IF_ERROR(file->Write(0, base::ByteSpan(r->data(), r->size())));
+      RETURN_IF_ERROR(file->Sync());
+      // Re-checksum the whole region from the file just written (read-back
+      // verification of the checkpoint image). Must precede the trims below:
+      // if we crash in between, the untrimmed logs still cover every page
+      // whose sidecar entry is stale, and boot-time replay rewrites it.
+      RETURN_IF_ERROR(rvm::RewriteRegionChecksums(cluster->store(), region));
+    }
   }
   for (const auto& [lock, seq] : baselines) {
     cluster->RecordBaseline(lock, seq);

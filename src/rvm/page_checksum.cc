@@ -167,19 +167,27 @@ base::Result<std::vector<uint64_t>> VerifyImagePages(store::DurableStore* store,
   std::vector<uint64_t> bad;
   IntegrityMetrics* m = GlobalIntegrityMetrics();
   uint64_t file_pages = (file_size + kDbPageSize - 1) / kDbPageSize;
-  // Pages checkable from this image: fully contained in [0, len), or the
-  // file's tail page when the image reaches end-of-file.
+  // Pages fully checkable from this image alone: wholly contained in
+  // [0, len), or the file's tail page when the image reaches end-of-file.
   uint64_t check_pages = std::min(file_pages, len / kDbPageSize);
+  bool boundary = false;
   if (len >= file_size) {
     check_pages = file_pages;
+  } else if (len % kDbPageSize != 0) {
+    // The image ends mid-page with more file behind it. Its prefix of that
+    // page is still served to the caller, so the page must be completed
+    // from the database file and verified like any other — a short mapping
+    // length must not open an unverified window.
+    boundary = true;
   }
-  if (check_pages == 0) {
+  if (check_pages == 0 && !boundary) {
     return bad;
   }
   auto sidecar_or = ChecksumSidecar::Open(store, region, /*create=*/false);
   if (!sidecar_or.ok()) {
     if (sidecar_or.status().code() == base::StatusCode::kNotFound) {
-      m->pages_unverified->Add(check_pages);  // pre-checksum file: nothing to check
+      // Pre-checksum file: nothing to check.
+      m->pages_unverified->Add(check_pages + (boundary ? 1 : 0));
       return bad;
     }
     return sidecar_or.status();
@@ -198,6 +206,28 @@ base::Result<std::vector<uint64_t>> VerifyImagePages(store::DurableStore* store,
     } else {
       m->verify_failures->Increment();
       bad.push_back(page);
+    }
+  }
+  if (boundary) {
+    const uint64_t page = check_pages;  // == len / kDbPageSize
+    ASSIGN_OR_RETURN(auto entry, sidecar->ReadEntry(page));
+    if (!entry.has_value()) {
+      m->pages_unverified->Increment();
+    } else {
+      const uint64_t offset = page * kDbPageSize;
+      const size_t want =
+          static_cast<size_t>(std::min<uint64_t>(kDbPageSize, file_size - offset));
+      const size_t prefix = static_cast<size_t>(len - offset);
+      std::vector<uint8_t> whole(want, 0);
+      std::memcpy(whole.data(), data + offset, prefix);
+      ASSIGN_OR_RETURN(auto db, store->Open(RegionFileName(region), /*create=*/false));
+      RETURN_IF_ERROR(db->ReadExact(len, whole.data() + prefix, want - prefix));
+      if (PageCrc(whole.data(), want) == *entry) {
+        m->pages_verified->Increment();
+      } else {
+        m->verify_failures->Increment();
+        bad.push_back(page);
+      }
     }
   }
   return bad;

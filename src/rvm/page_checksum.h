@@ -103,8 +103,10 @@ base::Status RewriteRegionChecksums(store::DurableStore* store, RegionId region)
 // `data` holds the first `len` file bytes; `file_size` is the file's total
 // size. Pages wholly inside [0, len) are checked (the tail page too when
 // len covers end-of-file, since past-EOF bytes are zero by definition).
-// Returns the indices of mismatching pages; a missing sidecar or missing
-// entries verify vacuously.
+// When len ends mid-page with more file behind it, that boundary page is
+// completed from the database file and checked as well — its prefix is
+// served to the caller, so it gets no free pass. Returns the indices of
+// mismatching pages; a missing sidecar or missing entries verify vacuously.
 base::Result<std::vector<uint64_t>> VerifyImagePages(store::DurableStore* store,
                                                      RegionId region,
                                                      const uint8_t* data, uint64_t len,

@@ -209,7 +209,8 @@ LogScan ScanOneLog(store::DurableStore* store, const std::string& name) {
 
 }  // namespace
 
-base::Status Scrubber::ScrubLogs(RunState* run, ScrubReport* report) {
+base::Status Scrubber::ScrubLogs(RunState* run, ScrubReport* report,
+                                 bool repair_logs) {
   (void)run;
   ASSIGN_OR_RETURN(auto names, store_->List());
   std::vector<std::string> logs;
@@ -273,6 +274,13 @@ base::Status Scrubber::ScrubLogs(RunState* run, ScrubReport* report) {
       // Every scannable copy is rotten; rewriting would destroy the frames
       // past the break. Leave the bytes for manual salvage.
       ++report->unrepairable;
+      continue;
+    }
+    if (!repair_logs) {
+      // Detect-only pass (automatic ScrubRegion): a live client may append
+      // a committed record to a peer replica between the scan above and a
+      // rewrite, which would silently truncate it away. Leave repair to the
+      // quiesced ScrubOnce path.
       continue;
     }
 
@@ -546,11 +554,25 @@ base::Status Scrubber::ScrubRegionPages(RunState* run, RegionId region,
     }
     uint32_t expected = 0;
     int best_votes = -1;
+    bool vote_tied = false;
     for (const auto& [crc, votes] : entry_votes) {
       if (votes > best_votes) {
         expected = crc;
         best_votes = votes;
+        vote_tied = false;
+      } else if (votes == best_votes) {
+        vote_tied = true;
       }
+    }
+    if (vote_tied) {
+      // Equal support for different checksums (e.g. a 1-1 split): nothing
+      // says which history is right, and electing one — the map's iteration
+      // order would crown the numerically smallest CRC — may discard
+      // committed data. Report divergence and leave every copy in place,
+      // exactly as the self-consistent-divergence case above does.
+      ++report->replica_divergence;
+      ++report->unrepairable;
+      continue;
     }
 
     int intact = -1;
@@ -612,7 +634,7 @@ base::Status Scrubber::ScrubRegionPages(RunState* run, RegionId region,
 base::Result<ScrubReport> Scrubber::ScrubOnce() {
   RunState run;
   ScrubReport report;
-  RETURN_IF_ERROR(ScrubLogs(&run, &report));
+  RETURN_IF_ERROR(ScrubLogs(&run, &report, /*repair_logs=*/true));
   ASSIGN_OR_RETURN(auto names, store_->List());
   std::vector<RegionId> regions;
   for (const std::string& name : names) {
@@ -633,7 +655,7 @@ base::Result<ScrubReport> Scrubber::ScrubOnce() {
 base::Result<ScrubReport> Scrubber::ScrubRegion(RegionId region) {
   RunState run;
   ScrubReport report;
-  RETURN_IF_ERROR(ScrubLogs(&run, &report));
+  RETURN_IF_ERROR(ScrubLogs(&run, &report, /*repair_logs=*/false));
   RETURN_IF_ERROR(ScrubRegionPages(&run, region, &report));
   MirrorToGlobal(report);
   return report;

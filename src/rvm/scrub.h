@@ -29,8 +29,11 @@
 // thread concurrently with committing clients (commits only append to logs,
 // and a clean log scan never writes). Repairs that rewrite whole log files
 // assume the named logs have no active writer — quiesce first, as the
-// corruption sweep does. Every run's findings are returned in a ScrubReport
-// and mirrored into the scrub.* counters.
+// corruption sweep does; only ScrubOnce performs them. ScrubRegion (the
+// automatic client re-fetch path, which cannot quiesce anybody) is
+// detect-only for logs: a rewrite racing a live appender would truncate a
+// freshly committed record. Every run's findings are returned in a
+// ScrubReport and mirrored into the scrub.* counters.
 #ifndef SRC_RVM_SCRUB_H_
 #define SRC_RVM_SCRUB_H_
 
@@ -97,16 +100,23 @@ class Scrubber {
       : store_(store), replicated_(replicated) {}
 
   // Scrubs every log and every region database file found in the store.
+  // The only entry point that rewrites log files; callers must quiesce
+  // log writers first.
   base::Result<ScrubReport> ScrubOnce();
 
-  // Targeted variant (client re-fetch path): scrubs the logs (page
-  // reconstruction needs them intact) and then one region's pages.
+  // Targeted variant (client re-fetch path): scans the logs (page
+  // reconstruction needs them intact) and then scrubs one region's pages.
+  // Log damage is detected and counted but never repaired — this path runs
+  // concurrently with live appenders, and a log rewrite here could truncate
+  // a record committed between the scan and the rewrite.
   base::Result<ScrubReport> ScrubRegion(RegionId region);
 
  private:
   struct RunState;
 
-  base::Status ScrubLogs(RunState* run, ScrubReport* report);
+  // repair_logs=false scans and counts log damage without rewriting any
+  // log file (safe against concurrent appenders).
+  base::Status ScrubLogs(RunState* run, ScrubReport* report, bool repair_logs);
   base::Status ScrubRegionPages(RunState* run, RegionId region, ScrubReport* report);
   // Zero page + every merged redo range that overlaps it, in order.
   base::Result<std::vector<uint8_t>> ReconstructPage(RunState* run, RegionId region,

@@ -280,6 +280,116 @@ TEST(CorruptionSweep, ClientRefetchAfterRepair) {
   EXPECT_TRUE((*scrubber.ScrubOnce()).clean());
 }
 
+// A mapping length that ends mid-page must not open an unverified window:
+// the image's prefix of the boundary page is served to the application, so
+// rot inside that prefix has to surface as DATA_LOSS, with the page
+// completed from the database file and checked against its sidecar entry.
+TEST(CorruptionSweep, PartialTailPageIsVerified) {
+  Fixture fx;
+  fx.CommitWorkloadAndReplay();
+  const std::string db = rvm::RegionFileName(kRegion);
+  // Non-page-aligned length: two full pages plus 100 bytes of page 2.
+  const uint64_t kShort = 2 * rvm::kDbPageSize + 100;
+  // Rot inside the served prefix of the boundary page, on the replica the
+  // read path prefers.
+  ASSERT_TRUE(fx.corrupt[0]->FlipBit(db, 2 * rvm::kDbPageSize + 50, 2).ok());
+  {
+    auto rvm = std::move(*rvm::Rvm::Open(fx.replicated.get(), 98, {}));
+    auto mapped = rvm->MapRegion(kRegion, kShort);
+    ASSERT_FALSE(mapped.ok()) << "served a corrupt partial tail page";
+    EXPECT_EQ(base::StatusCode::kDataLoss, mapped.status().code());
+  }
+  // After repair the short mapping succeeds and serves the gold prefix.
+  rvm::Scrubber scrubber(fx.replicated.get(), fx.replicated.get());
+  auto report = *scrubber.ScrubOnce();
+  EXPECT_GE(report.repaired_from_replica, 1u);
+  {
+    auto rvm = std::move(*rvm::Rvm::Open(fx.replicated.get(), 97, {}));
+    auto mapped = rvm->MapRegion(kRegion, kShort);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    EXPECT_EQ(0, std::memcmp((*mapped)->data(), fx.gold.data(), kShort));
+  }
+}
+
+// The automatic repair path (Client::MapRegion -> TryRepairRegion ->
+// ScrubRegion) runs while other clients may be mid-append, so it must never
+// rewrite a log file — a rewrite racing an append would truncate a freshly
+// committed record. Log damage is still detected; the rewrite itself is
+// reserved for the quiesced ScrubOnce.
+TEST(CorruptionSweep, AutomaticRegionScrubNeverRewritesLogs) {
+  Fixture fx;
+  fx.CommitWorkloadAndReplay();
+  rvm::Scrubber scrubber(fx.replicated.get(), fx.replicated.get());
+
+  const std::string log = rvm::LogFileName(1);
+  ASSERT_TRUE(fx.corrupt[0]->FlipBit(log, rvm::kFrameHeaderSize + 2, 5).ok());
+  const std::vector<uint8_t> before0 = fx.ReadBackend(0, log);
+  const std::vector<uint8_t> before1 = fx.ReadBackend(1, log);
+
+  auto report = *scrubber.ScrubRegion(kRegion);
+  EXPECT_GE(report.log_corruptions, 1u);  // detected...
+  EXPECT_EQ(0u, report.log_repairs);      // ...but no live log touched
+  EXPECT_EQ(before0, fx.ReadBackend(0, log));
+  EXPECT_EQ(before1, fx.ReadBackend(1, log));
+
+  // The quiesced full scrub then repairs it for real.
+  auto full = *scrubber.ScrubOnce();
+  EXPECT_GE(full.log_repairs, 1u);
+  EXPECT_EQ(fx.ReadBackend(0, log), fx.ReadBackend(1, log));
+  EXPECT_TRUE((*scrubber.ScrubOnce()).clean());
+}
+
+// When no copy of a page is self-consistent and the surviving sidecar
+// entries split evenly, there is no ground for electing a winner: each
+// checksum certifies a different history, and overwriting either copy may
+// discard committed data. The scrubber must report divergence and leave
+// both copies untouched — not crown the numerically smallest CRC.
+TEST(CorruptionSweep, TiedSidecarVoteIsDivergenceNotElection) {
+  constexpr rvm::RegionId kTieRegion = 5;
+  store::MemStore backends[2];
+  store::ReplicatedStore replicated(
+      std::vector<store::DurableStore*>{&backends[0], &backends[1]});
+
+  // One page of different content per replica, each certified by the
+  // *other* replica's checksum: neither copy is self-consistent, and the
+  // entry vote ties 1-1.
+  const std::vector<uint8_t> page_a(rvm::kDbPageSize, 0xAA);
+  const std::vector<uint8_t> page_b(rvm::kDbPageSize, 0xBB);
+  const uint32_t crc_a = rvm::PageCrc(page_a.data(), page_a.size());
+  const uint32_t crc_b = rvm::PageCrc(page_b.data(), page_b.size());
+  ASSERT_NE(crc_a, crc_b);
+  const std::string db = rvm::RegionFileName(kTieRegion);
+  auto write_replica = [&](size_t i, const std::vector<uint8_t>& data,
+                           uint32_t entry_crc) {
+    auto file = std::move(*backends[i].Open(db, /*create=*/true));
+    ASSERT_TRUE(file->Write(0, base::ByteSpan(data.data(), data.size())).ok());
+    ASSERT_TRUE(file->Sync().ok());
+    auto sidecar =
+        std::move(*rvm::ChecksumSidecar::Open(&backends[i], kTieRegion, /*create=*/true));
+    ASSERT_TRUE(sidecar->WriteEntry(0, entry_crc).ok());
+    ASSERT_TRUE(sidecar->Sync().ok());
+  };
+  write_replica(0, page_a, crc_b);
+  write_replica(1, page_b, crc_a);
+
+  rvm::Scrubber scrubber(&replicated, &replicated);
+  auto report = *scrubber.ScrubOnce();
+  EXPECT_GE(report.replica_divergence, 1u);
+  EXPECT_GE(report.unrepairable, 1u);
+  EXPECT_EQ(0u, report.repaired_from_replica);
+  EXPECT_EQ(0u, report.repaired_from_log);
+
+  // Both copies are exactly as they were: nothing was "repaired".
+  auto read_all = [&](size_t i) {
+    auto file = std::move(*backends[i].Open(db, /*create=*/false));
+    std::vector<uint8_t> bytes(*file->Size());
+    EXPECT_TRUE(file->ReadExact(0, bytes.data(), bytes.size()).ok());
+    return bytes;
+  };
+  EXPECT_EQ(page_a, read_all(0));
+  EXPECT_EQ(page_b, read_all(1));
+}
+
 // Without replication there is nothing to cross-check against, but the two
 // clients' merged logs still reconstruct any page — the paper's §3.4 merge
 // applied at page granularity.

@@ -6,6 +6,7 @@
 #include "src/base/clock.h"
 #include "src/base/logging.h"
 #include "src/obs/export.h"
+#include "src/obs/metrics.h"
 #include "src/rvm/page_checksum.h"
 #include "src/rvm/scrub.h"
 
@@ -188,6 +189,23 @@ void RunFigureComparison(const std::vector<std::string>& names) {
   // run that verified no pages and repaired nothing should say so.
   rvm::GlobalIntegrityMetrics();
   rvm::GlobalScrubMetrics();
+  // Same for the exhaustion/overload families (they register lazily on
+  // their fault paths): a clean bench snapshot must state outright that the
+  // quota, backpressure, admission, and gray-detection paths never fired.
+  {
+    auto* reg = obs::MetricsRegistry::Global();
+    for (const char* name :
+         {"backpressure.stalls", "backpressure.stall_nanos",
+          "backpressure.trim_requests", "backpressure.exhausted",
+          "admission.admitted", "admission.shed", "admission.fetch_shed",
+          "admission.commit_shed", "gray.suspect_slow",
+          "gray.evictions_averted", "gray.false_evictions", "gray.retries",
+          "gray.backoff_nanos", "gray.deadline_misses",
+          "store.resource.enospc", "store.resource.short_appends",
+          "store.resource.delays", "store.resource.delay_nanos"}) {
+      reg->GetCounter(name);
+    }
+  }
   std::string snapshot_path = obs::SnapshotPath();
   base::Status status = obs::WriteJsonSnapshot(snapshot_path);
   if (status.ok()) {

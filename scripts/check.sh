@@ -4,10 +4,13 @@
 # ThreadSanitizer build of the concurrency-heavy netsim/lbc/obs tests (the
 # chaos suite doubles as the data-race check for the stats accessors and
 # the obs counters), an ASan+UBSan pass over the store/rvm/crash suites,
-# and the exhaustive crash-schedule sweep.
+# the exhaustive crash-schedule sweep, and the resource-exhaustion sweep
+# (ENOSPC quota ladder with crash-at-every-op, backpressure watermarks,
+# admission shedding, gray-liveness deadlines).
 #
 # Usage: scripts/check.sh [--tsan-only | --tier1-only | --crash-sweep |
-#                          --static | --asan | --corruption-sweep]
+#                          --static | --asan | --corruption-sweep |
+#                          --exhaustion-sweep]
 #
 # --static runs the concurrency-discipline gate on its own:
 #   * scripts/lint.py (always — no toolchain dependency),
@@ -21,8 +24,15 @@
 # replica and merged-log repair paths) plus the replicated-store conformance
 # and resync-crash suites that back it.
 #
+# --exhaustion-sweep runs the resource-exhaustion gate on its own:
+# resource_exhaustion_test's quota ladder (each quota crash-swept at every
+# mutating op while the workload is fighting ENOSPC), the log-watermark
+# backpressure scenarios, admission-control shedding, and the gray
+# suspect-slow-vs-dead liveness checks.
+#
 # The crash sweep re-runs crash_explorer_test with the full (unbudgeted)
-# schedule set. Tune it through the environment:
+# schedule set; the exhaustion sweep's embedded crash sweeps honour the same
+# knobs. Tune them through the environment:
 #   LBC_CRASH_BUDGET  max schedules per sweep (0 = exhaustive, the default)
 #   LBC_CRASH_SEED    sample-selection seed when a budget is set
 set -euo pipefail
@@ -35,15 +45,17 @@ run_tsan=1
 run_asan=1
 run_crash=1
 run_corrupt=1
+run_exhaust=1
 case "${1:-}" in
-  --tsan-only) run_tier1=0; run_static=0; run_asan=0; run_crash=0; run_corrupt=0 ;;
-  --tier1-only) run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0 ;;
-  --crash-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_corrupt=0 ;;
-  --static) run_tier1=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0 ;;
-  --asan) run_tier1=0; run_static=0; run_tsan=0; run_crash=0; run_corrupt=0 ;;
-  --corruption-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_crash=0 ;;
+  --tsan-only) run_tier1=0; run_static=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0 ;;
+  --tier1-only) run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0 ;;
+  --crash-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_corrupt=0; run_exhaust=0 ;;
+  --static) run_tier1=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0 ;;
+  --asan) run_tier1=0; run_static=0; run_tsan=0; run_crash=0; run_corrupt=0; run_exhaust=0 ;;
+  --corruption-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_exhaust=0 ;;
+  --exhaustion-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only | --tier1-only | --crash-sweep | --static | --asan | --corruption-sweep]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tsan-only | --tier1-only | --crash-sweep | --static | --asan | --corruption-sweep | --exhaustion-sweep]" >&2; exit 2 ;;
 esac
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -109,7 +121,8 @@ if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DLBC_SANITIZE=address,undefined
   asan_tests=(store_test store_replicated_test rvm_smoke_test rvm_log_test \
               rvm_txn_test rvm_merge_test rvm_region_test rvm_concurrency_test \
-              crash_explorer_test base_sync_test corruption_sweep_test)
+              crash_explorer_test base_sync_test corruption_sweep_test \
+              resource_exhaustion_test)
   cmake --build build-asan -j "$jobs" --target "${asan_tests[@]}"
   for t in "${asan_tests[@]}"; do
     echo "--- asan: $t"
@@ -126,6 +139,15 @@ if [[ "$run_corrupt" == 1 ]]; then
     echo "--- corruption: $t"
     ./build/tests/"$t"
   done
+fi
+
+if [[ "$run_exhaust" == 1 ]]; then
+  echo "=== exhaustion sweep: ENOSPC quota ladder + backpressure + overload ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target resource_exhaustion_test
+  LBC_CRASH_BUDGET="${LBC_CRASH_BUDGET:-0}" \
+  LBC_CRASH_SEED="${LBC_CRASH_SEED:-24301}" \
+    ./build/tests/resource_exhaustion_test
 fi
 
 if [[ "$run_crash" == 1 ]]; then

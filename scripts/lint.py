@@ -19,6 +19,12 @@ and tools/:
      LBC_GUARDED_BY member, i.e. `T& member()` returning a guarded field —
      handing out a reference lets callers bypass the capability.
 
+  4. No explicitly-voided status discards under src/ (tests may): neither
+     `(void)SomeCall(...);` nor a whole-statement `Call(...).ok();` — both
+     defeat [[nodiscard]] on base::Status silently. A deliberate best-effort
+     discard must name itself via base::IgnoreError(expr) so reviewers can
+     grep every swallowed error.
+
 Exit status 0 when clean, 1 with findings on stderr.
 """
 
@@ -44,6 +50,16 @@ LOCKED_DECL = re.compile(r"\b(\w+Locked)\s*\(")
 REQUIRES = re.compile(r"\bLBC_REQUIRES\s*\(")
 GUARDED_MEMBER = re.compile(r"^\s*.*\b(\w+_)\s+LBC_GUARDED_BY\s*\(")
 REF_ACCESSOR = re.compile(r"&\s+(\w+)\s*\(\s*\)\s*(const\s*)?{\s*return\s+(\w+_)\s*;")
+# A statement-position void cast discarding a call result:
+# `(void)Foo(...);` / `(void)obj->Method(...);` — the statement must end in
+# `);` so plain parameter silencers like `(void)arg;` stay legal.
+VOID_CAST_CALL = re.compile(r"(?:^\s*|[;{]\s*)\(void\)\s*[\w:]+[\w:.\->\[\]]*\(")
+# A call whose .ok() result is itself discarded as a full statement:
+# `Foo(...).ok();` with nothing consuming the bool.
+OK_DISCARD = re.compile(r"\)\s*\.ok\(\)\s*;")
+# Anything that consumes a value between the statement start and the match
+# site makes the .ok() a genuine use, not a discard.
+CONSUMERS = re.compile(r"(=|\breturn\b|&&|\|\||\?|\bif\b|\bwhile\b|\bfor\b)")
 
 
 def iter_files():
@@ -77,8 +93,35 @@ def check_file(path, rel, findings):
             guarded.add(m.group(1))
 
     in_header = rel.endswith((".h", ".hpp"))
+    in_src = rel.startswith("src" + os.sep)
     for lineno, raw in enumerate(lines, 1):
         line = strip_comments(raw)
+        if in_src:
+            m = VOID_CAST_CALL.search(line)
+            if m:
+                # Join the logical statement; only a discard of a *call
+                # result* (statement ending `);`) is a finding — plain
+                # `(void)param;` silencers stay legal.
+                stmt = line
+                j = lineno
+                while j < len(lines) and ";" not in stmt:
+                    stmt += strip_comments(lines[j])
+                    j += 1
+                if re.search(r"\)\s*;", stmt):
+                    findings.append(
+                        f"{rel}:{lineno}: void-cast discard of a call result; "
+                        f"a deliberate status discard must say "
+                        f"base::IgnoreError(...) (see src/base/status.h)"
+                    )
+            for m in OK_DISCARD.finditer(line):
+                head = line[: m.start()]
+                start = max(head.rfind("{"), head.rfind(";"))
+                if not CONSUMERS.search(head[start + 1 :]):
+                    findings.append(
+                        f"{rel}:{lineno}: statement discards Status via "
+                        f".ok(); use base::IgnoreError(...) or handle the "
+                        f"error"
+                    )
         if BARE_SYNC.search(line):
             findings.append(
                 f"{rel}:{lineno}: bare std synchronization primitive; use "

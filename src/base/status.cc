@@ -26,6 +26,12 @@ std::string_view StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

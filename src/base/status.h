@@ -25,12 +25,19 @@ enum class StatusCode {
   kAborted,           // transaction or protocol round aborted
   kUnavailable,       // transient: retry may succeed
   kInternal,          // invariant violation inside the library
+  kResourceExhausted, // quota exceeded (ENOSPC, log budget) — not transient
+  kOverloaded,        // server shed the request; retry after backoff
+  kDeadlineExceeded,  // op budget exhausted waiting on a slow dependency
 };
 
 // Human-readable name of a code ("OK", "INVALID_ARGUMENT", ...).
 std::string_view StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]] on the type: every function returning a Status (or Result)
+// by value warns if the caller drops it on the floor. Deliberate best-effort
+// discards name themselves via base::IgnoreError(...) — never a void cast,
+// which scripts/lint.py rejects outside tests.
+class [[nodiscard]] Status {
  public:
   // Default-constructed Status is OK.
   Status() : code_(StatusCode::kOk) {}
@@ -88,10 +95,24 @@ inline Status Unavailable(std::string msg) {
 inline Status Internal(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
 }
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status Overloaded(std::string msg) {
+  return Status(StatusCode::kOverloaded, std::move(msg));
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+
+// Named sink for a deliberately ignored Status: the call site documents the
+// best-effort contract ("this cleanup may fail and that is fine") and the
+// compiler's nodiscard warning is satisfied without a void cast.
+inline void IgnoreError(const Status&) {}
 
 // Result<T>: either a value or a non-OK Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit from value and from Status so call sites read naturally:
   //   return value;    return base::NotFound("...");

@@ -92,7 +92,9 @@ struct LockRank {
   static constexpr int kStoreReplicated = 58;  // store::ReplicatedStore
   static constexpr int kStoreCrashPoint = 60;  // store::CrashPointStore
   static constexpr int kStoreCorrupt = 62;     // store::CorruptionInjectingStore
+  static constexpr int kStoreResource = 63;    // store::ResourceStore (quota/latency)
   static constexpr int kStoreMem = 65;         // store::MemStore
+  static constexpr int kStoreFileQuota = 66;   // store::FileStore quota ledger
   static constexpr int kCpyCmp = 70;           // baselines::CpyCmpEngine
   static constexpr int kObs = 80;              // obs registry / trace ring
   static constexpr int kLogging = 90;          // base logging emit lock (leaf)

@@ -170,7 +170,7 @@ void PageDsmNode::OnMessage(netsim::Message&& msg) {
         ++stats_.pages_sent;
         stats_.page_bytes_sent += len;
       }
-      SendMsg(static_cast<netsim::NodeId>(requester), data_msg).ok();
+      base::IgnoreError(SendMsg(static_cast<netsim::NodeId>(requester), data_msg));
       break;
     }
 
@@ -189,20 +189,22 @@ void PageDsmNode::OnMessage(netsim::Message&& msg) {
       cv_.NotifyAll();
       // Tell the manager the transfer is complete so it can serve the next
       // request for this page.
-      SendMsg(manager_, Encode(static_cast<uint8_t>(Msg::kDone), page)).ok();
+      base::IgnoreError(
+          SendMsg(manager_, Encode(static_cast<uint8_t>(Msg::kDone), page)));
       break;
     }
 
     case Msg::kGrant: {
       uint8_t write_grant = 0;
-      r.ReadU8(&write_grant).ok();
+      base::IgnoreError(r.ReadU8(&write_grant));
       {
         base::MutexLock lk(mu_);
         access_[page] = write_grant ? PageAccess::kWrite : PageAccess::kRead;
         ++grant_gen_[page];
       }
       cv_.NotifyAll();
-      SendMsg(manager_, Encode(static_cast<uint8_t>(Msg::kDone), page)).ok();
+      base::IgnoreError(
+          SendMsg(manager_, Encode(static_cast<uint8_t>(Msg::kDone), page)));
       break;
     }
 
@@ -212,7 +214,8 @@ void PageDsmNode::OnMessage(netsim::Message&& msg) {
         access_[page] = PageAccess::kInvalid;
         ++stats_.invalidations_received;
       }
-      SendMsg(manager_, Encode(static_cast<uint8_t>(Msg::kInvAck), page)).ok();
+      base::IgnoreError(
+          SendMsg(manager_, Encode(static_cast<uint8_t>(Msg::kInvAck), page)));
       break;
     }
 
@@ -246,7 +249,7 @@ void PageDsmNode::OnMessage(netsim::Message&& msg) {
       }
       if (!next.empty()) {
         // Re-inject the queued request through the normal path.
-        SendMsg(id_, next).ok();
+        base::IgnoreError(SendMsg(id_, next));
       }
       break;
     }
@@ -277,7 +280,8 @@ void PageDsmNode::HandleRequest(netsim::NodeId from, uint64_t page, bool write,
         continue;  // requester keeps its copy; owner invalidates at transfer
       }
       ++dir.acks_outstanding;
-      SendMsg(member, Encode(static_cast<uint8_t>(Msg::kInvalidate), page)).ok();
+      base::IgnoreError(
+          SendMsg(member, Encode(static_cast<uint8_t>(Msg::kInvalidate), page)));
     }
   }
   if (dir.acks_outstanding == 0) {
@@ -295,14 +299,14 @@ void PageDsmNode::GrantLocked(uint64_t page, PageDir& dir) {
     w.WriteU8(static_cast<uint8_t>(Msg::kGrant));
     w.WriteVarint(page);
     w.WriteU8(write ? 1 : 0);
-    SendMsg(requester, w.TakeBytes()).ok();
+    base::IgnoreError(SendMsg(requester, w.TakeBytes()));
   } else {
     base::Writer w;
     w.WriteU8(static_cast<uint8_t>(Msg::kTransfer));
     w.WriteVarint(page);
     w.WriteVarint(requester);
     w.WriteVarint(write ? 1 : 0);
-    SendMsg(dir.owner, w.TakeBytes()).ok();
+    base::IgnoreError(SendMsg(dir.owner, w.TakeBytes()));
   }
 
   if (write) {

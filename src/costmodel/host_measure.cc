@@ -122,7 +122,7 @@ HostCosts MeasureHostCosts() {
     netsim::Endpoint* b = fabric.AddNode(2);
     base::Stopwatch t;
     for (int i = 0; i < kIters; ++i) {
-      a->Send(2, std::vector<uint8_t>(src)).ok();
+      base::IgnoreError(a->Send(2, std::vector<uint8_t>(src)));
       b->Receive();
     }
     costs.page_send_us = t.ElapsedMicros() / kIters;

@@ -1,13 +1,38 @@
 #include "src/lbc/client.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "src/base/logging.h"
 #include "src/obs/trace.h"
 #include "src/rvm/page_checksum.h"
 
 namespace lbc {
+namespace {
+
+// Client-side gray-failure tolerance outcomes (process totals; the cluster
+// owns the detector-side gray.* counters).
+struct GrayClientMetrics {
+  obs::Counter* retries;          // ops re-submitted after a server shed
+  obs::Counter* backoff_nanos;    // total time spent backing off
+  obs::Counter* deadline_misses;  // acquires that exhausted their budget
+};
+
+GrayClientMetrics* GlobalGrayClientMetrics() {
+  static GrayClientMetrics* metrics = [] {
+    auto* reg = obs::MetricsRegistry::Global();
+    auto* m = new GrayClientMetrics();
+    m->retries = reg->GetCounter("gray.retries");
+    m->backoff_nanos = reg->GetCounter("gray.backoff_nanos");
+    m->deadline_misses = reg->GetCounter("gray.deadline_misses");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Transaction
@@ -23,7 +48,7 @@ Transaction::Transaction(Transaction&& other) noexcept
 Transaction& Transaction::operator=(Transaction&& other) noexcept {
   if (this != &other) {
     if (open_) {
-      Abort().ok();  // best effort; discarding an open transaction aborts it
+      base::IgnoreError(Abort());  // best effort; discarding an open transaction aborts it
     }
     client_ = other.client_;
     tid_ = other.tid_;
@@ -38,7 +63,7 @@ Transaction& Transaction::operator=(Transaction&& other) noexcept {
 
 Transaction::~Transaction() {
   if (open_) {
-    Abort().ok();
+    base::IgnoreError(Abort());
   }
 }
 
@@ -80,12 +105,20 @@ base::Status Transaction::Commit(rvm::CommitMode mode) {
   // End-to-end commit latency: local commit + log write + broadcast +
   // release (the per-phase split lives in the rvm.* and lbc.* counters).
   obs::ScopedTimer commit_timer(nullptr, client_->obs_commit_latency_);
+  // Admission control: take a commit slot before any log byte is written.
+  // A shed that survives the backoff budget leaves the transaction OPEN and
+  // untouched — the caller may Commit again later or Abort.
+  base::Status admitted = client_->AdmitServer(Cluster::ServerQueue::kCommit);
+  if (!admitted.ok()) {
+    return admitted;
+  }
   open_ = false;
   base::Status st = client_->rvm()->EndTransaction(tid_, mode);
+  client_->cluster_->Finish(Cluster::ServerQueue::kCommit);
   if (!st.ok()) {
     // Leave the store consistent: abandon the transaction and hand the
     // locks back without consuming their sequence numbers.
-    client_->rvm()->AbortTransaction(tid_).ok();
+    base::IgnoreError(client_->rvm()->AbortTransaction(tid_));
     client_->ReleaseLocks(held_, /*committed_updates=*/false);
     return st;
   }
@@ -180,6 +213,37 @@ base::Status Client::SendTo(rvm::NodeId to, std::vector<uint8_t> payload) {
     return channel_->Send(to, std::move(payload));
   }
   return endpoint_->Send(to, std::move(payload));
+}
+
+base::Status Client::AdmitServer(Cluster::ServerQueue queue) {
+  uint64_t hint_ms = 0;
+  base::Status st = cluster_->Admit(queue, &hint_ms);
+  for (uint32_t attempt = 0;
+       !st.ok() && st.code() == base::StatusCode::kOverloaded &&
+       attempt < options_.overload_retries;
+       ++attempt) {
+    // Exponential base doubling per attempt, capped, then floored at the
+    // server's own pacing hint — the server knows how hot its queue is.
+    uint64_t backoff_ms = options_.backoff_base_ms
+                          << std::min<uint32_t>(attempt, 20);
+    backoff_ms = std::min(backoff_ms, options_.backoff_max_ms);
+    backoff_ms = std::max(backoff_ms, hint_ms);
+    uint64_t sleep_us;
+    {
+      // Jitter uniformly in [1/2, 1]× so shed clients do not re-arrive in
+      // lockstep and re-collide (seeded stream; runs replay).
+      base::MutexLock lk(mu_);
+      uint64_t lo = backoff_ms * 500;
+      sleep_us = lo + backoff_rng_.Uniform(backoff_ms * 500 + 1);
+      ++stats_.overload_retries;
+    }
+    auto* gm = GlobalGrayClientMetrics();
+    gm->retries->Increment();
+    gm->backoff_nanos->Add(sleep_us * 1000);
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    st = cluster_->Admit(queue, &hint_ms);
+  }
+  return st;
 }
 
 void Client::HeartbeatThreadMain() {
@@ -277,6 +341,10 @@ base::Result<rvm::Region*> Client::MapRegion(rvm::RegionId region, uint64_t leng
   // application. Before giving up, ask the cluster's scrubber (if attached)
   // to repair the region from a replica or the merged logs, then re-fetch,
   // bounded so an unrepairable region still fails cleanly.
+  // The image load is elastic server work: take a fetch slot first (with
+  // the backoff budget), so an overloaded server sheds map-time fetches
+  // instead of queueing them behind commits.
+  RETURN_IF_ERROR(AdmitServer(Cluster::ServerQueue::kFetch));
   constexpr int kMaxFetchAttempts = 3;
   base::Result<rvm::Region*> mapped = rvm_->MapRegion(region, length);
   for (int attempt = 1; attempt < kMaxFetchAttempts && !mapped.ok() &&
@@ -288,6 +356,7 @@ base::Result<rvm::Region*> Client::MapRegion(rvm::RegionId region, uint64_t leng
     rvm::GlobalIntegrityMetrics()->image_fetch_retries->Increment();
     mapped = rvm_->MapRegion(region, length);
   }
+  cluster_->Finish(Cluster::ServerQueue::kFetch);
   if (!mapped.ok()) {
     return mapped.status();
   }
@@ -541,6 +610,11 @@ base::Result<uint64_t> Client::AcquireLock(rvm::LockId lock) {
   }
 
   obs::ScopedTimer acquire_timer(nullptr, obs_acquire_latency_);
+  // Deadline budget: a gray manager or token holder must not park this
+  // thread forever. 0 preserves the unbounded wait.
+  const bool budgeted = options_.op_deadline_ms > 0;
+  const auto op_deadline = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(options_.op_deadline_ms);
   base::MutexLock lk(mu_);
   if (options_.versioned_reads) {
     AcceptLocked();  // acquiring implies moving forward to the newest version
@@ -586,13 +660,30 @@ base::Result<uint64_t> Client::AcquireLock(rvm::LockId lock) {
         return send_st;
       }
     }
+    bool expired = false;
     if (interlock_stalled) {
       // Token is here but updates lag behind it: charge the wait to the
       // paper's interlock cost.
       obs::ScopedTimer wait_timer(obs_interlock_wait_nanos_);
-      cv_.Wait(lk);
+      if (budgeted) {
+        expired = !cv_.WaitUntil(lk, op_deadline);
+      } else {
+        cv_.Wait(lk);
+      }
+    } else if (budgeted) {
+      expired = !cv_.WaitUntil(lk, op_deadline);
     } else {
       cv_.Wait(lk);
+    }
+    if (expired) {
+      // Give up, but keep the request state: a token that arrives after
+      // this deadline is retained for the next acquire, not bounced.
+      --acquires_waiting_;
+      ++stats_.deadline_misses;
+      GlobalGrayClientMetrics()->deadline_misses->Increment();
+      return base::DeadlineExceeded(
+          "acquire of lock " + std::to_string(lock) + ": " +
+          std::to_string(options_.op_deadline_ms) + "ms budget exhausted");
     }
   }
   --acquires_waiting_;
@@ -756,7 +847,7 @@ void Client::HandleLockRequest(const LockRequestMsg& msg) {
     LockRevokeMsg sync{msg.lock, st.epoch, node_};
     ++stats_.lock_messages_sent;
     lk.Unlock();
-    SendTo(msg.requester, EncodeLockRevoke(sync)).ok();
+    base::IgnoreError(SendTo(msg.requester, EncodeLockRevoke(sync)));
     return;
   }
   rvm::NodeId prev_tail = st.queue_tail;

@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/base/rng.h"
 #include "src/base/status.h"
 #include "src/base/sync.h"
 #include "src/lbc/cluster.h"
@@ -87,6 +88,29 @@ struct ClientOptions {
   // benches drive death detection explicitly.
   uint64_t heartbeat_interval_ms = 0;
   uint64_t lease_timeout_ms = 0;
+  // --- deadline / backoff budgets (gray-failure tolerance) ------------------
+  // Every Table 1 op completes within a budget rather than blocking
+  // indefinitely behind a gray peer. Begin and SetRange are local and
+  // satisfy any budget trivially; the budgets bite on the blocking ops:
+  //   * Acquire: with op_deadline_ms > 0, an acquire that cannot obtain the
+  //     token (or drain the interlock) within the budget fails with
+  //     DEADLINE_EXCEEDED instead of waiting forever. A token that arrives
+  //     later is kept (the next acquire uses it); the failed transaction
+  //     should be aborted and retried.
+  //   * Commit / MapRegion: when the server sheds the operation with
+  //     OVERLOADED (admission control, see Cluster::Admit), the client
+  //     retries up to overload_retries times with jittered exponential
+  //     backoff — backoff_base_ms doubling per attempt, capped at
+  //     backoff_max_ms, floored at the server's retry-after hint, jittered
+  //     uniformly in [1/2, 1]× from a seeded stream. A shed commit leaves
+  //     the transaction open and untouched, so Commit may simply be called
+  //     again. The rvm-side log-quota stall bounds the commit's disk wait
+  //     separately (RvmOptions::backpressure_stall_ms).
+  uint64_t op_deadline_ms = 0;  // 0 = block indefinitely
+  uint32_t overload_retries = 4;
+  uint64_t backoff_base_ms = 1;
+  uint64_t backoff_max_ms = 64;
+  uint64_t backoff_seed = 0xB0FF;
 };
 
 struct ClientStats {
@@ -102,6 +126,8 @@ struct ClientStats {
   uint64_t records_fetched = 0;     // records pulled from the server cache
   uint64_t locks_reclaimed = 0;     // reclaim rounds started as manager
   uint64_t revokes_received = 0;    // revoke messages processed as mapper
+  uint64_t overload_retries = 0;    // ops re-submitted after a server shed
+  uint64_t deadline_misses = 0;     // acquires that exhausted op_deadline_ms
 };
 
 class Client;
@@ -239,7 +265,8 @@ class Client {
   };
 
   Client(Cluster* cluster, rvm::NodeId node, const ClientOptions& options)
-      : cluster_(cluster), node_(node), options_(options) {}
+      : cluster_(cluster), node_(node), options_(options),
+        backoff_rng_(options.backoff_seed) {}
 
   base::Status Init();
 
@@ -282,6 +309,11 @@ class Client {
   // Point-to-point send, routed through the reliable channel when enabled.
   base::Status SendTo(rvm::NodeId to, std::vector<uint8_t> payload);
 
+  // Takes a slot on a server admission queue, retrying sheds with jittered
+  // exponential backoff per the ClientOptions budget. Pair a success with
+  // Cluster::Finish. mu_ must not be held (sleeps between attempts).
+  base::Status AdmitServer(Cluster::ServerQueue queue) LBC_EXCLUDES(mu_);
+
   // Applies `rec` if its lock-sequence predecessors are all applied; returns
   // true if applied (or duplicate).
   bool TryApplyLocked(const rvm::TransactionRecord& rec) LBC_REQUIRES(mu_);
@@ -321,6 +353,8 @@ class Client {
   // Versioned-read buffer: updates held until Accept().
   std::deque<rvm::TransactionRecord> version_buffer_ LBC_GUARDED_BY(mu_);
   ClientStats stats_ LBC_GUARDED_BY(mu_);
+  // Jitter stream for overload backoff (seeded; see ClientOptions).
+  base::Rng backoff_rng_ LBC_GUARDED_BY(mu_);
   bool disconnected_ LBC_GUARDED_BY(mu_) = false;
   // Last server restart epoch this node has registered with; a mismatch
   // against Cluster::ServerEpoch means our directory entries were wiped.

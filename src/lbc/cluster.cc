@@ -1,6 +1,7 @@
 #include "src/lbc/cluster.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -27,6 +28,46 @@ ServerMetrics* GlobalServerMetrics() {
     m->records_fetched = reg->GetCounter("server.records_fetched");
     m->dead_clients_recovered = reg->GetCounter("server.dead_clients_recovered");
     m->rebuilds = reg->GetCounter("server.rebuilds");
+    return m;
+  }();
+  return metrics;
+}
+
+// Gray-failure detector outcomes (process totals; see Cluster::LeaseExpired).
+struct GrayMetrics {
+  obs::Counter* suspect_slow;       // nodes entering the suspect-slow state
+  obs::Counter* evictions_averted;  // suspects that beat again before expiry
+  obs::Counter* false_evictions;    // heartbeats from a declared-dead node
+};
+
+GrayMetrics* GlobalGrayMetrics() {
+  static GrayMetrics* metrics = [] {
+    auto* reg = obs::MetricsRegistry::Global();
+    auto* m = new GrayMetrics();
+    m->suspect_slow = reg->GetCounter("gray.suspect_slow");
+    m->evictions_averted = reg->GetCounter("gray.evictions_averted");
+    m->false_evictions = reg->GetCounter("gray.false_evictions");
+    return m;
+  }();
+  return metrics;
+}
+
+// Overload-shedding outcomes (see Cluster::Admit).
+struct AdmissionMetrics {
+  obs::Counter* admitted;
+  obs::Counter* shed;
+  obs::Counter* fetch_shed;
+  obs::Counter* commit_shed;
+};
+
+AdmissionMetrics* GlobalAdmissionMetrics() {
+  static AdmissionMetrics* metrics = [] {
+    auto* reg = obs::MetricsRegistry::Global();
+    auto* m = new AdmissionMetrics();
+    m->admitted = reg->GetCounter("admission.admitted");
+    m->shed = reg->GetCounter("admission.shed");
+    m->fetch_shed = reg->GetCounter("admission.fetch_shed");
+    m->commit_shed = reg->GetCounter("admission.commit_shed");
     return m;
   }();
   return metrics;
@@ -251,10 +292,30 @@ size_t Cluster::CachedRecordCount(rvm::LockId lock) const {
 
 void Cluster::NoteAlive(rvm::NodeId node) {
   base::MutexLock guard(mu_);
-  if (!server_up_ || dead_.count(node) != 0) {
+  if (!server_up_) {
+    return;
+  }
+  if (dead_.count(node) != 0) {
+    // A heartbeat from a declared-dead node: the eviction was premature —
+    // the peer was gray, not gone. Death stays permanent (its tokens may
+    // already be reissued), but the mistake is counted so chaos runs can
+    // assert the detector never fired one.
+    GlobalGrayMetrics()->false_evictions->Increment();
     return;  // declared dead stays dead; see header
   }
-  last_heartbeat_[node] = std::chrono::steady_clock::now();
+  auto now = std::chrono::steady_clock::now();
+  auto it = last_heartbeat_.find(node);
+  if (it != last_heartbeat_.end()) {
+    uint64_t gap = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - it->second)
+            .count());
+    uint64_t& ewma = ewma_gap_nanos_[node];
+    ewma = ewma == 0 ? gap : ewma - ewma / 4 + gap / 4;
+  }
+  last_heartbeat_[node] = now;
+  if (suspect_.erase(node) != 0) {
+    GlobalGrayMetrics()->evictions_averted->Increment();
+  }
 }
 
 void Cluster::DeclareDead(rvm::NodeId node) {
@@ -264,6 +325,8 @@ void Cluster::DeclareDead(rvm::NodeId node) {
   }
   dead_.insert(node);
   last_heartbeat_.erase(node);
+  ewma_gap_nanos_.erase(node);
+  suspect_.erase(node);
 }
 
 bool Cluster::IsDead(rvm::NodeId node) const {
@@ -279,13 +342,103 @@ std::vector<rvm::NodeId> Cluster::DeadNodes() const {
 std::vector<rvm::NodeId> Cluster::LeaseExpired(std::chrono::milliseconds lease) const {
   base::MutexLock guard(mu_);
   std::vector<rvm::NodeId> out;
-  auto deadline = std::chrono::steady_clock::now() - lease;
+  auto now = std::chrono::steady_clock::now();
+  const uint64_t lease_nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(lease).count());
   for (const auto& [node, beat] : last_heartbeat_) {
-    if (beat < deadline) {
-      out.push_back(node);
+    uint64_t elapsed = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - beat).count());
+    if (elapsed <= lease_nanos) {
+      continue;
     }
+    // Past the lease. A node whose beats have been arriving late (EWMA gap
+    // comparable to the lease) gets a stretched deadline: it is slow, not
+    // silent. For a node beating at the nominal rate the stretch collapses
+    // to the lease itself, so healthy-then-silent peers expire as before.
+    auto ewma_it = ewma_gap_nanos_.find(node);
+    uint64_t ewma = ewma_it == ewma_gap_nanos_.end() ? 0 : ewma_it->second;
+    uint64_t stretched = std::max(lease_nanos, gray_slack_factor_ * ewma);
+    if (elapsed <= stretched) {
+      if (suspect_.insert(node).second) {
+        GlobalGrayMetrics()->suspect_slow->Increment();
+      }
+      continue;
+    }
+    out.push_back(node);
   }
   return out;
+}
+
+std::vector<rvm::NodeId> Cluster::SuspectSlow() const {
+  base::MutexLock guard(mu_);
+  return {suspect_.begin(), suspect_.end()};
+}
+
+void Cluster::SetGraySlackFactor(uint64_t factor) {
+  base::MutexLock guard(mu_);
+  gray_slack_factor_ = factor == 0 ? 1 : factor;
+}
+
+Cluster::AdmissionQueue& Cluster::QueueFor(ServerQueue queue) {
+  return queue == ServerQueue::kFetch ? fetch_queue_ : commit_queue_;
+}
+
+const Cluster::AdmissionQueue& Cluster::QueueFor(ServerQueue queue) const {
+  return queue == ServerQueue::kFetch ? fetch_queue_ : commit_queue_;
+}
+
+void Cluster::SetAdmissionLimit(ServerQueue queue, uint64_t max_inflight) {
+  base::MutexLock guard(mu_);
+  QueueFor(queue).limit = max_inflight;
+}
+
+base::Status Cluster::Admit(ServerQueue queue, uint64_t* retry_after_ms) {
+  base::MutexLock guard(mu_);
+  AdmissionQueue& q = QueueFor(queue);
+  auto* m = GlobalAdmissionMetrics();
+  if (q.limit > 0 && q.inflight >= q.limit) {
+    ++q.shed;
+    // Server-paced hint: doubles per consecutive shed (1ms .. 64ms), so a
+    // saturated queue pushes its clients apart without any client-side
+    // coordination. Reset by the next successful admit.
+    uint64_t shift = q.consecutive_sheds < 6 ? q.consecutive_sheds : 6;
+    ++q.consecutive_sheds;
+    uint64_t hint = 1ull << shift;
+    if (retry_after_ms != nullptr) {
+      *retry_after_ms = hint;
+    }
+    m->shed->Increment();
+    (queue == ServerQueue::kFetch ? m->fetch_shed : m->commit_shed)->Increment();
+    const char* name = queue == ServerQueue::kFetch ? "fetch" : "commit";
+    return base::Overloaded(std::string("server ") + name + " queue full (" +
+                            std::to_string(q.inflight) + "/" +
+                            std::to_string(q.limit) +
+                            " inflight); retry after ~" + std::to_string(hint) +
+                            "ms");
+  }
+  ++q.inflight;
+  ++q.admitted;
+  q.consecutive_sheds = 0;
+  m->admitted->Increment();
+  return base::OkStatus();
+}
+
+void Cluster::Finish(ServerQueue queue) {
+  base::MutexLock guard(mu_);
+  AdmissionQueue& q = QueueFor(queue);
+  if (q.inflight > 0) {
+    --q.inflight;
+  }
+}
+
+uint64_t Cluster::Inflight(ServerQueue queue) const {
+  base::MutexLock guard(mu_);
+  return QueueFor(queue).inflight;
+}
+
+uint64_t Cluster::ShedCount(ServerQueue queue) const {
+  base::MutexLock guard(mu_);
+  return QueueFor(queue).shed;
 }
 
 base::Status Cluster::RecoverDeadClient(rvm::NodeId node) {

@@ -127,7 +127,22 @@ class Cluster {
   bool IsDead(rvm::NodeId node) const;
   // Nodes whose last heartbeat is older than `lease`, excluding nodes
   // already declared dead and nodes that never reported.
+  //
+  // Gray-failure awareness: a slow-but-alive peer (congested link, degraded
+  // disk) keeps heartbeating, just late — killing it would orphan lock
+  // tokens it can still use and force a needless recovery. The registry
+  // tracks an EWMA of each node's inter-heartbeat gap; a node past `lease`
+  // whose stretched deadline max(lease, slack_factor × EWMA gap) has not
+  // yet passed is classified *suspect-slow* (see SuspectSlow) and withheld
+  // from this list. A dead node stops beating entirely, so its elapsed time
+  // outgrows any stretched deadline and it is still reported. Nodes beating
+  // at the nominal rate expire exactly at `lease`, as before.
   std::vector<rvm::NodeId> LeaseExpired(std::chrono::milliseconds lease) const;
+  // Nodes currently past their lease but within the stretched gray
+  // deadline. Purely observational; membership changes as beats arrive.
+  std::vector<rvm::NodeId> SuspectSlow() const;
+  // Stretch factor for the gray deadline (default 3; minimum 1).
+  void SetGraySlackFactor(uint64_t factor);
   // All nodes declared dead so far. Heartbeat threads sweep this as well as
   // LeaseExpired: DeclareDead removes the node from the lease registry, so
   // a survivor whose detection lost the race (e.g. a lock manager that must
@@ -144,6 +159,33 @@ class Cluster {
   // node's log is NOT truncated: replay is idempotent redo, and a later
   // full recovery may merge it again. Idempotent per node.
   base::Status RecoverDeadClient(rvm::NodeId node);
+
+  // --- overload admission control -------------------------------------------
+  //
+  // The server sheds load instead of queueing it unboundedly. Each server
+  // queue admits a bounded number of concurrent operations; an arrival
+  // beyond the bound is refused with OVERLOADED plus a retry-after hint
+  // that doubles while the queue stays saturated (server-paced backoff).
+  // Shedding applies only to *elastic* work — map-time image fetches and
+  // catch-up record fetches, and whole commit attempts before any log byte
+  // is written — never to the completion of work already admitted, so a
+  // shed is always retryable with no state to undo.
+
+  enum class ServerQueue { kFetch, kCommit };
+
+  // Caps `queue` at `max_inflight` concurrent admitted operations
+  // (0 = unlimited, the default).
+  void SetAdmissionLimit(ServerQueue queue, uint64_t max_inflight);
+
+  // Takes a slot on `queue`, or refuses with OVERLOADED. On refusal,
+  // *retry_after_ms (if non-null) receives the server's pacing hint.
+  // Every successful Admit must be paired with Finish.
+  [[nodiscard]] base::Status Admit(ServerQueue queue,
+                                   uint64_t* retry_after_ms = nullptr);
+  void Finish(ServerQueue queue);
+
+  uint64_t Inflight(ServerQueue queue) const;
+  uint64_t ShedCount(ServerQueue queue) const;
 
   // --- server crash + restart ----------------------------------------------
   //
@@ -219,6 +261,26 @@ class Cluster {
   std::map<rvm::NodeId, std::chrono::steady_clock::time_point> last_heartbeat_
       LBC_GUARDED_BY(mu_);
   std::set<rvm::NodeId> dead_ LBC_GUARDED_BY(mu_);
+  // EWMA of each node's inter-heartbeat gap (α = 1/4), for the gray
+  // stretched deadline. mutable with suspect_: LeaseExpired is logically a
+  // query but records the suspicion it derives.
+  std::map<rvm::NodeId, uint64_t> ewma_gap_nanos_ LBC_GUARDED_BY(mu_);
+  mutable std::set<rvm::NodeId> suspect_ LBC_GUARDED_BY(mu_);
+  uint64_t gray_slack_factor_ LBC_GUARDED_BY(mu_) = 3;
+  // Admission queues (kFetch, kCommit). consecutive_sheds paces the
+  // retry-after hint: it doubles per shed while saturated, resets on the
+  // next successful admit.
+  struct AdmissionQueue {
+    uint64_t limit = 0;  // 0 = unlimited
+    uint64_t inflight = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t consecutive_sheds = 0;
+  };
+  AdmissionQueue& QueueFor(ServerQueue queue) LBC_REQUIRES(mu_);
+  const AdmissionQueue& QueueFor(ServerQueue queue) const LBC_REQUIRES(mu_);
+  AdmissionQueue fetch_queue_ LBC_GUARDED_BY(mu_);
+  AdmissionQueue commit_queue_ LBC_GUARDED_BY(mu_);
   // Dead nodes whose log has been merged.
   std::set<rvm::NodeId> recovered_ LBC_GUARDED_BY(mu_);
   bool server_up_ LBC_GUARDED_BY(mu_) = true;

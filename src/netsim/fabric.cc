@@ -121,6 +121,7 @@ Fabric::Fabric() {
   obs_duplicated_ = reg->GetCounter("netsim.fabric.duplicated");
   obs_delayed_ = reg->GetCounter("netsim.fabric.delayed");
   obs_partitioned_ = reg->GetCounter("netsim.fabric.partitioned");
+  obs_degraded_ = reg->GetCounter("netsim.fabric.degraded");
 }
 
 Endpoint* Fabric::AddNode(NodeId id) {
@@ -152,12 +153,17 @@ std::vector<NodeId> Fabric::Nodes() const {
 }
 
 void Fabric::SetLinkDelay(NodeId from, NodeId to, uint64_t delay_micros) {
+  DegradeLink(from, to, delay_micros, 0);
+}
+
+void Fabric::DegradeLink(NodeId from, NodeId to, uint64_t mean_micros,
+                         uint64_t jitter_micros) {
   base::MutexLock lock(mu_);
-  if (delay_micros == 0) {
+  if (mean_micros == 0 && jitter_micros == 0) {
     link_delay_us_.erase({from, to});
     return;
   }
-  link_delay_us_[{from, to}] = delay_micros;
+  link_delay_us_[{from, to}] = LinkDelay{mean_micros, jitter_micros};
   if (!delay_thread_running_) {
     delay_thread_running_ = true;
     delay_thread_ = std::thread([this] { DelayThreadMain(); });
@@ -392,9 +398,20 @@ base::Status Fabric::Deliver(NodeId from, NodeId to, std::vector<uint8_t> payloa
     }
     auto delay_it = link_delay_us_.find({from, to});
     if (delay_it != link_delay_us_.end()) {
+      const LinkDelay& d = delay_it->second;
+      uint64_t extra_us = d.mean_us;
+      if (d.jitter_us > 0) {
+        // Gray degradation: jitter from the link's seeded stream, clamped
+        // below by zero. FIFO is still preserved by the last-delivery clamp,
+        // so the link stays slow-but-ordered.
+        uint64_t lo = d.mean_us > d.jitter_us ? d.mean_us - d.jitter_us : 0;
+        extra_us = lo + FaultRngLocked(from, to).Uniform(2 * d.jitter_us + 1);
+        ++fault_stats_.degraded;
+        obs_degraded_->Increment();
+      }
       // Schedule, preserving per-link order even across delay changes.
       auto deliver_at = std::chrono::steady_clock::now() +
-                        std::chrono::microseconds(delay_it->second);
+                        std::chrono::microseconds(extra_us);
       auto& last = link_last_delivery_[{from, to}];
       if (deliver_at < last) {
         deliver_at = last;

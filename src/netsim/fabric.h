@@ -75,6 +75,7 @@ struct FaultStats {
   uint64_t duplicated = 0;   // extra copies injected
   uint64_t delayed = 0;      // messages routed through the fault delay path
   uint64_t partitioned = 0;  // messages lost to a partition
+  uint64_t degraded = 0;     // messages slowed by DegradeLink jitter
 };
 
 class Fabric;
@@ -166,6 +167,17 @@ class Fabric {
   // ordering.
   void SetLinkDelay(NodeId from, NodeId to, uint64_t delay_micros);
 
+  // Gray-failure injection: degrades the (from, to) link to a latency of
+  // mean ± jitter microseconds per message (uniform, drawn from the link's
+  // seeded fault RNG stream — see SeedFaults). Unlike the LinkFaults delay,
+  // per-link FIFO order is preserved: the link is *slow*, not lossy or
+  // reordering — the signature of a congested NIC or an overloaded switch
+  // queue, which a failure detector must distinguish from a dead peer.
+  // mean 0 with jitter 0 restores immediate delivery; jitter 0 is exactly
+  // SetLinkDelay.
+  void DegradeLink(NodeId from, NodeId to, uint64_t mean_micros,
+                   uint64_t jitter_micros);
+
   // Installs a probabilistic fault policy on the (from, to) link,
   // overriding the fabric-wide default for that link. A default-constructed
   // LinkFaults clears the per-link policy (the default applies again).
@@ -226,6 +238,7 @@ class Fabric {
   obs::Counter* obs_duplicated_ = nullptr;
   obs::Counter* obs_delayed_ = nullptr;
   obs::Counter* obs_partitioned_ = nullptr;
+  obs::Counter* obs_degraded_ = nullptr;
 
   // --- delayed delivery ---------------------------------------------------
   struct DelayedMessage {
@@ -237,7 +250,12 @@ class Fabric {
                                             : seq > other.seq;
     }
   };
-  std::map<std::pair<NodeId, NodeId>, uint64_t> link_delay_us_ LBC_GUARDED_BY(mu_);
+  // Fixed (SetLinkDelay) or jittered (DegradeLink) per-link latency.
+  struct LinkDelay {
+    uint64_t mean_us = 0;
+    uint64_t jitter_us = 0;  // > 0 marks the link gray-degraded
+  };
+  std::map<std::pair<NodeId, NodeId>, LinkDelay> link_delay_us_ LBC_GUARDED_BY(mu_);
   // Last scheduled delivery per link, so FIFO survives delay changes.
   std::map<std::pair<NodeId, NodeId>, std::chrono::steady_clock::time_point>
       link_last_delivery_ LBC_GUARDED_BY(mu_);

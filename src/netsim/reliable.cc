@@ -150,7 +150,7 @@ void ReliableChannel::OnMessage(Message&& msg) {
     ++stats_.acks_sent;
   }
   // Cumulative ACK: also re-acks duplicates, repairing lost ACKs.
-  endpoint_->Send(msg.from, EncodeAck(ack)).ok();
+  base::IgnoreError(endpoint_->Send(msg.from, EncodeAck(ack)));
   if (handler) {
     for (auto& m : deliver) {
       handler(std::move(m));  // single receiver thread: order preserved
@@ -208,7 +208,7 @@ void ReliableChannel::RetransmitThreadMain() {
                                        /*lock=*/0, it->first, f.frame.size());
         f.backoff_ms = std::min(f.backoff_ms * 2, options_.retransmit_max_ms);
         f.next_resend = now + std::chrono::milliseconds(f.backoff_ms);
-        endpoint_->Send(node, std::vector<uint8_t>(f.frame)).ok();
+        base::IgnoreError(endpoint_->Send(node, std::vector<uint8_t>(f.frame)));
         ++it;
       }
     }

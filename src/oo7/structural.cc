@@ -67,7 +67,9 @@ base::Result<uint64_t> InsertCompositePart(const Database& db, UpdateSink& sink,
   comp->in_use = 1;
 
   AvlIndex index = db.index();
-  index.set_on_modify([&](uint64_t off, uint64_t len) { sink.SetRange(off, len).ok(); });
+  index.set_on_modify([&](uint64_t off, uint64_t len) {
+    base::IgnoreError(sink.SetRange(off, len));  // void hook: cannot propagate
+  });
 
   RETURN_IF_ERROR(
       sink.SetRange(cluster, static_cast<uint64_t>(c.atomic_per_composite) *
@@ -123,7 +125,9 @@ base::Status DeleteCompositePart(const Database& db, UpdateSink& sink, uint64_t 
 
   // Unindex the atomic parts.
   AvlIndex index = db.index();
-  index.set_on_modify([&](uint64_t off, uint64_t len) { sink.SetRange(off, len).ok(); });
+  index.set_on_modify([&](uint64_t off, uint64_t len) {
+    base::IgnoreError(sink.SetRange(off, len));  // void hook: cannot propagate
+  });
   for (uint32_t ai = 0; ai < comp->n_parts; ++ai) {
     uint64_t part_off = comp->parts_base + static_cast<uint64_t>(ai) * sizeof(AtomicPart);
     RETURN_IF_ERROR(index.Erase(db.atomic(part_off)->index_key));

@@ -133,7 +133,9 @@ TraversalResult RunT2(const Database& db, UpdateSink& sink, Variant variant) {
 TraversalResult RunT3(const Database& db, UpdateSink& sink, Variant variant) {
   TraversalResult result;
   AvlIndex index = db.index();
-  index.set_on_modify([&](uint64_t off, uint64_t len) { sink.SetRange(off, len).ok(); });
+  index.set_on_modify([&](uint64_t off, uint64_t len) {
+    base::IgnoreError(sink.SetRange(off, len));  // void hook: cannot propagate
+  });
   ForEachCompositeVisit(db, [&](uint64_t comp_off) {
     if (!result.status.ok()) {
       return;

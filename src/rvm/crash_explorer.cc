@@ -108,9 +108,16 @@ base::Result<std::map<std::string, std::vector<uint8_t>>> CrashExplorer::Snapsho
   return snapshot;
 }
 
+void CrashExplorer::ConfigureMachine(Machine* machine) {
+  if (options_.configure_machine) {
+    options_.configure_machine(&machine->mem);
+  }
+}
+
 base::Status CrashExplorer::ExploreWorkloadCrashes(CrashExplorerReport* report) {
   // Pass 0 (clean): count the workload's mutating store ops and their kinds.
   Machine clean;
+  ConfigureMachine(&clean);
   RETURN_IF_ERROR(workload_(&clean.cps));
   report->workload_ops = clean.cps.op_count();
   const std::vector<store::CrashOpKind> kinds = clean.cps.op_kinds();
@@ -119,6 +126,7 @@ base::Status CrashExplorer::ExploreWorkloadCrashes(CrashExplorerReport* report) 
   std::set<uint64_t> ops_seen;
   for (const Schedule& s : PlanSchedules(kinds)) {
     Machine machine;
+    ConfigureMachine(&machine);
     machine.cps.ArmCrashAtOp(s.op_index, s.torn_bytes);
     base::Status st = workload_(&machine.cps);
     if (!machine.cps.crashed()) {
@@ -157,6 +165,7 @@ base::Status CrashExplorer::ExploreWorkloadCrashes(CrashExplorerReport* report) 
 base::Status CrashExplorer::ExploreRecoveryCrashes(CrashExplorerReport* report) {
   // Clean reference: full workload, machine crash, one recovery pass.
   Machine ref;
+  ConfigureMachine(&ref);
   RETURN_IF_ERROR(workload_(&ref.cps));
   ref.mem.Crash(0);
   ref.cps.ResetOpCount();
@@ -168,6 +177,7 @@ base::Status CrashExplorer::ExploreRecoveryCrashes(CrashExplorerReport* report) 
   ExplorerMetrics* m = GlobalExplorerMetrics();
   for (const Schedule& s : PlanSchedules(kinds)) {
     Machine machine;
+    ConfigureMachine(&machine);
     RETURN_IF_ERROR(workload_(&machine.cps));
     machine.mem.Crash(0);
     machine.cps.ResetOpCount();

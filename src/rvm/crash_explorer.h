@@ -42,6 +42,11 @@ struct CrashExplorerOptions {
   // Write/Append: bytes of the interrupted write that reach the platter
   // (clamped to the write length; SIZE_MAX = the whole write).
   std::vector<size_t> torn_variants = {1, SIZE_MAX};
+  // Invoked on every fresh simulated machine before the workload runs —
+  // e.g. MemStore::SetQuotaBytes, so the sweep can crash a workload that is
+  // fighting ENOSPC (the quota sits *under* the crash point: a power cut
+  // interrupts the short append the quota already tore).
+  std::function<void(store::MemStore*)> configure_machine;
 };
 
 struct CrashExplorerReport {
@@ -92,6 +97,9 @@ class CrashExplorer {
   // Builds the candidate schedule list for `kinds` and trims it to the
   // budget with a seeded shuffle (keeping the first and last operation).
   std::vector<Schedule> PlanSchedules(const std::vector<store::CrashOpKind>& kinds);
+
+  // Applies options_.configure_machine (if set) to a fresh machine.
+  void ConfigureMachine(Machine* machine);
 
   static base::Result<std::map<std::string, std::vector<uint8_t>>> SnapshotStore(
       store::DurableStore* s);

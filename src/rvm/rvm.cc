@@ -1,13 +1,41 @@
 #include "src/rvm/rvm.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 
+#include "src/base/clock.h"
 #include "src/obs/metrics.h"
 #include "src/rvm/log_format.h"
 #include "src/rvm/page_checksum.h"
 #include "src/rvm/recovery.h"
 
 namespace rvm {
+namespace {
+
+// Process-wide log-quota backpressure instruments (backpressure.*), exported
+// in bench/chaos snapshots. All zero on the clean path.
+struct BackpressureMetrics {
+  obs::Counter* stalls;         // commits blocked at the hard watermark
+  obs::Counter* stall_nanos;    // total stalled time
+  obs::Counter* trim_requests;  // trim-hook firings (soft crossings + stalls)
+  obs::Counter* exhausted;      // stalls that expired -> RESOURCE_EXHAUSTED
+};
+
+BackpressureMetrics* GlobalBackpressureMetrics() {
+  static BackpressureMetrics* metrics = [] {
+    auto* reg = obs::MetricsRegistry::Global();
+    auto* m = new BackpressureMetrics();
+    m->stalls = reg->GetCounter("backpressure.stalls");
+    m->stall_nanos = reg->GetCounter("backpressure.stall_nanos");
+    m->trim_requests = reg->GetCounter("backpressure.trim_requests");
+    m->exhausted = reg->GetCounter("backpressure.exhausted");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 base::Result<std::unique_ptr<Rvm>> Rvm::Open(store::DurableStore* store, NodeId node,
                                              const RvmOptions& options) {
@@ -168,9 +196,60 @@ base::Status Rvm::EndTransaction(TxnId txn_id, CommitMode mode) {
   // histogram; the phase counters below split the same work.
   obs::ScopedTimer commit_timer(nullptr, obs_commit_latency_);
   CommitContext ctx;
+  bool crossed_soft = false;
   {
     obs::ScopedTimer collect_timer(obs_collect_nanos_);
     base::MutexLock lock(mu_);
+
+    // Hard-watermark backpressure: stall (never abort) until a trim frees
+    // log space or the stall budget runs out. The wait releases mu_, so a
+    // janitor thread can run TrimLogWithBaselines/ResetLog meanwhile; the
+    // first staller also fires the trim hook itself, exactly once per
+    // episode. Runs before the txn lookup because the lock is dropped.
+    const uint64_t hard = options_.log_hard_limit_bytes;
+    if (options_.disk_logging && hard > 0 && log_->bytes_written() >= hard) {
+      auto* bp = GlobalBackpressureMetrics();
+      ++stats_.backpressure_stalls;
+      bp->stalls->Increment();
+      const uint64_t start = base::SteadyClock::Instance()->NowNanos();
+      const uint64_t deadline =
+          start + options_.backpressure_stall_ms * 1'000'000ull;
+      bool fired = false;
+      base::Status stall_status = base::OkStatus();
+      while (log_->bytes_written() >= hard) {
+        if (trim_hook_ && !fired && !trim_inflight_) {
+          fired = true;
+          trim_inflight_ = true;
+          ++stats_.trim_requests;
+          bp->trim_requests->Increment();
+          uint64_t used = log_->bytes_written();
+          lock.Unlock();
+          trim_hook_(used, hard);
+          lock.Lock();
+          trim_inflight_ = false;
+          log_space_cv_.NotifyAll();
+          continue;
+        }
+        uint64_t now = base::SteadyClock::Instance()->NowNanos();
+        if (now >= deadline) {
+          ++stats_.commits_exhausted;
+          bp->exhausted->Increment();
+          stall_status = base::ResourceExhausted(
+              "log quota: " + std::to_string(log_->bytes_written()) +
+              " bytes at hard watermark " + std::to_string(hard) +
+              " and trim freed no space");
+          break;
+        }
+        log_space_cv_.WaitFor(lock, std::chrono::milliseconds(5));
+      }
+      uint64_t stalled = base::SteadyClock::Instance()->NowNanos() - start;
+      stats_.backpressure_stall_nanos += stalled;
+      bp->stall_nanos->Add(stalled);
+      // The transaction stays active on failure: the caller may trim out of
+      // band and retry EndTransaction, or abort.
+      RETURN_IF_ERROR(stall_status);
+    }
+
     auto it = txns_.find(txn_id);
     if (it == txns_.end() || !it->second.active) {
       return base::FailedPrecondition("no such active transaction");
@@ -258,6 +337,12 @@ base::Status Rvm::EndTransaction(TxnId txn_id, CommitMode mode) {
       uint64_t before = log_->bytes_written();
       RETURN_IF_ERROR(log_->Append(parts, /*sync_now=*/mode == CommitMode::kFlush));
       stats_.log_bytes_written += log_->bytes_written() - before;
+      // Edge-triggered soft watermark: only the commit that crosses it asks
+      // for a trim, so a growing log fires one request per crossing rather
+      // than one per commit.
+      const uint64_t soft = options_.log_soft_limit_bytes;
+      crossed_soft =
+          soft > 0 && before < soft && log_->bytes_written() >= soft;
       if (mode == CommitMode::kNoFlush) {
         log_dirty_ = true;
       } else {
@@ -279,6 +364,17 @@ base::Status Rvm::EndTransaction(TxnId txn_id, CommitMode mode) {
     if (commit_hook_) {
       commit_hook_(ctx);
     }
+  }
+  if (crossed_soft && trim_hook_) {
+    uint64_t used;
+    uint64_t soft = options_.log_soft_limit_bytes;
+    {
+      base::MutexLock lock(mu_);
+      used = log_->bytes_written();
+      ++stats_.trim_requests;
+    }
+    GlobalBackpressureMetrics()->trim_requests->Increment();
+    trim_hook_(used, soft);
   }
   return base::OkStatus();
 }
@@ -350,6 +446,11 @@ uint64_t Rvm::commit_seq() const {
   return commit_seq_;
 }
 
+uint64_t Rvm::log_bytes() const {
+  base::MutexLock lock(mu_);
+  return log_->bytes_written();
+}
+
 base::Status Rvm::ResetLog() {
   base::MutexLock lock(mu_);
   if (!options_.disk_logging) {
@@ -357,6 +458,7 @@ base::Status Rvm::ResetLog() {
   }
   RETURN_IF_ERROR(log_->Reset());
   log_dirty_ = false;
+  log_space_cv_.NotifyAll();
   return base::OkStatus();
 }
 
@@ -425,6 +527,7 @@ base::Status Rvm::TrimLogWithBaselines(const std::map<LockId, uint64_t>& baselin
   ASSIGN_OR_RETURN(uint64_t new_size, reopened->Size());
   log_ = std::make_unique<LogWriter>(std::move(reopened), new_size);
   log_dirty_ = false;
+  log_space_cv_.NotifyAll();
   return base::OkStatus();
 }
 
@@ -436,6 +539,7 @@ base::Status Rvm::TruncateLog() {
   RETURN_IF_ERROR(log_->Sync());
   RETURN_IF_ERROR(ReplayLogsIntoDatabase(store_, {LogFileName(node_)}));
   RETURN_IF_ERROR(log_->Reset());
+  log_space_cv_.NotifyAll();
   return base::OkStatus();
 }
 

@@ -73,6 +73,22 @@ struct RvmOptions {
   // ranges are replaced by a single span covering them — paying extra bytes
   // to shed per-range costs, as a page-based DSM would. 0 disables.
   uint32_t adaptive_ranges_per_page = 0;
+
+  // --- log-space accounting (backpressure, not failure) -------------------
+  //
+  // Watermarks over this node's redo-log size, both 0 (disabled) by default.
+  // Crossing the soft watermark fires the trim hook after the commit that
+  // crossed it — the coherency layer's cue to schedule a checkpoint/trim
+  // (lbc::OnlineTrim / CheckpointFromStandby) before space runs out. At or
+  // above the hard watermark, new commits *stall* on a condvar until a trim
+  // frees space; the first staller fires the trim hook itself. Only when the
+  // stall budget expires with the log still full does EndTransaction fail,
+  // with RESOURCE_EXHAUSTED — never an abort() — and the transaction left
+  // active so the caller may retry after an out-of-band trim.
+  uint64_t log_soft_limit_bytes = 0;
+  uint64_t log_hard_limit_bytes = 0;
+  // Total time one commit may stall at the hard watermark before failing.
+  uint64_t backpressure_stall_ms = 2000;
 };
 
 // Counters and timing buckets used to reproduce the paper's figures.
@@ -93,6 +109,11 @@ struct RvmStats {
   uint64_t apply_nanos = 0;        // ApplyExternalUpdate ("Apply Updates")
   uint64_t external_updates_applied = 0;
   uint64_t external_bytes_applied = 0;
+  // Log-quota backpressure (see RvmOptions watermarks).
+  uint64_t backpressure_stalls = 0;      // commits that hit the hard watermark
+  uint64_t backpressure_stall_nanos = 0; // total time commits spent stalled
+  uint64_t trim_requests = 0;            // trim-hook firings (soft + stalled)
+  uint64_t commits_exhausted = 0;        // stalls that expired -> RESOURCE_EXHAUSTED
 };
 
 class Rvm {
@@ -112,9 +133,9 @@ class Rvm {
 
   // Maps a region of `length` bytes: loads the database file (creating a
   // zero-filled one if absent) into a private in-memory image.
-  base::Result<Region*> MapRegion(RegionId id, uint64_t length);
+  [[nodiscard]] base::Result<Region*> MapRegion(RegionId id, uint64_t length);
   Region* GetRegion(RegionId id);
-  base::Status UnmapRegion(RegionId id);
+  [[nodiscard]] base::Status UnmapRegion(RegionId id);
 
   // --- transactions (Table 1 interface) ----------------------------------
 
@@ -123,21 +144,21 @@ class Rvm {
   // Declares intent to modify [offset, offset+len) of `region` in the
   // current transaction (rvm_set_range). Must precede the actual stores
   // when the transaction may abort.
-  base::Status SetRange(TxnId txn, RegionId region, uint64_t offset, uint64_t len);
+  [[nodiscard]] base::Status SetRange(TxnId txn, RegionId region, uint64_t offset, uint64_t len);
 
   // rvm_setlockid_transaction: records that `txn` holds (lock, sequence).
-  base::Status SetLockId(TxnId txn, LockId lock, uint64_t sequence);
+  [[nodiscard]] base::Status SetLockId(TxnId txn, LockId lock, uint64_t sequence);
 
   // Commits: gathers the registered ranges from the region images, appends
   // one redo record to the log (unless disk logging is disabled), then
   // invokes the commit hook.
-  base::Status EndTransaction(TxnId txn, CommitMode mode);
+  [[nodiscard]] base::Status EndTransaction(TxnId txn, CommitMode mode);
 
   // Aborts: restores undo copies (kRestore transactions only).
-  base::Status AbortTransaction(TxnId txn);
+  [[nodiscard]] base::Status AbortTransaction(TxnId txn);
 
   // Makes all kNoFlush commits durable.
-  base::Status FlushLog();
+  [[nodiscard]] base::Status FlushLog();
 
   // --- coherency integration ----------------------------------------------
 
@@ -146,10 +167,21 @@ class Rvm {
   using CommitHook = std::function<void(const CommitContext&)>;
   void SetCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
+  // Hook asking the coherency layer to checkpoint/trim this node's log
+  // (args: current log bytes, the watermark that tripped). Invoked WITHOUT
+  // the instance lock: once after a commit crosses the soft watermark, and
+  // once per stall episode by the first committer blocked at the hard
+  // watermark (that invocation runs on the stalled committer's thread, so
+  // the hook may call TrimLogWithBaselines/ResetLog on this instance — but
+  // must not commit through it). Set before threads start, like the commit
+  // hook.
+  using TrimHook = std::function<void(uint64_t log_bytes, uint64_t limit_bytes)>;
+  void SetTrimHook(TrimHook hook) { trim_hook_ = std::move(hook); }
+
   // Applies a peer's committed update to the local cached image (receiver
   // side of log-based coherency). Not logged locally: recovery obtains these
   // updates by merging the peers' logs.
-  base::Status ApplyExternalUpdate(RegionId region, uint64_t offset, base::ByteSpan data);
+  [[nodiscard]] base::Status ApplyExternalUpdate(RegionId region, uint64_t offset, base::ByteSpan data);
 
   // --- maintenance ---------------------------------------------------------
 
@@ -157,25 +189,27 @@ class Rvm {
   // database files and resets the log. Only correct when no other node has
   // written the shared regions since the last truncation; multi-node
   // truncation goes through the storage server's merge (§3.5).
-  base::Status TruncateLog();
+  [[nodiscard]] base::Status TruncateLog();
 
   // Empties the log WITHOUT applying it — for coordinated multi-node
   // trimming (lbc::OnlineTrim), where the caller has already merged and
   // replayed every node's log while writers were quiesced.
-  base::Status ResetLog();
+  [[nodiscard]] base::Status ResetLog();
 
   // Selective trim for standby-driven checkpointing (no quiesce): drops
   // every committed record whose lock sequence numbers are ALL at or below
   // the given baselines (those updates are reflected in the checkpoint the
   // caller just wrote); everything else — newer records and lock-free
   // records — is kept, in order. Serialized against commits.
-  base::Status TrimLogWithBaselines(const std::map<LockId, uint64_t>& baselines);
+  [[nodiscard]] base::Status TrimLogWithBaselines(const std::map<LockId, uint64_t>& baselines);
 
   // Point-in-time copy taken under the instance lock; safe to call while
   // receiver threads are applying external updates.
   RvmStats stats() const;
   void ResetStats();
   uint64_t commit_seq() const;
+  // Framed bytes currently in the redo log (what the watermarks measure).
+  uint64_t log_bytes() const;
 
  private:
   Rvm(store::DurableStore* store, NodeId node, const RvmOptions& options)
@@ -208,7 +242,15 @@ class Rvm {
   std::unique_ptr<LogWriter> log_ LBC_GUARDED_BY(mu_);
   // Unsynced kNoFlush commits pending.
   bool log_dirty_ LBC_GUARDED_BY(mu_) = false;
+  // Signaled whenever a trim shrinks the log; commits stalled at the hard
+  // watermark wait here (releasing mu_, so trims and external updates
+  // proceed). Rank: same condvar protocol as every other mu_ waiter.
+  base::CondVar log_space_cv_;
+  // True while some staller is running the trim hook, so a thundering herd
+  // of stalled committers fires it once per episode.
+  bool trim_inflight_ LBC_GUARDED_BY(mu_) = false;
   CommitHook commit_hook_;
+  TrimHook trim_hook_;
   RvmStats stats_ LBC_GUARDED_BY(mu_);
 
   // Registered once in Init(); hot paths only bump the atomics. These mirror

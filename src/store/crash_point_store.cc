@@ -110,7 +110,7 @@ class CrashPointFile : public DurableFile {
     }
     // Best-effort by design: the machine is dying; nobody observes errors.
     if (base_->Write(offset, base::ByteSpan(data.data(), torn)).ok()) {
-      (void)base_->Sync();
+      base::IgnoreError(base_->Sync());
       return true;
     }
     return false;

@@ -9,6 +9,12 @@
 //   - ReplicatedStore: mirrors any of the above across replicas.
 //   - CrashPointStore: a decorator that numbers every mutating operation and
 //                injects a deterministic crash at the Nth one (crash_point_store.h).
+//   - ResourceStore: a decorator enforcing a byte quota (deterministic
+//                ENOSPC, short appends) and injecting seeded per-op latency
+//                (slow-disk gray failure) — resource_store.h.
+//
+// Every status-returning method is [[nodiscard]]: an ENOSPC or corruption
+// report only propagates if no caller drops it on the floor.
 #ifndef SRC_STORE_DURABLE_STORE_H_
 #define SRC_STORE_DURABLE_STORE_H_
 
@@ -29,25 +35,26 @@ class DurableFile {
 
   // Reads up to `len` bytes at `offset`; returns the number of bytes read
   // (short count at end of file, 0 at/after EOF).
-  virtual base::Result<size_t> Read(uint64_t offset, void* buf, size_t len) = 0;
+  [[nodiscard]] virtual base::Result<size_t> Read(uint64_t offset, void* buf,
+                                                  size_t len) = 0;
 
   // Writes `data` at `offset`, extending the file if needed. Durability is
   // only guaranteed after a subsequent Sync().
-  virtual base::Status Write(uint64_t offset, base::ByteSpan data) = 0;
+  [[nodiscard]] virtual base::Status Write(uint64_t offset, base::ByteSpan data) = 0;
 
   // Appends at the current end of file; returns the offset written at.
-  virtual base::Result<uint64_t> Append(base::ByteSpan data) = 0;
+  [[nodiscard]] virtual base::Result<uint64_t> Append(base::ByteSpan data) = 0;
 
   // Durability barrier: all prior writes survive a crash after this returns.
-  virtual base::Status Sync() = 0;
+  [[nodiscard]] virtual base::Status Sync() = 0;
 
-  virtual base::Result<uint64_t> Size() const = 0;
+  [[nodiscard]] virtual base::Result<uint64_t> Size() const = 0;
 
   // Shrinks (or extends with zeros) to `size` bytes.
-  virtual base::Status Truncate(uint64_t size) = 0;
+  [[nodiscard]] virtual base::Status Truncate(uint64_t size) = 0;
 
   // Convenience: read exactly `len` bytes or fail with DATA_LOSS.
-  base::Status ReadExact(uint64_t offset, void* buf, size_t len);
+  [[nodiscard]] base::Status ReadExact(uint64_t offset, void* buf, size_t len);
 };
 
 // A namespace of durable files.
@@ -67,22 +74,36 @@ class DurableStore {
   virtual ~DurableStore() = default;
 
   // Opens (optionally creating) a file by name.
-  virtual base::Result<std::unique_ptr<DurableFile>> Open(const std::string& name,
-                                                          bool create) = 0;
-  virtual base::Status Remove(const std::string& name) = 0;
-  virtual base::Result<bool> Exists(const std::string& name) = 0;
-  virtual base::Result<std::vector<std::string>> List() = 0;
+  [[nodiscard]] virtual base::Result<std::unique_ptr<DurableFile>> Open(
+      const std::string& name, bool create) = 0;
+  [[nodiscard]] virtual base::Status Remove(const std::string& name) = 0;
+  [[nodiscard]] virtual base::Result<bool> Exists(const std::string& name) = 0;
+  [[nodiscard]] virtual base::Result<std::vector<std::string>> List() = 0;
 
   // Atomically renames a file (used for checkpoint swap during truncation).
-  virtual base::Status Rename(const std::string& from, const std::string& to) = 0;
+  [[nodiscard]] virtual base::Status Rename(const std::string& from,
+                                            const std::string& to) = 0;
 
   // Namespace durability barrier: all prior creations, renames, and removals
   // survive a crash after this returns (fsync of the directory).
-  virtual base::Status SyncDir() = 0;
+  [[nodiscard]] virtual base::Status SyncDir() = 0;
 };
 
 // Creates a store over a filesystem directory (created if absent).
 base::Result<std::unique_ptr<DurableStore>> OpenFileStore(const std::string& directory);
+
+struct FileStoreOptions {
+  // Caps the directory at this many total file bytes (0 = unlimited).
+  // Enforcement matches MemStore::SetQuotaBytes: Write/Truncate past the cap
+  // fail whole with RESOURCE_EXHAUSTED, an Append that only partly fits
+  // performs a deterministic short write of the fitting prefix first —
+  // modeling ENOSPC without actually filling a filesystem. Usage is scanned
+  // at open and maintained incrementally across handles.
+  uint64_t quota_bytes = 0;
+};
+
+base::Result<std::unique_ptr<DurableStore>> OpenFileStore(
+    const std::string& directory, const FileStoreOptions& options);
 
 }  // namespace store
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 #include <set>
 
 #include "src/store/store_metrics.h"
@@ -34,32 +35,43 @@ class MemFile : public DurableFile {
 
   base::Status Write(uint64_t offset, base::ByteSpan data) override {
     base::MutexLock lock(owner_->mu_);
-    if (owner_->fail_after_bytes_ >= 0) {
-      if (owner_->fail_after_bytes_ < static_cast<int64_t>(data.size())) {
-        return base::IoError("injected write failure");
+    uint64_t end = offset + data.size();
+    if (owner_->quota_bytes_ > 0 && end > state_->volatile_data.size()) {
+      uint64_t growth = end - state_->volatile_data.size();
+      if (owner_->UsedBytesLocked() + growth > owner_->quota_bytes_) {
+        // Whole-op failure: a quota-busting pwrite lands nothing.
+        ++owner_->enospc_;
+        GlobalStoreMetrics()->resource_enospc->Increment();
+        return base::ResourceExhausted("ENOSPC: write past mem quota");
       }
-      owner_->fail_after_bytes_ -= static_cast<int64_t>(data.size());
     }
-    auto& vec = state_->volatile_data;
-    if (offset + data.size() > vec.size()) {
-      vec.resize(offset + data.size());
-    }
-    std::memcpy(vec.data() + offset, data.data(), data.size());
-    state_->unsynced_writes.emplace_back(offset, data.size());
-    owner_->total_bytes_written_ += data.size();
-    StoreMetrics* m = GlobalStoreMetrics();
-    m->writes->Increment();
-    m->write_bytes->Add(data.size());
-    return base::OkStatus();
+    return WriteLocked(offset, data);
   }
 
   base::Result<uint64_t> Append(base::ByteSpan data) override {
-    uint64_t size;
-    {
-      base::MutexLock lock(owner_->mu_);
-      size = state_->volatile_data.size();
+    base::MutexLock lock(owner_->mu_);
+    uint64_t size = state_->volatile_data.size();
+    if (owner_->quota_bytes_ > 0) {
+      uint64_t used = owner_->UsedBytesLocked();
+      uint64_t space =
+          owner_->quota_bytes_ > used ? owner_->quota_bytes_ - used : 0;
+      if (space < data.size()) {
+        // Deterministic ENOSPC short write: the bytes that fit reach the
+        // file (a torn tail recovery must CRC-detect), then the op fails.
+        ++owner_->enospc_;
+        StoreMetrics* m = GlobalStoreMetrics();
+        m->resource_enospc->Increment();
+        if (space > 0) {
+          RETURN_IF_ERROR(WriteLocked(
+              size, base::ByteSpan(data.data(), static_cast<size_t>(space))));
+          m->resource_short_appends->Increment();
+        }
+        return base::ResourceExhausted("ENOSPC: short append " +
+                                       std::to_string(space) + "/" +
+                                       std::to_string(data.size()) + " bytes");
+      }
     }
-    RETURN_IF_ERROR(Write(size, data));
+    RETURN_IF_ERROR(WriteLocked(size, data));
     return size;
   }
 
@@ -84,12 +96,42 @@ class MemFile : public DurableFile {
 
   base::Status Truncate(uint64_t size) override {
     base::MutexLock lock(owner_->mu_);
+    if (owner_->quota_bytes_ > 0 && size > state_->volatile_data.size()) {
+      uint64_t growth = size - state_->volatile_data.size();
+      if (owner_->UsedBytesLocked() + growth > owner_->quota_bytes_) {
+        ++owner_->enospc_;
+        GlobalStoreMetrics()->resource_enospc->Increment();
+        return base::ResourceExhausted("ENOSPC: truncate past mem quota");
+      }
+    }
     state_->volatile_data.resize(size);
     state_->unsynced_writes.emplace_back(size, 0);
     return base::OkStatus();
   }
 
  private:
+  // Common body of Write/Append once the quota has admitted the bytes.
+  base::Status WriteLocked(uint64_t offset, base::ByteSpan data)
+      LBC_REQUIRES(owner_->mu_) {
+    if (owner_->fail_after_bytes_ >= 0) {
+      if (owner_->fail_after_bytes_ < static_cast<int64_t>(data.size())) {
+        return base::IoError("injected write failure");
+      }
+      owner_->fail_after_bytes_ -= static_cast<int64_t>(data.size());
+    }
+    auto& vec = state_->volatile_data;
+    if (offset + data.size() > vec.size()) {
+      vec.resize(offset + data.size());
+    }
+    std::memcpy(vec.data() + offset, data.data(), data.size());
+    state_->unsynced_writes.emplace_back(offset, data.size());
+    owner_->total_bytes_written_ += data.size();
+    StoreMetrics* m = GlobalStoreMetrics();
+    m->writes->Increment();
+    m->write_bytes->Add(data.size());
+    return base::OkStatus();
+  }
+
   MemStore* owner_;
   std::shared_ptr<MemStore::FileState> state_;
 };
@@ -205,6 +247,32 @@ void MemStore::Crash(size_t torn_bytes) {
   // Roll the namespace back: unsynced creations vanish, unsynced renames and
   // removes are undone.
   files_ = durable_files_;
+}
+
+uint64_t MemStore::UsedBytesLocked() const {
+  std::set<const FileState*> seen;
+  uint64_t used = 0;
+  for (const auto& [name, state] : files_) {
+    if (seen.insert(state.get()).second) {
+      used += state->volatile_data.size();
+    }
+  }
+  return used;
+}
+
+void MemStore::SetQuotaBytes(uint64_t bytes) {
+  base::MutexLock lock(mu_);
+  quota_bytes_ = bytes;
+}
+
+uint64_t MemStore::used_bytes() const {
+  base::MutexLock lock(mu_);
+  return UsedBytesLocked();
+}
+
+uint64_t MemStore::enospc_count() const {
+  base::MutexLock lock(mu_);
+  return enospc_;
 }
 
 void MemStore::FailWritesAfterBytes(int64_t bytes) {

@@ -22,6 +22,10 @@ struct StoreMetrics {
   obs::Counter* corrupt_bits_flipped;   // CorruptionInjectingStore bit flips
   obs::Counter* corrupt_ranges_zeroed;  // CorruptionInjectingStore zeroed sectors
   obs::Counter* corrupt_io_errors;      // injected EIO returns (read/write/sync)
+  obs::Counter* resource_enospc;        // ops refused/shortened by a byte quota
+  obs::Counter* resource_short_appends; // ENOSPC appends that left a torn tail
+  obs::Counter* resource_delays;        // ops delayed by latency injection
+  obs::Counter* resource_delay_nanos;   // total injected latency
 };
 
 inline StoreMetrics* GlobalStoreMetrics() {
@@ -40,6 +44,10 @@ inline StoreMetrics* GlobalStoreMetrics() {
     m->corrupt_bits_flipped = reg->GetCounter("store.corrupt.bits_flipped");
     m->corrupt_ranges_zeroed = reg->GetCounter("store.corrupt.ranges_zeroed");
     m->corrupt_io_errors = reg->GetCounter("store.corrupt.io_errors");
+    m->resource_enospc = reg->GetCounter("store.resource.enospc");
+    m->resource_short_appends = reg->GetCounter("store.resource.short_appends");
+    m->resource_delays = reg->GetCounter("store.resource.delays");
+    m->resource_delay_nanos = reg->GetCounter("store.resource.delay_nanos");
     return m;
   }();
   return metrics;

@@ -24,11 +24,13 @@
 #include "src/netsim/fabric.h"
 #include "src/netsim/reliable.h"
 #include "src/obs/export.h"
+#include "src/obs/metrics.h"
 #include "src/rvm/log_merge.h"
 #include "src/rvm/recovery.h"
 #include "src/rvm/scrub.h"
 #include "src/store/crash_point_store.h"
 #include "src/store/mem_store.h"
+#include "src/store/resource_store.h"
 
 namespace {
 
@@ -557,6 +559,167 @@ TEST(ChaosDeterminism, SameSeedSameFinalState) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Range<uint64_t>(0, 3));
+
+// ---------------------------------------------------------------------------
+// 4. Gray-failure phase: slow link + slow disk, no false evictions
+// ---------------------------------------------------------------------------
+
+// A peer that is slow — degraded links, a laggy log disk, heartbeats arriving
+// past the lease — is NOT dead. Mid-run, node 3's links pick up 1.5 ms of
+// jittered delay, its log disk 2 ms per I/O, and its heartbeats stretch past
+// the lease interval. The gray-aware detector must classify it suspect-slow
+// (not expired), no eviction may fire while it can still commit, and the
+// cluster must converge with the slow peer's transactions included. Only
+// when its beats stop entirely does the detector report it — and the whole
+// run must end with gray.false_evictions unchanged.
+TEST(ChaosGray, SlowLinkAndSlowDiskConvergeWithoutFalseEviction) {
+  constexpr rvm::RegionId kGrayRegion = 1;
+  constexpr uint64_t kGrayRegionSize = 8192;
+  constexpr rvm::NodeId kGrayNode = 3;  // the slow-but-alive peer
+  const auto kLease = std::chrono::milliseconds(100);
+  auto lock_for = [](int node) { return static_cast<rvm::LockId>(10 + node); };
+  auto slice_for = [](int node) { return static_cast<uint64_t>(node - 1) * 2048; };
+
+  store::MemStore mem;
+  store::ResourceStore store(&mem);  // the slow-disk injection surface
+  lbc::Cluster cluster(&store);
+  cluster.SetGraySlackFactor(8);
+  cluster.DefineLock(lock_for(1), kGrayRegion, 1);
+  cluster.DefineLock(lock_for(2), kGrayRegion, 2);
+  cluster.DefineLock(lock_for(3), kGrayRegion, 1);
+  netsim::Fabric* fabric = cluster.fabric();
+
+  // Healthy peers beat well inside the lease from their heartbeat threads;
+  // the gray node's beats are driven below, slowly.
+  lbc::ClientOptions fast;
+  fast.heartbeat_interval_ms = 20;
+  std::vector<std::unique_ptr<lbc::Client>> clients;
+  clients.push_back(std::move(*lbc::Client::Create(&cluster, 1, fast)));
+  clients.push_back(std::move(*lbc::Client::Create(&cluster, 2, fast)));
+  clients.push_back(std::move(*lbc::Client::Create(&cluster, 3, lbc::ClientOptions{})));
+  for (auto& c : clients) {
+    ASSERT_TRUE(c->MapRegion(kGrayRegion, kGrayRegionSize).ok());
+  }
+
+  auto counter = [](const char* name) {
+    return obs::MetricsRegistry::Global()->GetCounter(name)->value();
+  };
+  const uint64_t false_evictions_before = counter("gray.false_evictions");
+  const uint64_t delays_before = counter("store.resource.delays");
+
+  // The membership service: evict whatever the lease check reports.
+  std::atomic<bool> stop_detector{false};
+  std::atomic<int> evictions{0};
+  std::thread detector([&] {
+    while (!stop_detector.load(std::memory_order_acquire)) {
+      for (rvm::NodeId node : cluster.LeaseExpired(kLease)) {
+        cluster.DeclareDead(node);
+        evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    }
+  });
+
+  // Seed the gray node's gap EWMA with two quick beats, then beat at 120 ms
+  // — past the 100 ms lease every cycle, far inside the stretched deadline
+  // (slack 8 × EWMA ≥ 320 ms and growing as the EWMA learns the slow rate).
+  cluster.NoteAlive(kGrayNode);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  cluster.NoteAlive(kGrayNode);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  cluster.NoteAlive(kGrayNode);
+  std::atomic<bool> stop_beats{false};
+  std::thread slow_beater([&] {
+    while (!stop_beats.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+      cluster.NoteAlive(kGrayNode);
+    }
+  });
+
+  auto commit_round = [&](int round) {
+    for (int n = 1; n <= 3; ++n) {
+      lbc::Client* c = clients[n - 1].get();
+      lbc::Transaction txn = c->Begin();
+      ASSERT_TRUE(txn.Acquire(lock_for(n)).ok());
+      uint64_t off = slice_for(n) + static_cast<uint64_t>(round % 16) * 64;
+      ASSERT_TRUE(txn.SetRange(kGrayRegion, off, 32).ok());
+      std::memset(c->GetRegion(kGrayRegion)->data() + off,
+                  static_cast<uint8_t>(n * 16 + round), 32);
+      ASSERT_TRUE(txn.Commit(rvm::CommitMode::kFlush).ok())
+          << "node " << n << " round " << round;
+    }
+  };
+
+  // Phase 1: healthy traffic.
+  int rounds = 0;
+  for (; rounds < 10; ++rounds) {
+    commit_round(rounds);
+  }
+
+  // Phase 2: gray injection mid-run — every link touching node 3 degrades
+  // (slow, FIFO-preserving, NOT lossy: a gray link is not a partition), and
+  // its log disk picks up per-I/O latency. The slow peer must keep
+  // committing straight through.
+  for (rvm::NodeId peer : {rvm::NodeId{1}, rvm::NodeId{2}}) {
+    fabric->DegradeLink(kGrayNode, peer, 1500, 500);
+    fabric->DegradeLink(peer, kGrayNode, 1500, 500);
+  }
+  store.InjectLatency(rvm::LogFileName(kGrayNode), 2'000'000, 500'000);
+  for (; rounds < 22; ++rounds) {
+    commit_round(rounds);
+  }
+
+  // The detector saw the slow peer cross its lease and held fire: it shows
+  // up as suspect-slow on some poll (its beats land ~20 ms past the lease),
+  // and nobody was evicted.
+  bool saw_suspect = false;
+  for (int spin = 0; spin < 300 && !saw_suspect; ++spin) {
+    cluster.LeaseExpired(kLease);  // refreshes the suspicion set
+    for (rvm::NodeId node : cluster.SuspectSlow()) {
+      saw_suspect |= node == kGrayNode;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(saw_suspect) << "slow peer never classified suspect-slow";
+  EXPECT_EQ(0, evictions.load()) << "a live (slow) peer was evicted";
+
+  // Convergence with the gray failures still active: everyone reaches every
+  // lock's final sequence number and the images agree byte-for-byte —
+  // the slow peer's tokens were never reclaimed, its commits all landed.
+  for (int n = 1; n <= 3; ++n) {
+    for (auto& c : clients) {
+      ASSERT_TRUE(c->WaitForAppliedSeq(lock_for(n), static_cast<uint64_t>(rounds),
+                                       60000))
+          << "lock " << lock_for(n) << " client " << c->node();
+    }
+  }
+  for (size_t i = 1; i < clients.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(clients[0]->GetRegion(kGrayRegion)->data(),
+                             clients[i]->GetRegion(kGrayRegion)->data(),
+                             kGrayRegionSize))
+        << "client " << clients[i]->node() << " diverged";
+  }
+
+  // The injections really happened.
+  EXPECT_GT(fabric->fault_stats().degraded, 0u);
+  EXPECT_GT(counter("store.resource.delays"), delays_before);
+
+  // Now the gray node goes silent for real. The stretched deadline delays
+  // the verdict (by design) but cannot suppress it: with no beats at all
+  // the detector eventually reports and evicts it.
+  stop_beats.store(true, std::memory_order_release);
+  slow_beater.join();
+  for (int spin = 0; spin < 1000 && evictions.load() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(1, evictions.load()) << "a truly dead node must still expire";
+  stop_detector.store(true, std::memory_order_release);
+  detector.join();
+
+  // Nobody beat after being declared dead: every eviction was of a node
+  // that had actually stopped.
+  EXPECT_EQ(false_evictions_before, counter("gray.false_evictions"));
+}
 
 // The integrity scrubber loops full-speed in a background thread while two
 // clients commit continuously. Over a single store the scrubber never writes

@@ -5,6 +5,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -15,6 +16,7 @@
 #include "src/store/durable_store.h"
 #include "src/store/mem_store.h"
 #include "src/store/replicated_store.h"
+#include "src/store/resource_store.h"
 
 namespace {
 
@@ -25,13 +27,17 @@ enum class StoreKind {
   kCrashPointFile,
   kReplicatedMem,
   kCorruptingMem,
+  kResourceMem,
+  kResourceFile,
+  kResourceReplicated,
 };
 
 class StoreConformanceTest : public ::testing::TestWithParam<StoreKind> {
  protected:
   void SetUp() override {
     StoreKind kind = GetParam();
-    if (kind == StoreKind::kFile || kind == StoreKind::kCrashPointFile) {
+    if (kind == StoreKind::kFile || kind == StoreKind::kCrashPointFile ||
+        kind == StoreKind::kResourceFile) {
       dir_ = std::filesystem::temp_directory_path() /
              ("lbc_store_test_" + std::to_string(::getpid()) + "_" +
               ::testing::UnitTest::GetInstance()->current_test_info()->name());
@@ -53,6 +59,16 @@ class StoreConformanceTest : public ::testing::TestWithParam<StoreKind> {
       case StoreKind::kCorruptingMem:
         store_ = std::make_unique<store::CorruptionInjectingStore>(backing_.get());
         break;
+      case StoreKind::kResourceMem:
+      case StoreKind::kResourceFile:
+        store_ = std::make_unique<store::ResourceStore>(backing_.get());
+        break;
+      case StoreKind::kResourceReplicated:
+        backing2_ = std::make_unique<store::MemStore>();
+        inner_ = std::make_unique<store::ReplicatedStore>(
+            std::vector<store::DurableStore*>{backing_.get(), backing2_.get()});
+        store_ = std::make_unique<store::ResourceStore>(inner_.get());
+        break;
       default:
         store_ = std::move(backing_);
         break;
@@ -61,6 +77,7 @@ class StoreConformanceTest : public ::testing::TestWithParam<StoreKind> {
 
   void TearDown() override {
     store_.reset();
+    inner_.reset();
     backing2_.reset();
     backing_.reset();
     if (!dir_.empty()) {
@@ -69,7 +86,8 @@ class StoreConformanceTest : public ::testing::TestWithParam<StoreKind> {
   }
 
   std::unique_ptr<store::DurableStore> backing_;  // set when store_ decorates
-  std::unique_ptr<store::DurableStore> backing2_;  // second replica (kReplicatedMem)
+  std::unique_ptr<store::DurableStore> backing2_;  // second replica (replicated kinds)
+  std::unique_ptr<store::DurableStore> inner_;    // middle layer (kResourceReplicated)
   std::unique_ptr<store::DurableStore> store_;
   std::filesystem::path dir_;
 };
@@ -159,7 +177,10 @@ INSTANTIATE_TEST_SUITE_P(Impls, StoreConformanceTest,
                                            StoreKind::kCrashPointMem,
                                            StoreKind::kCrashPointFile,
                                            StoreKind::kReplicatedMem,
-                                           StoreKind::kCorruptingMem),
+                                           StoreKind::kCorruptingMem,
+                                           StoreKind::kResourceMem,
+                                           StoreKind::kResourceFile,
+                                           StoreKind::kResourceReplicated),
                          [](const auto& info) {
                            switch (info.param) {
                              case StoreKind::kMem: return "Mem";
@@ -167,7 +188,10 @@ INSTANTIATE_TEST_SUITE_P(Impls, StoreConformanceTest,
                              case StoreKind::kCrashPointMem: return "CrashPointMem";
                              case StoreKind::kCrashPointFile: return "CrashPointFile";
                              case StoreKind::kReplicatedMem: return "ReplicatedMem";
-                             default: return "CorruptingMem";
+                             case StoreKind::kCorruptingMem: return "CorruptingMem";
+                             case StoreKind::kResourceMem: return "ResourceMem";
+                             case StoreKind::kResourceFile: return "ResourceFile";
+                             default: return "ResourceReplicated";
                            }
                          });
 
@@ -546,6 +570,185 @@ TEST(CrashPointStore, OfflineFailsEverythingWithoutCrashing) {
   cps.SetOffline(false);
   ASSERT_TRUE(file->ReadExact(0, &c, 1).ok());
   EXPECT_EQ('x', c);  // no state was lost by the outage itself
+}
+
+// ---------------------------------------------------------------------------
+// ResourceStore: byte quota + latency injection
+// ---------------------------------------------------------------------------
+
+TEST(ResourceStore, QuotaRefusesWholeWrite) {
+  store::MemStore mem;
+  store::ResourceStore rs(&mem);
+  auto file = std::move(*rs.Open("f", true));
+  ASSERT_TRUE(rs.SetQuotaBytes(8).ok());
+  ASSERT_TRUE(file->Write(0, base::AsBytes("12345678", 8)).ok());
+  // One byte over: nothing of the write may land.
+  auto st = file->Write(4, base::AsBytes("abcde", 5));
+  EXPECT_EQ(base::StatusCode::kResourceExhausted, st.code());
+  EXPECT_EQ(8u, *file->Size());
+  char buf[8];
+  ASSERT_TRUE(file->ReadExact(0, buf, 8).ok());
+  EXPECT_EQ(0, std::memcmp(buf, "12345678", 8));
+  EXPECT_EQ(1u, rs.enospc_count());
+  // Overwrites within the quota still work.
+  EXPECT_TRUE(file->Write(0, base::AsBytes("zzzzzzzz", 8)).ok());
+}
+
+TEST(ResourceStore, AppendShortWritesTheFittingPrefix) {
+  store::MemStore mem;
+  store::ResourceStore rs(&mem);
+  ASSERT_TRUE(rs.SetQuotaBytes(10).ok());
+  auto file = std::move(*rs.Open("f", true));
+  ASSERT_TRUE(file->Append(base::AsBytes("1234567", 7)).ok());
+  // 3 bytes of space left: the torn prefix lands, then ENOSPC.
+  auto r = file->Append(base::AsBytes("abcdef", 6));
+  EXPECT_EQ(base::StatusCode::kResourceExhausted, r.status().code());
+  EXPECT_EQ(10u, *file->Size());
+  char buf[10];
+  ASSERT_TRUE(file->ReadExact(0, buf, 10).ok());
+  EXPECT_EQ(0, std::memcmp(buf, "1234567abc", 10));
+  EXPECT_EQ(10u, rs.used_bytes());
+}
+
+TEST(ResourceStore, FreesReturnCapacity) {
+  store::MemStore mem;
+  store::ResourceStore rs(&mem);
+  ASSERT_TRUE(rs.SetQuotaBytes(8).ok());
+  auto f1 = std::move(*rs.Open("a", true));
+  ASSERT_TRUE(f1->Write(0, base::AsBytes("12345678", 8)).ok());
+  auto f2 = std::move(*rs.Open("b", true));
+  EXPECT_EQ(base::StatusCode::kResourceExhausted,
+            f2->Write(0, base::AsBytes("x", 1)).code());
+  // Truncate-down returns capacity...
+  ASSERT_TRUE(f1->Truncate(4).ok());
+  EXPECT_EQ(4u, rs.used_bytes());
+  EXPECT_TRUE(f2->Write(0, base::AsBytes("abcd", 4)).ok());
+  // ...and Remove returns the rest.
+  f1.reset();
+  ASSERT_TRUE(rs.Remove("a").ok());
+  EXPECT_EQ(4u, rs.used_bytes());
+  EXPECT_TRUE(f2->Write(4, base::AsBytes("efgh", 4)).ok());
+}
+
+TEST(ResourceStore, SetQuotaScansExistingUsage) {
+  store::MemStore mem;
+  {
+    auto file = std::move(*mem.Open("pre", true));
+    ASSERT_TRUE(file->Write(0, base::AsBytes("123456", 6)).ok());
+  }
+  store::ResourceStore rs(&mem);
+  ASSERT_TRUE(rs.SetQuotaBytes(8).ok());
+  EXPECT_EQ(6u, rs.used_bytes());
+  auto file = std::move(*rs.Open("pre", true));
+  EXPECT_EQ(base::StatusCode::kResourceExhausted,
+            file->Write(0, base::AsBytes("123456789", 9)).code());
+}
+
+TEST(ResourceStore, LatencyInjectionDelaysMatchingFiles) {
+  store::MemStore mem;
+  store::ResourceStore rs(&mem, /*seed=*/7);
+  rs.InjectLatency("slow", /*mean_nanos=*/2'000'000, /*jitter_nanos=*/1'000'000);
+  auto slow = std::move(*rs.Open("slow.log", true));
+  auto fast = std::move(*rs.Open("fast.log", true));
+  auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(slow->Write(0, base::AsBytes("x", 1)).ok());
+  auto slow_nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_GE(slow_nanos, 1'000'000);  // at least mean - jitter
+  ASSERT_TRUE(fast->Write(0, base::AsBytes("x", 1)).ok());
+  rs.ClearLatency();
+  t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(slow->Write(0, base::AsBytes("y", 1)).ok());
+  // No assertion on the fast path's absolute time (CI noise); only that the
+  // rule is really gone from the store's rule list.
+  ASSERT_TRUE(slow->Sync().ok());
+}
+
+TEST(ResourceStore, ComposesUnderCrashPoint) {
+  // CrashPoint over Resource over Mem: a crash mid-run must not corrupt the
+  // quota ledger for post-recovery use.
+  store::MemStore mem;
+  store::ResourceStore rs(&mem);
+  ASSERT_TRUE(rs.SetQuotaBytes(6).ok());
+  store::CrashPointStore cps(&rs);
+  auto file = std::move(*cps.Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("123", 3)).ok());
+  EXPECT_EQ(base::StatusCode::kResourceExhausted,
+            file->Write(0, base::AsBytes("1234567", 7)).code());
+  EXPECT_EQ(3u, rs.used_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Native quotas in MemStore / FileStore
+// ---------------------------------------------------------------------------
+
+TEST(MemStoreQuota, WholeFailAndShortAppend) {
+  store::MemStore mem;
+  auto file = std::move(*mem.Open("f", true));
+  mem.SetQuotaBytes(6);
+  ASSERT_TRUE(file->Write(0, base::AsBytes("1234", 4)).ok());
+  EXPECT_EQ(base::StatusCode::kResourceExhausted,
+            file->Write(4, base::AsBytes("abc", 3)).code());
+  EXPECT_EQ(4u, *file->Size());  // whole-fail: nothing landed
+  auto r = file->Append(base::AsBytes("xyz", 3));
+  EXPECT_EQ(base::StatusCode::kResourceExhausted, r.status().code());
+  EXPECT_EQ(6u, *file->Size());  // short append: the fitting prefix landed
+  char buf[6];
+  ASSERT_TRUE(file->ReadExact(0, buf, 6).ok());
+  EXPECT_EQ(0, std::memcmp(buf, "1234xy", 6));
+  EXPECT_EQ(2u, mem.enospc_count());
+  EXPECT_EQ(6u, mem.used_bytes());
+  // Truncate growth is also gated; shrink frees.
+  EXPECT_EQ(base::StatusCode::kResourceExhausted, file->Truncate(8).code());
+  ASSERT_TRUE(file->Truncate(2).ok());
+  EXPECT_EQ(2u, mem.used_bytes());
+}
+
+TEST(FileStoreQuota, WholeFailShortAppendAndFrees) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("lbc_filequota_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  store::FileStoreOptions opts;
+  opts.quota_bytes = 6;
+  auto store = std::move(*store::OpenFileStore(dir.string(), opts));
+  auto file = std::move(*store->Open("f", true));
+  ASSERT_TRUE(file->Write(0, base::AsBytes("1234", 4)).ok());
+  EXPECT_EQ(base::StatusCode::kResourceExhausted,
+            file->Write(2, base::AsBytes("abcde", 5)).code());
+  EXPECT_EQ(4u, *file->Size());
+  auto r = file->Append(base::AsBytes("xyz", 3));
+  EXPECT_EQ(base::StatusCode::kResourceExhausted, r.status().code());
+  EXPECT_EQ(6u, *file->Size());
+  // Remove frees capacity for a new file.
+  file.reset();
+  ASSERT_TRUE(store->Remove("f").ok());
+  auto f2 = std::move(*store->Open("g", true));
+  EXPECT_TRUE(f2->Write(0, base::AsBytes("123456", 6)).ok());
+  f2.reset();
+  store.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileStoreQuota, OpenScansExistingBytes) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("lbc_filequota_scan_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    auto store = std::move(*store::OpenFileStore(dir.string()));
+    auto file = std::move(*store->Open("pre", true));
+    ASSERT_TRUE(file->Write(0, base::AsBytes("12345", 5)).ok());
+  }
+  store::FileStoreOptions opts;
+  opts.quota_bytes = 6;
+  auto store = std::move(*store::OpenFileStore(dir.string(), opts));
+  auto file = std::move(*store->Open("pre", true));
+  EXPECT_EQ(base::StatusCode::kResourceExhausted,
+            file->Write(0, base::AsBytes("1234567", 7)).code());
+  EXPECT_TRUE(file->Write(5, base::AsBytes("x", 1)).ok());
+  file.reset();
+  store.reset();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

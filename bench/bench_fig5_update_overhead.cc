@@ -12,5 +12,7 @@ int main() {
   bench::PrintUpdateSweep({100, 250, 500, 1000, 2000, 3000, 4000, 5000});
   std::printf("\n(Alpha 1994 reference at 1000 updates/txn: unordered ~18, "
               "ordered ~14.8, redundant ~5 usec.)\n");
+  std::printf("\n=== Group-commit throughput (kFlush, simulated disk) ===\n\n");
+  bench::PrintCommitThroughput();
   return 0;
 }

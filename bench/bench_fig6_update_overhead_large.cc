@@ -9,5 +9,7 @@ int main() {
   std::printf(
       "=== Figure 6: per-update overhead up to 300,000 updates/transaction ===\n\n");
   bench::PrintUpdateSweep({10000, 50000, 100000, 200000, 300000});
+  std::printf("\n=== Group-commit throughput (kFlush, simulated disk) ===\n\n");
+  bench::PrintCommitThroughput();
   return 0;
 }

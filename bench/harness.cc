@@ -202,9 +202,14 @@ void RunFigureComparison(const std::vector<std::string>& names) {
           "gray.evictions_averted", "gray.false_evictions", "gray.retries",
           "gray.backoff_nanos", "gray.deadline_misses",
           "store.resource.enospc", "store.resource.short_appends",
-          "store.resource.delays", "store.resource.delay_nanos"}) {
+          "store.resource.delays", "store.resource.delay_nanos",
+          "commit.batch.batches", "commit.batch.txns", "commit.batch.bytes",
+          "commit.batch.fsyncs_saved"}) {
       reg->GetCounter(name);
     }
+    // The batch-shape histograms, for the same reason (zeros included).
+    reg->GetHistogram("commit.batch.size");
+    reg->GetHistogram("commit.batch.cohort_wait_nanos");
   }
   std::string snapshot_path = obs::SnapshotPath();
   base::Status status = obs::WriteJsonSnapshot(snapshot_path);

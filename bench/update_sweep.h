@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "src/base/clock.h"
@@ -17,6 +18,7 @@
 #include "src/base/rng.h"
 #include "src/rvm/rvm.h"
 #include "src/store/mem_store.h"
+#include "src/store/resource_store.h"
 
 namespace bench {
 
@@ -83,6 +85,82 @@ inline void PrintUpdateSweep(const std::vector<uint64_t>& counts) {
     std::printf("%14llu %14.3f %14.3f %14.3f\n", static_cast<unsigned long long>(n),
                 unordered, ordered, redundant);
   }
+}
+
+// --- group-commit throughput -------------------------------------------------
+
+struct CommitThroughputResult {
+  double txn_per_sec = 0;
+  uint64_t batches = 0;
+  uint64_t fsyncs_saved = 0;
+};
+
+// `writers` threads each commit `txns_per_writer` kFlush transactions at
+// disjoint offsets, over a store whose log-file ops carry a simulated disk
+// latency (so sync cost dominates, as on real media). With one writer every
+// commit is its own batch; with many, the group-commit leader amortizes the
+// write+sync across the cohort that formed while the previous batch was on
+// the platter.
+inline CommitThroughputResult MeasureCommitThroughput(int writers,
+                                                      int txns_per_writer) {
+  constexpr uint64_t kSliceBytes = 4096;
+  constexpr uint64_t kSimulatedDiskNanos = 100'000;  // ~100us per log op
+  store::MemStore mem;
+  store::ResourceStore store(&mem);
+  store.InjectLatency(rvm::LogFileName(1), kSimulatedDiskNanos);
+  auto rvm = std::move(*rvm::Rvm::Open(&store, 1, rvm::RvmOptions{}));
+  rvm::Region* region =
+      *rvm->MapRegion(1, static_cast<uint64_t>(writers) * kSliceBytes);
+
+  base::Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      uint64_t base_off = static_cast<uint64_t>(w) * kSliceBytes;
+      for (int i = 0; i < txns_per_writer; ++i) {
+        rvm::TxnId txn = rvm->BeginTransaction(rvm::RestoreMode::kNoRestore);
+        uint64_t off = base_off + static_cast<uint64_t>(i % 64) * 64;
+        LBC_CHECK_OK(rvm->SetRange(txn, 1, off, 8));
+        *reinterpret_cast<uint64_t*>(region->data() + off) =
+            static_cast<uint64_t>(w) * 100000 + static_cast<uint64_t>(i);
+        LBC_CHECK_OK(rvm->EndTransaction(txn, rvm::CommitMode::kFlush));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  double elapsed_s = timer.ElapsedMicros() / 1e6;
+
+  const rvm::RvmStats stats = rvm->stats();
+  CommitThroughputResult result;
+  result.txn_per_sec =
+      static_cast<double>(writers) * txns_per_writer / elapsed_s;
+  result.batches = stats.commit_batches;
+  result.fsyncs_saved = stats.fsyncs_saved;
+  return result;
+}
+
+// Prints single-writer vs 16-writer commit throughput plus the speedup line
+// check.sh --bench-smoke parses (`commit_smoke: ... speedup=...`).
+inline void PrintCommitThroughput() {
+  constexpr int kTxnsPerWriter = 200;
+  constexpr int kWriters = 16;
+  std::printf("%8s %14s %10s %14s\n", "writers", "txn/s", "batches",
+              "fsyncs_saved");
+  CommitThroughputResult one = MeasureCommitThroughput(1, kTxnsPerWriter);
+  std::printf("%8d %14.0f %10llu %14llu\n", 1, one.txn_per_sec,
+              static_cast<unsigned long long>(one.batches),
+              static_cast<unsigned long long>(one.fsyncs_saved));
+  CommitThroughputResult many = MeasureCommitThroughput(kWriters, kTxnsPerWriter);
+  std::printf("%8d %14.0f %10llu %14llu\n", kWriters, many.txn_per_sec,
+              static_cast<unsigned long long>(many.batches),
+              static_cast<unsigned long long>(many.fsyncs_saved));
+  double speedup = one.txn_per_sec > 0 ? many.txn_per_sec / one.txn_per_sec : 0;
+  std::printf("commit_smoke: writers=%d txn_s=%.0f fsyncs_saved=%llu "
+              "speedup=%.2f\n",
+              kWriters, many.txn_per_sec,
+              static_cast<unsigned long long>(many.fsyncs_saved), speedup);
 }
 
 }  // namespace bench

@@ -10,7 +10,14 @@
 #
 # Usage: scripts/check.sh [--tsan-only | --tier1-only | --crash-sweep |
 #                          --static | --asan | --corruption-sweep |
-#                          --exhaustion-sweep]
+#                          --exhaustion-sweep | --bench-smoke]
+#
+# --bench-smoke runs the group-commit throughput smoke on its own: the
+# 16-writer kFlush section of bench_fig5 over the latency-injected store,
+# compared against bench/BENCH_baseline.json. Fails when the 16-writer
+# speedup over one writer regresses more than 20% below the checked-in
+# baseline, or when the batch sync amortization stops happening
+# (fsyncs_saved == 0).
 #
 # --static runs the concurrency-discipline gate on its own:
 #   * scripts/lint.py (always — no toolchain dependency),
@@ -46,6 +53,7 @@ run_asan=1
 run_crash=1
 run_corrupt=1
 run_exhaust=1
+run_bench=0
 case "${1:-}" in
   --tsan-only) run_tier1=0; run_static=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0 ;;
   --tier1-only) run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0 ;;
@@ -54,8 +62,9 @@ case "${1:-}" in
   --asan) run_tier1=0; run_static=0; run_tsan=0; run_crash=0; run_corrupt=0; run_exhaust=0 ;;
   --corruption-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_exhaust=0 ;;
   --exhaustion-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0 ;;
+  --bench-smoke) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0; run_bench=1 ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only | --tier1-only | --crash-sweep | --static | --asan | --corruption-sweep | --exhaustion-sweep]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tsan-only | --tier1-only | --crash-sweep | --static | --asan | --corruption-sweep | --exhaustion-sweep | --bench-smoke]" >&2; exit 2 ;;
 esac
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -157,6 +166,35 @@ if [[ "$run_crash" == 1 ]]; then
   LBC_CRASH_BUDGET="${LBC_CRASH_BUDGET:-0}" \
   LBC_CRASH_SEED="${LBC_CRASH_SEED:-24301}" \
     ./build/tests/crash_explorer_test
+fi
+
+if [[ "$run_bench" == 1 ]]; then
+  echo "=== bench smoke: group-commit throughput vs checked-in baseline ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target bench_fig5_update_overhead
+  bench_out="$(./build/bench/bench_fig5_update_overhead)"
+  smoke_line="$(printf '%s\n' "$bench_out" | grep '^commit_smoke:' | tail -n 1)"
+  if [[ -z "$smoke_line" ]]; then
+    echo "bench smoke: bench_fig5 printed no commit_smoke line" >&2
+    exit 1
+  fi
+  echo "$smoke_line"
+  speedup="$(printf '%s\n' "$smoke_line" | sed -n 's/.*speedup=\([0-9.]*\).*/\1/p')"
+  fsyncs_saved="$(printf '%s\n' "$smoke_line" | sed -n 's/.*fsyncs_saved=\([0-9]*\).*/\1/p')"
+  baseline="$(python3 -c 'import json; print(json.load(open("bench/BENCH_baseline.json"))["commit_smoke"]["speedup_16_writers"])')"
+  echo "bench smoke: measured speedup=${speedup}x (baseline ${baseline}x, floor 80%), fsyncs_saved=${fsyncs_saved}"
+  if [[ "$fsyncs_saved" -eq 0 ]]; then
+    echo "bench smoke FAILED: fsyncs_saved == 0 — batch sync amortization is gone" >&2
+    exit 1
+  fi
+  python3 - "$speedup" "$baseline" <<'EOF'
+import sys
+measured, baseline = float(sys.argv[1]), float(sys.argv[2])
+floor = 0.8 * baseline
+if measured < floor:
+    sys.exit(f"bench smoke FAILED: 16-writer speedup {measured:.2f}x is below "
+             f"80% of the checked-in baseline {baseline:.2f}x (floor {floor:.2f}x)")
+EOF
 fi
 
 echo "All checks passed."

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <cstring>
+#include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -22,6 +24,56 @@ using ByteSpan = std::span<const uint8_t>;
 inline ByteSpan AsBytes(const void* data, size_t len) {
   return ByteSpan(static_cast<const uint8_t*>(data), len);
 }
+
+// Immutable, refcounted byte buffer. Copying a Buffer bumps a refcount and
+// shares the underlying bytes — this is what lets one encoded commit record
+// fan out to every peer (and sit in every ReliableChannel retransmit queue)
+// without per-peer copies. The bytes are immutable for the buffer's whole
+// lifetime, so concurrent readers need no synchronization.
+//
+// Constructing from a std::vector adopts the vector's storage (one move, no
+// copy); Copy() is the explicit copying constructor for borrowed spans.
+class Buffer {
+ public:
+  Buffer() = default;
+  // Implicit: lets existing call sites that built a std::vector payload keep
+  // compiling while the storage is adopted rather than copied.
+  Buffer(std::vector<uint8_t> bytes)  // NOLINT(google-explicit-constructor)
+      : block_(bytes.empty()
+                   ? nullptr
+                   : std::make_shared<const std::vector<uint8_t>>(std::move(bytes))) {}
+  Buffer(std::initializer_list<uint8_t> bytes)  // NOLINT(google-explicit-constructor)
+      : Buffer(std::vector<uint8_t>(bytes)) {}
+
+  static Buffer Copy(ByteSpan data) {
+    return Buffer(std::vector<uint8_t>(data.begin(), data.end()));
+  }
+
+  const uint8_t* data() const { return block_ ? block_->data() : nullptr; }
+  size_t size() const { return block_ ? block_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  uint8_t operator[](size_t i) const { return (*block_)[i]; }
+  const uint8_t* begin() const { return data(); }
+  const uint8_t* end() const { return data() + size(); }
+  ByteSpan span() const { return ByteSpan(data(), size()); }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return a.size() == b.size() && std::memcmp(a.data(), b.data(), a.size()) == 0;
+  }
+  friend bool operator==(const Buffer& a, const std::vector<uint8_t>& b) {
+    return a.size() == b.size() && std::memcmp(a.data(), b.data(), a.size()) == 0;
+  }
+  friend bool operator==(const std::vector<uint8_t>& a, const Buffer& b) {
+    return b == a;
+  }
+
+  // Number of Buffer handles sharing these bytes (0 for an empty buffer).
+  // Diagnostic only — racy the instant it returns.
+  long use_count() const { return block_ ? block_.use_count() : 0; }
+
+ private:
+  std::shared_ptr<const std::vector<uint8_t>> block_;
+};
 
 // Growable append-only byte buffer used to build log records and messages.
 class Writer {

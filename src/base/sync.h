@@ -74,7 +74,7 @@ class Mutex;
 // inversion even before a full cycle exists in the acquired-before graph.
 // The order below is the one the code actually uses today:
 //
-//   client -> clusterDb -> {cluster, rvm, reliable} -> {fabric, endpoint} -> stores -> obs -> log
+//   client -> clusterDb -> {cluster, rvm} -> rvmLog -> reliable -> {fabric, endpoint} -> stores -> obs -> log
 //
 // (Handlers and commit hooks are invoked with the caller's lock dropped,
 // which is what keeps the reverse edges out of the graph; see DESIGN.md.)
@@ -85,6 +85,7 @@ struct LockRank {
   static constexpr int kClusterDb = 15;        // lbc::Cluster::db_mu_ (database-file writers)
   static constexpr int kCluster = 20;          // lbc::Cluster::mu_
   static constexpr int kRvm = 30;              // rvm::Rvm::mu_
+  static constexpr int kRvmLog = 35;           // rvm::Rvm::log_mu_ (group-commit I/O)
   static constexpr int kReliable = 40;         // netsim::ReliableChannel::mu_
   static constexpr int kPageDsm = 45;          // baselines::PageDsmNode::mu_
   static constexpr int kFabric = 50;           // netsim::Fabric::mu_

@@ -77,8 +77,8 @@ std::string PageDsmNode::DebugString(uint64_t page) const {
   return out;
 }
 
-base::Status PageDsmNode::SendMsg(netsim::NodeId to, const std::vector<uint8_t>& payload) {
-  return endpoint_->Send(to, payload);
+base::Status PageDsmNode::SendMsg(netsim::NodeId to, base::Buffer payload) {
+  return endpoint_->Send(to, std::move(payload));
 }
 
 base::Status PageDsmNode::Fault(uint64_t offset, bool write) {
@@ -233,7 +233,7 @@ void PageDsmNode::OnMessage(netsim::Message&& msg) {
     }
 
     case Msg::kDone: {
-      std::vector<uint8_t> next;
+      base::Buffer next;
       {
         base::MutexLock lk(mu_);
         auto it = directory_.find(page);
@@ -257,7 +257,7 @@ void PageDsmNode::OnMessage(netsim::Message&& msg) {
 }
 
 void PageDsmNode::HandleRequest(netsim::NodeId from, uint64_t page, bool write,
-                                std::vector<uint8_t> raw) {
+                                base::Buffer raw) {
   base::MutexLock lk(mu_);
   PageDir& dir = directory_[page];
   if (dir.busy) {

@@ -81,7 +81,7 @@ class PageDsmNode {
     netsim::NodeId owner;
     std::set<netsim::NodeId> copyset;
     bool busy = false;  // a request is in flight for this page
-    std::deque<std::vector<uint8_t>> waiting;  // queued requests (raw msgs)
+    std::deque<base::Buffer> waiting;  // queued requests (raw msgs)
     // In-flight state:
     netsim::NodeId requester = 0;
     bool want_write = false;
@@ -90,10 +90,10 @@ class PageDsmNode {
 
   void OnMessage(netsim::Message&& msg);
   void HandleRequest(netsim::NodeId from, uint64_t page, bool write,
-                     std::vector<uint8_t> raw);
+                     base::Buffer raw);
   void GrantLocked(uint64_t page, PageDir& dir) LBC_REQUIRES(mu_);
   base::Status Fault(uint64_t offset, bool write);
-  base::Status SendMsg(netsim::NodeId to, const std::vector<uint8_t>& payload);
+  base::Status SendMsg(netsim::NodeId to, base::Buffer payload);
 
   netsim::Fabric* fabric_;
   netsim::NodeId id_;

@@ -208,7 +208,7 @@ void Client::Disconnect() {
   }
 }
 
-base::Status Client::SendTo(rvm::NodeId to, std::vector<uint8_t> payload) {
+base::Status Client::SendTo(rvm::NodeId to, base::Buffer payload) {
   if (channel_ != nullptr) {
     return channel_->Send(to, std::move(payload));
   }
@@ -542,7 +542,10 @@ void Client::BroadcastEager(const rvm::CommitContext& ctx) {
   }
 
   obs::ScopedTimer timer(obs_network_nanos_);
-  std::vector<uint8_t> payload = EncodeUpdate(ctx, options_.compress_headers);
+  // One refcounted committed-tail buffer, shared by every channel: each
+  // per-peer send (and any retransmit) bumps a refcount instead of copying
+  // the encoded record.
+  base::Buffer payload = EncodeUpdate(ctx, options_.compress_headers);
   size_t sends = 0;
   if (options_.use_multicast) {
     // One multicast reaches every peer (§4.3.1's scaling remedy).

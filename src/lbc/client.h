@@ -307,7 +307,7 @@ class Client {
   void HeartbeatThreadMain();
 
   // Point-to-point send, routed through the reliable channel when enabled.
-  base::Status SendTo(rvm::NodeId to, std::vector<uint8_t> payload);
+  base::Status SendTo(rvm::NodeId to, base::Buffer payload);
 
   // Takes a slot on a server admission queue, retrying sheds with jittered
   // exponential backoff per the ClientOptions budget. Pair a success with

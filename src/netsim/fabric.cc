@@ -15,10 +15,16 @@ Endpoint::Endpoint(Fabric* fabric, NodeId id) : fabric_(fabric), id_(id) {
 
 Endpoint::~Endpoint() { StopReceiver(); }
 
-base::Status Endpoint::Send(NodeId to, std::vector<uint8_t> payload) {
+base::Status Endpoint::Send(NodeId to, base::Buffer payload) {
+  return Send(to, std::vector<uint8_t>(), std::move(payload));
+}
+
+base::Status Endpoint::Send(NodeId to, std::vector<uint8_t> header,
+                            base::Buffer payload) {
   obs::ScopedTimer timer(obs_send_nanos_);
-  size_t bytes = payload.size();
-  RETURN_IF_ERROR(fabric_->Deliver(id_, to, std::move(payload)));
+  size_t bytes = header.size() + payload.size();
+  RETURN_IF_ERROR(
+      fabric_->Deliver(Message{id_, to, std::move(header), std::move(payload)}));
   obs_messages_sent_->Increment();
   obs_bytes_sent_->Add(bytes);
   base::MutexLock lock(mu_);
@@ -29,12 +35,13 @@ base::Status Endpoint::Send(NodeId to, std::vector<uint8_t> payload) {
 }
 
 base::Status Endpoint::Multicast(const std::vector<NodeId>& to,
-                                 std::vector<uint8_t> payload) {
+                                 base::Buffer payload) {
   obs::ScopedTimer timer(obs_send_nanos_);
   size_t bytes = payload.size();
   for (NodeId node : to) {
-    // Copy per recipient; the accounting below still charges one send.
-    base::Status st = fabric_->Deliver(id_, node, std::vector<uint8_t>(payload));
+    // Refcount bump per recipient — every copy of the message shares the
+    // one payload; the accounting below still charges one send.
+    base::Status st = fabric_->Deliver(Message{id_, node, {}, payload});
     if (!st.ok() && st.code() != base::StatusCode::kNotFound) {
       return st;
     }
@@ -59,9 +66,9 @@ std::optional<Message> Endpoint::Receive() {
   Message msg = std::move(inbox_.front());
   inbox_.pop_front();
   ++stats_.messages_received;
-  stats_.bytes_received += msg.payload.size();
+  stats_.bytes_received += msg.wire_size();
   obs_messages_received_->Increment();
-  obs_bytes_received_->Add(msg.payload.size());
+  obs_bytes_received_->Add(msg.wire_size());
   return msg;
 }
 
@@ -336,7 +343,9 @@ void Fabric::Shutdown() {
   }
 }
 
-base::Status Fabric::Deliver(NodeId from, NodeId to, std::vector<uint8_t> payload) {
+base::Status Fabric::Deliver(Message msg) {
+  const NodeId from = msg.from;
+  const NodeId to = msg.to;
   Endpoint* dest = nullptr;
   bool duplicate = false;
   {
@@ -346,7 +355,7 @@ base::Status Fabric::Deliver(NodeId from, NodeId to, std::vector<uint8_t> payloa
     }
     auto held_it = held_.find({from, to});
     if (held_it != held_.end()) {
-      held_it->second.push_back(Message{from, to, std::move(payload)});
+      held_it->second.push_back(std::move(msg));
       return base::OkStatus();
     }
     auto it = nodes_.find(to);
@@ -388,8 +397,8 @@ base::Status Fabric::Deliver(NodeId from, NodeId to, std::vector<uint8_t> payloa
         obs_delayed_->Increment();
         auto deliver_at =
             std::chrono::steady_clock::now() + std::chrono::microseconds(extra_us);
-        Message msg{from, to, std::move(payload)};
         if (duplicate) {
+          // The duplicate shares the payload bytes (refcount bump).
           ScheduleDelayedLocked(deliver_at, Message(msg));
         }
         ScheduleDelayedLocked(deliver_at, std::move(msg));
@@ -417,7 +426,6 @@ base::Status Fabric::Deliver(NodeId from, NodeId to, std::vector<uint8_t> payloa
         deliver_at = last;
       }
       last = deliver_at;
-      Message msg{from, to, std::move(payload)};
       if (duplicate) {
         ScheduleDelayedLocked(deliver_at, Message(msg));
       }
@@ -427,9 +435,9 @@ base::Status Fabric::Deliver(NodeId from, NodeId to, std::vector<uint8_t> payloa
     dest = it->second.get();
   }
   if (duplicate) {
-    dest->Enqueue(Message{from, to, std::vector<uint8_t>(payload)});
+    dest->Enqueue(Message(msg));
   }
-  dest->Enqueue(Message{from, to, std::move(payload)});
+  dest->Enqueue(std::move(msg));
   return base::OkStatus();
 }
 

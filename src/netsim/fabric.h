@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/base/buffer.h"
 #include "src/base/rng.h"
 #include "src/base/status.h"
 #include "src/base/sync.h"
@@ -39,10 +40,19 @@ namespace netsim {
 
 using NodeId = uint32_t;
 
+// A message is a small per-destination `header` (transport framing — e.g.
+// the ReliableChannel seq prefix, which differs per peer) plus a refcounted
+// immutable `payload` shared by every copy of the message: fan-out,
+// duplication faults, and retransmits bump a refcount instead of copying
+// the (potentially large) committed-tail bytes. An empty header means the
+// payload is the whole wire image (raw messages).
 struct Message {
   NodeId from = 0;
   NodeId to = 0;
-  std::vector<uint8_t> payload;
+  std::vector<uint8_t> header;
+  base::Buffer payload;
+
+  size_t wire_size() const { return header.size() + payload.size(); }
 };
 
 struct EndpointStats {
@@ -90,15 +100,21 @@ class Endpoint {
   NodeId id() const { return id_; }
 
   // Reliable FIFO send. Fails if the destination does not exist or the
-  // fabric is shut down.
-  base::Status Send(NodeId to, std::vector<uint8_t> payload);
+  // fabric is shut down. The payload is shared (refcounted), never copied;
+  // std::vector arguments convert implicitly, adopting their storage.
+  base::Status Send(NodeId to, base::Buffer payload);
+
+  // Framed send: `header` carries per-destination transport bytes ahead of
+  // the shared payload (see Message). Byte accounting covers both parts.
+  base::Status Send(NodeId to, std::vector<uint8_t> header, base::Buffer payload);
 
   // Hardware-multicast model (§4.3.1): delivers `payload` to every node in
   // `to`, but the sender is charged for ONE message and one payload's bytes
   // — the cost structure of a multicast-capable network, in contrast to the
-  // prototype's per-peer writev loop. Per-pair FIFO ordering holds for each
+  // prototype's per-peer writev loop. Fan-out is a refcount bump per
+  // recipient, not a copy. Per-pair FIFO ordering holds for each
   // recipient. Unknown recipients are skipped (counted in the result).
-  base::Status Multicast(const std::vector<NodeId>& to, std::vector<uint8_t> payload);
+  base::Status Multicast(const std::vector<NodeId>& to, base::Buffer payload);
 
   // Blocking receive from any sender; empty after Shutdown.
   std::optional<Message> Receive();
@@ -210,7 +226,7 @@ class Fabric {
  private:
   friend class Endpoint;
 
-  base::Status Deliver(NodeId from, NodeId to, std::vector<uint8_t> payload);
+  base::Status Deliver(Message msg);
   void DelayThreadMain();
   // Queues msg on the delay thread for delivery at `deliver_at`; lazily
   // starts the thread.

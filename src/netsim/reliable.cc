@@ -14,15 +14,16 @@ namespace {
 constexpr uint8_t kDataTag = 0xD1;
 constexpr uint8_t kAckTag = 0xA1;
 
-std::vector<uint8_t> EncodeData(uint64_t seq, const std::vector<uint8_t>& payload) {
+// Headers carry only the channel's own framing; the application payload
+// stays in Message::payload, untouched and refcount-shared.
+std::vector<uint8_t> EncodeDataHeader(uint64_t seq) {
   base::Writer w;
   w.WriteU8(kDataTag);
   w.WriteVarint(seq);
-  w.WriteBytes(payload.data(), payload.size());
   return w.TakeBytes();
 }
 
-std::vector<uint8_t> EncodeAck(uint64_t cumulative_seq) {
+std::vector<uint8_t> EncodeAckHeader(uint64_t cumulative_seq) {
   base::Writer w;
   w.WriteU8(kAckTag);
   w.WriteVarint(cumulative_seq);
@@ -42,16 +43,17 @@ ReliableChannel::ReliableChannel(Endpoint* endpoint, const ReliableChannelOption
 
 ReliableChannel::~ReliableChannel() { Shutdown(); }
 
-base::Status ReliableChannel::Send(NodeId to, std::vector<uint8_t> payload) {
+base::Status ReliableChannel::Send(NodeId to, base::Buffer payload) {
   base::MutexLock lock(mu_);
   if (shutdown_) {
     return base::Unavailable("reliable channel shut down");
   }
   PeerSendState& peer = send_state_[to];
   uint64_t seq = peer.next_seq++;
-  std::vector<uint8_t> frame = EncodeData(seq, payload);
+  std::vector<uint8_t> header = EncodeDataHeader(seq);
   UnackedFrame entry;
-  entry.frame = frame;
+  entry.header = header;
+  entry.payload = payload;  // refcount bump; the bytes are shared, not copied
   entry.backoff_ms = options_.retransmit_initial_ms;
   entry.next_resend =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(entry.backoff_ms);
@@ -64,7 +66,7 @@ base::Status ReliableChannel::Send(NodeId to, std::vector<uint8_t> payload) {
   retransmit_cv_.NotifyOne();
   // Fabric sends never block on the receiver, so holding mu_ here only
   // orders channel state ahead of the wire (fabric locks are leaves).
-  base::Status st = endpoint_->Send(to, std::move(frame));
+  base::Status st = endpoint_->Send(to, std::move(header), std::move(payload));
   if (st.code() == base::StatusCode::kNotFound) {
     // Unknown destination will never ACK; don't retransmit into the void.
     peer.unacked.erase(seq);
@@ -81,11 +83,12 @@ void ReliableChannel::StartReceiver(std::function<void(Message&&)> handler) {
 }
 
 void ReliableChannel::OnMessage(Message&& msg) {
-  if (msg.payload.empty()) {
-    return;
-  }
-  uint8_t tag = msg.payload[0];
-  if (tag != kDataTag && tag != kAckTag) {
+  if (msg.header.empty()) {
+    // No channel framing: raw traffic injected straight into the endpoint
+    // (tests, rogue senders) passes through verbatim.
+    if (msg.payload.empty()) {
+      return;
+    }
     std::function<void(Message&&)> handler;
     {
       base::MutexLock lock(mu_);
@@ -98,10 +101,11 @@ void ReliableChannel::OnMessage(Message&& msg) {
     return;
   }
 
-  base::Reader r(base::ByteSpan(msg.payload.data(), msg.payload.size()));
-  uint8_t tag_byte = 0;
+  base::Reader r(base::ByteSpan(msg.header.data(), msg.header.size()));
+  uint8_t tag = 0;
   uint64_t seq = 0;
-  if (!r.ReadU8(&tag_byte).ok() || !r.ReadVarint(&seq).ok()) {
+  if (!r.ReadU8(&tag).ok() || !r.ReadVarint(&seq).ok() ||
+      (tag != kDataTag && tag != kAckTag)) {
     return;  // corrupt frame: drop; the sender will retransmit DATA
   }
 
@@ -115,11 +119,8 @@ void ReliableChannel::OnMessage(Message&& msg) {
     return;
   }
 
-  // DATA frame.
-  base::ByteSpan rest;
-  if (!r.ReadBytes(r.remaining(), &rest).ok()) {
-    return;
-  }
+  // DATA frame: the payload Buffer is handed to the application as-is
+  // (refcount move), still sharing bytes with the sender's retransmit queue.
   std::vector<Message> deliver;
   uint64_t ack = 0;
   std::function<void(Message&&)> handler;
@@ -130,18 +131,17 @@ void ReliableChannel::OnMessage(Message&& msg) {
     if (seq <= peer.delivered) {
       ++stats_.duplicates_dropped;  // retransmission of something delivered
     } else if (seq == peer.delivered + 1) {
-      deliver.push_back(Message{msg.from, msg.to, {rest.begin(), rest.end()}});
+      deliver.push_back(Message{msg.from, msg.to, {}, std::move(msg.payload)});
       peer.delivered = seq;
       // Drain any buffered successors that are now in order.
       auto it = peer.buffered.begin();
       while (it != peer.buffered.end() && it->first == peer.delivered + 1) {
-        deliver.push_back(Message{msg.from, msg.to, std::move(it->second)});
+        deliver.push_back(Message{msg.from, msg.to, {}, std::move(it->second)});
         peer.delivered = it->first;
         it = peer.buffered.erase(it);
       }
       stats_.frames_delivered += deliver.size();
-    } else if (peer.buffered.emplace(seq, std::vector<uint8_t>(rest.begin(), rest.end()))
-                   .second) {
+    } else if (peer.buffered.emplace(seq, std::move(msg.payload)).second) {
       ++stats_.out_of_order_buffered;
     } else {
       ++stats_.duplicates_dropped;  // duplicate of an already-buffered frame
@@ -149,8 +149,9 @@ void ReliableChannel::OnMessage(Message&& msg) {
     ack = peer.delivered;
     ++stats_.acks_sent;
   }
-  // Cumulative ACK: also re-acks duplicates, repairing lost ACKs.
-  base::IgnoreError(endpoint_->Send(msg.from, EncodeAck(ack)));
+  // Cumulative ACK: also re-acks duplicates, repairing lost ACKs. ACKs are
+  // header-only messages (empty payload).
+  base::IgnoreError(endpoint_->Send(msg.from, EncodeAckHeader(ack), base::Buffer()));
   if (handler) {
     for (auto& m : deliver) {
       handler(std::move(m));  // single receiver thread: order preserved
@@ -193,11 +194,12 @@ void ReliableChannel::RetransmitThreadMain() {
           ++it;
           continue;
         }
+        size_t frame_bytes = f.header.size() + f.payload.size();
         if (options_.max_retransmits != 0 && f.attempts >= options_.max_retransmits) {
           ++stats_.frames_abandoned;
           obs_frames_abandoned_->Increment();
           obs::TraceRing::Global()->Emit(endpoint_->id(), obs::TraceType::kFrameAbandoned,
-                                         /*lock=*/0, it->first, f.frame.size());
+                                         /*lock=*/0, it->first, frame_bytes);
           it = peer.unacked.erase(it);
           continue;
         }
@@ -205,10 +207,13 @@ void ReliableChannel::RetransmitThreadMain() {
         ++stats_.retransmits;
         obs_retransmits_->Increment();
         obs::TraceRing::Global()->Emit(endpoint_->id(), obs::TraceType::kRetransmit,
-                                       /*lock=*/0, it->first, f.frame.size());
+                                       /*lock=*/0, it->first, frame_bytes);
         f.backoff_ms = std::min(f.backoff_ms * 2, options_.retransmit_max_ms);
         f.next_resend = now + std::chrono::milliseconds(f.backoff_ms);
-        base::IgnoreError(endpoint_->Send(node, std::vector<uint8_t>(f.frame)));
+        // Retransmit = header copy + payload refcount bump; the payload
+        // bytes were allocated once, at the original Send.
+        base::IgnoreError(
+            endpoint_->Send(node, std::vector<uint8_t>(f.header), f.payload));
         ++it;
       }
     }

@@ -13,9 +13,13 @@
 //     exponential backoff, abandoning a frame after max_retransmits (the
 //     peer is presumed dead — see DESIGN.md "Failure model").
 //
-// Frames are distinguished from raw traffic by a one-byte tag >= 0xA0;
-// lbc's own message-type tags are < 0x10, so un-framed messages injected
-// directly into an endpoint (tests, rogue senders) pass through verbatim.
+// Channel framing rides in Message::header (a one-byte tag >= 0xA0 plus a
+// varint sequence number), leaving Message::payload untouched: the payload
+// is the application's refcounted base::Buffer end to end, shared between
+// the sender's retransmit queue, every fan-out recipient, and the receive
+// handler — no copies anywhere on the path. Messages with an empty header
+// (tests, rogue senders injecting straight into an endpoint) pass through
+// verbatim; lbc's own message-type tags live in the payload and are < 0x10.
 //
 // Fast-path cost when no faults are injected: a few header bytes per DATA
 // frame plus one small ACK message back per frame — no copies, no timer
@@ -70,8 +74,11 @@ class ReliableChannel {
   Endpoint* endpoint() { return endpoint_; }
 
   // Frames and sends `payload` to `to` with at-least-once retransmission;
-  // the peer's channel dedups to exactly-once.
-  base::Status Send(NodeId to, std::vector<uint8_t> payload);
+  // the peer's channel dedups to exactly-once. The payload bytes are shared
+  // (refcounted) with the retransmit queue, never copied: one committed-tail
+  // buffer can be Sent to N peers and retransmitted arbitrarily while
+  // costing one allocation total.
+  base::Status Send(NodeId to, base::Buffer payload);
 
   // Starts the endpoint receiver with the reliable-delivery filter in
   // front of `handler`. Message::payload handed to the handler is the
@@ -92,7 +99,8 @@ class ReliableChannel {
 
  private:
   struct UnackedFrame {
-    std::vector<uint8_t> frame;  // full encoded DATA frame
+    std::vector<uint8_t> header;  // DATA tag + varint seq (per-peer framing)
+    base::Buffer payload;         // shared with the original Send caller
     std::chrono::steady_clock::time_point next_resend;
     uint64_t backoff_ms = 0;
     uint32_t attempts = 0;  // retransmissions so far
@@ -105,7 +113,7 @@ class ReliableChannel {
 
   struct PeerRecvState {
     uint64_t delivered = 0;  // cumulative: all seqs <= this are delivered
-    std::map<uint64_t, std::vector<uint8_t>> buffered;  // out-of-order payloads
+    std::map<uint64_t, base::Buffer> buffered;  // out-of-order payloads
   };
 
   void OnMessage(Message&& msg);

@@ -38,6 +38,36 @@ base::Status LogWriter::Append(const std::vector<base::ByteSpan>& parts, bool sy
   return base::OkStatus();
 }
 
+base::Status LogWriter::AppendBatch(const std::vector<base::ByteSpan>& payloads,
+                                    bool sync_now) {
+  if (payloads.empty()) {
+    return base::OkStatus();
+  }
+  size_t total = 0;
+  for (const auto& p : payloads) {
+    total += kFrameHeaderSize + p.size();
+  }
+  scratch_.clear();
+  scratch_.reserve(total);
+  auto push_u32 = [this](uint32_t v) {
+    const auto* p = reinterpret_cast<const uint8_t*>(&v);
+    scratch_.insert(scratch_.end(), p, p + sizeof(v));
+  };
+  for (const auto& payload : payloads) {
+    push_u32(kLogMagic);
+    push_u32(static_cast<uint32_t>(payload.size()));
+    push_u32(base::Crc32c(payload.data(), payload.size()));
+    scratch_.insert(scratch_.end(), payload.begin(), payload.end());
+  }
+  RETURN_IF_ERROR(file_->Write(offset_, base::ByteSpan(scratch_.data(), scratch_.size())));
+  offset_ += scratch_.size();
+  records_ += payloads.size();
+  if (sync_now) {
+    RETURN_IF_ERROR(file_->Sync());
+  }
+  return base::OkStatus();
+}
+
 base::Status LogWriter::Reset() {
   RETURN_IF_ERROR(file_->Truncate(0));
   RETURN_IF_ERROR(file_->Sync());

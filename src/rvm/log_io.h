@@ -36,6 +36,14 @@ class LogWriter {
     return Append(std::vector<base::ByteSpan>{payload}, sync_now);
   }
 
+  // Group commit: appends one frame per payload, all frames in ONE
+  // contiguous Write, followed by at most ONE Sync. Each payload keeps its
+  // own header + CRC, so a crash mid-batch tears the batch at a frame
+  // boundary (or inside the last partially-written frame, which the CRC
+  // catches): recovery sees a clean per-record prefix of the batch — the
+  // batch is atomic at the log-frame level, not the transaction level.
+  base::Status AppendBatch(const std::vector<base::ByteSpan>& payloads, bool sync_now);
+
   base::Status Sync() { return file_->Sync(); }
 
   uint64_t bytes_written() const { return offset_; }

@@ -35,6 +35,33 @@ BackpressureMetrics* GlobalBackpressureMetrics() {
   return metrics;
 }
 
+// Process-wide group-commit instruments (commit.batch.*), exported in bench
+// snapshots. A batch of one is still a batch: one vectored write and at most
+// one sync, exactly the pre-pipeline store-op sequence.
+struct CommitBatchMetrics {
+  obs::Counter* batches;            // leader drains (one vectored append each)
+  obs::Counter* txns;               // transactions committed through the pipeline
+  obs::Counter* bytes;              // framed bytes written by batches
+  obs::Counter* fsyncs_saved;       // kFlush commits that shared the leader's sync
+  obs::Histogram* size;             // transactions per batch
+  obs::Histogram* cohort_wait_nanos;  // enqueue -> batch-completion wait
+};
+
+CommitBatchMetrics* GlobalCommitBatchMetrics() {
+  static CommitBatchMetrics* metrics = [] {
+    auto* reg = obs::MetricsRegistry::Global();
+    auto* m = new CommitBatchMetrics();
+    m->batches = reg->GetCounter("commit.batch.batches");
+    m->txns = reg->GetCounter("commit.batch.txns");
+    m->bytes = reg->GetCounter("commit.batch.bytes");
+    m->fsyncs_saved = reg->GetCounter("commit.batch.fsyncs_saved");
+    m->size = reg->GetHistogram("commit.batch.size");
+    m->cohort_wait_nanos = reg->GetHistogram("commit.batch.cohort_wait_nanos");
+    return m;
+  }();
+  return metrics;
+}
+
 }  // namespace
 
 base::Result<std::unique_ptr<Rvm>> Rvm::Open(store::DurableStore* store, NodeId node,
@@ -77,7 +104,10 @@ base::Status Rvm::Init() {
       valid_end = reader.offset();
     }
   }
-  log_ = std::make_unique<LogWriter>(std::move(file), valid_end);
+  {
+    base::MutexLock log_lock(log_mu_);
+    log_ = std::make_unique<LogWriter>(std::move(file), valid_end);
+  }
   return base::OkStatus();
 }
 
@@ -207,40 +237,48 @@ base::Status Rvm::EndTransaction(TxnId txn_id, CommitMode mode) {
     // first staller also fires the trim hook itself, exactly once per
     // episode. Runs before the txn lookup because the lock is dropped.
     const uint64_t hard = options_.log_hard_limit_bytes;
-    if (options_.disk_logging && hard > 0 && log_->bytes_written() >= hard) {
+    if (options_.disk_logging && hard > 0 && CurrentLogBytes() >= hard) {
       auto* bp = GlobalBackpressureMetrics();
       ++stats_.backpressure_stalls;
       bp->stalls->Increment();
       const uint64_t start = base::SteadyClock::Instance()->NowNanos();
       const uint64_t deadline =
           start + options_.backpressure_stall_ms * 1'000'000ull;
-      bool fired = false;
       base::Status stall_status = base::OkStatus();
-      while (log_->bytes_written() >= hard) {
-        if (trim_hook_ && !fired && !trim_inflight_) {
-          fired = true;
-          trim_inflight_ = true;
-          ++stats_.trim_requests;
-          bp->trim_requests->Increment();
-          uint64_t used = log_->bytes_written();
-          lock.Unlock();
-          trim_hook_(used, hard);
-          lock.Lock();
-          trim_inflight_ = false;
-          log_space_cv_.NotifyAll();
-          continue;
-        }
+      while (CurrentLogBytes() >= hard) {
+        // Deadline first, re-read every iteration: both the trim hook and
+        // the condvar wait release mu_ for unbounded stretches, so any step
+        // below may land back here long past the budget.
         uint64_t now = base::SteadyClock::Instance()->NowNanos();
         if (now >= deadline) {
           ++stats_.commits_exhausted;
           bp->exhausted->Increment();
           stall_status = base::ResourceExhausted(
-              "log quota: " + std::to_string(log_->bytes_written()) +
+              "log quota: " + std::to_string(CurrentLogBytes()) +
               " bytes at hard watermark " + std::to_string(hard) +
               " and trim freed no space");
           break;
         }
-        log_space_cv_.WaitFor(lock, std::chrono::milliseconds(5));
+        // One hook firing per stall episode across ALL stalled commits: the
+        // guard is shared state cleared by the trims themselves, not a
+        // per-caller local, so late arrivals wait for the in-flight trim
+        // instead of stacking redundant requests behind it.
+        if (trim_hook_ && !trim_hook_fired_) {
+          trim_hook_fired_ = true;
+          ++stats_.trim_requests;
+          bp->trim_requests->Increment();
+          uint64_t used = CurrentLogBytes();
+          lock.Unlock();
+          trim_hook_(used, hard);
+          lock.Lock();
+          log_space_cv_.NotifyAll();
+          continue;
+        }
+        // Clamp the nap to the remaining budget: a wait granted just under
+        // the deadline must not overshoot it by a full tick.
+        log_space_cv_.WaitFor(
+            lock, std::chrono::nanoseconds(
+                      std::min<uint64_t>(deadline - now, 5'000'000ull)));
       }
       uint64_t stalled = base::SteadyClock::Instance()->NowNanos() - start;
       stats_.backpressure_stall_nanos += stalled;
@@ -293,22 +331,22 @@ base::Status Rvm::EndTransaction(TxnId txn_id, CommitMode mode) {
         spans = std::move(out);
       }
 
-      uint64_t last_page = UINT64_MAX;
+      uint64_t next_uncounted_page = 0;
       for (const auto& [offset, len] : spans) {
         ctx.ranges.push_back(RangeRef{region_id, offset, region->data() + offset, len});
         if (len == 0) {
           continue;
         }
-        // Ranges iterate in address order, so distinct-page counting only
-        // needs the previous range's last page.
-        uint64_t first = offset / kPageSize;
+        // Distinct-page counting: span starts are in address order, but a
+        // coalesced span can extend many pages past its start, so the next
+        // span may begin pages BEHIND the furthest page already counted.
+        // Track the first not-yet-counted page, not just the previous
+        // span's last page, or those pages get counted twice.
+        uint64_t first = std::max(offset / kPageSize, next_uncounted_page);
         uint64_t last = (offset + len - 1) / kPageSize;
-        if (first == last_page) {
-          ++first;
-        }
         if (first <= last) {
           stats_.pages_logged += last - first + 1;
-          last_page = last;
+          next_uncounted_page = last + 1;
         }
       }
     }
@@ -320,42 +358,74 @@ base::Status Rvm::EndTransaction(TxnId txn_id, CommitMode mode) {
     // the coherency layer rolls their lock sequence numbers back, so a
     // record would only confuse the merge order.
     if (options_.disk_logging && !ctx.ranges.empty()) {
-      // Gather the record parts straight from the region images: the redo
-      // log write is the only copy made of the new values.
+      // Encode the whole record NOW, while the images still hold exactly
+      // this transaction's bytes: the pipeline wait below releases mu_, and
+      // later transactions overwrite the live images before the batch
+      // leader gets this record to disk. The contiguous payload doubles as
+      // the zero-copy broadcast buffer — ctx.record is refcounted, and the
+      // RangeRefs are repointed into it so the commit hook (and every peer
+      // channel it fans out to) reads bytes that can no longer change.
       EncodedTransactionMeta meta = EncodeTransactionMeta(ctx);
+      std::vector<uint8_t> encoded;
+      encoded.reserve(meta.payload_len);
+      encoded.insert(encoded.end(), meta.header.begin(), meta.header.end());
+      std::vector<size_t> data_offsets(ctx.ranges.size());
+      for (size_t i = 0; i < ctx.ranges.size(); ++i) {
+        encoded.insert(encoded.end(), meta.range_prefixes[i].begin(),
+                       meta.range_prefixes[i].end());
+        data_offsets[i] = encoded.size();
+        encoded.insert(encoded.end(), ctx.ranges[i].data,
+                       ctx.ranges[i].data + ctx.ranges[i].len);
+      }
+      ctx.record = base::Buffer(std::move(encoded));
+      for (size_t i = 0; i < ctx.ranges.size(); ++i) {
+        ctx.ranges[i].data = ctx.record.data() + data_offsets[i];
+      }
       stats_.collect_nanos += collect_timer.StopNanos();
 
       obs::ScopedTimer disk_timer(obs_disk_nanos_);
-      std::vector<base::ByteSpan> parts;
-      parts.reserve(1 + 2 * ctx.ranges.size());
-      parts.push_back(base::ByteSpan(meta.header.data(), meta.header.size()));
-      for (size_t i = 0; i < ctx.ranges.size(); ++i) {
-        parts.push_back(
-            base::ByteSpan(meta.range_prefixes[i].data(), meta.range_prefixes[i].size()));
-        parts.push_back(base::ByteSpan(ctx.ranges[i].data, ctx.ranges[i].len));
-      }
-      uint64_t before = log_->bytes_written();
-      RETURN_IF_ERROR(log_->Append(parts, /*sync_now=*/mode == CommitMode::kFlush));
-      stats_.log_bytes_written += log_->bytes_written() - before;
-      // Edge-triggered soft watermark: only the commit that crosses it asks
-      // for a trim, so a growing log fires one request per crossing rather
-      // than one per commit.
-      const uint64_t soft = options_.log_soft_limit_bytes;
-      crossed_soft =
-          soft > 0 && before < soft && log_->bytes_written() >= soft;
-      if (mode == CommitMode::kNoFlush) {
-        log_dirty_ = true;
-      } else {
-        log_dirty_ = false;
+      PendingCommit pc;
+      pc.payload = ctx.record;
+      pc.mode = mode;
+      pc.enqueued_nanos = base::SteadyClock::Instance()->NowNanos();
+      commit_queue_.push_back(&pc);
+
+      // Group commit: the first waiter that finds the leadership baton free
+      // drains the WHOLE queue as one batch — one vectored append, at most
+      // one sync — with mu_ released for the I/O, so the next cohort forms
+      // behind it while the disk is busy. Everyone else naps until a leader
+      // marks their entry done (possibly after several batches).
+      while (!pc.done) {
+        if (!commit_leader_active_ && !commit_pipeline_held_) {
+          commit_leader_active_ = true;
+          std::vector<PendingCommit*> batch(commit_queue_.begin(),
+                                            commit_queue_.end());
+          commit_queue_.clear();
+          lock.Unlock();
+          BatchResult result = WriteBatch(batch);
+          lock.Lock();
+          FinishBatchLocked(batch, result, &crossed_soft);
+          commit_leader_active_ = false;
+          commit_cv_.NotifyAll();
+        } else {
+          commit_cv_.Wait(lock);
+        }
       }
       stats_.disk_nanos += disk_timer.StopNanos();
+      GlobalCommitBatchMetrics()->cohort_wait_nanos->Record(
+          base::SteadyClock::Instance()->NowNanos() - pc.enqueued_nanos);
+      // The transaction stays active on a batch write failure: the caller
+      // may trim out of band and retry EndTransaction, or abort.
+      RETURN_IF_ERROR(pc.status);
     } else {
       stats_.collect_nanos += collect_timer.StopNanos();
     }
 
     ++stats_.transactions_committed;
     obs_commits_->Increment();
-    // Keep the lock records alive for the hook invocation below.
+    // Keep the lock records alive for the hook invocation below. txns_ is a
+    // node-based map, so `it` survived the pipeline's Unlock/Lock windows
+    // (other committers only ever erase their own entries).
     Txn finished = std::move(txn);
     txns_.erase(it);
     lock.Unlock();
@@ -365,18 +435,126 @@ base::Status Rvm::EndTransaction(TxnId txn_id, CommitMode mode) {
       commit_hook_(ctx);
     }
   }
-  if (crossed_soft && trim_hook_) {
-    uint64_t used;
-    uint64_t soft = options_.log_soft_limit_bytes;
-    {
-      base::MutexLock lock(mu_);
-      used = log_->bytes_written();
-      ++stats_.trim_requests;
-    }
-    GlobalBackpressureMetrics()->trim_requests->Increment();
-    trim_hook_(used, soft);
+  // Edge-triggered soft watermark: only the batch that crossed it asks for
+  // a trim, so a growing log fires one request per crossing rather than one
+  // per commit.
+  if (crossed_soft) {
+    FireSoftTrim();
   }
   return base::OkStatus();
+}
+
+Rvm::BatchResult Rvm::WriteBatch(const std::vector<PendingCommit*>& batch) {
+  std::vector<base::ByteSpan> payloads;
+  payloads.reserve(batch.size());
+  bool sync_now = false;
+  for (const PendingCommit* pc : batch) {
+    payloads.push_back(pc->payload.span());
+    sync_now |= pc->mode == CommitMode::kFlush;
+  }
+  BatchResult result;
+  base::MutexLock log_lock(log_mu_);
+  result.bytes_before = log_->bytes_written();
+  result.status = log_->AppendBatch(payloads, sync_now);
+  result.bytes_after = log_->bytes_written();
+  result.synced = sync_now && result.status.ok();
+  if (result.status.ok()) {
+    // A sync covers every frame written so far, including earlier kNoFlush
+    // batches; a sync-less batch leaves (or makes) the tail dirty.
+    log_dirty_ = !sync_now;
+  }
+  return result;
+}
+
+void Rvm::FinishBatchLocked(const std::vector<PendingCommit*>& batch,
+                            const BatchResult& result, bool* crossed_soft) {
+  size_t flushes = 0;
+  for (PendingCommit* pc : batch) {
+    pc->status = result.status;
+    pc->done = true;
+    if (pc->mode == CommitMode::kFlush) {
+      ++flushes;
+    }
+  }
+  if (!result.status.ok()) {
+    return;
+  }
+  auto* m = GlobalCommitBatchMetrics();
+  ++stats_.commit_batches;
+  stats_.commit_batch_txns += batch.size();
+  const uint64_t delta = result.bytes_after - result.bytes_before;
+  stats_.log_bytes_written += delta;
+  m->batches->Increment();
+  m->txns->Add(batch.size());
+  m->bytes->Add(delta);
+  m->size->Record(batch.size());
+  if (result.synced && flushes > 0) {
+    // Without the pipeline each kFlush commit would have synced alone.
+    stats_.fsyncs_saved += flushes - 1;
+    m->fsyncs_saved->Add(flushes - 1);
+  }
+  const uint64_t soft = options_.log_soft_limit_bytes;
+  if (soft > 0 && result.bytes_before < soft && result.bytes_after >= soft) {
+    *crossed_soft = true;
+  }
+}
+
+uint64_t Rvm::CurrentLogBytes() const {
+  base::MutexLock log_lock(log_mu_);
+  return log_->bytes_written();
+}
+
+void Rvm::FireSoftTrim() {
+  if (!trim_hook_) {
+    return;
+  }
+  uint64_t used = CurrentLogBytes();
+  {
+    base::MutexLock lock(mu_);
+    ++stats_.trim_requests;
+  }
+  GlobalBackpressureMetrics()->trim_requests->Increment();
+  trim_hook_(used, options_.log_soft_limit_bytes);
+}
+
+void Rvm::HoldCommitPipeline() {
+  base::MutexLock lock(mu_);
+  commit_pipeline_held_ = true;
+}
+
+base::Status Rvm::ReleaseCommitPipeline() {
+  bool crossed_soft = false;
+  base::Status status;
+  {
+    base::MutexLock lock(mu_);
+    while (commit_leader_active_) {
+      commit_cv_.Wait(lock);
+    }
+    commit_pipeline_held_ = false;
+    if (commit_queue_.empty()) {
+      commit_cv_.NotifyAll();
+      return base::OkStatus();
+    }
+    commit_leader_active_ = true;
+    std::vector<PendingCommit*> batch(commit_queue_.begin(), commit_queue_.end());
+    commit_queue_.clear();
+    lock.Unlock();
+    BatchResult result = WriteBatch(batch);
+    lock.Lock();
+    FinishBatchLocked(batch, result, &crossed_soft);
+    commit_leader_active_ = false;
+    commit_cv_.NotifyAll();
+    status = result.status;
+  }
+  if (crossed_soft) {
+    FireSoftTrim();
+  }
+  return status;
+}
+
+size_t Rvm::PendingCommitCount() const {
+  base::MutexLock lock(mu_);
+  return commit_queue_.size();
 }
 
 base::Status Rvm::AbortTransaction(TxnId txn_id) {
@@ -403,10 +581,13 @@ base::Status Rvm::AbortTransaction(TxnId txn_id) {
 }
 
 base::Status Rvm::FlushLog() {
-  base::MutexLock lock(mu_);
   if (!options_.disk_logging) {
     return base::OkStatus();
   }
+  // Only the log state is touched, so only log_mu_ is needed: a flush can
+  // run concurrently with committers gathering under mu_ (it serializes
+  // with the batch leader's write, like any other log operation).
+  base::MutexLock log_lock(log_mu_);
   RETURN_IF_ERROR(log_->Sync());
   log_dirty_ = false;
   return base::OkStatus();
@@ -446,27 +627,35 @@ uint64_t Rvm::commit_seq() const {
   return commit_seq_;
 }
 
-uint64_t Rvm::log_bytes() const {
-  base::MutexLock lock(mu_);
-  return log_->bytes_written();
-}
+uint64_t Rvm::log_bytes() const { return CurrentLogBytes(); }
 
 base::Status Rvm::ResetLog() {
   base::MutexLock lock(mu_);
   if (!options_.disk_logging) {
     return base::OkStatus();
   }
-  RETURN_IF_ERROR(log_->Reset());
-  log_dirty_ = false;
+  {
+    base::MutexLock log_lock(log_mu_);
+    RETURN_IF_ERROR(log_->Reset());
+    log_dirty_ = false;
+  }
+  // The trim that just ran ends the current backpressure episode: the next
+  // stall may fire the hook again.
+  trim_hook_fired_ = false;
   log_space_cv_.NotifyAll();
   return base::OkStatus();
 }
 
 base::Status Rvm::TrimLogWithBaselines(const std::map<LockId, uint64_t>& baselines) {
+  // Holds mu_ for the whole trim (commits must not stamp sequence numbers
+  // against a log that is being rewritten underneath them) and log_mu_ for
+  // the log swap itself — which also waits out any in-flight batch leader,
+  // since the leader writes under log_mu_ without holding mu_.
   base::MutexLock lock(mu_);
   if (!options_.disk_logging) {
     return base::OkStatus();
   }
+  base::MutexLock log_lock(log_mu_);
   RETURN_IF_ERROR(log_->Sync());
 
   // Read the current log and keep only the records the checkpoint does not
@@ -527,6 +716,8 @@ base::Status Rvm::TrimLogWithBaselines(const std::map<LockId, uint64_t>& baselin
   ASSIGN_OR_RETURN(uint64_t new_size, reopened->Size());
   log_ = std::make_unique<LogWriter>(std::move(reopened), new_size);
   log_dirty_ = false;
+  log_lock.Unlock();
+  trim_hook_fired_ = false;
   log_space_cv_.NotifyAll();
   return base::OkStatus();
 }
@@ -536,9 +727,14 @@ base::Status Rvm::TruncateLog() {
   if (!options_.disk_logging) {
     return base::FailedPrecondition("disk logging disabled");
   }
-  RETURN_IF_ERROR(log_->Sync());
-  RETURN_IF_ERROR(ReplayLogsIntoDatabase(store_, {LogFileName(node_)}));
-  RETURN_IF_ERROR(log_->Reset());
+  {
+    base::MutexLock log_lock(log_mu_);
+    RETURN_IF_ERROR(log_->Sync());
+    RETURN_IF_ERROR(ReplayLogsIntoDatabase(store_, {LogFileName(node_)}));
+    RETURN_IF_ERROR(log_->Reset());
+    log_dirty_ = false;
+  }
+  trim_hook_fired_ = false;
   log_space_cv_.NotifyAll();
   return base::OkStatus();
 }

@@ -18,6 +18,7 @@
 #define SRC_RVM_RVM_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -103,6 +104,10 @@ struct RvmStats {
   uint64_t pages_logged = 0;       // distinct 8 KB pages containing logged bytes
   uint64_t adaptive_pages_coalesced = 0;  // dense pages collapsed to one span
   uint64_t log_bytes_written = 0;  // framed bytes to the durable log
+  // Group commit (the commit pipeline; see DESIGN.md §13).
+  uint64_t commit_batches = 0;     // leader drains: one vectored write each
+  uint64_t commit_batch_txns = 0;  // transactions committed through the pipeline
+  uint64_t fsyncs_saved = 0;       // kFlush commits that shared the leader's sync
   uint64_t detect_nanos = 0;       // time in SetRange ("Detect Updates")
   uint64_t collect_nanos = 0;      // commit-time gather+encode ("Collect")
   uint64_t disk_nanos = 0;         // log write + sync ("Disk I/O")
@@ -149,9 +154,16 @@ class Rvm {
   // rvm_setlockid_transaction: records that `txn` holds (lock, sequence).
   [[nodiscard]] base::Status SetLockId(TxnId txn, LockId lock, uint64_t sequence);
 
-  // Commits: gathers the registered ranges from the region images, appends
-  // one redo record to the log (unless disk logging is disabled), then
-  // invokes the commit hook.
+  // Commits. With disk logging on, the commit rides the group-commit
+  // pipeline: under the instance lock the committer only gathers ranges,
+  // stamps the commit sequence, encodes the redo record, and enqueues it;
+  // the first waiter becomes the batch leader, drains the queue into ONE
+  // vectored log append plus (if any batch member asked to flush) ONE
+  // fsync, and wakes the cohort with their individual statuses. A batch is
+  // atomic at the log-frame level only: each transaction keeps its own
+  // framed, checksummed record, so a crash mid-batch recovers to a
+  // per-transaction committed prefix of the batch. The commit hook runs on
+  // the committing thread after its record is durable.
   [[nodiscard]] base::Status EndTransaction(TxnId txn, CommitMode mode);
 
   // Aborts: restores undo copies (kRestore transactions only).
@@ -162,8 +174,12 @@ class Rvm {
 
   // --- coherency integration ----------------------------------------------
 
-  // Hook invoked inside EndTransaction after the log write; the
-  // CommitContext's RangeRefs point into the live region images.
+  // Hook invoked inside EndTransaction after the log write. With disk
+  // logging on, the CommitContext's RangeRefs point into ctx.record (the
+  // refcounted encoded log payload — stable no matter how many later
+  // transactions have already overwritten the live images by the time the
+  // batch leader finishes); with logging off they point into the live
+  // region images, unchanged since there is no pipeline to outrun them.
   using CommitHook = std::function<void(const CommitContext&)>;
   void SetCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
@@ -203,6 +219,22 @@ class Rvm {
   // records — is kept, in order. Serialized against commits.
   [[nodiscard]] base::Status TrimLogWithBaselines(const std::map<LockId, uint64_t>& baselines);
 
+  // --- commit-pipeline test gate -------------------------------------------
+
+  // Parks the pipeline: committers still gather/stamp/enqueue, but no one
+  // becomes leader, so EndTransaction callers block with their records
+  // queued. Lets tests (and quiesce-style maintenance) build a batch with a
+  // deterministic membership and write it in one known store-op sequence.
+  void HoldCommitPipeline();
+
+  // Waits for any in-flight leader, lifts the hold, and drains whatever is
+  // queued as ONE batch on the calling thread (one vectored append + at
+  // most one sync). Returns the batch's write status.
+  [[nodiscard]] base::Status ReleaseCommitPipeline();
+
+  // Commits currently parked on the pipeline (test synchronization).
+  size_t PendingCommitCount() const;
+
   // Point-in-time copy taken under the instance lock; safe to call while
   // receiver threads are applying external updates.
   RvmStats stats() const;
@@ -228,7 +260,46 @@ class Rvm {
     std::vector<UndoEntry> undo;
   };
 
+  // One commit parked on the pipeline: the fully encoded log payload plus
+  // completion state. Lives on the committing thread's stack; every field
+  // is written under mu_ (by the enqueuer, then by the batch leader).
+  struct PendingCommit {
+    base::Buffer payload;  // encoded record, shared with ctx.record
+    CommitMode mode = CommitMode::kFlush;
+    bool done = false;
+    base::Status status;
+    uint64_t enqueued_nanos = 0;
+  };
+
+  // Outcome of one leader drain (WriteBatch).
+  struct BatchResult {
+    base::Status status;
+    uint64_t bytes_before = 0;
+    uint64_t bytes_after = 0;
+    bool synced = false;
+  };
+
   base::Status Init();
+
+  // Leader I/O: one vectored append of every payload in `batch`, one sync
+  // if any member committed kFlush. Takes log_mu_ internally; called with
+  // NO locks held (mu_ dropped), so committers keep enqueueing and trims
+  // keep trimming while the batch is on its way to the disk.
+  BatchResult WriteBatch(const std::vector<PendingCommit*>& batch)
+      LBC_EXCLUDES(mu_, log_mu_);
+
+  // Publishes a finished batch: per-entry statuses, batch stats/metrics.
+  void FinishBatchLocked(const std::vector<PendingCommit*>& batch,
+                         const BatchResult& result, bool* crossed_soft)
+      LBC_REQUIRES(mu_);
+
+  // Framed bytes in the log right now (briefly takes log_mu_; callable with
+  // mu_ held — rank kRvm < kRvmLog).
+  uint64_t CurrentLogBytes() const LBC_EXCLUDES(log_mu_);
+
+  // Fires the soft-watermark trim hook outside the locks (edge-triggered
+  // tail of EndTransaction / ReleaseCommitPipeline).
+  void FireSoftTrim() LBC_EXCLUDES(mu_);
 
   store::DurableStore* store_;
   NodeId node_;
@@ -239,16 +310,35 @@ class Rvm {
   std::map<TxnId, Txn> txns_ LBC_GUARDED_BY(mu_);
   TxnId next_txn_ LBC_GUARDED_BY(mu_) = 1;
   uint64_t commit_seq_ LBC_GUARDED_BY(mu_) = 0;
-  std::unique_ptr<LogWriter> log_ LBC_GUARDED_BY(mu_);
+
+  // Log writer state, guarded by its own mutex so the batch leader's I/O
+  // runs with mu_ RELEASED: committers gather and enqueue under mu_ while
+  // the previous batch is still being written. Order is always mu_ ->
+  // log_mu_, never the reverse (the leader drops mu_ before taking log_mu_
+  // and re-acquires mu_ only after releasing it).
+  mutable base::Mutex log_mu_{"rvm.log", base::LockRank::kRvmLog};
+  std::unique_ptr<LogWriter> log_ LBC_GUARDED_BY(log_mu_);
   // Unsynced kNoFlush commits pending.
-  bool log_dirty_ LBC_GUARDED_BY(mu_) = false;
+  bool log_dirty_ LBC_GUARDED_BY(log_mu_) = false;
+
+  // --- commit pipeline (group commit) ------------------------------------
+  // Commits enqueue here in commit_seq order; the first waiter that finds
+  // no active leader becomes the leader and drains the whole queue.
+  std::deque<PendingCommit*> commit_queue_ LBC_GUARDED_BY(mu_);
+  bool commit_leader_active_ LBC_GUARDED_BY(mu_) = false;
+  // Test gate: while held, nobody self-elects (see HoldCommitPipeline).
+  bool commit_pipeline_held_ LBC_GUARDED_BY(mu_) = false;
+  // Signaled when a batch completes or the leadership baton is free.
+  base::CondVar commit_cv_;
+
   // Signaled whenever a trim shrinks the log; commits stalled at the hard
   // watermark wait here (releasing mu_, so trims and external updates
   // proceed). Rank: same condvar protocol as every other mu_ waiter.
   base::CondVar log_space_cv_;
-  // True while some staller is running the trim hook, so a thundering herd
-  // of stalled committers fires it once per episode.
-  bool trim_inflight_ LBC_GUARDED_BY(mu_) = false;
+  // Hard-watermark episode guard, SHARED by all stallers: set by the one
+  // that fires the trim hook, cleared by any trim that frees space. One
+  // hook invocation per episode no matter how many commits are stalled.
+  bool trim_hook_fired_ LBC_GUARDED_BY(mu_) = false;
   CommitHook commit_hook_;
   TrimHook trim_hook_;
   RvmStats stats_ LBC_GUARDED_BY(mu_);

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "src/base/buffer.h"
+
 namespace rvm {
 
 // Node = one client of the cached persistent store (paper: one workstation).
@@ -76,6 +78,13 @@ struct CommitContext {
   uint64_t commit_seq = 0;
   const std::vector<LockRecord>* locks = nullptr;
   std::vector<RangeRef> ranges;
+  // When disk logging is on, the encoded log payload for this transaction;
+  // `ranges` then point into it (not the live images, which may already
+  // hold later transactions' bytes by the time the group-commit leader
+  // finishes the batch I/O and the hook runs). Refcounted: the coherency
+  // layer may hand the same bytes to every peer channel without copying.
+  // Empty when disk logging is off — `ranges` point into the live images.
+  base::Buffer record;
 
   uint64_t TotalBytes() const {
     uint64_t n = 0;

@@ -27,6 +27,7 @@
 //     DEADLINE_EXCEEDED instead of blocking forever behind a slow peer.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -283,6 +284,125 @@ TEST(Backpressure, SoftWatermarkFiresTrimHookOnceWithoutStalling) {
   EXPECT_EQ(1u, stats.trim_requests);
   EXPECT_EQ(0u, stats.backpressure_stalls);
   EXPECT_EQ(0u, stats.commits_exhausted);
+}
+
+TEST(Backpressure, MultipleStallersFireTrimHookOncePerEpisode) {
+  const uint64_t rec = MeasureRecordBytes();
+  store::MemStore mem;
+  rvm::RvmOptions options;
+  options.log_hard_limit_bytes = rec * 4;
+  options.backpressure_stall_ms = 10000;
+  auto node = std::move(*rvm::Rvm::Open(&mem, 1, options));
+  ASSERT_TRUE(node->MapRegion(kBpRegion, kBpRegionBytes).ok());
+
+  // Phase 1 hook: counts firings but frees nothing, so the stall episode
+  // stays open while more committers pile up behind the watermark.
+  std::atomic<int> fires{0};
+  node->SetTrimHook([&](uint64_t, uint64_t) { ++fires; });
+
+  // Fill to the hard watermark.
+  for (int i = 0; i < 4; ++i) {
+    rvm::TxnId txn = node->BeginTransaction(rvm::RestoreMode::kNoRestore);
+    ASSERT_TRUE(node->SetRange(txn, kBpRegion, i * kBpWrite, kBpWrite).ok());
+    std::memset(node->GetRegion(kBpRegion)->data() + i * kBpWrite,
+                static_cast<uint8_t>(0x40 + i), kBpWrite);
+    ASSERT_TRUE(node->SetLockId(txn, kBpLock, static_cast<uint64_t>(i) + 1).ok());
+    ASSERT_TRUE(node->EndTransaction(txn, rvm::CommitMode::kFlush).ok());
+  }
+  ASSERT_GE(node->log_bytes(), options.log_hard_limit_bytes);
+
+  // Three committers stall at once.
+  constexpr int kStallers = 3;
+  std::vector<std::thread> stallers;
+  std::vector<base::Status> results(kStallers);
+  for (int s = 0; s < kStallers; ++s) {
+    stallers.emplace_back([&, s] {
+      rvm::TxnId txn = node->BeginTransaction(rvm::RestoreMode::kNoRestore);
+      uint64_t off = static_cast<uint64_t>(4 + s) * kBpWrite;
+      base::Status st = node->SetRange(txn, kBpRegion, off, kBpWrite);
+      if (st.ok()) {
+        std::memset(node->GetRegion(kBpRegion)->data() + off,
+                    static_cast<uint8_t>(0x44 + s), kBpWrite);
+        st = node->SetLockId(txn, kBpLock, static_cast<uint64_t>(5 + s));
+      }
+      if (st.ok()) {
+        st = node->EndTransaction(txn, rvm::CommitMode::kFlush);
+      }
+      results[s] = st;
+    });
+  }
+  while (node->stats().backpressure_stalls < kStallers) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Every staller has now been through the stall loop; give them time to
+  // (wrongly) stack extra trim requests. The episode guard is shared state,
+  // so the second and third stallers must wait behind the first firing
+  // instead of re-firing the hook themselves.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(1, fires.load());
+
+  // End the episode with a real out-of-band trim; everyone commits.
+  ASSERT_TRUE(rvm::ReplayLogsIntoDatabase(&mem, {rvm::LogFileName(1)}).ok());
+  ASSERT_TRUE(node->TrimLogWithBaselines({{kBpLock, 4}}).ok());
+  for (auto& t : stallers) {
+    t.join();
+  }
+  for (int s = 0; s < kStallers; ++s) {
+    EXPECT_TRUE(results[s].ok()) << "staller " << s << ": " << results[s].ToString();
+  }
+  EXPECT_EQ(1, fires.load());
+  rvm::RvmStats stats = node->stats();
+  EXPECT_EQ(1u, stats.trim_requests);
+  EXPECT_EQ(static_cast<uint64_t>(kStallers), stats.backpressure_stalls);
+  EXPECT_EQ(0u, stats.commits_exhausted);
+}
+
+TEST(Backpressure, SlowTrimHookDoesNotRefireAndDeadlineHolds) {
+  const uint64_t rec = MeasureRecordBytes();
+  store::MemStore mem;
+  rvm::RvmOptions options;
+  options.log_hard_limit_bytes = rec * 2;
+  options.backpressure_stall_ms = 150;
+  auto node = std::move(*rvm::Rvm::Open(&mem, 1, options));
+  ASSERT_TRUE(node->MapRegion(kBpRegion, kBpRegionBytes).ok());
+
+  // A trim hook that runs far past the stall budget and frees nothing: the
+  // commit's deadline expires *inside* the hook window, and must be honored
+  // as soon as the stall loop gets the lock back.
+  std::atomic<int> fires{0};
+  node->SetTrimHook([&](uint64_t, uint64_t) {
+    ++fires;
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  });
+
+  for (int i = 0; i < 2; ++i) {
+    rvm::TxnId txn = node->BeginTransaction(rvm::RestoreMode::kNoRestore);
+    ASSERT_TRUE(node->SetRange(txn, kBpRegion, i * kBpWrite, kBpWrite).ok());
+    ASSERT_TRUE(node->SetLockId(txn, kBpLock, static_cast<uint64_t>(i) + 1).ok());
+    ASSERT_TRUE(node->EndTransaction(txn, rvm::CommitMode::kFlush).ok());
+  }
+  ASSERT_GE(node->log_bytes(), options.log_hard_limit_bytes);
+
+  rvm::TxnId txn = node->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  ASSERT_TRUE(node->SetRange(txn, kBpRegion, 2 * kBpWrite, kBpWrite).ok());
+  base::Status first = node->EndTransaction(txn, rvm::CommitMode::kFlush);
+  EXPECT_EQ(base::StatusCode::kResourceExhausted, first.code()) << first.ToString();
+  EXPECT_EQ(1, fires.load());
+
+  // Retrying the same transaction re-enters the stall, but the episode is
+  // still open (nothing trimmed), so the 400 ms hook must NOT re-fire: the
+  // retry burns only its own 150 ms budget, in waits clamped to what is
+  // left of it.
+  auto start = std::chrono::steady_clock::now();
+  base::Status second = node->EndTransaction(txn, rvm::CommitMode::kFlush);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(base::StatusCode::kResourceExhausted, second.code()) << second.ToString();
+  EXPECT_EQ(1, fires.load());
+  EXPECT_LT(elapsed.count(), 350) << "retry re-ran the slow trim hook";
+  rvm::RvmStats stats = node->stats();
+  EXPECT_EQ(2u, stats.commits_exhausted);
+  EXPECT_EQ(1u, stats.trim_requests);
 }
 
 // --- crash-at-every-op during ENOSPC ----------------------------------------

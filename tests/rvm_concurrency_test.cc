@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <thread>
+#include <vector>
 
 #include "src/rvm/recovery.h"
 #include "src/rvm/rvm.h"
+#include "src/rvm/scrub.h"
 #include "src/store/mem_store.h"
 
 namespace {
@@ -125,6 +128,201 @@ TEST(RvmConcurrency, HookRunsWithoutRvmLockHeld) {
   region->data()[0] = 1;
   ASSERT_TRUE(r->EndTransaction(txn, rvm::CommitMode::kFlush).ok());
   EXPECT_EQ(42, region->data()[2048]);
+}
+
+TEST(GroupCommit, HeldPipelineCommitsCohortAsOneBatchWithOneSync) {
+  store::MemStore store;
+  auto r = std::move(*rvm::Rvm::Open(&store, 1, rvm::RvmOptions{}));
+  rvm::Region* region = *r->MapRegion(kRegion, 4096);
+  constexpr int kCommitters = 4;
+
+  // Park the pipeline so the four committers form one deterministic batch.
+  r->HoldCommitPipeline();
+  std::vector<std::thread> committers;
+  std::vector<base::Status> results(kCommitters);
+  for (int t = 0; t < kCommitters; ++t) {
+    committers.emplace_back([&, t] {
+      rvm::TxnId txn = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+      base::Status st = r->SetRange(txn, kRegion, static_cast<uint64_t>(t) * 64, 8);
+      if (st.ok()) {
+        std::memset(region->data() + t * 64, 0x50 + t, 8);
+        st = r->EndTransaction(txn, rvm::CommitMode::kFlush);
+      }
+      results[t] = st;
+    });
+  }
+  while (r->PendingCommitCount() < kCommitters) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(0u, r->stats().commit_batches);
+  ASSERT_TRUE(r->ReleaseCommitPipeline().ok());
+  for (auto& th : committers) {
+    th.join();
+  }
+  for (int t = 0; t < kCommitters; ++t) {
+    EXPECT_TRUE(results[t].ok()) << "committer " << t << ": " << results[t].ToString();
+  }
+
+  rvm::RvmStats s = r->stats();
+  EXPECT_EQ(1u, s.commit_batches);
+  EXPECT_EQ(static_cast<uint64_t>(kCommitters), s.commit_batch_txns);
+  // Four kFlush commits rode one leader sync.
+  EXPECT_EQ(static_cast<uint64_t>(kCommitters - 1), s.fsyncs_saved);
+
+  // That one sync made all four durable: crash and recover.
+  store.Crash();
+  ASSERT_TRUE(rvm::ReplayLogsIntoDatabase(&store, {rvm::LogFileName(1)}).ok());
+  auto r2 = std::move(*rvm::Rvm::Open(&store, 2, rvm::RvmOptions{}));
+  rvm::Region* region2 = *r2->MapRegion(kRegion, 4096);
+  for (int t = 0; t < kCommitters; ++t) {
+    EXPECT_EQ(0x50 + t, region2->data()[t * 64]) << "committer " << t;
+  }
+}
+
+TEST(GroupCommit, HookSeesCommittedBytesNotLaterImageWrites) {
+  store::MemStore store;
+  auto r = std::move(*rvm::Rvm::Open(&store, 1, rvm::RvmOptions{}));
+  rvm::Region* region = *r->MapRegion(kRegion, 4096);
+
+  // Both transactions rewrite the SAME 8 bytes; by the time the batch
+  // leader finishes, the live image holds only the second one's value. The
+  // hook's RangeRefs must show each transaction its OWN bytes (they point
+  // into ctx.record, encoded while the image still held them).
+  std::atomic<int> empty_records{0};
+  std::atomic<int> byte_mismatches{0};
+  r->SetCommitHook([&](const rvm::CommitContext& ctx) {
+    if (ctx.record.empty()) {
+      ++empty_records;
+    }
+    const uint8_t expected = static_cast<uint8_t>(0x60 + ctx.commit_seq);
+    for (const auto& range : ctx.ranges) {
+      for (uint64_t i = 0; i < range.len; ++i) {
+        if (range.data[i] != expected) {
+          ++byte_mismatches;
+        }
+      }
+    }
+  });
+
+  r->HoldCommitPipeline();
+  // Committer 1 encodes 0x61 into its record, then parks.
+  std::thread first([&] {
+    rvm::TxnId txn = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+    ASSERT_TRUE(r->SetRange(txn, kRegion, 0, 8).ok());
+    std::memset(region->data(), 0x61, 8);
+    ASSERT_TRUE(r->EndTransaction(txn, rvm::CommitMode::kFlush).ok());
+  });
+  while (r->PendingCommitCount() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Committer 2 overwrites the image with 0x62 and parks behind it.
+  std::thread second([&] {
+    rvm::TxnId txn = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+    ASSERT_TRUE(r->SetRange(txn, kRegion, 0, 8).ok());
+    std::memset(region->data(), 0x62, 8);
+    ASSERT_TRUE(r->EndTransaction(txn, rvm::CommitMode::kFlush).ok());
+  });
+  while (r->PendingCommitCount() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(r->ReleaseCommitPipeline().ok());
+  first.join();
+  second.join();
+
+  EXPECT_EQ(0, empty_records.load());
+  EXPECT_EQ(0, byte_mismatches.load());
+  EXPECT_EQ(0x62, region->data()[0]);
+}
+
+TEST(GroupCommit, CommittersRaceJanitorAndScrubber) {
+  // TSan chaos phase: committers batching through the pipeline while a
+  // janitor flushes and trims (swapping the log file under log_mu_) and a
+  // scrubber walks the same store detect-only. Pins the two-mutex design:
+  // leaders write without mu_, maintenance takes mu_ then log_mu_.
+  store::MemStore store;
+  auto r = std::move(*rvm::Rvm::Open(&store, 1, rvm::RvmOptions{}));
+  rvm::Region* region = *r->MapRegion(kRegion, 64 * 1024);
+  constexpr int kThreads = 8;
+  constexpr int kTxnsPerThread = 60;
+
+  std::atomic<bool> stop{false};
+  base::Status janitor_status = base::OkStatus();
+  std::thread janitor([&] {
+    while (!stop) {
+      base::Status st = r->FlushLog();
+      if (st.ok()) {
+        // Empty baselines cover nothing: the trim rewrites the log in place
+        // (full crash-safe swap) without dropping any record.
+        st = r->TrimLogWithBaselines({});
+      }
+      if (!st.ok()) {
+        janitor_status = st;
+        return;
+      }
+      (void)r->log_bytes();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::atomic<int> scrub_failures{0};
+  std::thread scrub_thread([&] {
+    rvm::Scrubber scrubber(&store);
+    while (!stop) {
+      if (!scrubber.ScrubRegion(kRegion).ok()) {
+        ++scrub_failures;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> committers;
+  std::vector<base::Status> results(kThreads, base::OkStatus());
+  for (int t = 0; t < kThreads; ++t) {
+    committers.emplace_back([&, t] {
+      for (int i = 0; i < kTxnsPerThread && results[t].ok(); ++i) {
+        rvm::TxnId txn = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+        uint64_t offset = static_cast<uint64_t>(t) * 8192 + static_cast<uint64_t>(i) * 128;
+        base::Status st = r->SetRange(txn, kRegion, offset, 8);
+        if (st.ok()) {
+          uint64_t value = static_cast<uint64_t>(t) * 1000 + static_cast<uint64_t>(i);
+          std::memcpy(region->data() + offset, &value, 8);
+          st = r->EndTransaction(
+              txn, (i % 2 == 0) ? rvm::CommitMode::kFlush : rvm::CommitMode::kNoFlush);
+        }
+        results[t] = st;
+      }
+    });
+  }
+  for (auto& th : committers) {
+    th.join();
+  }
+  stop = true;
+  janitor.join();
+  scrub_thread.join();
+
+  ASSERT_TRUE(janitor_status.ok()) << janitor_status.ToString();
+  EXPECT_EQ(0, scrub_failures.load());
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(results[t].ok()) << "committer " << t << ": " << results[t].ToString();
+  }
+  rvm::RvmStats s = r->stats();
+  EXPECT_EQ(static_cast<uint64_t>(kThreads * kTxnsPerThread), s.transactions_committed);
+  EXPECT_GE(s.commit_batches, 1u);
+  EXPECT_EQ(s.commit_batch_txns, s.transactions_committed);
+
+  // Nothing the janitor or scrubber did lost a committed record.
+  ASSERT_TRUE(r->FlushLog().ok());
+  store.Crash();
+  ASSERT_TRUE(rvm::ReplayLogsIntoDatabase(&store, {rvm::LogFileName(1)}).ok());
+  auto r2 = std::move(*rvm::Rvm::Open(&store, 2, rvm::RvmOptions{}));
+  rvm::Region* region2 = *r2->MapRegion(kRegion, 64 * 1024);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kTxnsPerThread; ++i) {
+      uint64_t offset = static_cast<uint64_t>(t) * 8192 + static_cast<uint64_t>(i) * 128;
+      uint64_t value;
+      std::memcpy(&value, region2->data() + offset, 8);
+      EXPECT_EQ(static_cast<uint64_t>(t) * 1000 + static_cast<uint64_t>(i), value);
+    }
+  }
 }
 
 }  // namespace

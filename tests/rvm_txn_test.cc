@@ -198,6 +198,28 @@ TEST(RvmTxn, StatsCountUpdates) {
   EXPECT_GT(s.log_bytes_written, s.bytes_logged);
 }
 
+TEST(RvmTxn, PagesLoggedNotDoubleCountedAcrossCoalescedSpans) {
+  store::MemStore store;
+  rvm::RvmOptions opts;
+  opts.adaptive_ranges_per_page = 2;
+  auto r = OpenRvm(&store, 1, opts);
+  ASSERT_TRUE(r->MapRegion(kRegion, 8192 * 3).ok());
+  rvm::TxnId t = r->BeginTransaction(rvm::RestoreMode::kNoRestore);
+  // Three ranges start in page 0, so the adaptive hybrid collapses them
+  // into one span [0, 17000) that extends across pages 1 and 2...
+  ASSERT_TRUE(r->SetRange(t, kRegion, 0, 8).ok());
+  ASSERT_TRUE(r->SetRange(t, kRegion, 16, 8).ok());
+  ASSERT_TRUE(r->SetRange(t, kRegion, 24, 16976).ok());
+  // ...and this range starts in page 1, which that span already covers.
+  // Page-counting that only remembers the previous span's start page would
+  // count pages 1 and 2 a second time here.
+  ASSERT_TRUE(r->SetRange(t, kRegion, 9000, 8).ok());
+  ASSERT_TRUE(r->EndTransaction(t, rvm::CommitMode::kFlush).ok());
+  const rvm::RvmStats s = r->stats();
+  EXPECT_EQ(1u, s.adaptive_pages_coalesced);
+  EXPECT_EQ(3u, s.pages_logged);  // pages 0..2, each exactly once
+}
+
 TEST(RvmTxn, DiskLoggingDisabledStillDrivesHook) {
   store::MemStore store;
   rvm::RvmOptions opts;

@@ -8,6 +8,7 @@
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
 #include "src/rvm/page_checksum.h"
+#include "src/rvm/replay_on_demand.h"
 #include "src/rvm/scrub.h"
 
 namespace bench {
@@ -189,6 +190,10 @@ void RunFigureComparison(const std::vector<std::string>& names) {
   // run that verified no pages and repaired nothing should say so.
   rvm::GlobalIntegrityMetrics();
   rvm::GlobalScrubMetrics();
+  // And the incremental-recovery family: a bench that never restarted a
+  // server should report recovery.{index_build_ms,pages_on_demand,
+  // pages_background,first_commit_ms} as explicit zeros.
+  rvm::GlobalIncrementalRecoveryMetrics();
   // Same for the exhaustion/overload families (they register lazily on
   // their fault paths): a clean bench snapshot must state outright that the
   // quota, backpressure, admission, and gray-detection paths never fired.

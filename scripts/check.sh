@@ -10,14 +10,24 @@
 #
 # Usage: scripts/check.sh [--tsan-only | --tier1-only | --crash-sweep |
 #                          --static | --asan | --corruption-sweep |
-#                          --exhaustion-sweep | --bench-smoke]
+#                          --exhaustion-sweep | --recovery-sweep |
+#                          --bench-smoke]
 #
 # --bench-smoke runs the group-commit throughput smoke on its own: the
 # 16-writer kFlush section of bench_fig5 over the latency-injected store,
 # compared against bench/BENCH_baseline.json. Fails when the 16-writer
 # speedup over one writer regresses more than 20% below the checked-in
 # baseline, or when the batch sync amortization stops happening
-# (fsyncs_saved == 0).
+# (fsyncs_saved == 0). It also runs bench_recovery_ttfc and fails when the
+# eager/incremental time-to-first-commit ratio regresses more than 20%
+# below the checked-in recovery_ttfc baseline.
+#
+# --recovery-sweep runs the incremental-recovery gate on its own:
+# recovery_sweep_test (the crash-schedule sweep driven through
+# LogIndex + IncrementalRecovery, including power cuts during the recovery
+# itself with a serving-window probe between crash and re-boot) plus
+# incremental_recovery_test (serve-before-drain byte identity, deadline
+# bounds, lazy-rot-through-scrubber, heartbeats-mid-recovery).
 #
 # --static runs the concurrency-discipline gate on its own:
 #   * scripts/lint.py (always — no toolchain dependency),
@@ -53,18 +63,20 @@ run_asan=1
 run_crash=1
 run_corrupt=1
 run_exhaust=1
+run_recovery=1
 run_bench=0
 case "${1:-}" in
-  --tsan-only) run_tier1=0; run_static=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0 ;;
-  --tier1-only) run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0 ;;
-  --crash-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_corrupt=0; run_exhaust=0 ;;
-  --static) run_tier1=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0 ;;
-  --asan) run_tier1=0; run_static=0; run_tsan=0; run_crash=0; run_corrupt=0; run_exhaust=0 ;;
-  --corruption-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_exhaust=0 ;;
-  --exhaustion-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0 ;;
-  --bench-smoke) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0; run_bench=1 ;;
+  --tsan-only) run_tier1=0; run_static=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0; run_recovery=0 ;;
+  --tier1-only) run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0; run_recovery=0 ;;
+  --crash-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_corrupt=0; run_exhaust=0; run_recovery=0 ;;
+  --static) run_tier1=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0; run_recovery=0 ;;
+  --asan) run_tier1=0; run_static=0; run_tsan=0; run_crash=0; run_corrupt=0; run_exhaust=0; run_recovery=0 ;;
+  --corruption-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_exhaust=0; run_recovery=0 ;;
+  --exhaustion-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0; run_recovery=0 ;;
+  --recovery-sweep) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0 ;;
+  --bench-smoke) run_tier1=0; run_static=0; run_tsan=0; run_asan=0; run_crash=0; run_corrupt=0; run_exhaust=0; run_recovery=0; run_bench=1 ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only | --tier1-only | --crash-sweep | --static | --asan | --corruption-sweep | --exhaustion-sweep | --bench-smoke]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tsan-only | --tier1-only | --crash-sweep | --static | --asan | --corruption-sweep | --exhaustion-sweep | --recovery-sweep | --bench-smoke]" >&2; exit 2 ;;
 esac
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -131,7 +143,8 @@ if [[ "$run_asan" == 1 ]]; then
   asan_tests=(store_test store_replicated_test rvm_smoke_test rvm_log_test \
               rvm_txn_test rvm_merge_test rvm_region_test rvm_concurrency_test \
               crash_explorer_test base_sync_test corruption_sweep_test \
-              resource_exhaustion_test)
+              resource_exhaustion_test recovery_sweep_test \
+              incremental_recovery_test)
   cmake --build build-asan -j "$jobs" --target "${asan_tests[@]}"
   for t in "${asan_tests[@]}"; do
     echo "--- asan: $t"
@@ -157,6 +170,16 @@ if [[ "$run_exhaust" == 1 ]]; then
   LBC_CRASH_BUDGET="${LBC_CRASH_BUDGET:-0}" \
   LBC_CRASH_SEED="${LBC_CRASH_SEED:-24301}" \
     ./build/tests/resource_exhaustion_test
+fi
+
+if [[ "$run_recovery" == 1 ]]; then
+  echo "=== recovery sweep: incremental recovery crash-swept end to end ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target recovery_sweep_test incremental_recovery_test
+  LBC_CRASH_BUDGET="${LBC_CRASH_BUDGET:-0}" \
+  LBC_CRASH_SEED="${LBC_CRASH_SEED:-24301}" \
+    ./build/tests/recovery_sweep_test
+  ./build/tests/incremental_recovery_test
 fi
 
 if [[ "$run_crash" == 1 ]]; then
@@ -194,6 +217,29 @@ floor = 0.8 * baseline
 if measured < floor:
     sys.exit(f"bench smoke FAILED: 16-writer speedup {measured:.2f}x is below "
              f"80% of the checked-in baseline {baseline:.2f}x (floor {floor:.2f}x)")
+EOF
+
+  echo "=== bench smoke: recovery time-to-first-commit vs checked-in baseline ==="
+  cmake --build build -j "$jobs" --target bench_recovery_ttfc
+  ttfc_out="$(./build/bench/bench_recovery_ttfc)"
+  ttfc_line="$(printf '%s\n' "$ttfc_out" | grep '^recovery_ttfc:' | tail -n 1)"
+  if [[ -z "$ttfc_line" ]]; then
+    echo "bench smoke: bench_recovery_ttfc printed no recovery_ttfc line" >&2
+    exit 1
+  fi
+  echo "$ttfc_line"
+  ttfc_ratio="$(printf '%s\n' "$ttfc_line" | sed -n 's/.*ratio=\([0-9.]*\).*/\1/p')"
+  ttfc_baseline="$(python3 -c 'import json; print(json.load(open("bench/BENCH_baseline.json"))["recovery_ttfc"]["ttfc_ratio"])')"
+  echo "bench smoke: measured TTFC ratio=${ttfc_ratio}x (baseline ${ttfc_baseline}x, floor 80%)"
+  python3 - "$ttfc_ratio" "$ttfc_baseline" <<'EOF'
+import sys
+measured, baseline = float(sys.argv[1]), float(sys.argv[2])
+floor = 0.8 * baseline
+if measured < floor:
+    sys.exit(f"bench smoke FAILED: eager/incremental TTFC ratio {measured:.2f}x "
+             f"is below 80% of the checked-in baseline {baseline:.2f}x "
+             f"(floor {floor:.2f}x) — incremental recovery is back on the "
+             f"boot path")
 EOF
 fi
 

@@ -84,6 +84,7 @@ struct LockRank {
   static constexpr int kClient = 10;           // lbc::Client::mu_
   static constexpr int kClusterDb = 15;        // lbc::Cluster::db_mu_ (database-file writers)
   static constexpr int kCluster = 20;          // lbc::Cluster::mu_
+  static constexpr int kRecovery = 25;         // rvm::IncrementalRecovery::mu_
   static constexpr int kRvm = 30;              // rvm::Rvm::mu_
   static constexpr int kRvmLog = 35;           // rvm::Rvm::log_mu_ (group-commit I/O)
   static constexpr int kReliable = 40;         // netsim::ReliableChannel::mu_

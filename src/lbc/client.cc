@@ -345,16 +345,45 @@ base::Result<rvm::Region*> Client::MapRegion(rvm::RegionId region, uint64_t leng
   // the backoff budget), so an overloaded server sheds map-time fetches
   // instead of queueing them behind commits.
   RETURN_IF_ERROR(AdmitServer(Cluster::ServerQueue::kFetch));
+  // First-touch interlock of incremental recovery: the indexed redo for this
+  // region must be materialized before its image may be served, else the
+  // fetch would read (and adopt baselines above) unreplayed bytes. The wait
+  // on a page another thread is replaying is charged to the op deadline so
+  // a stalled drain cannot park a mapping client forever.
   constexpr int kMaxFetchAttempts = 3;
-  base::Result<rvm::Region*> mapped = rvm_->MapRegion(region, length);
-  for (int attempt = 1; attempt < kMaxFetchAttempts && !mapped.ok() &&
-                        mapped.status().code() == base::StatusCode::kDataLoss;
-       ++attempt) {
-    if (!cluster_->TryRepairRegion(region)) {
+  base::Result<rvm::Region*> mapped =
+      base::Unavailable("region fetch not attempted");
+  for (int attempt = 0; attempt < kMaxFetchAttempts; ++attempt) {
+    if (attempt > 0) {
+      // DATA_LOSS path: rot found either by the fetch's sidecar check or
+      // lazily by the page materialization. Ask the cluster's scrubber to
+      // heal the region (TryRepairRegion materializes first, so
+      // recovery-in-progress is never misread as rot), then retry both the
+      // materialization and the fetch.
+      if (!cluster_->TryRepairRegion(region)) {
+        break;
+      }
+      rvm::GlobalIntegrityMetrics()->image_fetch_retries->Increment();
+    }
+    base::Status recovered =
+        cluster_->EnsureRegionRecovered(region, options_.op_deadline_ms);
+    if (recovered.code() == base::StatusCode::kDeadlineExceeded) {
+      cluster_->Finish(Cluster::ServerQueue::kFetch);
+      {
+        base::MutexLock lk(mu_);
+        ++stats_.deadline_misses;
+      }
+      GlobalGrayClientMetrics()->deadline_misses->Increment();
+      return recovered;
+    }
+    if (!recovered.ok()) {
+      mapped = recovered;
+      continue;
+    }
+    mapped = rvm_->MapRegion(region, length);
+    if (mapped.ok() || mapped.status().code() != base::StatusCode::kDataLoss) {
       break;
     }
-    rvm::GlobalIntegrityMetrics()->image_fetch_retries->Increment();
-    mapped = rvm_->MapRegion(region, length);
   }
   cluster_->Finish(Cluster::ServerQueue::kFetch);
   if (!mapped.ok()) {

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/rvm/log_index.h"
 #include "src/rvm/log_merge.h"
 #include "src/rvm/recovery.h"
+#include "src/rvm/replay_on_demand.h"
 #include "src/rvm/scrub.h"
 
 namespace {
@@ -76,6 +79,8 @@ AdmissionMetrics* GlobalAdmissionMetrics() {
 }  // namespace
 
 namespace lbc {
+
+Cluster::~Cluster() { StopRecoveryDrain(); }
 
 void Cluster::DefineLock(rvm::LockId lock, rvm::RegionId region, rvm::NodeId manager) {
   base::MutexLock guard(mu_);
@@ -158,6 +163,11 @@ base::Status Cluster::ReplayAndRecordBaselines(const std::vector<std::string>& l
   if (log_names.empty()) {
     return base::OkStatus();
   }
+  // Full-history replay must not run while indexed pages are still pending:
+  // an indexed record is older than anything in these logs, so replaying a
+  // log record and then lazily materializing the same page would overwrite
+  // the newer bytes with older ones — and certify them.
+  RETURN_IF_ERROR(DrainRecovery());
   base::MutexLock db_guard(db_mu_);
   ASSIGN_OR_RETURN(auto merged, rvm::MergeLogs(store_, log_names));
   RETURN_IF_ERROR(rvm::ApplyToDatabase(store_, merged));
@@ -420,6 +430,16 @@ base::Status Cluster::Admit(ServerQueue queue, uint64_t* retry_after_ms) {
   ++q.admitted;
   q.consecutive_sheds = 0;
   m->admitted->Increment();
+  if (queue == ServerQueue::kCommit && first_commit_pending_) {
+    // Time-to-first-commit after a restart (the availability number the
+    // incremental path exists to shrink).
+    first_commit_pending_ = false;
+    uint64_t ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - recovery_start_)
+            .count());
+    rvm::GlobalIncrementalRecoveryMetrics()->first_commit_ms->Add(ms);
+  }
   return base::OkStatus();
 }
 
@@ -446,41 +466,85 @@ base::Status Cluster::RecoverDeadClient(rvm::NodeId node) {
     return base::Unavailable("server down");
   }
   DeclareDead(node);
+  RecoveryMode mode;
+  uint64_t dedup_bound = 0;
   {
     base::MutexLock guard(mu_);
     if (recovered_.count(node) != 0) {
       return base::OkStatus();
+    }
+    mode = recovery_mode_;
+    auto bound = merged_commit_seq_.find(node);
+    if (bound != merged_commit_seq_.end()) {
+      dedup_bound = bound->second;
     }
   }
   std::string log_name = rvm::LogFileName(node);
   ASSIGN_OR_RETURN(bool exists, store_->Exists(log_name));
   std::vector<rvm::TransactionRecord> merged;
   if (exists) {
-    base::MutexLock db_guard(db_mu_);
     ASSIGN_OR_RETURN(merged, rvm::MergeLogs(store_, {log_name}));
-    RETURN_IF_ERROR(rvm::ApplyToDatabase(store_, merged));
-  }
-  base::MutexLock guard(mu_);
-  if (!recovered_.insert(node).second) {
-    return base::OkStatus();  // lost a race with a concurrent detector
-  }
-  GlobalServerMetrics()->dead_clients_recovered->Increment();
-  obs::TraceRing::Global()->Emit(node, obs::TraceType::kClientRecovered, /*lock=*/0,
-                                 /*seq=*/0, /*bytes=*/merged.size());
-  for (const auto& txn : merged) {
-    for (const auto& lock : txn.locks) {
-      uint64_t& baseline = baseline_seq_[lock.lock_id];
-      baseline = std::max(baseline, lock.sequence);
-      // Survivors whose cached image is missing this update re-fetch it
-      // from the record cache (the dead writer will never retransmit).
-      record_cache_[lock.lock_id].emplace(lock.sequence, txn);
+    // Drop the prefix boot recovery already merged: those records replayed
+    // (or were indexed) in full merged order at restart, and re-applying
+    // them here — after newer overlapping records — would roll pages back.
+    merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                [&](const rvm::TransactionRecord& txn) {
+                                  return txn.commit_seq <= dedup_bound;
+                                }),
+                 merged.end());
+    // Incremental mode reads and indexes only — no database replay while
+    // the caller (typically a survivor's heartbeat thread, which must keep
+    // beating) waits. The pages the dead client's records touch are
+    // (re-)pended below and replayed on first touch or by the drainer.
+    if (mode == RecoveryMode::kEager) {
+      base::MutexLock db_guard(db_mu_);
+      RETURN_IF_ERROR(rvm::ApplyToDatabase(store_, merged));
     }
   }
-  for (auto& [region, nodes] : mappings_) {
-    nodes.erase(std::remove(nodes.begin(), nodes.end(), node), nodes.end());
+  bool start_drainer = false;
+  {
+    base::MutexLock guard(mu_);
+    if (!recovered_.insert(node).second) {
+      return base::OkStatus();  // lost a race with a concurrent detector
+    }
+    if (mode == RecoveryMode::kIncremental && !merged.empty()) {
+      if (recovery_ != nullptr) {
+        // Under mu_ on purpose: retirement also runs under mu_, so the
+        // extension cannot land on a recovery that already retired. Records
+        // the restart-time index already holds (this log was on the store
+        // then) are deduplicated inside Extend by per-node commit_seq.
+        recovery_->Extend(merged);
+      } else {
+        recovery_ = std::make_shared<rvm::IncrementalRecovery>(
+            store_, rvm::LogIndex::FromMerged(merged), &db_mu_);
+        start_drainer = true;
+      }
+    }
+    GlobalServerMetrics()->dead_clients_recovered->Increment();
+    obs::TraceRing::Global()->Emit(node, obs::TraceType::kClientRecovered, /*lock=*/0,
+                                   /*seq=*/0, /*bytes=*/merged.size());
+    uint64_t& bound = merged_commit_seq_[node];
+    for (const auto& txn : merged) {
+      bound = std::max(bound, txn.commit_seq);
+    }
+    for (const auto& txn : merged) {
+      for (const auto& lock : txn.locks) {
+        uint64_t& baseline = baseline_seq_[lock.lock_id];
+        baseline = std::max(baseline, lock.sequence);
+        // Survivors whose cached image is missing this update re-fetch it
+        // from the record cache (the dead writer will never retransmit).
+        record_cache_[lock.lock_id].emplace(lock.sequence, txn);
+      }
+    }
+    for (auto& [region, nodes] : mappings_) {
+      nodes.erase(std::remove(nodes.begin(), nodes.end(), node), nodes.end());
+    }
+    for (auto& [lock, reports] : applied_reports_) {
+      reports.erase(node);
+    }
   }
-  for (auto& [lock, reports] : applied_reports_) {
-    reports.erase(node);
+  if (start_drainer) {
+    StartRecoveryDrain();
   }
   return base::OkStatus();
 }
@@ -520,6 +584,15 @@ bool Cluster::TryRepairRegion(rvm::RegionId region) {
   if (scrubber == nullptr) {
     return false;
   }
+  // Materialize the region's pending pages first. A page still awaiting its
+  // indexed redo (or carrying a durable intent entry from an interrupted
+  // materialization) legitimately mismatches its sidecar entry; scrubbing
+  // it now would misread recovery-in-progress as rot. A page whose
+  // PRE-IMAGE is genuinely rotten fails materialization with DATA_LOSS —
+  // ignored here, because healing exactly that pre-image (from a replica)
+  // is what the scrub below is for; the caller then retries the fetch,
+  // which re-runs the materialization over the healed bytes.
+  base::IgnoreError(EnsureRegionRecovered(region));
   // Serialize the repair's database-file writes with the cluster's other
   // writers (trim/recovery replay, standby checkpoint): an unserialized
   // repair_copy could interleave with ApplyToDatabase on the same page and
@@ -532,31 +605,48 @@ bool Cluster::TryRepairRegion(rvm::RegionId region) {
 }
 
 void Cluster::KillServer() {
-  base::MutexLock guard(mu_);
-  server_up_ = false;
-  // Everything server-resident and soft dies with the machine. The lock
-  // table survives: it is static configuration, not run-time state.
-  mappings_.clear();
-  baseline_seq_.clear();
-  applied_reports_.clear();
-  record_cache_.clear();
-  last_heartbeat_.clear();
-  dead_.clear();
-  recovered_.clear();
+  {
+    base::MutexLock guard(mu_);
+    server_up_ = false;
+    // Everything server-resident and soft dies with the machine. The lock
+    // table survives: it is static configuration, not run-time state.
+    mappings_.clear();
+    baseline_seq_.clear();
+    applied_reports_.clear();
+    record_cache_.clear();
+    last_heartbeat_.clear();
+    dead_.clear();
+    recovered_.clear();
+    merged_commit_seq_.clear();
+    // An in-flight recovery dies too: the next RestartServer re-indexes the
+    // logs from scratch (replay idempotence makes the rerun harmless).
+    recovery_.reset();
+    first_commit_pending_ = false;
+  }
+  // Join the drainer outside mu_ — it takes mu_ to re-read recovery_ (now
+  // null) and exits.
+  StopRecoveryDrain();
 }
 
 base::Status Cluster::RestartServer() {
+  const auto boot_start = std::chrono::steady_clock::now();
+  RecoveryMode mode;
   {
     base::MutexLock guard(mu_);
     if (server_up_) {
       return base::OkStatus();
     }
+    mode = recovery_mode_;
   }
   // Recovery at boot (§3.5): merge every client log still on the store and
   // replay it into the database files, then rebuild the per-lock baselines
   // and the record cache from the merged history. Records that an earlier
   // trim already removed from the logs are in the database files and at or
   // below any baseline those trims established, so nothing is lost.
+  //
+  // kIncremental replaces the replay with a per-page index over the same
+  // merged history — a read-only scan, so service resumes as soon as the
+  // directory is rebuilt and pages materialize lazily.
   ASSIGN_OR_RETURN(auto names, store_->List());
   std::vector<std::string> log_names;
   for (const auto& name : names) {
@@ -566,25 +656,176 @@ base::Status Cluster::RestartServer() {
     }
   }
   std::vector<rvm::TransactionRecord> merged;
+  rvm::LogIndex index;
   if (!log_names.empty()) {
-    base::MutexLock db_guard(db_mu_);
-    ASSIGN_OR_RETURN(merged, rvm::MergeLogs(store_, log_names));
-    RETURN_IF_ERROR(rvm::ApplyToDatabase(store_, merged));
-  }
-  base::MutexLock guard(mu_);
-  for (const auto& txn : merged) {
-    for (const auto& lock : txn.locks) {
-      uint64_t& baseline = baseline_seq_[lock.lock_id];
-      baseline = std::max(baseline, lock.sequence);
-      // Survivors that missed a dead or partitioned writer's update can
-      // still fetch it: the rebuilt cache holds the full merged history.
-      record_cache_[lock.lock_id].emplace(lock.sequence, txn);
+    if (mode == RecoveryMode::kEager) {
+      base::MutexLock db_guard(db_mu_);
+      ASSIGN_OR_RETURN(merged, rvm::MergeLogs(store_, log_names));
+      RETURN_IF_ERROR(rvm::ApplyToDatabase(store_, merged));
+    } else {
+      ASSIGN_OR_RETURN(index, rvm::LogIndex::Build(store_, log_names));
     }
   }
-  server_up_ = true;
-  ++server_epoch_;
-  GlobalServerMetrics()->rebuilds->Increment();
+  bool start_drainer = false;
+  {
+    base::MutexLock guard(mu_);
+    const std::vector<rvm::TransactionRecord>& history =
+        mode == RecoveryMode::kEager ? merged : index.transactions();
+    for (const auto& txn : history) {
+      uint64_t& bound = merged_commit_seq_[txn.node];
+      bound = std::max(bound, txn.commit_seq);
+      for (const auto& lock : txn.locks) {
+        uint64_t& baseline = baseline_seq_[lock.lock_id];
+        baseline = std::max(baseline, lock.sequence);
+        // Survivors that missed a dead or partitioned writer's update can
+        // still fetch it: the rebuilt cache holds the full merged history.
+        record_cache_[lock.lock_id].emplace(lock.sequence, txn);
+      }
+    }
+    if (mode == RecoveryMode::kIncremental && !index.empty()) {
+      recovery_ = std::make_shared<rvm::IncrementalRecovery>(store_, std::move(index),
+                                                             &db_mu_);
+      start_drainer = true;
+    }
+    first_commit_pending_ = true;
+    recovery_start_ = boot_start;
+    server_up_ = true;
+    ++server_epoch_;
+    GlobalServerMetrics()->rebuilds->Increment();
+  }
+  if (start_drainer) {
+    StartRecoveryDrain();
+  }
   return base::OkStatus();
+}
+
+void Cluster::SetRecoveryMode(RecoveryMode mode) {
+  base::MutexLock guard(mu_);
+  recovery_mode_ = mode;
+}
+
+Cluster::RecoveryMode Cluster::GetRecoveryMode() const {
+  base::MutexLock guard(mu_);
+  return recovery_mode_;
+}
+
+bool Cluster::RecoveryActive() const {
+  base::MutexLock guard(mu_);
+  return recovery_ != nullptr;
+}
+
+uint64_t Cluster::RecoveryPendingPages() const {
+  std::shared_ptr<rvm::IncrementalRecovery> rec;
+  {
+    base::MutexLock guard(mu_);
+    rec = recovery_;
+  }
+  return rec == nullptr ? 0 : rec->PendingPages();
+}
+
+base::Status Cluster::EnsureRegionRecovered(rvm::RegionId region,
+                                            uint64_t deadline_ms) {
+  std::shared_ptr<rvm::IncrementalRecovery> rec;
+  {
+    base::MutexLock guard(mu_);
+    rec = recovery_;
+  }
+  if (rec == nullptr) {
+    return base::OkStatus();
+  }
+  RETURN_IF_ERROR(rec->MaterializeRegion(region, deadline_ms));
+  // Opportunistic retirement: whoever replays the last page puts the
+  // cluster back on the steady-state path.
+  base::MutexLock guard(mu_);
+  if (recovery_ == rec && rec->Drained()) {
+    recovery_.reset();
+  }
+  return base::OkStatus();
+}
+
+base::Status Cluster::DrainRecovery() {
+  for (;;) {
+    std::shared_ptr<rvm::IncrementalRecovery> rec;
+    {
+      base::MutexLock guard(mu_);
+      rec = recovery_;
+    }
+    if (rec == nullptr) {
+      return base::OkStatus();
+    }
+    rvm::RegionId failed = 0;
+    base::Result<bool> step = rec->DrainStep(&failed);
+    if (!step.ok()) {
+      if (step.status().code() == base::StatusCode::kDataLoss &&
+          TryRepairRegion(failed)) {
+        continue;  // pre-image healed from a replica; retry the page
+      }
+      return step.status();
+    }
+    if (!step.value()) {
+      base::MutexLock guard(mu_);
+      if (recovery_ == rec && rec->Drained()) {
+        recovery_.reset();
+      }
+      return base::OkStatus();
+    }
+  }
+}
+
+void Cluster::StartRecoveryDrain() {
+  base::MutexLock guard(drain_mu_);
+  if (drain_thread_.joinable()) {
+    // Reap the previous generation's drainer. It exits once its recovery
+    // object is retired or reset, so this join does not wait on live work.
+    drain_thread_.join();
+  }
+  drain_stop_.store(false, std::memory_order_relaxed);
+  drain_thread_ = std::thread([this] { RecoveryDrainLoop(); });
+}
+
+void Cluster::StopRecoveryDrain() {
+  drain_stop_.store(true, std::memory_order_relaxed);
+  base::MutexLock guard(drain_mu_);
+  if (drain_thread_.joinable()) {
+    drain_thread_.join();
+  }
+}
+
+void Cluster::RecoveryDrainLoop() {
+  // Bounded heal-and-retry: a DATA_LOSS page is re-scrubbed a few times (a
+  // replica may serve rot once and a clean copy on the next read), then the
+  // drainer gives up and leaves the page pending — a client touching it
+  // surfaces the same error through the first-touch path and runs its own
+  // bounded repair loop.
+  int repair_attempts = 0;
+  while (!drain_stop_.load(std::memory_order_relaxed)) {
+    std::shared_ptr<rvm::IncrementalRecovery> rec;
+    {
+      base::MutexLock guard(mu_);
+      rec = recovery_;
+    }
+    if (rec == nullptr) {
+      return;
+    }
+    rvm::RegionId failed = 0;
+    base::Result<bool> step = rec->DrainStep(&failed);
+    if (!step.ok()) {
+      if (step.status().code() == base::StatusCode::kDataLoss &&
+          repair_attempts < 8 && TryRepairRegion(failed)) {
+        ++repair_attempts;
+        continue;
+      }
+      return;
+    }
+    repair_attempts = 0;
+    if (!step.value()) {
+      base::MutexLock guard(mu_);
+      if (recovery_ == rec && rec->Drained()) {
+        recovery_.reset();
+      }
+      return;
+    }
+  }
 }
 
 bool Cluster::ServerUp() const {

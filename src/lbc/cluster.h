@@ -13,9 +13,12 @@
 #ifndef SRC_LBC_CLUSTER_H_
 #define SRC_LBC_CLUSTER_H_
 
+#include <atomic>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "src/base/status.h"
@@ -25,6 +28,7 @@
 #include "src/store/durable_store.h"
 
 namespace rvm {
+class IncrementalRecovery;
 class Scrubber;
 }  // namespace rvm
 
@@ -38,6 +42,7 @@ struct LockSpec {
 class Cluster {
  public:
   explicit Cluster(store::DurableStore* store) : store_(store) {}
+  ~Cluster();
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
@@ -234,13 +239,55 @@ class Cluster {
   // epoch, and resumes service. Live clients notice the epoch change via
   // their heartbeat thread (or an explicit Client::RejoinServer) and
   // re-register their mappings and applied reports.
+  //
+  // In kIncremental recovery mode the boot replay is replaced by a per-page
+  // index over the merged logs (rvm::LogIndex — read-only, so the server is
+  // serving the moment the scan finishes); pages are replayed on first
+  // touch via EnsureRegionRecovered and in the background by a drainer
+  // thread this call starts. Once the last page is done the recovery object
+  // retires and steady state is byte-identical to eager replay.
   base::Status RestartServer();
   bool ServerUp() const;
   // Incremented by every restart; clients track it to detect that their
   // registrations were wiped and must be replayed.
   uint64_t ServerEpoch() const;
 
+  // --- incremental recovery (serve before replay finishes) ------------------
+
+  enum class RecoveryMode { kEager, kIncremental };
+  // Selects how RestartServer and RecoverDeadClient replay logs. The
+  // default, kEager, is the historical stop-the-world replay.
+  void SetRecoveryMode(RecoveryMode mode);
+  RecoveryMode GetRecoveryMode() const;
+
+  // First-touch interlock: materializes every still-pending page of
+  // `region`, waiting (bounded by deadline_ms per page when non-zero, else
+  // indefinitely) on pages another thread is already replaying. Clients
+  // call this before fetching a region image; a no-op when no recovery is
+  // active. kDeadlineExceeded on a timed-out wait; DATA_LOSS when a page's
+  // pre-image fails its sidecar check (route through TryRepairRegion).
+  base::Status EnsureRegionRecovered(rvm::RegionId region, uint64_t deadline_ms = 0);
+
+  bool RecoveryActive() const;
+  uint64_t RecoveryPendingPages() const;
+
+  // Synchronous barrier: replays every pending page on the calling thread
+  // (healing DATA_LOSS pages through the scrubber when one is attached) and
+  // retires the recovery object. Every eager full-replay entry point
+  // (ReplayAndRecordBaselines, RecoverAndTrim, the standby checkpoint)
+  // calls this first — eager replay racing or preceding indexed pages could
+  // certify stale bytes and then truncate the logs they came from. Callers
+  // must NOT hold DbMutex(): page replay acquires it per page.
+  base::Status DrainRecovery();
+
+  // Background drainer controls. RestartServer/RecoverDeadClient start the
+  // drainer automatically when they create a recovery; KillServer and the
+  // destructor stop it. Public for tests that want to race it explicitly.
+  void StartRecoveryDrain();
+  void StopRecoveryDrain();
+
  private:
+  void RecoveryDrainLoop();
   store::DurableStore* store_;
   netsim::Fabric fabric_;
 
@@ -283,9 +330,32 @@ class Cluster {
   AdmissionQueue commit_queue_ LBC_GUARDED_BY(mu_);
   // Dead nodes whose log has been merged.
   std::set<rvm::NodeId> recovered_ LBC_GUARDED_BY(mu_);
+  // Highest commit sequence per node that boot recovery already merged.
+  // RecoverDeadClient drops records at or below this bound: re-applying a
+  // boot-time record after newer overlapping records have replayed would
+  // roll those pages backwards (absolute-value redo is only idempotent in
+  // merged order).
+  std::map<rvm::NodeId, uint64_t> merged_commit_seq_ LBC_GUARDED_BY(mu_);
   bool server_up_ LBC_GUARDED_BY(mu_) = true;
   uint64_t server_epoch_ LBC_GUARDED_BY(mu_) = 0;
   rvm::Scrubber* scrubber_ LBC_GUARDED_BY(mu_) = nullptr;
+  // Active incremental recovery; null when drained/retired or in eager
+  // mode. shared_ptr so workers materialize pages with mu_ released while
+  // KillServer resets the directory's reference. Retirement (reset once
+  // Drained()) happens only under mu_, which is also where
+  // RecoverDeadClient extends it — an extension therefore cannot land on a
+  // recovery that just retired.
+  std::shared_ptr<rvm::IncrementalRecovery> recovery_ LBC_GUARDED_BY(mu_);
+  RecoveryMode recovery_mode_ LBC_GUARDED_BY(mu_) = RecoveryMode::kEager;
+  // Time-to-first-commit instrumentation: armed by RestartServer, resolved
+  // by the first admitted commit (recovery.first_commit_ms).
+  bool first_commit_pending_ LBC_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point recovery_start_ LBC_GUARDED_BY(mu_);
+  // Background drainer lifecycle. drain_mu_ orders start/stop/join only; the
+  // drainer itself never takes it, so joining under it cannot deadlock.
+  base::Mutex drain_mu_{"lbc.cluster.drain"};
+  std::thread drain_thread_ LBC_GUARDED_BY(drain_mu_);
+  std::atomic<bool> drain_stop_{false};
 };
 
 }  // namespace lbc

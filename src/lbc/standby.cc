@@ -1,14 +1,22 @@
 #include "src/lbc/standby.h"
 
 #include <map>
+#include <vector>
 
-#include "src/rvm/page_checksum.h"
+#include "src/rvm/recovery.h"
 #include "src/rvm/types.h"
 
 namespace lbc {
 
 base::Status CheckpointFromStandby(Cluster* cluster, Client* standby,
                                    const std::vector<Client*>& writers) {
+  // 0. Incremental-recovery barrier: the standby's image reflects records
+  //    newer than anything in the boot index, so a pending indexed page
+  //    materialized after this checkpoint (and after the trims below
+  //    removed its records' logs) would roll the page backwards. Finish the
+  //    replay first.
+  RETURN_IF_ERROR(cluster->DrainRecovery());
+
   // 1. Fix the cut: apply everything buffered; the image and applied
   //    sequence numbers are now stable until the next Accept (the standby
   //    runs versioned reads and never acquires).
@@ -34,15 +42,19 @@ base::Status CheckpointFromStandby(Cluster* cluster, Client* standby,
     base::MutexLock db_guard(cluster->DbMutex());
     for (rvm::RegionId region : standby->MappedRegions()) {
       const rvm::Region* r = standby->GetRegion(region);
-      ASSIGN_OR_RETURN(auto file,
-                       cluster->store()->Open(rvm::RegionFileName(region), /*create=*/true));
-      RETURN_IF_ERROR(file->Write(0, base::ByteSpan(r->data(), r->size())));
-      RETURN_IF_ERROR(file->Sync());
-      // Re-checksum the whole region from the file just written (read-back
-      // verification of the checkpoint image). Must precede the trims below:
-      // if we crash in between, the untrimmed logs still cover every page
-      // whose sidecar entry is stale, and boot-time replay rewrites it.
-      RETURN_IF_ERROR(rvm::RewriteRegionChecksums(cluster->store(), region));
+      // The whole image goes through the shared replay core as one
+      // offset-zero range: page writes, file sync, read-back verification,
+      // and the sidecar rewrite are the same code recovery replay uses.
+      // Re-checksumming must precede the trims below: if we crash in
+      // between, the untrimmed logs still cover every page whose sidecar
+      // entry is stale, and boot-time replay rewrites it.
+      rvm::ReplayWriteSet writes(cluster->store());
+      rvm::RangeImage image;
+      image.region = region;
+      image.offset = 0;
+      image.data.assign(r->data(), r->data() + r->size());
+      RETURN_IF_ERROR(writes.Apply(image));
+      RETURN_IF_ERROR(writes.Commit());
     }
   }
   for (const auto& [lock, seq] : baselines) {

@@ -18,6 +18,7 @@ struct ExplorerMetrics {
   obs::Counter* torn_schedules_run;
   obs::Counter* nested_schedules_run;
   obs::Counter* ops_covered;
+  obs::Counter* probes_run;
 };
 
 ExplorerMetrics* GlobalExplorerMetrics() {
@@ -28,6 +29,7 @@ ExplorerMetrics* GlobalExplorerMetrics() {
     m->torn_schedules_run = reg->GetCounter("crashx.torn_schedules_run");
     m->nested_schedules_run = reg->GetCounter("crashx.nested_schedules_run");
     m->ops_covered = reg->GetCounter("crashx.ops_covered");
+    m->probes_run = reg->GetCounter("crashx.probes_run");
     return m;
   }();
   return metrics;
@@ -193,6 +195,17 @@ base::Status CrashExplorer::ExploreRecoveryCrashes(CrashExplorerReport* report) 
                             std::to_string(s.op_index));
     }
     machine.cps.Disarm();  // second reboot
+    if (options_.recovery_probe) {
+      // The serving window: an incremental server is already up here, with
+      // recovery only partially done. Probe it before the full re-recovery.
+      st = options_.recovery_probe(&machine.cps);
+      if (!st.ok()) {
+        return WithScheduleContext(st, "recovery-crash", s.op_index, s.torn_bytes,
+                                   "probe");
+      }
+      ++report->probes_run;
+      m->probes_run->Increment();
+    }
     st = recover_(&machine.cps);
     if (!st.ok()) {
       return WithScheduleContext(st, "recovery-crash", s.op_index, s.torn_bytes,

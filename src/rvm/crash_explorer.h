@@ -47,6 +47,14 @@ struct CrashExplorerOptions {
   // fighting ENOSPC (the quota sits *under* the crash point: a power cut
   // interrupts the short append the quota already tore).
   std::function<void(store::MemStore*)> configure_machine;
+  // Invoked in ExploreRecoveryCrashes between the reboot and the second
+  // recovery pass — i.e. at the exact moment an incrementally recovering
+  // server would already be serving. Incremental-recovery sweeps use it to
+  // fetch pages through the serving path and assert no unreplayed or
+  // uncertified byte escapes while replay is still outstanding. Whatever
+  // the probe materializes must be idempotent with respect to the second
+  // recovery pass (on-demand replay is).
+  std::function<base::Status(store::DurableStore*)> recovery_probe;
 };
 
 struct CrashExplorerReport {
@@ -55,6 +63,7 @@ struct CrashExplorerReport {
   uint64_t schedules_run = 0;       // workload-crash schedules executed
   uint64_t torn_schedules_run = 0;  // ... of which left a torn tail
   uint64_t nested_schedules_run = 0;  // recovery-crash schedules executed
+  uint64_t probes_run = 0;            // recovery_probe invocations that passed
 };
 
 class CrashExplorer {

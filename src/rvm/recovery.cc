@@ -67,57 +67,108 @@ base::Result<std::vector<TransactionRecord>> ReadLogTransactions(store::DurableS
   return txns;
 }
 
-base::Status ApplyToDatabase(store::DurableStore* store,
-                             const std::vector<TransactionRecord>& txns) {
-  // Open each region file once; extend as needed; sync at the end so the
-  // database is durable before any caller truncates a log.
-  std::map<RegionId, std::unique_ptr<store::DurableFile>> files;
-  // Expected content of every page touched by the replay, built alongside
-  // the file writes: pre-image (zero-padded past EOF) plus the replayed
-  // ranges in order. Read back after the sync, this verifies every replayed
-  // page landed intact — and its CRC becomes the page's sidecar entry.
-  std::map<std::pair<RegionId, uint64_t>, std::vector<uint8_t>> expected;
-  for (const auto& txn : txns) {
-    for (const auto& range : txn.ranges) {
-      auto it = files.find(range.region);
-      if (it == files.end()) {
-        ASSIGN_OR_RETURN(auto file, store->Open(RegionFileName(range.region), /*create=*/true));
-        it = files.emplace(range.region, std::move(file)).first;
+ReplayWriteSet::ReplayWriteSet(store::DurableStore* store, ReplayOptions options)
+    : store_(store), options_(std::move(options)) {}
+
+base::Status ReplayWriteSet::Apply(const RangeImage& range) {
+  auto it = files_.find(range.region);
+  if (it == files_.end()) {
+    ASSIGN_OR_RETURN(auto file, store_->Open(RegionFileName(range.region), /*create=*/true));
+    it = files_.emplace(range.region, std::move(file)).first;
+  }
+  if (range.data.empty()) {
+    return base::OkStatus();
+  }
+  uint64_t first_page = range.offset / kDbPageSize;
+  uint64_t last_page = (range.offset + range.data.size() - 1) / kDbPageSize;
+  for (uint64_t page = first_page; page <= last_page; ++page) {
+    if (options_.page_filter && !options_.page_filter(range.region, page)) {
+      continue;
+    }
+    auto key = std::make_pair(range.region, page);
+    auto page_it = pages_.find(key);
+    if (page_it == pages_.end()) {
+      PageBuild build;
+      build.image.assign(kDbPageSize, 0);
+      ASSIGN_OR_RETURN(auto n, it->second->Read(page * kDbPageSize, build.image.data(),
+                                                build.image.size()));
+      (void)n;  // short read past EOF leaves zeros, matching file growth
+      if (options_.verify_preimages) {
+        build.preimage = build.image;
+        build.covered.assign(kDbPageSize, 0);
       }
-      if (range.data.empty()) {
-        continue;
-      }
-      uint64_t first_page = range.offset / kDbPageSize;
-      uint64_t last_page = (range.offset + range.data.size() - 1) / kDbPageSize;
-      for (uint64_t page = first_page; page <= last_page; ++page) {
-        auto key = std::make_pair(range.region, page);
-        auto page_it = expected.find(key);
-        if (page_it == expected.end()) {
-          std::vector<uint8_t> image(kDbPageSize, 0);
-          ASSIGN_OR_RETURN(auto n,
-                           it->second->Read(page * kDbPageSize, image.data(), image.size()));
-          (void)n;  // short read past EOF leaves zeros, matching file growth
-          page_it = expected.emplace(key, std::move(image)).first;
-        }
-        uint64_t page_start = page * kDbPageSize;
-        uint64_t lo = std::max(range.offset, page_start);
-        uint64_t hi = std::min(range.offset + range.data.size(), page_start + kDbPageSize);
-        std::memcpy(page_it->second.data() + (lo - page_start),
-                    range.data.data() + (lo - range.offset), hi - lo);
-      }
-      RETURN_IF_ERROR(it->second->Write(
-          range.offset, base::ByteSpan(range.data.data(), range.data.size())));
+      page_it = pages_.emplace(key, std::move(build)).first;
+    }
+    uint64_t page_start = page * kDbPageSize;
+    uint64_t lo = std::max(range.offset, page_start);
+    uint64_t hi = std::min(range.offset + range.data.size(), page_start + kDbPageSize);
+    std::memcpy(page_it->second.image.data() + (lo - page_start),
+                range.data.data() + (lo - range.offset), hi - lo);
+    if (options_.verify_preimages) {
+      std::memset(page_it->second.covered.data() + (lo - page_start), 1, hi - lo);
     }
   }
-  for (auto& [region, file] : files) {
+  return base::OkStatus();
+}
+
+base::Status ReplayWriteSet::Commit() {
+  if (options_.verify_preimages) {
+    // Rot gate + intent: before mutating anything, check each pre-image
+    // against its sidecar entry, then certify the FINAL image in the
+    // sidecar. A crash anywhere between here and the data sync leaves the
+    // intent entry behind, which the case analysis below recognizes on the
+    // next attempt — so a torn page resumes instead of reading as rot.
+    std::map<RegionId, std::unique_ptr<ChecksumSidecar>> sidecars;
+    for (auto& [key, build] : pages_) {
+      const auto& [region, page] = key;
+      auto sc_it = sidecars.find(region);
+      if (sc_it == sidecars.end()) {
+        ASSIGN_OR_RETURN(auto sidecar, ChecksumSidecar::Open(store_, region, /*create=*/true));
+        sc_it = sidecars.emplace(region, std::move(sidecar)).first;
+      }
+      ASSIGN_OR_RETURN(auto entry, sc_it->second->ReadEntry(page));
+      uint32_t final_crc = PageCrc(build.image.data(), build.image.size());
+      bool fully_covered =
+          std::find(build.covered.begin(), build.covered.end(), 0) == build.covered.end();
+      if (!entry.has_value()) {
+        GlobalIntegrityMetrics()->pages_unverified->Increment();
+      } else if (*entry == PageCrc(build.preimage.data(), build.preimage.size())) {
+        GlobalIntegrityMetrics()->pages_verified->Increment();
+      } else if (*entry == final_crc) {
+        // Crash window of a previous materialization of this page: the
+        // intent was durable but the data write didn't finish. The bytes
+        // redo doesn't cover still hold their old values, so re-applying
+        // the same slices lands on the certified final image.
+      } else if (fully_covered) {
+        // Pre-image is rotten but irrelevant: redo overwrites every byte.
+      } else {
+        GlobalIntegrityMetrics()->verify_failures->Increment();
+        return base::DataLoss("pre-image failed sidecar verification before replay: region " +
+                              std::to_string(region) + " page " + std::to_string(page));
+      }
+      RETURN_IF_ERROR(sc_it->second->WriteEntry(page, final_crc));
+    }
+    for (auto& [region, sidecar] : sidecars) {
+      RETURN_IF_ERROR(sidecar->Sync());
+    }
+  }
+  for (auto& [key, build] : pages_) {
+    const auto& [region, page] = key;
+    RETURN_IF_ERROR(files_[region]->Write(
+        page * kDbPageSize, base::ByteSpan(build.image.data(), build.image.size())));
+  }
+  // Sync every opened file — even ones with no accumulated pages, so eager
+  // replay keeps its "database durable before log truncation" guarantee for
+  // regions touched only by empty ranges.
+  for (auto& [region, file] : files_) {
     RETURN_IF_ERROR(file->Sync());
   }
   // Read-back verification + sidecar update for every replayed page.
   std::vector<uint8_t> readback(kDbPageSize);
   std::map<RegionId, std::vector<uint64_t>> touched;
-  for (const auto& [key, image] : expected) {
+  for (const auto& [key, build] : pages_) {
     const auto& [region, page] = key;
-    auto& file = files[region];
+    auto& file = files_[region];
     ASSIGN_OR_RETURN(uint64_t file_size, file->Size());
     uint64_t offset = page * kDbPageSize;
     size_t want = static_cast<size_t>(
@@ -126,7 +177,7 @@ base::Status ApplyToDatabase(store::DurableStore* store,
     if (want > 0) {
       RETURN_IF_ERROR(file->ReadExact(offset, readback.data(), want));
     }
-    if (std::memcmp(readback.data(), image.data(), kDbPageSize) != 0) {
+    if (std::memcmp(readback.data(), build.image.data(), kDbPageSize) != 0) {
       GlobalIntegrityMetrics()->verify_failures->Increment();
       return base::DataLoss("replayed page failed read-back verification: region " +
                             std::to_string(region) + " page " + std::to_string(page));
@@ -135,9 +186,20 @@ base::Status ApplyToDatabase(store::DurableStore* store,
     touched[region].push_back(page);
   }
   for (const auto& [region, pages] : touched) {
-    RETURN_IF_ERROR(UpdatePageChecksums(store, region, pages));
+    RETURN_IF_ERROR(UpdatePageChecksums(store_, region, pages));
   }
   return base::OkStatus();
+}
+
+base::Status ApplyToDatabase(store::DurableStore* store,
+                             const std::vector<TransactionRecord>& txns) {
+  ReplayWriteSet writes(store);
+  for (const auto& txn : txns) {
+    for (const auto& range : txn.ranges) {
+      RETURN_IF_ERROR(writes.Apply(range));
+    }
+  }
+  return writes.Commit();
 }
 
 base::Status ReplayLogsIntoDatabase(store::DurableStore* store,

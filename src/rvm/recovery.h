@@ -9,7 +9,12 @@
 #ifndef SRC_RVM_RECOVERY_H_
 #define SRC_RVM_RECOVERY_H_
 
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/status.h"
@@ -22,6 +27,65 @@ namespace rvm {
 // a torn tail (reported via *tail_was_torn when non-null).
 base::Result<std::vector<TransactionRecord>> ReadLogTransactions(
     store::DurableStore* store, const std::string& log_name, bool* tail_was_torn = nullptr);
+
+// The single replay core shared by eager replay (ApplyToDatabase), the
+// on-demand page replay of incremental recovery (replay_on_demand.h), and
+// the standby checkpoint's image write (lbc::CheckpointFromStandby).
+//
+// Apply() accumulates redo ranges page by page (pre-image read from the
+// database file, zero-padded past EOF, then overwritten by the ranges in
+// call order). Commit() performs all store mutations: page writes, file
+// syncs, a read-back verification of every touched page against the
+// accumulated image, and the sidecar checksum update — so the CRC/sidecar
+// logic exists exactly once.
+//
+// Options:
+//   page_filter      When set, only pages for which it returns true are
+//                    accumulated and written (single-page materialization).
+//   verify_preimages The on-demand path's rot gate. Before any mutation,
+//                    each accumulated page's pre-image is checked against
+//                    its existing sidecar entry. A mismatch is accepted
+//                    when (a) the entry equals the page's FINAL image CRC —
+//                    the signature of a power cut during an earlier
+//                    materialization of this same page, whose sidecar
+//                    intent (written before the data, see Commit) already
+//                    certifies where this replay is going — or (b) the
+//                    pending redo covers the whole page, in which case the
+//                    pre-image is irrelevant. Any other mismatch is genuine
+//                    rot under partially-covering redo: Commit fails with
+//                    DATA_LOSS before writing a byte, so the caller routes
+//                    the page through the Scrubber instead of laundering
+//                    the rot into a freshly certified page.
+struct ReplayOptions {
+  std::function<bool(RegionId, uint64_t)> page_filter;
+  bool verify_preimages = false;
+};
+
+class ReplayWriteSet {
+ public:
+  explicit ReplayWriteSet(store::DurableStore* store, ReplayOptions options = {});
+
+  // Accumulates one redo range (reads pre-images as needed; no writes).
+  base::Status Apply(const RangeImage& range);
+  // Writes, syncs, read-back-verifies, and re-checksums every accumulated
+  // page. In verify_preimages mode the sidecar intent entries are written
+  // and synced BEFORE the data, making a crash mid-write self-describing.
+  base::Status Commit();
+
+  uint64_t pages_touched() const { return pages_.size(); }
+
+ private:
+  struct PageBuild {
+    std::vector<uint8_t> image;      // pre-image + redo, zero-padded
+    std::vector<uint8_t> preimage;   // as first read (verify_preimages only)
+    std::vector<uint8_t> covered;    // per-byte redo coverage (verify mode)
+  };
+
+  store::DurableStore* store_;
+  ReplayOptions options_;
+  std::map<RegionId, std::unique_ptr<store::DurableFile>> files_;
+  std::map<std::pair<RegionId, uint64_t>, PageBuild> pages_;
+};
 
 // Applies transactions, in the given order, to the region database files.
 base::Status ApplyToDatabase(store::DurableStore* store,

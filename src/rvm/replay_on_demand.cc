@@ -1,0 +1,202 @@
+#include "src/rvm/replay_on_demand.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "src/rvm/recovery.h"
+
+namespace rvm {
+
+IncrementalRecoveryMetrics* GlobalIncrementalRecoveryMetrics() {
+  static IncrementalRecoveryMetrics* metrics = [] {
+    auto* reg = obs::MetricsRegistry::Global();
+    auto* m = new IncrementalRecoveryMetrics();
+    m->index_build_ms = reg->GetCounter("recovery.index_build_ms");
+    m->pages_on_demand = reg->GetCounter("recovery.pages_on_demand");
+    m->pages_background = reg->GetCounter("recovery.pages_background");
+    m->first_commit_ms = reg->GetCounter("recovery.first_commit_ms");
+    return m;
+  }();
+  return metrics;
+}
+
+IncrementalRecovery::IncrementalRecovery(store::DurableStore* store, LogIndex index,
+                                         base::Mutex* io_mu)
+    : store_(store), io_mu_(io_mu != nullptr ? io_mu : &own_io_mu_) {
+  base::MutexLock lk(mu_);
+  index_ = std::move(index);
+  for (const auto& key : index_.Pages()) {
+    pages_.emplace(key, PageEntry{});
+  }
+  pending_ = pages_.size();
+}
+
+base::Status IncrementalRecovery::MaterializeRegion(RegionId region,
+                                                    uint64_t deadline_ms) {
+  std::vector<uint64_t> pages;
+  {
+    base::MutexLock lk(mu_);
+    pages = index_.PagesOf(region);
+  }
+  // The deadline bounds each page's wait individually; the common stall is
+  // one page stuck behind another thread's replay, not many.
+  for (uint64_t page : pages) {
+    RETURN_IF_ERROR(MaterializePage(region, page, deadline_ms, /*background=*/false));
+  }
+  return base::OkStatus();
+}
+
+std::vector<RangeImage> IncrementalRecovery::CollectRangesLocked(
+    LogIndex::PageKey key) {
+  std::vector<RangeImage> out;
+  const std::vector<LogIndex::Slice>* slices = index_.SlicesFor(key.first, key.second);
+  if (slices == nullptr) {
+    return out;
+  }
+  out.reserve(slices->size());
+  for (const LogIndex::Slice& s : *slices) {
+    out.push_back(index_.transactions()[s.txn].ranges[s.range]);
+  }
+  return out;
+}
+
+base::Status IncrementalRecovery::ReplayPage(LogIndex::PageKey key,
+                                             std::vector<RangeImage> ranges) {
+  base::MutexLock io(*io_mu_);
+  ReplayOptions options;
+  options.verify_preimages = true;
+  options.page_filter = [key](RegionId region, uint64_t page) {
+    return region == key.first && page == key.second;
+  };
+  ReplayWriteSet writes(store_, std::move(options));
+  for (const RangeImage& range : ranges) {
+    RETURN_IF_ERROR(writes.Apply(range));
+  }
+  return writes.Commit();
+}
+
+base::Status IncrementalRecovery::MaterializePage(RegionId region, uint64_t page,
+                                                  uint64_t deadline_ms,
+                                                  bool background) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+  const LogIndex::PageKey key{region, page};
+  base::MutexLock lk(mu_);
+  for (;;) {
+    auto it = pages_.find(key);
+    if (it == pages_.end() || it->second.state == PageState::kDone) {
+      return base::OkStatus();
+    }
+    if (it->second.state == PageState::kInProgress) {
+      if (deadline_ms > 0) {
+        if (!cv_.WaitUntil(lk, deadline)) {
+          return base::DeadlineExceeded(
+              "timed out waiting for page replay: region " + std::to_string(region) +
+              " page " + std::to_string(page));
+        }
+      } else {
+        cv_.Wait(lk);
+      }
+      continue;
+    }
+    // kPending: claim it. The ranges are copied under mu_ because Extend may
+    // reallocate the index's transaction storage while we replay.
+    it->second.state = PageState::kInProgress;
+    const uint64_t gen = it->second.gen;
+    std::vector<RangeImage> ranges = CollectRangesLocked(key);
+    lk.Unlock();
+    base::Status replayed = ReplayPage(key, std::move(ranges));
+    lk.Lock();
+    PageEntry& entry = pages_[key];
+    if (!replayed.ok()) {
+      entry.state = PageState::kPending;  // stays recoverable (repair + retry)
+      cv_.NotifyAll();
+      return replayed;
+    }
+    if (entry.gen != gen) {
+      // Extend indexed new records for this page mid-replay; go again so
+      // the page is never marked done while redo for it is outstanding.
+      entry.state = PageState::kPending;
+      cv_.NotifyAll();
+      continue;
+    }
+    entry.state = PageState::kDone;
+    --pending_;
+    cv_.NotifyAll();
+    auto* m = GlobalIncrementalRecoveryMetrics();
+    (background ? m->pages_background : m->pages_on_demand)->Increment();
+    return base::OkStatus();
+  }
+}
+
+base::Result<bool> IncrementalRecovery::DrainStep(RegionId* failed_region) {
+  LogIndex::PageKey key{};
+  {
+    base::MutexLock lk(mu_);
+    for (;;) {
+      if (pending_ == 0) {
+        return false;
+      }
+      bool found = false;
+      for (const auto& [k, entry] : pages_) {
+        if (entry.state == PageState::kPending) {
+          key = k;
+          found = true;
+          break;
+        }
+      }
+      if (found) {
+        break;
+      }
+      // Every remaining page is in flight on another thread; wait for one
+      // to complete (or fail back to pending) rather than spinning.
+      cv_.Wait(lk);
+    }
+  }
+  base::Status st = MaterializePage(key.first, key.second, /*deadline_ms=*/0,
+                                    /*background=*/true);
+  if (!st.ok()) {
+    if (failed_region != nullptr) {
+      *failed_region = key.first;
+    }
+    return st;
+  }
+  return true;
+}
+
+bool IncrementalRecovery::Drained() const {
+  base::MutexLock lk(mu_);
+  return pending_ == 0;
+}
+
+uint64_t IncrementalRecovery::PendingPages() const {
+  base::MutexLock lk(mu_);
+  return pending_;
+}
+
+void IncrementalRecovery::Extend(std::vector<TransactionRecord> merged) {
+  base::MutexLock lk(mu_);
+  std::vector<LogIndex::PageKey> touched = index_.Extend(std::move(merged));
+  for (const LogIndex::PageKey& key : touched) {
+    auto [it, inserted] = pages_.try_emplace(key);
+    if (inserted) {
+      ++pending_;
+      continue;
+    }
+    switch (it->second.state) {
+      case PageState::kDone:
+        it->second.state = PageState::kPending;
+        ++pending_;
+        break;
+      case PageState::kInProgress:
+        ++it->second.gen;  // in-flight replay re-runs before marking done
+        break;
+      case PageState::kPending:
+        break;
+    }
+  }
+  cv_.NotifyAll();
+}
+
+}  // namespace rvm

@@ -1,0 +1,558 @@
+// Incremental ("instant") recovery: a restarted server builds a per-page
+// index over the merged logs instead of replaying them, declares itself
+// serving immediately, and materializes pages on first touch or from the
+// background drainer. These tests pin, in order:
+//
+//   * the LogIndex itself (mirrors the merged history; Extend dedups by
+//     per-node commit sequence),
+//   * the serve-before-drain window and post-drain byte identity with
+//     eager replay,
+//   * the op_deadline_ms bound on a first-touch wait (the transaction — and
+//     the client — stay usable after a DEADLINE_EXCEEDED map),
+//   * lazily discovered pre-image rot failing certification and routing
+//     through the Scrubber instead of being replayed over,
+//   * a dead-client recovery that no longer starves the calling heartbeat
+//     thread behind a synchronous replay, and
+//   * the boot-record dedup that keeps a late RecoverDeadClient from
+//     rolling already-replayed pages backwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/lbc/client.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/rvm/log_index.h"
+#include "src/rvm/log_io.h"
+#include "src/rvm/log_merge.h"
+#include "src/rvm/page_checksum.h"
+#include "src/rvm/replay_on_demand.h"
+#include "src/rvm/scrub.h"
+#include "src/store/corrupting_store.h"
+#include "src/store/mem_store.h"
+#include "src/store/replicated_store.h"
+#include "src/store/resource_store.h"
+
+namespace {
+
+class ObsSnapshotEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    std::string path = obs::SnapshotPath();
+    base::Status status = obs::WriteJsonSnapshot(path);
+    if (status.ok()) {
+      std::printf("obs snapshot: %s\n", path.c_str());
+    } else {
+      std::printf("obs snapshot failed: %s\n", status.ToString().c_str());
+    }
+  }
+};
+const ::testing::Environment* const kObsEnv =
+    ::testing::AddGlobalTestEnvironment(new ObsSnapshotEnvironment());
+
+uint64_t Counter(const char* name) {
+  return obs::MetricsRegistry::Global()->GetCounter(name)->value();
+}
+
+std::vector<uint8_t> ReadFile(store::DurableStore* store, const std::string& name) {
+  auto file = std::move(*store->Open(name, /*create=*/false));
+  std::vector<uint8_t> bytes(*file->Size());
+  if (!bytes.empty()) {
+    EXPECT_TRUE(file->ReadExact(0, bytes.data(), bytes.size()).ok());
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Shared two-region workload over a plain MemStore cluster
+// ---------------------------------------------------------------------------
+
+constexpr rvm::RegionId kRegionA = 1;
+constexpr rvm::RegionId kRegionB = 2;
+constexpr uint64_t kPagesA = 3;
+constexpr uint64_t kPagesB = 2;
+constexpr uint64_t kLenA = kPagesA * rvm::kDbPageSize;
+constexpr uint64_t kLenB = kPagesB * rvm::kDbPageSize;
+constexpr rvm::LockId kLockA1 = 101;  // region A, manager 1
+constexpr rvm::LockId kLockA2 = 102;  // region A, manager 2
+constexpr rvm::LockId kLockB1 = 103;  // region B, manager 1
+constexpr rvm::LockId kLockB2 = 104;  // region B, manager 2
+
+struct Fixture {
+  Fixture() : cluster(std::make_unique<lbc::Cluster>(&mem)) {
+    cluster->DefineLock(kLockA1, kRegionA, 1);
+    cluster->DefineLock(kLockA2, kRegionA, 2);
+    cluster->DefineLock(kLockB1, kRegionB, 1);
+    cluster->DefineLock(kLockB2, kRegionB, 2);
+    expected_a.assign(kLenA, 0);
+    expected_b.assign(kLenB, 0);
+  }
+
+  // Two clients commit full-page and straddling partial-page patterns into
+  // both regions, then detach. Every write is mirrored into expected_a/_b,
+  // so the fixture always knows the byte-exact committed images.
+  void CommitWorkload() {
+    auto a = std::move(*lbc::Client::Create(cluster.get(), 1, {}));
+    auto b = std::move(*lbc::Client::Create(cluster.get(), 2, {}));
+    ASSERT_TRUE(a->MapRegion(kRegionA, kLenA).ok());
+    ASSERT_TRUE(b->MapRegion(kRegionA, kLenA).ok());
+    ASSERT_TRUE(a->MapRegion(kRegionB, kLenB).ok());
+    ASSERT_TRUE(b->MapRegion(kRegionB, kLenB).ok());
+    auto commit = [&](lbc::Client* c, rvm::LockId lock, rvm::RegionId region,
+                      uint64_t offset, uint64_t len, uint8_t fill) {
+      lbc::Transaction txn = c->Begin();
+      ASSERT_TRUE(txn.Acquire(lock).ok());
+      ASSERT_TRUE(txn.SetRange(region, offset, len).ok());
+      std::memset(c->GetRegion(region)->data() + offset, fill, len);
+      ASSERT_TRUE(txn.Commit(rvm::CommitMode::kFlush).ok());
+      auto& expected = region == kRegionA ? expected_a : expected_b;
+      std::memset(expected.data() + offset, fill, len);
+    };
+    commit(a.get(), kLockA1, kRegionA, 0 * rvm::kDbPageSize, rvm::kDbPageSize, 0x11);
+    commit(b.get(), kLockA2, kRegionA, 1 * rvm::kDbPageSize, rvm::kDbPageSize, 0x22);
+    commit(a.get(), kLockA1, kRegionA, 2 * rvm::kDbPageSize, rvm::kDbPageSize, 0x33);
+    commit(b.get(), kLockA2, kRegionA, 8000, 400, 0x44);  // page 0/1 straddle
+    commit(a.get(), kLockB1, kRegionB, 0, rvm::kDbPageSize, 0x55);
+    commit(b.get(), kLockB2, kRegionB, rvm::kDbPageSize + 100, 200, 0x66);
+    ASSERT_TRUE(a->WaitForAppliedSeq(kLockA2, 2, 5000));
+    ASSERT_TRUE(b->WaitForAppliedSeq(kLockA1, 2, 5000));
+    a.reset();
+    b.reset();
+  }
+
+  store::MemStore mem;
+  std::unique_ptr<lbc::Cluster> cluster;
+  std::vector<uint8_t> expected_a;
+  std::vector<uint8_t> expected_b;
+};
+
+// ---------------------------------------------------------------------------
+// 1. The index mirrors the merged history
+// ---------------------------------------------------------------------------
+
+TEST(LogIndex, MirrorsMergedHistory) {
+  Fixture fx;
+  fx.CommitWorkload();
+  const std::vector<std::string> logs = {rvm::LogFileName(1), rvm::LogFileName(2)};
+
+  auto built = rvm::LogIndex::Build(&fx.mem, logs);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto merged = rvm::MergeLogs(&fx.mem, logs);
+  ASSERT_TRUE(merged.ok());
+  rvm::LogIndex from_merged = rvm::LogIndex::FromMerged(*merged);
+
+  // Same history, same pages, same per-lock and per-node maxima.
+  EXPECT_EQ(merged->size(), built->transactions().size());
+  EXPECT_EQ(from_merged.Pages(), built->Pages());
+  EXPECT_EQ(from_merged.MaxLockSeq(), built->MaxLockSeq());
+  EXPECT_EQ(5u, built->page_count());  // A:{0,1,2} + B:{0,1}
+  EXPECT_EQ((std::vector<uint64_t>{0, 1, 2}), built->PagesOf(kRegionA));
+  EXPECT_EQ((std::vector<uint64_t>{0, 1}), built->PagesOf(kRegionB));
+  EXPECT_TRUE(built->PagesOf(99).empty());
+
+  // Per-lock maxima match the workload's acquire counts.
+  EXPECT_EQ(2u, built->MaxLockSeq().at(kLockA1));
+  EXPECT_EQ(2u, built->MaxLockSeq().at(kLockA2));
+  EXPECT_EQ(1u, built->MaxLockSeq().at(kLockB1));
+  EXPECT_EQ(1u, built->MaxLockSeq().at(kLockB2));
+  EXPECT_GT(built->MaxCommitSeq(1), 0u);
+  EXPECT_EQ(0u, built->MaxCommitSeq(99));
+
+  // The straddling commit shows up on both pages it touches; untouched
+  // pages have no slice list at all.
+  ASSERT_NE(nullptr, built->SlicesFor(kRegionA, 0));
+  ASSERT_NE(nullptr, built->SlicesFor(kRegionA, 1));
+  EXPECT_EQ(nullptr, built->SlicesFor(kRegionA, 3));
+  EXPECT_EQ(nullptr, built->SlicesFor(99, 0));
+
+  // Per-page slice lists preserve merged order (monotone transaction
+  // indexes), so replaying a page's slices alone is order-correct.
+  for (const auto& key : built->Pages()) {
+    const auto* slices = built->SlicesFor(key.first, key.second);
+    ASSERT_NE(nullptr, slices);
+    ASSERT_FALSE(slices->empty());
+    for (size_t i = 1; i < slices->size(); ++i) {
+      EXPECT_LE((*slices)[i - 1].txn, (*slices)[i].txn);
+    }
+  }
+}
+
+TEST(LogIndex, ExtendDedupsByCommitSeq) {
+  Fixture fx;
+  fx.CommitWorkload();
+  auto built =
+      rvm::LogIndex::Build(&fx.mem, {rvm::LogFileName(1), rvm::LogFileName(2)});
+  ASSERT_TRUE(built.ok());
+  rvm::LogIndex index = std::move(*built);
+  const uint64_t pages_before = index.page_count();
+
+  // Re-merging an already indexed log must be a no-op.
+  auto merged = rvm::MergeLogs(&fx.mem, {rvm::LogFileName(2)});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(index.Extend(*merged).empty());
+  EXPECT_EQ(pages_before, index.page_count());
+
+  // A genuinely new record (fresh commit_seq) is indexed and reports the
+  // page it touches — including a page the index has never seen.
+  rvm::TransactionRecord rec;
+  rec.node = 2;
+  rec.commit_seq = index.MaxCommitSeq(2) + 1;
+  rec.locks.push_back({kLockA2, 3});
+  rvm::RangeImage range;
+  range.region = kRegionB;
+  range.offset = rvm::kDbPageSize + 10;
+  range.data.assign(16, 0x5A);
+  rec.ranges.push_back(range);
+  std::vector<rvm::LogIndex::PageKey> touched = index.Extend({rec});
+  ASSERT_EQ(1u, touched.size());
+  EXPECT_EQ(rvm::LogIndex::PageKey(kRegionB, 1), touched[0]);
+  EXPECT_EQ(3u, index.MaxLockSeq().at(kLockA2));
+
+  // And feeding the same record again dedups against the raised maximum.
+  EXPECT_TRUE(index.Extend({rec}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// 2. Serve before the drain finishes; byte-identical to eager afterwards
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalRecovery, ServesBeforeDrainThenMatchesEagerByteForByte) {
+  // Twin clusters, identical workload: one restarts eagerly (the reference
+  // bytes), one incrementally.
+  Fixture eager;
+  eager.CommitWorkload();
+  eager.cluster->KillServer();
+  ASSERT_TRUE(eager.cluster->RestartServer().ok());
+  ASSERT_FALSE(eager.cluster->RecoveryActive());  // eager mode has no window
+
+  Fixture incr;
+  incr.CommitWorkload();
+  incr.cluster->KillServer();
+  incr.cluster->SetRecoveryMode(lbc::Cluster::RecoveryMode::kIncremental);
+
+  const uint64_t on_demand_before = Counter("recovery.pages_on_demand");
+  const uint64_t background_before = Counter("recovery.pages_background");
+
+  {
+    // Holding the database-writer lock freezes all page materialization, so
+    // the serving-while-unreplayed window is observable deterministically.
+    base::MutexLock stall(incr.cluster->DbMutex());
+    ASSERT_TRUE(incr.cluster->RestartServer().ok());
+    EXPECT_TRUE(incr.cluster->ServerUp());
+    EXPECT_TRUE(incr.cluster->RecoveryActive());
+    EXPECT_EQ(kPagesA + kPagesB, incr.cluster->RecoveryPendingPages());
+    // The directory is already rebuilt — baselines match the eager twin
+    // before a single page has been replayed.
+    for (rvm::LockId lock : {kLockA1, kLockA2, kLockB1, kLockB2}) {
+      EXPECT_EQ(eager.cluster->BaselineSeq(lock), incr.cluster->BaselineSeq(lock));
+    }
+  }
+
+  // First touch: a fresh client maps region A while region B may still be
+  // pending; the fetch must already return the committed bytes.
+  auto c = std::move(*lbc::Client::Create(incr.cluster.get(), 3, {}));
+  auto mapped = c->MapRegion(kRegionA, kLenA);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(0, std::memcmp((*mapped)->data(), incr.expected_a.data(), kLenA));
+
+  // Drain the rest and retire the recovery.
+  ASSERT_TRUE(incr.cluster->DrainRecovery().ok());
+  EXPECT_FALSE(incr.cluster->RecoveryActive());
+  EXPECT_EQ(0u, incr.cluster->RecoveryPendingPages());
+
+  // Steady state after the drain is byte-identical to eager replay:
+  // database files AND checksum sidecars.
+  for (rvm::RegionId region : {kRegionA, kRegionB}) {
+    EXPECT_EQ(ReadFile(&eager.mem, rvm::RegionFileName(region)),
+              ReadFile(&incr.mem, rvm::RegionFileName(region)))
+        << "region " << region;
+    EXPECT_EQ(ReadFile(&eager.mem, rvm::ChecksumFileName(region)),
+              ReadFile(&incr.mem, rvm::ChecksumFileName(region)))
+        << "sidecar " << region;
+  }
+  EXPECT_EQ(incr.expected_a, ReadFile(&incr.mem, rvm::RegionFileName(kRegionA)));
+  EXPECT_EQ(incr.expected_b, ReadFile(&incr.mem, rvm::RegionFileName(kRegionB)));
+
+  // Every indexed page was materialized exactly once, split between the
+  // first-touch path and the drainer.
+  EXPECT_EQ(kPagesA + kPagesB, (Counter("recovery.pages_on_demand") -
+                                on_demand_before) +
+                                   (Counter("recovery.pages_background") -
+                                    background_before));
+}
+
+// ---------------------------------------------------------------------------
+// 3. op_deadline_ms bounds the first-touch wait
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalRecovery, MapRegionDeadlineBoundsWaitOnInFlightPage) {
+  Fixture fx;
+  fx.CommitWorkload();
+  fx.cluster->KillServer();
+  fx.cluster->SetRecoveryMode(lbc::Cluster::RecoveryMode::kIncremental);
+
+  std::unique_ptr<lbc::Client> c;
+  std::thread claimant;
+  {
+    // Freeze page replay: claimants mark pages in-progress, then block on
+    // the database-writer lock we hold.
+    base::MutexLock stall(fx.cluster->DbMutex());
+    ASSERT_TRUE(fx.cluster->RestartServer().ok());
+    claimant = std::thread([&fx] {
+      base::IgnoreError(fx.cluster->EnsureRegionRecovered(kRegionA));
+    });
+    // Let the claimant (or the background drainer) claim region A's pages.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+
+    lbc::ClientOptions opts;
+    opts.op_deadline_ms = 100;
+    c = std::move(*lbc::Client::Create(fx.cluster.get(), 3, opts));
+    auto mapped = c->MapRegion(kRegionA, kLenA);
+    ASSERT_FALSE(mapped.ok()) << "map served while every page was frozen";
+    EXPECT_EQ(base::StatusCode::kDeadlineExceeded, mapped.status().code());
+    EXPECT_EQ(1u, c->stats().deadline_misses);
+  }
+  claimant.join();
+
+  // The client survived the miss: the same map succeeds once the stall is
+  // gone, and serves the committed bytes.
+  auto mapped = c->MapRegion(kRegionA, kLenA);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(0, std::memcmp((*mapped)->data(), fx.expected_a.data(), kLenA));
+  ASSERT_TRUE(fx.cluster->DrainRecovery().ok());
+}
+
+// ---------------------------------------------------------------------------
+// 4. Lazily discovered rot fails certification and routes through the
+//    scrubber — it is never replayed over
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalRecovery, FirstTouchRotRoutesThroughScrubber) {
+  constexpr rvm::RegionId kRegion = 7;
+  constexpr uint64_t kPages = 3;
+  constexpr uint64_t kLen = kPages * rvm::kDbPageSize;
+
+  store::MemStore backends[2];
+  std::vector<std::unique_ptr<store::CorruptionInjectingStore>> corrupt;
+  corrupt.emplace_back(new store::CorruptionInjectingStore(&backends[0], 0xC0FFEE));
+  corrupt.emplace_back(new store::CorruptionInjectingStore(&backends[1], 0xDECAF));
+  store::ReplicatedStore replicated(
+      std::vector<store::DurableStore*>{corrupt[0].get(), corrupt[1].get()});
+  lbc::Cluster cluster(&replicated);
+  cluster.DefineLock(200, kRegion, 1);
+  cluster.DefineLock(201, kRegion, 3);
+  rvm::Scrubber scrubber(&replicated, &replicated);
+  cluster.SetScrubber(&scrubber);
+
+  std::vector<uint8_t> expected(kLen, 0);
+  auto commit = [&](lbc::Client* c, rvm::LockId lock, uint64_t offset,
+                    uint64_t len, uint8_t fill) {
+    lbc::Transaction txn = c->Begin();
+    ASSERT_TRUE(txn.Acquire(lock).ok());
+    ASSERT_TRUE(txn.SetRange(kRegion, offset, len).ok());
+    std::memset(c->GetRegion(kRegion)->data() + offset, fill, len);
+    ASSERT_TRUE(txn.Commit(rvm::CommitMode::kFlush).ok());
+    std::memset(expected.data() + offset, fill, len);
+  };
+
+  // Phase 1: full coverage, replayed and TRIMMED — the resulting database
+  // pages and sidecar entries are the only copy of these bytes, so later
+  // partial-page replay genuinely depends on certified pre-images.
+  {
+    auto a = std::move(*lbc::Client::Create(&cluster, 1, {}));
+    ASSERT_TRUE(a->MapRegion(kRegion, kLen).ok());
+    for (uint64_t page = 0; page < kPages; ++page) {
+      commit(a.get(), 200, page * rvm::kDbPageSize, rvm::kDbPageSize,
+             static_cast<uint8_t>(0x10 + page));
+    }
+  }
+  ASSERT_TRUE(cluster.RecoverAndTrim({1}).ok());
+
+  // Phase 2: partial-page updates from a fresh node — the only records a
+  // boot index will hold.
+  {
+    auto b = std::move(*lbc::Client::Create(&cluster, 3, {}));
+    ASSERT_TRUE(b->MapRegion(kRegion, kLen).ok());
+    commit(b.get(), 201, 1 * rvm::kDbPageSize + 3000, 100, 0x77);
+    commit(b.get(), 201, 2 * rvm::kDbPageSize + 100, 50, 0x88);
+  }
+
+  cluster.KillServer();
+  cluster.SetRecoveryMode(lbc::Cluster::RecoveryMode::kIncremental);
+  const uint64_t failures_before = Counter("integrity.verify_failures");
+  const uint64_t repaired_before = Counter("scrub.repaired_from_replica");
+  const std::string db = rvm::RegionFileName(kRegion);
+  {
+    base::MutexLock stall(cluster.DbMutex());
+    ASSERT_TRUE(cluster.RestartServer().ok());
+    EXPECT_EQ(2u, cluster.RecoveryPendingPages());  // pages 1 and 2 only
+    // Rot replica 0's pre-image of page 1, outside the pending redo range.
+    // Reads are served replica-0-first, so the first materialization MUST
+    // see the damage — and must refuse to certify, not replay over it.
+    ASSERT_TRUE(corrupt[0]->FlipBit(db, 1 * rvm::kDbPageSize + 7000, 3).ok());
+  }
+
+  // First touch discovers the rot; the fetch path repairs via the scrubber
+  // (replica 1 is clean) and retries, so the client still maps cleanly.
+  auto c = std::move(*lbc::Client::Create(&cluster, 5, {}));
+  auto mapped = c->MapRegion(kRegion, kLen);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(0, std::memcmp((*mapped)->data(), expected.data(), kLen));
+  EXPECT_GE(Counter("integrity.verify_failures"), failures_before + 1);
+  EXPECT_GE(Counter("scrub.repaired_from_replica"), repaired_before + 1);
+
+  ASSERT_TRUE(cluster.DrainRecovery().ok());
+  EXPECT_FALSE(cluster.RecoveryActive());
+  EXPECT_EQ(expected, ReadFile(&backends[0], db));
+  EXPECT_EQ(expected, ReadFile(&backends[1], db));
+  std::vector<uint8_t> image = ReadFile(&replicated, db);
+  auto failed = rvm::VerifyImagePages(&replicated, kRegion, image.data(),
+                                      image.size(), image.size());
+  ASSERT_TRUE(failed.ok());
+  EXPECT_TRUE(failed->empty());
+}
+
+// ---------------------------------------------------------------------------
+// 5. Dead-client recovery no longer starves the heartbeat thread
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalRecovery, DeadClientRecoveryKeepsHeartbeatsFlowing) {
+  constexpr rvm::RegionId kRegion = 9;
+  constexpr uint64_t kPages = 12;
+  constexpr uint64_t kLen = kPages * rvm::kDbPageSize;
+  constexpr rvm::LockId kLock = 210;
+
+  store::MemStore mem;
+  store::ResourceStore store(&mem);  // slow-disk injection surface
+  lbc::Cluster cluster(&store);
+  cluster.DefineLock(kLock, kRegion, 1);
+  cluster.SetRecoveryMode(lbc::Cluster::RecoveryMode::kIncremental);
+
+  auto survivor = std::move(*lbc::Client::Create(&cluster, 1, {}));
+  ASSERT_TRUE(survivor->MapRegion(kRegion, kLen).ok());
+  std::vector<uint8_t> expected(kLen, 0);
+  {
+    auto victim = std::move(*lbc::Client::Create(&cluster, 2, {}));
+    ASSERT_TRUE(victim->MapRegion(kRegion, kLen).ok());
+    for (uint64_t page = 0; page < kPages; ++page) {
+      lbc::Transaction txn = victim->Begin();
+      ASSERT_TRUE(txn.Acquire(kLock).ok());
+      ASSERT_TRUE(txn.SetRange(kRegion, page * rvm::kDbPageSize, rvm::kDbPageSize).ok());
+      uint8_t fill = static_cast<uint8_t>(0xA0 + page);
+      std::memset(victim->GetRegion(kRegion)->data() + page * rvm::kDbPageSize, fill,
+                  rvm::kDbPageSize);
+      ASSERT_TRUE(txn.Commit(rvm::CommitMode::kFlush).ok());
+      std::memset(expected.data() + page * rvm::kDbPageSize, fill, rvm::kDbPageSize);
+    }
+    victim->Disconnect();
+  }
+
+  // Every database-file I/O now costs 25 ms. An eager RecoverDeadClient
+  // would replay all 12 pages synchronously on the calling thread (several
+  // I/Os per page — well over a second); the incremental path only reads
+  // the log, which is not delayed.
+  store.InjectLatency(rvm::RegionFileName(kRegion), 25'000'000, 0);
+
+  // Emulate the survivor's heartbeat thread: beat every 20 ms, handle the
+  // peer death inline (exactly what HeartbeatThreadMain does), keep
+  // beating. The longest inter-beat gap brackets the recovery call.
+  std::chrono::steady_clock::duration max_gap{0};
+  std::thread heartbeat([&] {
+    auto last = std::chrono::steady_clock::now();
+    auto beat = [&] {
+      cluster.NoteAlive(1);
+      auto now = std::chrono::steady_clock::now();
+      max_gap = std::max(max_gap, now - last);
+      last = now;
+    };
+    for (int i = 0; i < 5; ++i) {
+      beat();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_TRUE(survivor->OnPeerDeath(2).ok());
+    for (int i = 0; i < 5; ++i) {
+      beat();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  heartbeat.join();
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(max_gap).count(),
+            300)
+      << "dead-client recovery starved the heartbeat thread";
+
+  // The deferred replay still lands everything: drain, then check the
+  // durable image and the rebuilt baseline.
+  ASSERT_TRUE(cluster.DrainRecovery().ok());
+  EXPECT_EQ(kPages, cluster.BaselineSeq(kLock));
+  EXPECT_EQ(expected, ReadFile(&mem, rvm::RegionFileName(kRegion)));
+}
+
+// ---------------------------------------------------------------------------
+// 6. A late RecoverDeadClient dedups records boot recovery already merged
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalRecovery, LateDeadClientRecoveryDedupsBootRecords) {
+  constexpr rvm::RegionId kRegion = 11;
+  constexpr uint64_t kLen = rvm::kDbPageSize;
+  constexpr rvm::LockId kSurvivorLock = 301;  // manager 1
+  constexpr rvm::LockId kVictimLock = 302;    // manager 2
+
+  store::MemStore mem;
+  lbc::Cluster cluster(&mem);
+  cluster.DefineLock(kSurvivorLock, kRegion, 1);
+  cluster.DefineLock(kVictimLock, kRegion, 2);
+
+  auto survivor = std::move(*lbc::Client::Create(&cluster, 1, {}));
+  ASSERT_TRUE(survivor->MapRegion(kRegion, kLen).ok());
+  {
+    auto victim = std::move(*lbc::Client::Create(&cluster, 2, {}));
+    ASSERT_TRUE(victim->MapRegion(kRegion, kLen).ok());
+    for (int i = 0; i < 3; ++i) {
+      lbc::Transaction txn = victim->Begin();
+      ASSERT_TRUE(txn.Acquire(kVictimLock).ok());
+      ASSERT_TRUE(txn.SetRange(kRegion, 0, kLen).ok());
+      std::memset(victim->GetRegion(kRegion)->data(), 0xAA, kLen);
+      ASSERT_TRUE(txn.Commit(rvm::CommitMode::kFlush).ok());
+    }
+    ASSERT_TRUE(survivor->WaitForAppliedSeq(kVictimLock, 3, 5000));
+    victim->Disconnect();
+  }
+
+  // Boot recovery indexes and drains the victim's records.
+  cluster.KillServer();
+  cluster.SetRecoveryMode(lbc::Cluster::RecoveryMode::kIncremental);
+  ASSERT_TRUE(cluster.RestartServer().ok());
+  ASSERT_TRUE(survivor->RejoinServer().ok());
+  ASSERT_TRUE(cluster.DrainRecovery().ok());
+
+  // A NEWER overlapping write replays over half the page.
+  {
+    lbc::Transaction txn = survivor->Begin();
+    ASSERT_TRUE(txn.Acquire(kSurvivorLock).ok());
+    ASSERT_TRUE(txn.SetRange(kRegion, 0, kLen / 2).ok());
+    std::memset(survivor->GetRegion(kRegion)->data(), 0xBB, kLen / 2);
+    ASSERT_TRUE(txn.Commit(rvm::CommitMode::kFlush).ok());
+  }
+  survivor.reset();
+  ASSERT_TRUE(cluster.ReplayAndRecordBaselines({rvm::LogFileName(1)}).ok());
+  const std::vector<uint8_t> gold = ReadFile(&mem, rvm::RegionFileName(kRegion));
+  ASSERT_EQ(uint8_t{0xBB}, gold[0]);
+  ASSERT_EQ(uint8_t{0xAA}, gold[kLen / 2]);
+
+  // The failure detector finally notices the long-dead victim. Its log is
+  // entirely boot-time records: re-pending them would replay 0xAA over the
+  // newer 0xBB half. The dedup bound must make this a no-op.
+  ASSERT_TRUE(cluster.RecoverDeadClient(2).ok());
+  EXPECT_FALSE(cluster.RecoveryActive());
+  ASSERT_TRUE(cluster.DrainRecovery().ok());
+  EXPECT_EQ(gold, ReadFile(&mem, rvm::RegionFileName(kRegion)));
+}
+
+}  // namespace

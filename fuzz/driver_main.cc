@@ -1,0 +1,230 @@
+// Per-harness fuzzer entry point. Each fuzz_<name> executable compiles this
+// file with -DLBC_FUZZ_HARNESS="<name>" and links the harness registry.
+//
+// Two drivers share the harness and mutator code:
+//   * Under clang, LBC_HAVE_LIBFUZZER is defined and libFuzzer drives the
+//     loop (coverage feedback, -max_total_time/-runs/-timeout/-rss_limit_mb,
+//     crash minimization). The structure-aware mutator plugs in through
+//     LLVMFuzzerCustomMutator with LLVMFuzzerMutate as the inner byte
+//     mutator, so coverage keeps steering inside frames.
+//   * Under GCC (no libFuzzer runtime) this file provides a standalone
+//     main(): it replays every corpus file, then runs a seeded mutation
+//     loop honoring the same -max_total_time=/-runs=/-seed= flags. No
+//     coverage feedback — but ASan/UBSan and every oracle still fire, a
+//     per-input alarm catches hangs, and any find is written out as a
+//     crash-*.bin reproducer exactly like libFuzzer would.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/fuzz/harness.h"
+#include "src/fuzz/mutators.h"
+
+#ifndef LBC_FUZZ_HARNESS
+#error "compile with -DLBC_FUZZ_HARNESS=\"<harness name>\""
+#endif
+
+namespace {
+
+const fuzz::Harness* TheHarness() {
+  static const fuzz::Harness* h = [] {
+    const fuzz::Harness* found = fuzz::FindHarness(LBC_FUZZ_HARNESS);
+    if (found == nullptr) {
+      std::fprintf(stderr, "unknown fuzz harness: %s\n", LBC_FUZZ_HARNESS);
+      std::abort();
+    }
+    return found;
+  }();
+  return h;
+}
+
+}  // namespace
+
+#ifdef LBC_HAVE_LIBFUZZER
+
+extern "C" size_t LLVMFuzzerMutate(uint8_t* data, size_t size, size_t max_size);
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return TheHarness()->run(data, size);
+}
+
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size, size_t max_size,
+                                          unsigned int seed) {
+  return fuzz::MutateInput(TheHarness()->mutator, data, size, max_size, seed,
+                           LLVMFuzzerMutate);
+}
+
+#else  // standalone driver
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace {
+
+// State the crash handler needs; kept in plain globals so the handler only
+// touches async-signal-safe machinery.
+const uint8_t* g_current_data = nullptr;
+size_t g_current_size = 0;
+volatile sig_atomic_t g_in_input = 0;
+
+void WriteAll(int fd, const void* buf, size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    ssize_t n = write(fd, p, len);
+    if (n <= 0) {
+      return;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void CrashHandler(int sig) {
+  if (g_in_input) {
+    static const char kMsg[] = "\n=== fuzz driver: crash, reproducer in crash-" LBC_FUZZ_HARNESS
+                               ".bin ===\n";
+    WriteAll(STDERR_FILENO, kMsg, sizeof(kMsg) - 1);
+    int fd = open("crash-" LBC_FUZZ_HARNESS ".bin", O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      WriteAll(fd, g_current_data, g_current_size);
+      close(fd);
+    }
+  }
+  if (sig == SIGALRM) {
+    static const char kHang[] = "=== fuzz driver: per-input timeout (hang) ===\n";
+    WriteAll(STDERR_FILENO, kHang, sizeof(kHang) - 1);
+    _exit(70);
+  }
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+int RunOne(const uint8_t* data, size_t size, unsigned timeout_s) {
+  g_current_data = data;
+  g_current_size = size;
+  g_in_input = 1;
+  alarm(timeout_s);
+  int rc = TheHarness()->run(data, size);
+  alarm(0);
+  g_in_input = 0;
+  return rc;
+}
+
+std::vector<std::filesystem::path> CollectInputs(const std::vector<std::string>& args) {
+  std::vector<std::filesystem::path> files;
+  for (const std::string& arg : args) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg, ec)) {
+        if (entry.is_regular_file()) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (std::filesystem::is_regular_file(arg, ec)) {
+      files.emplace_back(arg);
+    } else {
+      std::fprintf(stderr, "warning: skipping missing input %s\n", arg.c_str());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  long long runs = -1;          // -1: unbounded (until max_total_time)
+  long long max_total_time = 0; // 0: replay corpus only, no mutation loop
+  unsigned timeout_s = 10;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "-seed=", 6) == 0) {
+      seed = std::strtoull(a + 6, nullptr, 10);
+    } else if (std::strncmp(a, "-runs=", 6) == 0) {
+      runs = std::strtoll(a + 6, nullptr, 10);
+    } else if (std::strncmp(a, "-max_total_time=", 16) == 0) {
+      max_total_time = std::strtoll(a + 16, nullptr, 10);
+    } else if (std::strncmp(a, "-timeout=", 9) == 0) {
+      timeout_s = static_cast<unsigned>(std::strtoul(a + 9, nullptr, 10));
+    } else if (a[0] == '-') {
+      // Ignore unknown dashed flags so libFuzzer-style invocations
+      // (-rss_limit_mb=..., -print_final_stats=1) keep working.
+      std::fprintf(stderr, "note: ignoring flag %s\n", a);
+    } else {
+      inputs.emplace_back(a);
+    }
+  }
+
+  for (int sig : {SIGSEGV, SIGBUS, SIGABRT, SIGFPE, SIGILL, SIGALRM}) {
+    signal(sig, CrashHandler);
+  }
+
+  // Phase 1: replay every corpus file (also the reproducer path: pass a
+  // single crash file to re-run it).
+  std::vector<std::filesystem::path> files = CollectInputs(inputs);
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const auto& path : files) {
+    corpus.push_back(ReadFileBytes(path));
+    RunOne(corpus.back().data(), corpus.back().size(), timeout_s);
+  }
+  std::fprintf(stderr, "%s: replayed %zu corpus inputs\n", LBC_FUZZ_HARNESS,
+               corpus.size());
+  if (corpus.empty()) {
+    corpus.push_back({});  // mutate from the empty input if no corpus given
+  }
+
+  // Phase 2: seeded mutation loop (no coverage feedback; the structure-aware
+  // mutator carries the exploration).
+  if (max_total_time <= 0 && runs < 0) {
+    return 0;
+  }
+  base::Rng rng(seed);
+  std::vector<uint8_t> buf(fuzz::kMaxInputBytes);
+  auto start = std::chrono::steady_clock::now();
+  long long done = 0;
+  while (runs < 0 || done < runs) {
+    if (max_total_time > 0) {
+      auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      if (elapsed >= max_total_time) {
+        break;
+      }
+    }
+    const std::vector<uint8_t>& base_input = corpus[rng.Uniform(corpus.size())];
+    size_t n = std::min(base_input.size(), buf.size());
+    if (n > 0) {
+      std::memcpy(buf.data(), base_input.data(), n);
+    }
+    n = fuzz::MutateInput(TheHarness()->mutator, buf.data(), n, buf.size(), rng.Next(),
+                          nullptr);
+    RunOne(buf.data(), n, timeout_s);
+    ++done;
+    if (done % 65536 == 0) {
+      std::fprintf(stderr, "%s: %lld runs\n", LBC_FUZZ_HARNESS, done);
+    }
+  }
+  std::fprintf(stderr, "%s: done, %lld mutation runs\n", LBC_FUZZ_HARNESS, done);
+  return 0;
+}
+
+#endif  // LBC_HAVE_LIBFUZZER

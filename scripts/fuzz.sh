@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Coverage-guided fuzzing gate for every untrusted-byte decoder.
+#
+# Builds the harness subsystem with -DLBC_FUZZ=ON (ASan+UBSan always; under
+# clang each harness also links libFuzzer and uses the structure-aware
+# mutators through LLVMFuzzerCustomMutator) and runs every registered
+# harness over its pinned corpus plus the checked-in crash reproducers.
+#
+# Usage: scripts/fuzz.sh [seconds-per-harness]
+#
+#   seconds-per-harness   fuzzing time per harness after the corpus replay
+#                         (default 60 — the CI smoke budget; local runs
+#                         before a decoder change should use 300+).
+#
+# Exits nonzero on any sanitizer finding, oracle failure (the harness
+# aborts), hang (per-input timeout), or crash. New finds land in
+# crash-<harness>.bin (standalone driver) or crash-<sha1> (libFuzzer);
+# minimize, name, and pin them under fuzz/crashes/<harness>/ so
+# fuzz_regression_test replays them forever.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+budget="${1:-60}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+build=build-fuzz
+cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLBC_FUZZ=ON
+harnesses=(log_transaction log_frame_scan log_index_build log_merge
+           wire_update wire_lock_request wire_lock_forward wire_lock_token
+           wire_lock_revoke wire_lock_revoke_reply page_sidecar)
+targets=(gen_corpus)
+for h in "${harnesses[@]}"; do
+  targets+=("fuzz_${h}")
+done
+cmake --build "$build" -j "$jobs" --target "${targets[@]}"
+
+# The corpora are generated from the real encoders and checked in; verify
+# the checked-in set is reproducible before fuzzing from it (a diff means
+# an encoder changed without `gen_corpus fuzz` being re-run — stale seeds
+# would quietly weaken the round-trip oracles).
+regen="$(mktemp -d)"
+"./$build/fuzz/gen_corpus" "$regen" >/dev/null
+diff -r "$regen/corpus" fuzz/corpus
+diff -r "$regen/crashes" fuzz/crashes
+rm -rf "$regen"
+
+fail=0
+for h in "${harnesses[@]}"; do
+  echo "=== fuzz: $h (${budget}s) ==="
+  dirs=("fuzz/corpus/$h")
+  [[ -d "fuzz/crashes/$h" ]] && dirs+=("fuzz/crashes/$h")
+  # Both driver modes take the same flags: libFuzzer natively, the
+  # standalone driver by design. -timeout catches hangs in either.
+  if ! "./$build/fuzz/fuzz_$h" -max_total_time="$budget" -seed=1 \
+       -timeout=30 "${dirs[@]}"; then
+    echo "fuzz: $h FAILED — reproduce with the artifact above, fix the" >&2
+    echo "decoder, then pin the input under fuzz/crashes/$h/" >&2
+    fail=1
+  fi
+done
+
+exit "$fail"

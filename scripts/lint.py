@@ -25,6 +25,14 @@ and tools/:
      discard must name itself via base::IgnoreError(expr) so reviewers can
      grep every swallowed error.
 
+  5. Decoder totality (fuzz/REGISTRY): every
+     `base::Status Decode*(base::ByteSpan, ...)` declared in a header under
+     src/ must be mapped to a fuzz harness in fuzz/REGISTRY, every harness
+     named there must be registered in src/fuzz/harness.cc, and every
+     registered harness must have a checked-in seed corpus under
+     fuzz/corpus/<harness>/. A new untrusted-byte decoder cannot ship
+     without a fuzzer pointed at it.
+
 Exit status 0 when clean, 1 with findings on stderr.
 """
 
@@ -160,10 +168,92 @@ def check_file(path, rel, findings):
                     )
 
 
+# A public decoder entry point: takes untrusted bytes, returns Status.
+DECODER_DECL = re.compile(r"\bbase::Status\s+(Decode\w*)\s*\(\s*base::ByteSpan\b")
+REGISTRY_LINE = re.compile(r"^(\S+)\s+(\S+)\s*$")
+HARNESS_REG = re.compile(r'\{\s*"([\w]+)"\s*,\s*Run\w+\s*,')
+
+
+def check_registry(findings):
+    """Rule 5: headers' Decode* surface <-> fuzz/REGISTRY <-> harness.cc."""
+    registry_path = os.path.join(REPO_ROOT, "fuzz", "REGISTRY")
+    harness_cc = os.path.join(REPO_ROOT, "src", "fuzz", "harness.cc")
+    if not os.path.isfile(registry_path) or not os.path.isfile(harness_cc):
+        findings.append(
+            "fuzz/REGISTRY or src/fuzz/harness.cc missing; the decoder-"
+            "coverage gate cannot run"
+        )
+        return
+
+    mapped = {}  # decoder function -> harness name
+    with open(registry_path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            m = REGISTRY_LINE.match(line)
+            if not m:
+                findings.append(
+                    f"fuzz/REGISTRY:{lineno}: malformed line (want "
+                    f"'<decoder> <harness>'): {line!r}"
+                )
+                continue
+            mapped[m.group(1)] = (m.group(2), lineno)
+
+    registered = set()
+    with open(harness_cc, encoding="utf-8", errors="replace") as f:
+        for line in f:
+            m = HARNESS_REG.search(line)
+            if m:
+                registered.add(m.group(1))
+
+    # Every header-declared Decode*(ByteSpan, ...) in src/ needs a mapping.
+    src_root = os.path.join(REPO_ROOT, "src")
+    for dirpath, _, names in os.walk(src_root):
+        for name in sorted(names):
+            if not name.endswith((".h", ".hpp")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, REPO_ROOT)
+            with open(path, encoding="utf-8", errors="replace") as f:
+                for lineno, raw in enumerate(f, 1):
+                    m = DECODER_DECL.search(strip_comments(raw))
+                    if not m:
+                        continue
+                    fn = m.group(1)
+                    if fn not in mapped:
+                        findings.append(
+                            f"{rel}:{lineno}: decoder {fn}() takes untrusted "
+                            f"bytes but has no fuzz harness; add a "
+                            f"'{fn} <harness>' row to fuzz/REGISTRY and "
+                            f"register the harness in src/fuzz/harness.cc"
+                        )
+
+    # Every REGISTRY row must point at a real harness, and every harness
+    # must have a pinned seed corpus.
+    for fn, (harness, lineno) in sorted(mapped.items()):
+        if harness not in registered:
+            findings.append(
+                f"fuzz/REGISTRY:{lineno}: {fn} maps to harness "
+                f"'{harness}', which is not registered in "
+                f"src/fuzz/harness.cc"
+            )
+    for harness in sorted(registered):
+        corpus = os.path.join(REPO_ROOT, "fuzz", "corpus", harness)
+        if not os.path.isdir(corpus) or not any(
+            e.is_file() for e in os.scandir(corpus)
+        ):
+            findings.append(
+                f"fuzz/corpus/{harness}/: registered harness has no "
+                f"checked-in seed corpus (run build/gen_corpus fuzz)"
+            )
+
+
 def main():
     findings = []
     for path, rel in iter_files():
         check_file(path, rel, findings)
+    check_registry(findings)
     if findings:
         for f in findings:
             print(f, file=sys.stderr)

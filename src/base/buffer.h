@@ -163,11 +163,32 @@ class Reader {
       }
       value |= static_cast<uint64_t>(byte & 0x7F) << shift;
       if ((byte & 0x80) == 0) {
+        // Writer emits minimal encodings only; a terminal zero group after
+        // the first byte (e.g. 0x80 0x00 for 0) is a second spelling of the
+        // same value. Rejecting it keeps every accepted value one-encoding
+        // canonical, so decode-then-re-encode is byte-identical and a forged
+        // duplicate record cannot dodge byte-level comparison or dedup.
+        if (byte == 0 && shift > 0) {
+          return DataLoss("non-minimal varint");
+        }
         break;
       }
       shift += 7;
     }
     *out = value;
+    return OkStatus();
+  }
+
+  // Varint bounded to uint32 identifiers (NodeId, RegionId). A value above
+  // UINT32_MAX would silently truncate at the cast site — an accepted-but-
+  // wrong record — so it is rejected here instead.
+  Status ReadVarint32(uint32_t* out) {
+    uint64_t wide = 0;
+    RETURN_IF_ERROR(ReadVarint(&wide));
+    if (wide > UINT32_MAX) {
+      return DataLoss("varint exceeds 32-bit identifier");
+    }
+    *out = static_cast<uint32_t>(wide);
     return OkStatus();
   }
 

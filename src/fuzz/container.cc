@@ -1,0 +1,54 @@
+#include "src/fuzz/container.h"
+
+#include <algorithm>
+
+namespace fuzz {
+
+std::vector<base::ByteSpan> SplitContainer(base::ByteSpan input, size_t max_parts) {
+  if (input.empty()) {
+    return {input};
+  }
+  size_t count = input[0];
+  if (count == 0 || count > max_parts) {
+    return {input};
+  }
+  size_t header = 1 + 3 * (count - 1);
+  if (input.size() < header) {
+    return {input};
+  }
+  std::vector<base::ByteSpan> parts;
+  size_t pos = header;
+  for (size_t i = 0; i + 1 < count; ++i) {
+    size_t off = 1 + 3 * i;
+    size_t len = static_cast<size_t>(input[off]) |
+                 (static_cast<size_t>(input[off + 1]) << 8) |
+                 (static_cast<size_t>(input[off + 2]) << 16);
+    if (len > input.size() - pos) {
+      return {input};
+    }
+    parts.emplace_back(input.data() + pos, len);
+    pos += len;
+  }
+  parts.emplace_back(input.data() + pos, input.size() - pos);
+  return parts;
+}
+
+std::vector<uint8_t> JoinContainer(const std::vector<base::ByteSpan>& parts) {
+  std::vector<uint8_t> out;
+  size_t count = std::max<size_t>(parts.size(), 1);
+  out.push_back(static_cast<uint8_t>(count));
+  for (size_t i = 0; i + 1 < count; ++i) {
+    size_t len = std::min(parts[i].size(), kMaxContainerPartBytes);
+    out.push_back(static_cast<uint8_t>(len & 0xFF));
+    out.push_back(static_cast<uint8_t>((len >> 8) & 0xFF));
+    out.push_back(static_cast<uint8_t>((len >> 16) & 0xFF));
+  }
+  for (size_t i = 0; i < parts.size(); ++i) {
+    size_t len = i + 1 < count ? std::min(parts[i].size(), kMaxContainerPartBytes)
+                               : parts[i].size();
+    out.insert(out.end(), parts[i].begin(), parts[i].begin() + len);
+  }
+  return out;
+}
+
+}  // namespace fuzz

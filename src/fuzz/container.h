@@ -1,0 +1,37 @@
+// Multi-part container format for fuzz inputs that feed several byte
+// strings at once (e.g. one log file per node for the merge harness, or a
+// sidecar + database pair). Layout:
+//
+//   u8 count (1..max_parts) | (count-1) x u24-LE part length | parts...
+//
+// The last part is whatever remains after the sized parts. The format is
+// deliberately trivial so structure-aware mutators can split, mutate one
+// part, and re-join without understanding the parts themselves. Inputs that
+// do not parse as a container (count of 0, count above max_parts, or sized
+// parts overrunning the input) degrade to a single part holding the whole
+// input, so plain byte mutation still reaches every harness.
+#ifndef SRC_FUZZ_CONTAINER_H_
+#define SRC_FUZZ_CONTAINER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/buffer.h"
+
+namespace fuzz {
+
+// 3-byte part lengths bound each sized part at 16 MB, far above the 1 MB
+// harness input cap, so JoinContainer never truncates in practice.
+inline constexpr size_t kMaxContainerPartBytes = (1u << 24) - 1;
+
+// Never empty: malformed containers come back as {input}.
+std::vector<base::ByteSpan> SplitContainer(base::ByteSpan input, size_t max_parts);
+
+// Inverse of SplitContainer for well-formed part lists (each sized part
+// must fit kMaxContainerPartBytes; oversized parts are clipped).
+std::vector<uint8_t> JoinContainer(const std::vector<base::ByteSpan>& parts);
+
+}  // namespace fuzz
+
+#endif  // SRC_FUZZ_CONTAINER_H_

@@ -1,0 +1,49 @@
+#include "src/fuzz/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fuzz {
+
+const std::vector<Harness>& AllHarnesses() {
+  static const std::vector<Harness>* harnesses = new std::vector<Harness>{
+      {"log_transaction", RunLogTransaction, MutatorKind::kLog},
+      {"log_frame_scan", RunLogFrameScan, MutatorKind::kLog},
+      {"log_index_build", RunLogIndexBuild, MutatorKind::kLog},
+      {"log_merge", RunLogMerge, MutatorKind::kLog},
+      {"wire_update", RunWireUpdate, MutatorKind::kWire},
+      {"wire_lock_request", RunWireLockRequest, MutatorKind::kWire},
+      {"wire_lock_forward", RunWireLockForward, MutatorKind::kWire},
+      {"wire_lock_token", RunWireLockToken, MutatorKind::kWire},
+      {"wire_lock_revoke", RunWireLockRevoke, MutatorKind::kWire},
+      {"wire_lock_revoke_reply", RunWireLockRevokeReply, MutatorKind::kWire},
+      {"page_sidecar", RunPageSidecar, MutatorKind::kRaw},
+  };
+  return *harnesses;
+}
+
+const Harness* FindHarness(const char* name) {
+  for (const Harness& h : AllHarnesses()) {
+    if (std::strcmp(h.name, name) == 0) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+void OracleFailure(const char* harness, const char* message, const uint8_t* data,
+                   size_t size) {
+  std::fprintf(stderr, "\n=== fuzz oracle failure: %s ===\n%s\n", harness, message);
+  if (data != nullptr) {
+    size_t n = size < 64 ? size : 64;
+    std::fprintf(stderr, "input (%zu bytes%s): ", size, size > n ? ", first 64" : "");
+    for (size_t i = 0; i < n; ++i) {
+      std::fprintf(stderr, "%02x ", data[i]);
+    }
+    std::fprintf(stderr, "\n");
+  }
+  std::abort();
+}
+
+}  // namespace fuzz

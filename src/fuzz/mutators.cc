@@ -1,0 +1,254 @@
+#include "src/fuzz/mutators.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/base/crc32.h"
+#include "src/base/rng.h"
+#include "src/fuzz/container.h"
+#include "src/lbc/wire_format.h"
+#include "src/rvm/log_io.h"
+
+namespace fuzz {
+namespace {
+
+// Deterministic fallback when no coverage-guided byte mutator is supplied
+// (the standalone GCC driver): a few rounds of flip/overwrite/insert/erase.
+size_t FallbackMutateBytes(base::Rng* rng, uint8_t* data, size_t size, size_t max_size) {
+  if (max_size == 0) {
+    return 0;
+  }
+  size_t rounds = 1 + rng->Uniform(4);
+  for (size_t i = 0; i < rounds; ++i) {
+    switch (rng->Uniform(5)) {
+      case 0:  // bit flip
+        if (size > 0) {
+          data[rng->Uniform(size)] ^= static_cast<uint8_t>(1u << rng->Uniform(8));
+        }
+        break;
+      case 1:  // overwrite with a random byte
+        if (size > 0) {
+          data[rng->Uniform(size)] = static_cast<uint8_t>(rng->Next());
+        }
+        break;
+      case 2:  // overwrite with an interesting small/boundary value
+        if (size > 0) {
+          static constexpr uint8_t kInteresting[] = {0, 1, 0x7F, 0x80, 0xFF};
+          data[rng->Uniform(size)] = kInteresting[rng->Uniform(5)];
+        }
+        break;
+      case 3:  // insert a random byte
+        if (size < max_size) {
+          size_t at = rng->Uniform(size + 1);
+          std::memmove(data + at + 1, data + at, size - at);
+          data[at] = static_cast<uint8_t>(rng->Next());
+          ++size;
+        }
+        break;
+      case 4:  // erase a byte
+        if (size > 0) {
+          size_t at = rng->Uniform(size);
+          std::memmove(data + at, data + at + 1, size - at - 1);
+          --size;
+        }
+        break;
+    }
+  }
+  return size;
+}
+
+size_t ApplyByteMutator(ByteMutator mutate_bytes, base::Rng* rng, uint8_t* data,
+                        size_t size, size_t max_size) {
+  if (mutate_bytes != nullptr) {
+    return mutate_bytes(data, size, max_size);
+  }
+  return FallbackMutateBytes(rng, data, size, max_size);
+}
+
+// --- log envelope ------------------------------------------------------------
+
+struct LogView {
+  // Parsed payloads of the well-formed frame prefix, then the raw tail that
+  // did not frame-parse (torn or garbage bytes kept verbatim).
+  std::vector<std::vector<uint8_t>> payloads;
+  std::vector<uint8_t> tail;
+};
+
+LogView ParseLog(const uint8_t* data, size_t size) {
+  LogView view;
+  size_t pos = 0;
+  while (size - pos >= rvm::kFrameHeaderSize) {
+    uint32_t magic = 0, len = 0, crc = 0;
+    std::memcpy(&magic, data + pos, 4);
+    std::memcpy(&len, data + pos + 4, 4);
+    std::memcpy(&crc, data + pos + 8, 4);
+    if (magic != rvm::kLogMagic || len > size - pos - rvm::kFrameHeaderSize) {
+      break;
+    }
+    const uint8_t* payload = data + pos + rvm::kFrameHeaderSize;
+    view.payloads.emplace_back(payload, payload + len);
+    pos += rvm::kFrameHeaderSize + len;
+  }
+  view.tail.assign(data + pos, data + size);
+  return view;
+}
+
+std::vector<uint8_t> SerializeLog(const LogView& view) {
+  std::vector<uint8_t> out;
+  for (const auto& payload : view.payloads) {
+    uint32_t magic = rvm::kLogMagic;
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    uint32_t crc = base::Crc32c(payload.data(), payload.size());
+    size_t at = out.size();
+    out.resize(at + rvm::kFrameHeaderSize);
+    std::memcpy(out.data() + at, &magic, 4);
+    std::memcpy(out.data() + at + 4, &len, 4);
+    std::memcpy(out.data() + at + 8, &crc, 4);
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  out.insert(out.end(), view.tail.begin(), view.tail.end());
+  return out;
+}
+
+std::vector<uint8_t> MutateLogBytes(base::Rng* rng, ByteMutator mutate_bytes,
+                                    base::ByteSpan input, size_t max_size) {
+  LogView view = ParseLog(input.data(), input.size());
+  if (view.payloads.empty()) {
+    // Nothing framed yet: half the time bootstrap a valid empty-ish frame
+    // around the bytes so the corpus discovers the envelope at all.
+    if (rng->Chance(1, 2)) {
+      view.payloads.emplace_back(view.tail);
+      view.tail.clear();
+      return SerializeLog(view);
+    }
+    std::vector<uint8_t> out(input.begin(), input.end());
+    out.resize(std::max(out.size(), size_t{1}) + 64);
+    size_t cap = std::min(out.size(), max_size);
+    size_t n = ApplyByteMutator(mutate_bytes, rng, out.data(),
+                                std::min(input.size(), cap), cap);
+    out.resize(n);
+    return out;
+  }
+  size_t victim = rng->Uniform(view.payloads.size());
+  switch (rng->Uniform(6)) {
+    case 0: {  // mutate one payload, CRC re-fixed by serialization
+      auto& payload = view.payloads[victim];
+      size_t cap = payload.size() + 64;
+      payload.resize(cap);
+      size_t n = ApplyByteMutator(mutate_bytes, rng, payload.data(), cap - 64, cap);
+      payload.resize(n);
+      break;
+    }
+    case 1:  // duplicate a frame (replayed/stuttered record)
+      view.payloads.insert(view.payloads.begin() + rng->Uniform(view.payloads.size() + 1),
+                           view.payloads[victim]);
+      break;
+    case 2:  // drop a frame (lost record)
+      view.payloads.erase(view.payloads.begin() + victim);
+      break;
+    case 3: {  // swap two frames (reordered history)
+      size_t other = rng->Uniform(view.payloads.size());
+      std::swap(view.payloads[victim], view.payloads[other]);
+      break;
+    }
+    case 4:  // tear the tail mid-frame
+      view.tail.clear();
+      {
+        std::vector<uint8_t> whole = SerializeLog(view);
+        if (!whole.empty()) {
+          whole.resize(rng->Uniform(whole.size()));
+        }
+        return whole;
+      }
+    case 5:  // corrupt one raw byte WITHOUT fixing the CRC (torn-tail path)
+    {
+      std::vector<uint8_t> whole = SerializeLog(view);
+      if (!whole.empty()) {
+        whole[rng->Uniform(whole.size())] ^= static_cast<uint8_t>(1u << rng->Uniform(8));
+      }
+      return whole;
+    }
+  }
+  return SerializeLog(view);
+}
+
+size_t MutateLog(base::Rng* rng, ByteMutator mutate_bytes, uint8_t* data, size_t size,
+                 size_t max_size) {
+  base::ByteSpan input(data, size);
+  std::vector<base::ByteSpan> parts = SplitContainer(input, /*max_parts=*/4);
+  bool is_container = !(parts.size() == 1 && parts[0].size() == size);
+  std::vector<uint8_t> out;
+  if (is_container) {
+    // Mutate one log of the container, keep the others verbatim.
+    size_t victim = rng->Uniform(parts.size());
+    std::vector<uint8_t> mutated =
+        MutateLogBytes(rng, mutate_bytes, parts[victim], max_size);
+    std::vector<base::ByteSpan> joined;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      joined.push_back(i == victim ? base::ByteSpan(mutated.data(), mutated.size())
+                                   : parts[i]);
+    }
+    out = JoinContainer(joined);
+  } else if (size > 0 && rng->Chance(1, 8)) {
+    // Occasionally wrap the single log into a 2-part container so the
+    // multi-log harnesses explore genuine merges.
+    out = JoinContainer({input, input});
+  } else {
+    out = MutateLogBytes(rng, mutate_bytes, input, max_size);
+  }
+  size_t n = std::min(out.size(), max_size);
+  if (n > 0) {
+    std::memcpy(data, out.data(), n);
+  }
+  return n;
+}
+
+// --- wire envelope -----------------------------------------------------------
+
+size_t MutateWire(base::Rng* rng, ByteMutator mutate_bytes, uint8_t* data, size_t size,
+                  size_t max_size) {
+  if (size == 0 || max_size == 0) {
+    if (max_size == 0) {
+      return 0;
+    }
+    data[0] = static_cast<uint8_t>(1 + rng->Uniform(6));
+    return 1;
+  }
+  switch (rng->Uniform(4)) {
+    case 0:  // retag to a sibling message type, body unchanged
+      data[0] = static_cast<uint8_t>(1 + rng->Uniform(6));
+      return size;
+    case 1:  // flip the header-compression flag (update messages)
+      if (size > 1) {
+        data[1] = static_cast<uint8_t>(data[1] == 1 ? 0 : 1);
+      }
+      return size;
+    case 2: {  // mutate the body under a stable type byte
+      uint8_t type = data[0];
+      size_t n = ApplyByteMutator(mutate_bytes, rng, data + 1, size - 1, max_size - 1);
+      data[0] = type;
+      return n + 1;
+    }
+    default:  // whole-message byte mutation (tag included)
+      return ApplyByteMutator(mutate_bytes, rng, data, size, max_size);
+  }
+}
+
+}  // namespace
+
+size_t MutateInput(MutatorKind kind, uint8_t* data, size_t size, size_t max_size,
+                   uint64_t seed, ByteMutator mutate_bytes) {
+  base::Rng rng(seed);
+  switch (kind) {
+    case MutatorKind::kLog:
+      return MutateLog(&rng, mutate_bytes, data, size, max_size);
+    case MutatorKind::kWire:
+      return MutateWire(&rng, mutate_bytes, data, size, max_size);
+    case MutatorKind::kRaw:
+      break;
+  }
+  return ApplyByteMutator(mutate_bytes, &rng, data, size, max_size);
+}
+
+}  // namespace fuzz

@@ -1,0 +1,41 @@
+// Structure-aware mutators for the fuzz harnesses.
+//
+// Plain byte mutation almost never produces a log frame whose CRC verifies,
+// so a naive fuzzer spends its budget on the first dozen bytes of the frame
+// scanner. These mutators understand the two envelope formats:
+//
+//   kLog  — CRC-framed log records (optionally inside a multi-part
+//           container): splice/duplicate/drop/reorder whole frames, mutate
+//           a payload and re-fix its CRC, tear the tail, or corrupt a
+//           header byte on purpose (the torn-tail detector is a surface
+//           under test too).
+//   kWire — type-tagged fabric messages: mutate the body under a stable
+//           type byte, retag to a sibling message type, or flip the
+//           header-compression flag.
+//
+// The inner byte mutation is pluggable: libFuzzer passes LLVMFuzzerMutate
+// so coverage feedback keeps steering, and the standalone driver passes
+// nullptr to get a deterministic seeded fallback.
+#ifndef SRC_FUZZ_MUTATORS_H_
+#define SRC_FUZZ_MUTATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/fuzz/harness.h"
+
+namespace fuzz {
+
+// Signature of LLVMFuzzerMutate: mutates data in place, may grow up to
+// max_size, returns the new size.
+using ByteMutator = size_t (*)(uint8_t* data, size_t size, size_t max_size);
+
+// Mutates `data` in place according to the harness's envelope kind (kRaw
+// falls through to plain byte mutation). Returns the new size (<= max_size,
+// may be 0). `seed` makes the standalone driver reproducible.
+size_t MutateInput(MutatorKind kind, uint8_t* data, size_t size, size_t max_size,
+                   uint64_t seed, ByteMutator mutate_bytes);
+
+}  // namespace fuzz
+
+#endif  // SRC_FUZZ_MUTATORS_H_

@@ -117,13 +117,17 @@ namespace {
 base::Status DecodeUpdateFrom(base::Reader* r, rvm::TransactionRecord* out) {
   uint8_t compressed = 0;
   RETURN_IF_ERROR(r->ReadU8(&compressed));
-  uint64_t node = 0, commit_seq = 0, n_locks = 0, n_ranges = 0;
-  RETURN_IF_ERROR(r->ReadVarint(&node));
+  if (compressed > 1) {
+    return base::DataLoss("bad header-compression flag");
+  }
+  rvm::NodeId node = 0;
+  uint64_t commit_seq = 0, n_locks = 0, n_ranges = 0;
+  RETURN_IF_ERROR(r->ReadVarint32(&node));
   RETURN_IF_ERROR(r->ReadVarint(&commit_seq));
-  out->node = static_cast<rvm::NodeId>(node);
+  out->node = node;
   out->commit_seq = commit_seq;
   RETURN_IF_ERROR(r->ReadVarint(&n_locks));
-  if (n_locks > r->remaining()) {  // each lock record needs >= 2 bytes
+  if (n_locks > r->remaining() / 2) {  // each lock record needs >= 2 bytes
     return base::DataLoss("lock count exceeds message");
   }
   out->locks.clear();
@@ -134,40 +138,73 @@ base::Status DecodeUpdateFrom(base::Reader* r, rvm::TransactionRecord* out) {
     out->locks.push_back(rvm::LockRecord{lock_id, seq});
   }
   RETURN_IF_ERROR(r->ReadVarint(&n_ranges));
-  if (n_ranges > r->remaining()) {  // each range needs >= 4 bytes of header
+  if (n_ranges > r->remaining() / 4) {  // each range needs >= 4 bytes of header
     return base::DataLoss("range count exceeds message");
   }
   out->ranges.clear();
   out->ranges.reserve(n_ranges);
   uint64_t prev_start = UINT64_MAX;
+  // The range headers are held to exactly what EncodeRangeHeader emits for
+  // the declared compression mode: one accepted spelling per logical range.
+  // Anything looser (a mixed compressed/uncompressed record, an absolute
+  // address where the encoder would have used a delta, nonzero reserved
+  // padding) is a second encoding of the same record — corruption or a
+  // forgery — and decodes as DATA_LOSS, which is what makes
+  // Encode(Decode(x)) == x a checkable fuzz oracle.
   for (uint64_t i = 0; i < n_ranges; ++i) {
     uint8_t tag = 0;
     RETURN_IF_ERROR(r->ReadU8(&tag));
     rvm::RangeImage img;
     uint64_t len = 0;
-    if (tag & 0x80) {
+    if (compressed == 0) {
+      if (tag != 0x80) {
+        return base::DataLoss("bad uncompressed range tag");
+      }
       uint32_t region = 0;
       uint64_t start = 0;
       RETURN_IF_ERROR(r->ReadU32(&region));
       RETURN_IF_ERROR(r->ReadU64(&start));
       RETURN_IF_ERROR(r->ReadU64(&len));
-      RETURN_IF_ERROR(r->Skip(kStandardRvmRangeHeaderSize - 21));
+      base::ByteSpan pad;
+      RETURN_IF_ERROR(r->ReadBytes(kStandardRvmRangeHeaderSize - 21, &pad));
+      for (uint8_t b : pad) {
+        if (b != 0) {
+          return base::DataLoss("nonzero reserved padding in range header");
+        }
+      }
       img.region = region;
       img.offset = start;
     } else {
-      uint64_t region = 0, addr = 0;
-      RETURN_IF_ERROR(r->ReadVarint(&region));
+      if (tag != 0 && tag != kTagDelta) {
+        return base::DataLoss("bad compressed range tag");
+      }
+      rvm::RegionId region = 0;
+      uint64_t addr = 0;
+      RETURN_IF_ERROR(r->ReadVarint32(&region));
       RETURN_IF_ERROR(r->ReadVarint(&addr));
       RETURN_IF_ERROR(r->ReadVarint(&len));
-      img.region = static_cast<rvm::RegionId>(region);
-      if (tag & kTagDelta) {
+      img.region = region;
+      if (tag == kTagDelta) {
         if (prev_start == UINT64_MAX) {
           return base::DataLoss("delta range with no predecessor");
         }
+        // Deltas are only emitted for gaps under kNearRangeBound; a wider
+        // one (or a delta that wraps uint64) would relocate the range
+        // arbitrarily.
+        if (addr >= kNearRangeBound || prev_start + addr < prev_start) {
+          return base::DataLoss("delta range out of bounds");
+        }
         img.offset = prev_start + addr;
       } else {
+        if (prev_start != UINT64_MAX && addr >= prev_start &&
+            addr - prev_start < kNearRangeBound) {
+          return base::DataLoss("absolute address where encoder emits delta");
+        }
         img.offset = addr;
       }
+    }
+    if (img.offset + len < img.offset) {
+      return base::DataLoss("range end overflows uint64");
     }
     base::ByteSpan data;
     RETURN_IF_ERROR(r->ReadBytes(len, &data));
@@ -239,13 +276,17 @@ base::Status DecodeRequestLike(base::ByteSpan payload, MsgType expect, rvm::Lock
   if (type != static_cast<uint8_t>(expect)) {
     return base::InvalidArgument("unexpected message type");
   }
-  uint64_t lock64 = 0, node = 0;
+  uint64_t lock64 = 0;
+  rvm::NodeId node = 0;
   RETURN_IF_ERROR(r.ReadVarint(&lock64));
-  RETURN_IF_ERROR(r.ReadVarint(&node));
+  RETURN_IF_ERROR(r.ReadVarint32(&node));
   RETURN_IF_ERROR(r.ReadVarint(applied_seq));
   RETURN_IF_ERROR(r.ReadVarint(epoch));
+  if (!r.empty()) {
+    return base::DataLoss("trailing bytes after lock message");
+  }
   *lock = lock64;
-  *requester = static_cast<rvm::NodeId>(node);
+  *requester = node;
   return base::OkStatus();
 }
 
@@ -277,12 +318,16 @@ base::Status DecodeLockRevoke(base::ByteSpan payload, LockRevokeMsg* out) {
   if (type != static_cast<uint8_t>(MsgType::kLockRevoke)) {
     return base::InvalidArgument("not a lock revoke");
   }
-  uint64_t lock = 0, manager = 0;
+  uint64_t lock = 0;
+  rvm::NodeId manager = 0;
   RETURN_IF_ERROR(r.ReadVarint(&lock));
   RETURN_IF_ERROR(r.ReadVarint(&out->epoch));
-  RETURN_IF_ERROR(r.ReadVarint(&manager));
+  RETURN_IF_ERROR(r.ReadVarint32(&manager));
+  if (!r.empty()) {
+    return base::DataLoss("trailing bytes after lock revoke");
+  }
   out->lock = lock;
-  out->manager = static_cast<rvm::NodeId>(manager);
+  out->manager = manager;
   return base::OkStatus();
 }
 
@@ -305,19 +350,23 @@ base::Status DecodeLockRevokeReply(base::ByteSpan payload, LockRevokeReplyMsg* o
   if (type != static_cast<uint8_t>(MsgType::kLockRevokeReply)) {
     return base::InvalidArgument("not a lock revoke reply");
   }
-  uint64_t lock = 0, node = 0;
+  uint64_t lock = 0;
+  rvm::NodeId node = 0;
   uint8_t flags = 0;
   RETURN_IF_ERROR(r.ReadVarint(&lock));
   RETURN_IF_ERROR(r.ReadVarint(&out->epoch));
-  RETURN_IF_ERROR(r.ReadVarint(&node));
+  RETURN_IF_ERROR(r.ReadVarint32(&node));
   RETURN_IF_ERROR(r.ReadU8(&flags));
   if ((flags & ~uint8_t{3}) != 0) {
     return base::DataLoss("bad revoke-reply flags");
   }
   RETURN_IF_ERROR(r.ReadVarint(&out->token_seq));
   RETURN_IF_ERROR(r.ReadVarint(&out->applied_seq));
+  if (!r.empty()) {
+    return base::DataLoss("trailing bytes after revoke reply");
+  }
   out->lock = lock;
-  out->node = static_cast<rvm::NodeId>(node);
+  out->node = node;
   out->holding = (flags & 1) != 0;
   out->had_token = (flags & 2) != 0;
   return base::OkStatus();
@@ -347,6 +396,9 @@ base::Status DecodeLockToken(base::ByteSpan payload, LockTokenMsg* out) {
     rvm::TransactionRecord rec;
     RETURN_IF_ERROR(DecodeUpdate(encoded, &rec));
     out->piggyback.push_back(std::move(rec));
+  }
+  if (!r.empty()) {
+    return base::DataLoss("trailing bytes after lock token");
   }
   return base::OkStatus();
 }

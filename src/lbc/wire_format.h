@@ -97,6 +97,8 @@ struct LockTokenMsg {
   uint64_t epoch = 0;
   // Lazy policy: retained update records the requester has not yet applied.
   std::vector<rvm::TransactionRecord> piggyback;
+
+  bool operator==(const LockTokenMsg&) const = default;
 };
 
 // Client-failure recovery (manager-driven token reclamation): the manager

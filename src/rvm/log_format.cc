@@ -76,14 +76,15 @@ base::Status DecodeTransaction(base::ByteSpan payload, TransactionRecord* out) {
   if (kind != static_cast<uint8_t>(LogRecordKind::kTransaction)) {
     return base::InvalidArgument("not a transaction record");
   }
-  uint64_t node = 0, commit_seq = 0, n_locks = 0, n_ranges = 0;
-  RETURN_IF_ERROR(r.ReadVarint(&node));
+  NodeId node = 0;
+  uint64_t commit_seq = 0, n_locks = 0, n_ranges = 0;
+  RETURN_IF_ERROR(r.ReadVarint32(&node));
   RETURN_IF_ERROR(r.ReadVarint(&commit_seq));
-  out->node = static_cast<NodeId>(node);
+  out->node = node;
   out->commit_seq = commit_seq;
 
   RETURN_IF_ERROR(r.ReadVarint(&n_locks));
-  if (n_locks > r.remaining()) {  // each lock record needs >= 2 bytes
+  if (n_locks > r.remaining() / 2) {  // each lock record needs >= 2 bytes
     return base::DataLoss("lock count exceeds payload");
   }
   out->locks.clear();
@@ -96,19 +97,26 @@ base::Status DecodeTransaction(base::ByteSpan payload, TransactionRecord* out) {
   }
 
   RETURN_IF_ERROR(r.ReadVarint(&n_ranges));
-  if (n_ranges > r.remaining()) {  // each range needs >= 3 bytes
+  if (n_ranges > r.remaining() / 3) {  // each range needs >= 3 bytes
     return base::DataLoss("range count exceeds payload");
   }
   out->ranges.clear();
   out->ranges.reserve(n_ranges);
   for (uint64_t i = 0; i < n_ranges; ++i) {
-    uint64_t region = 0, offset = 0;
+    RegionId region = 0;
+    uint64_t offset = 0;
     base::ByteSpan data;
-    RETURN_IF_ERROR(r.ReadVarint(&region));
+    RETURN_IF_ERROR(r.ReadVarint32(&region));
     RETURN_IF_ERROR(r.ReadVarint(&offset));
     RETURN_IF_ERROR(r.ReadLengthPrefixed(&data));
+    // The range names the byte interval [offset, offset + len); an end that
+    // wraps uint64 would replay to a nonsense location. Reject rather than
+    // let the wrap pick one.
+    if (offset + data.size() < offset) {
+      return base::DataLoss("range end overflows uint64");
+    }
     RangeImage img;
-    img.region = static_cast<RegionId>(region);
+    img.region = region;
     img.offset = offset;
     img.data.assign(data.begin(), data.end());
     out->ranges.push_back(std::move(img));

@@ -34,8 +34,8 @@ base::Result<LogIndex> LogIndex::Build(store::DurableStore* store,
 LogIndex LogIndex::FromMerged(std::vector<TransactionRecord> merged) {
   LogIndex index;
   index.txns_ = std::move(merged);
-  for (uint32_t i = 0; i < index.txns_.size(); ++i) {
-    index.IndexTransaction(i, /*touched=*/nullptr);
+  for (size_t i = 0; i < index.txns_.size(); ++i) {
+    index.IndexTransaction(static_cast<uint32_t>(i), /*touched=*/nullptr);
   }
   return index;
 }
@@ -48,7 +48,7 @@ void LogIndex::IndexTransaction(uint32_t txn_idx, std::vector<PageKey>* touched)
   }
   uint64_t& commit = max_commit_seq_[txn.node];
   commit = std::max(commit, txn.commit_seq);
-  for (uint32_t r = 0; r < txn.ranges.size(); ++r) {
+  for (size_t r = 0; r < txn.ranges.size(); ++r) {
     const RangeImage& range = txn.ranges[r];
     if (range.data.empty()) {
       continue;
@@ -57,7 +57,7 @@ void LogIndex::IndexTransaction(uint32_t txn_idx, std::vector<PageKey>* touched)
     uint64_t last_page = (range.offset + range.data.size() - 1) / kDbPageSize;
     for (uint64_t page = first_page; page <= last_page; ++page) {
       PageKey key{range.region, page};
-      pages_[key].push_back(Slice{txn_idx, r});
+      pages_[key].push_back(Slice{txn_idx, static_cast<uint32_t>(r)});
       if (touched != nullptr) {
         touched->push_back(key);
       }

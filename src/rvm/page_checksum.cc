@@ -102,6 +102,11 @@ base::Result<std::optional<uint32_t>> ChecksumSidecar::ReadEntry(uint64_t page) 
   if (!header_written_) {
     return std::optional<uint32_t>();  // unreadable header: no believable entries
   }
+  if (page > (UINT64_MAX - kChecksumHeaderSize) / kChecksumEntrySize) {
+    // EntryOffset would wrap and alias a low entry; no real sidecar can hold
+    // such a page, so it verifies vacuously instead.
+    return std::optional<uint32_t>();
+  }
   uint8_t entry[kChecksumEntrySize];
   ASSIGN_OR_RETURN(size_t n, file_->Read(EntryOffset(page), entry, sizeof(entry)));
   if (n < sizeof(entry)) {

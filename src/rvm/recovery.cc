@@ -50,6 +50,12 @@ base::Result<std::vector<TransactionRecord>> ReadLogTransactions(store::DurableS
     base::ByteSpan span(payload.data(), payload.size());
     ASSIGN_OR_RETURN(LogRecordKind kind, PeekKind(span));
     if (kind == LogRecordKind::kCheckpoint) {
+      // A checkpoint payload is exactly its kind byte. Anything longer is a
+      // forged or mis-framed record — and a checkpoint CLEARS the recovered
+      // prefix, so accepting a loose one would silently truncate recovery.
+      if (span.size() != 1) {
+        return base::DataLoss("checkpoint record with trailing bytes");
+      }
       // Everything before a checkpoint is already in the database files.
       txns.clear();
       continue;

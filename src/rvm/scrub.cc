@@ -75,7 +75,7 @@ bool ParseRegionName(const std::string& name, RegionId* id) {
     if (c < '0' || c > '9') {
       return false;
     }
-    v = v * 10 + static_cast<uint64_t>(c - '0');
+    v = v * 10 + (static_cast<uint64_t>(c) - '0');
   }
   *id = static_cast<RegionId>(v);
   return true;

@@ -54,6 +54,8 @@ struct TransactionRecord {
   std::vector<LockRecord> locks;
   std::vector<RangeImage> ranges;
 
+  bool operator==(const TransactionRecord&) const = default;
+
   uint64_t TotalBytes() const {
     uint64_t n = 0;
     for (const auto& r : ranges) {

@@ -26,7 +26,9 @@ class MemFile : public DurableFile {
       return size_t{0};
     }
     size_t n = std::min<size_t>(len, data.size() - offset);
-    std::memcpy(buf, data.data() + offset, n);
+    if (n > 0) {
+      std::memcpy(buf, data.data() + offset, n);
+    }
     StoreMetrics* m = GlobalStoreMetrics();
     m->reads->Increment();
     m->read_bytes->Add(n);
@@ -123,7 +125,9 @@ class MemFile : public DurableFile {
     if (offset + data.size() > vec.size()) {
       vec.resize(offset + data.size());
     }
-    std::memcpy(vec.data() + offset, data.data(), data.size());
+    if (!data.empty()) {
+      std::memcpy(vec.data() + offset, data.data(), data.size());
+    }
     state_->unsynced_writes.emplace_back(offset, data.size());
     owner_->total_bytes_written_ += data.size();
     StoreMetrics* m = GlobalStoreMetrics();
@@ -225,6 +229,9 @@ void MemStore::Crash(size_t torn_bytes) {
         break;
       }
       size_t take = std::min<size_t>(len, budget);
+      if (take == 0) {
+        continue;
+      }
       if (offset + take > image.size()) {
         image.resize(offset + take);
       }

@@ -1,0 +1,108 @@
+// Tier-1 replay of the pinned fuzz corpora: every checked-in seed and every
+// crash reproducer under fuzz/ runs through its harness entry point in the
+// normal build. A harness aborts on any oracle violation (accepted-but-
+// noncanonical input, unbounded decode, index/merge inconsistency), so this
+// test keeps decoder totality gated on machines without libFuzzer — a
+// regression on a pinned find fails CI even when nobody runs the fuzzers.
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fuzz/harness.h"
+
+namespace fuzz {
+namespace {
+
+// Set by tests/CMakeLists.txt to <repo>/fuzz.
+const char* FuzzDir() {
+#ifdef LBC_FUZZ_DIR
+  return LBC_FUZZ_DIR;
+#else
+  return "fuzz";
+#endif
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+// (harness, file, bytes) for every input under fuzz/<kind>/<harness>/.
+struct PinnedInput {
+  const Harness* harness;
+  std::string file;
+  std::vector<uint8_t> bytes;
+};
+
+std::vector<PinnedInput> CollectInputs(const std::string& kind) {
+  std::vector<PinnedInput> inputs;
+  std::filesystem::path root = std::filesystem::path(FuzzDir()) / kind;
+  EXPECT_TRUE(std::filesystem::is_directory(root))
+      << root << " missing — run gen_corpus to regenerate";
+  for (const auto& dir : std::filesystem::directory_iterator(root)) {
+    if (!dir.is_directory()) {
+      continue;
+    }
+    const Harness* harness = FindHarness(dir.path().filename().c_str());
+    EXPECT_NE(harness, nullptr)
+        << "corpus directory " << dir.path() << " names no registered harness";
+    if (harness == nullptr) {
+      continue;
+    }
+    for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+      if (entry.is_regular_file()) {
+        inputs.push_back({harness, entry.path().string(), ReadFileBytes(entry.path())});
+      }
+    }
+  }
+  return inputs;
+}
+
+TEST(FuzzRegression, EveryHarnessHasSeeds) {
+  auto inputs = CollectInputs("corpus");
+  for (const Harness& h : AllHarnesses()) {
+    size_t n = 0;
+    for (const auto& input : inputs) {
+      n += input.harness == &h ? 1 : 0;
+    }
+    EXPECT_GT(n, 0u) << "harness " << h.name << " has no checked-in corpus";
+  }
+}
+
+TEST(FuzzRegression, CorpusReplaysClean) {
+  for (const auto& input : CollectInputs("corpus")) {
+    SCOPED_TRACE(input.file);
+    EXPECT_EQ(input.harness->run(input.bytes.data(), input.bytes.size()), 0);
+  }
+}
+
+TEST(FuzzRegression, PinnedCrashesReplayClean) {
+  auto inputs = CollectInputs("crashes");
+  EXPECT_FALSE(inputs.empty()) << "no pinned finds under fuzz/crashes";
+  for (const auto& input : inputs) {
+    SCOPED_TRACE(input.file);
+    EXPECT_EQ(input.harness->run(input.bytes.data(), input.bytes.size()), 0);
+  }
+}
+
+// Cross-pollination: every pinned input through EVERY harness. Harnesses
+// take arbitrary bytes by contract, so a seed for one decode surface must
+// not wedge another (cheap: the corpora are tiny).
+TEST(FuzzRegression, AllInputsThroughAllHarnesses) {
+  for (const std::string& kind : {std::string("corpus"), std::string("crashes")}) {
+    for (const auto& input : CollectInputs(kind)) {
+      for (const Harness& h : AllHarnesses()) {
+        SCOPED_TRACE(std::string(h.name) + " <- " + input.file);
+        EXPECT_EQ(h.run(input.bytes.data(), input.bytes.size()), 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fuzz
